@@ -1,0 +1,121 @@
+// bench_ablation_d2d — disk-to-disk vs tape backup ablation.
+//
+// The framework's technique abstraction makes the backup device pluggable;
+// this ablation swaps the tape library for a nearline SATA array across a
+// range of backup frequencies and reports the restore-time / outlay
+// trade-off: disk restores are ~2x faster (no load/seek, higher bandwidth)
+// but the media cost an order of magnitude more per GB, so D2D only pays
+// for itself when outage penalties are high or restores frequent.
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "core/techniques/backup.hpp"
+#include "core/techniques/split_mirror.hpp"
+#include "devices/catalog.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+using namespace stordep;
+namespace cs = stordep::casestudy;
+
+StorageDesign makeDesign(bool d2d, Duration accW) {
+  auto array = catalog::midrangeDiskArray(cs::kPrimaryArrayName,
+                                          Location::at(cs::kPrimarySite));
+  DevicePtr backupDevice;
+  if (d2d) {
+    backupDevice =
+        catalog::nearlineDiskArray("nearline", Location::at(cs::kPrimarySite));
+  } else {
+    backupDevice = catalog::enterpriseTapeLibrary(
+        "tape-library", Location::at(cs::kPrimarySite));
+  }
+  const int retCnt = std::max(1, static_cast<int>(weeks(4) / accW));
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(array));
+  levels.push_back(std::make_shared<SplitMirror>(
+      "mirrors", array,
+      ProtectionPolicy(WindowSpec{.accW = hours(12)}, 4, days(2))));
+  levels.push_back(std::make_shared<Backup>(
+      "backup", BackupStyle::kFullOnly, array, backupDevice,
+      ProtectionPolicy(
+          WindowSpec{.accW = accW, .propW = accW * 0.5, .holdW = hours(1)},
+          retCnt, weeks(4))));
+  return StorageDesign(d2d ? "d2d" : "tape", cs::celloWorkload(),
+                       cs::requirements(), std::move(levels),
+                       cs::recoveryFacility());
+}
+
+}  // namespace
+
+int main() {
+  using report::Align;
+  using report::TextTable;
+  using report::fixed;
+
+  TextTable table({"Backup freq", "Target", "Restore RT (hr)", "DL (hr)",
+                   "Backup outlay ($K/yr)", "Array total ($M)"});
+  for (size_t c = 2; c < 6; ++c) table.align(c, Align::kRight);
+  table.title("Disk-to-disk vs tape backup across backup frequencies "
+              "(array-failure scenario)");
+
+  bool d2dAlwaysFaster = true;
+  std::vector<double> outlayGap;  // disk backup outlay minus tape's, $/yr
+  double bestTapeTotal = 1e300, bestD2dTotal = 1e300;
+  for (const double accH : {168.0, 48.0, 24.0}) {
+    for (const bool d2d : {false, true}) {
+      const StorageDesign design = makeDesign(d2d, hours(accH));
+      const auto result = evaluate(design, cs::arrayFailure());
+      if (!result.recovery.recoverable || !result.utilization.feasible()) {
+        std::cerr << "unexpected infeasibility\n";
+        return 1;
+      }
+      const auto* outlay = result.cost.find("backup");
+      table.addRow({fixed(accH, 0) + " hr", d2d ? "nearline disk" : "tape",
+                    fixed(result.recovery.recoveryTime.hrs(), 2),
+                    fixed(result.recovery.dataLoss.hrs(), 0),
+                    fixed(outlay->total().usd() / 1000, 0),
+                    fixed(result.cost.totalCost.millionUsd(), 2)});
+      (d2d ? bestD2dTotal : bestTapeTotal) = std::min(
+          d2d ? bestD2dTotal : bestTapeTotal,
+          result.cost.totalCost.millionUsd());
+    }
+    // Pairwise shape checks at this frequency.
+    const auto tape = evaluate(makeDesign(false, hours(accH)),
+                               cs::arrayFailure());
+    const auto disk = evaluate(makeDesign(true, hours(accH)),
+                               cs::arrayFailure());
+    d2dAlwaysFaster = d2dAlwaysFaster &&
+                      disk.recovery.recoveryTime < tape.recovery.recoveryTime;
+    outlayGap.push_back(disk.cost.find("backup")->total().usd() -
+                        tape.cost.find("backup")->total().usd());
+    table.addSeparator();
+  }
+  std::cout << table.render();
+
+  std::cout
+      << "\nTwo effects are visible. (1) Restore speed: the nearline array "
+         "always restores\n~40 min faster (no load/seek, 400 vs 240 MB/s). "
+         "(2) Media economics flip with\nretained volume: the tape library's "
+         "large enclosure fixed cost needs volume to\namortize, so at "
+         "*weekly* backups the nearline array is actually the cheaper\n"
+         "backup target; by *daily* backups (29 retained fulls) tape's "
+         "10x-cheaper media\ndominate and the disk premium reaches ~$"
+      << fixed(outlayGap.back() / 1000, 0) << "K/yr.\n";
+  (void)bestTapeTotal;
+  (void)bestD2dTotal;
+
+  const bool gapGrows = outlayGap.size() == 3 && outlayGap[0] < outlayGap[1] &&
+                        outlayGap[1] < outlayGap[2];
+  const bool tapeWinsDaily = outlayGap.back() > 0;
+  const bool diskWinsWeekly = outlayGap.front() < 0;
+  std::cout << "shape checks (D2D always restores faster; disk premium grows "
+               "with retained volume;\ndisk cheaper at weekly, tape cheaper "
+               "at daily): "
+            << (d2dAlwaysFaster && gapGrows && tapeWinsDaily && diskWinsWeekly
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return d2dAlwaysFaster && gapGrows && tapeWinsDaily && diskWinsWeekly ? 0
+                                                                        : 1;
+}

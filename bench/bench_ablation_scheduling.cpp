@@ -1,0 +1,68 @@
+// bench_ablation_scheduling — ablation of the model's scheduling assumption.
+//
+// The paper's lag formula (Sec 3.3.2) implicitly assumes each level's RP
+// creation grid is phase-aligned with upstream arrivals (its conventions
+// accW_i >= cyclePer_{i-1} make that achievable). This ablation sweeps the
+// backup level's phase offset across a week and measures the worst observed
+// data loss: aligned phases meet the analytic bound exactly; adversarial
+// phases exceed it by up to one upstream accumulation window (12 h for the
+// baseline's split mirrors) — quantifying the cost of sloppy scheduling.
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/report.hpp"
+#include "sim/failure_injector.hpp"
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+
+  const stordep::StorageDesign design = cs::baseline();
+  const stordep::Duration analytic =
+      chooseRecoverySource(design, cs::arrayFailure())->dataLoss;
+
+  TextTable table({"Backup phase offset", "Max observed DL", "vs analytic",
+                   "Excess"});
+  for (size_t c = 1; c < 4; ++c) table.align(c, Align::kRight);
+  table.title("Worst observed array-failure data loss vs backup schedule "
+              "phase (analytic bound " +
+              toString(analytic) + ")");
+
+  bool alignedTight = false;
+  double worstExcessHours = 0;
+  for (const double offsetHours : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 11.9}) {
+    stordep::sim::RpSimOptions options;
+    options.horizon = stordep::days(250);
+    options.alignSchedules = false;
+    // Phase 0 is aligned for the baseline (mirrors split on the 12 h grid,
+    // backups fire on the week grid); offsetting the backup by `offset`
+    // makes it capture an `offset`-stale mirror.
+    options.phases = {stordep::Duration::zero(), stordep::Duration::zero(),
+                      stordep::hours(offsetHours),
+                      stordep::hours(offsetHours) + stordep::hours(49)};
+    stordep::sim::RpLifecycleSimulator sim(design, options);
+    sim.run();
+    stordep::sim::FailureInjector injector(sim, stordep::sim::Rng(17));
+    const auto stats = injector.sweepDataLoss(cs::arrayFailure(), 8'000);
+
+    const double excess = stats.maxObserved.hrs() - analytic.hrs();
+    worstExcessHours = std::max(worstExcessHours, excess);
+    if (offsetHours == 0.0 && stats.tightness > 0.99 && stats.boundHolds) {
+      alignedTight = true;
+    }
+    table.addRow({toString(stordep::hours(offsetHours)),
+                  toString(stats.maxObserved),
+                  fixed(stats.tightness * 100.0, 1) + "%",
+                  fixed(excess, 1) + " hr"});
+  }
+  std::cout << table.render();
+
+  std::cout << "\naligned schedule meets the bound tightly: "
+            << (alignedTight ? "yes" : "NO")
+            << "\nworst misalignment excess: " << fixed(worstExcessHours, 1)
+            << " hr (theory: up to one upstream accW = 12 hr)\n";
+  const bool ok = alignedTight && worstExcessHours <= 12.0 + 0.5;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// bench_expected_vs_worst — expected-case vs worst-case data loss.
+//
+// The paper reports worst-case data loss only (business-continuity
+// practice). This experiment adds the expected case — analytically
+// (uniform failure instant: the in-flight wait averages to half a window)
+// and empirically (Monte-Carlo failure injection over the simulated RP
+// schedules) — and cross-validates the two: the analytic mean must match
+// the simulated mean to within a few percent for every single-
+// representation design, while the worst case is roughly expected + accW/2.
+#include <cmath>
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/report.hpp"
+#include "sim/failure_injector.hpp"
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+
+  TextTable table({"Design", "Scenario", "Worst (paper-style)",
+                   "Expected (analytic)", "Mean (simulated)", "Match"});
+  for (size_t c = 2; c < 6; ++c) table.align(c, Align::kRight);
+  table.title("Worst-case vs expected recent data loss (analytic means "
+              "validated by simulation)");
+
+  struct Case {
+    const char* design;
+    const char* scenario;
+  };
+  bool allMatch = true;
+
+  for (const auto& [label, design] :
+       std::vector<std::pair<std::string, stordep::StorageDesign>>{
+           {"Baseline", cs::baseline()},
+           {"Weekly vault, daily F", cs::weeklyVaultDailyFull()},
+           {"AsyncB mirror, 1 link", cs::asyncBatchMirror(1)}}) {
+    const bool isMirror = label.find("AsyncB") != std::string::npos;
+    stordep::sim::RpSimOptions options;
+    options.horizon = isMirror ? stordep::hours(12) : stordep::days(250);
+    stordep::sim::RpLifecycleSimulator sim(design, options);
+    sim.run();
+    stordep::sim::FailureInjector injector(sim, stordep::sim::Rng(2026));
+
+    std::vector<std::pair<std::string, stordep::FailureScenario>> scenarios{
+        {"array", cs::arrayFailure()}, {"site", cs::siteDisaster()}};
+    if (!isMirror) scenarios.emplace_back("object", cs::objectFailure());
+
+    for (const auto& [name, scenario] : scenarios) {
+      const auto source = chooseRecoverySource(design, scenario);
+      if (!source) continue;
+      const stordep::Duration worst = source->dataLoss;
+      const stordep::Duration expected =
+          expectedDataLoss(design, source->level, scenario);
+      const auto stats = injector.validateDataLoss(scenario, 20'000);
+      const double relErr =
+          std::fabs(expected.secs() - stats.meanObserved.secs()) /
+          std::max(1.0, expected.secs());
+      const bool match = relErr < 0.05;
+      allMatch = allMatch && match;
+      table.addRow({label, name, toString(worst), toString(expected),
+                    toString(stats.meanObserved),
+                    fixed(relErr * 100.0, 1) + "%"});
+    }
+  }
+  std::cout << table.render();
+  std::cout
+      << "\nTakeaway: the paper's worst-case numbers overstate the typical "
+         "exposure by half\nan accumulation window — e.g. the baseline's "
+         "217 h array-failure worst case is a\n133 h expectation. Planning "
+         "to the worst case is the right business-continuity\npractice, but "
+         "the expectation is what belongs in an annualized risk model\n"
+         "(core/risk.hpp deliberately uses the worst case: conservative "
+         "expectations).\n";
+  std::cout << "analytic means match simulated means (<5% error): "
+            << (allMatch ? "yes" : "NO") << "\n";
+  return allMatch ? 0 : 1;
+}

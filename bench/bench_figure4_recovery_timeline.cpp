@@ -1,0 +1,87 @@
+// bench_figure4_recovery_timeline — regenerates paper Figure 4.
+//
+// "Recovery time dependencies": the site-disaster recovery path (vault ->
+// shipment -> tape library -> replacement primary), showing which phases
+// serialize and which overlap — facility provisioning proceeds in parallel
+// with the tape shipment, data transfer waits for both. Rendered as the
+// step table plus an ASCII Gantt chart.
+#include <algorithm>
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+std::string gantt(double start, double end, double total, int width) {
+  std::string line(static_cast<size_t>(width), '.');
+  const int a = std::clamp(static_cast<int>(start / total * width), 0,
+                           width - 1);
+  const int b = std::clamp(static_cast<int>(end / total * width), a + 1,
+                           width);
+  for (int i = a; i < b; ++i) line[static_cast<size_t>(i)] = '#';
+  return line;
+}
+
+}  // namespace
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::fixed;
+
+  const stordep::StorageDesign design = cs::baseline();
+  const auto scenario = cs::siteDisaster();
+  const stordep::RecoveryResult recovery = computeRecovery(design, scenario);
+  if (!recovery.recoverable) {
+    std::cerr << "unexpected: site disaster unrecoverable\n";
+    return 1;
+  }
+
+  std::cout << "Figure 4: recovery-time dependencies — site disaster, "
+               "baseline design\n\n";
+  std::cout << "recovery source: " << recovery.sourceName << ", payload "
+            << toString(recovery.payload) << ", total recovery time "
+            << toString(recovery.recoveryTime) << " (paper: 26.4 hr)\n\n";
+  std::cout << stordep::report::recoveryTimelineTable(recovery).render();
+
+  // ASCII Gantt: provisioning bars (parallel) + each leg's serialized span.
+  const double total = recovery.recoveryTime.secs();
+  const int width = 60;
+  std::cout << "\nOverlap structure (0 .. " << toString(recovery.recoveryTime)
+            << "):\n";
+  if (design.facility()) {
+    const double prov = design.facility()->provisioningTime.secs();
+    std::cout << "  provision facility resources  |"
+              << gantt(0, prov, total, width) << "| "
+              << toString(design.facility()->provisioningTime) << "\n";
+  }
+  for (const auto& step : recovery.timeline) {
+    const double start = step.startTime.secs();
+    std::cout << "  " << step.description;
+    for (size_t pad = step.description.size(); pad < 30; ++pad) {
+      std::cout << ' ';
+    }
+    std::cout << "|" << gantt(start, step.readyTime.secs(), total, width)
+              << "| " << toString(step.readyTime - step.startTime) << "\n";
+  }
+  for (const auto& note : recovery.notes) {
+    std::cout << "  note: " << note << "\n";
+  }
+
+  // The figure's key property: provisioning is hidden inside the shipment.
+  const double shipmentEnd = recovery.timeline.front().readyTime.secs();
+  const bool overlapped =
+      design.facility() &&
+      design.facility()->provisioningTime.secs() < shipmentEnd &&
+      recovery.recoveryTime.hrs() < 28.0;
+  std::cout << "\nprovisioning fully overlapped by shipment (recovery < 28 "
+               "hr rather than 33+ hr if serialized): "
+            << (overlapped ? "yes" : "NO") << "\n";
+
+  // Contrast with the array-failure path (no shipment, spare in minutes).
+  const stordep::RecoveryResult array =
+      computeRecovery(design, cs::arrayFailure());
+  std::cout << "\nFor contrast, the array-failure path (paper: 2.4 hr):\n"
+            << stordep::report::recoveryTimelineTable(array).render();
+  return overlapped ? 0 : 1;
+}

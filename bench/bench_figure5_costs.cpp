@@ -1,0 +1,94 @@
+// bench_figure5_costs — regenerates paper Figure 5.
+//
+// "Overall system cost for baseline system": for each failure scenario, a
+// stacked breakdown of annual outlays by data protection technique plus the
+// outage and recent-data-loss penalties — rendered as a table and as an
+// ASCII bar chart mirroring the figure.
+#include <algorithm>
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+std::string bar(double millions, double perChar) {
+  const int len = std::max(0, static_cast<int>(millions / perChar + 0.5));
+  return std::string(static_cast<size_t>(len), '#');
+}
+
+}  // namespace
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+
+  const stordep::StorageDesign design = cs::baseline();
+  const std::vector<std::pair<std::string, stordep::FailureScenario>>
+      scenarios = {{"object", cs::objectFailure()},
+                   {"array", cs::arrayFailure()},
+                   {"site", cs::siteDisaster()}};
+
+  TextTable table({"Cost component", "object", "array", "site"});
+  for (size_t c = 1; c < 4; ++c) table.align(c, Align::kRight);
+  table.title("Figure 5: overall system cost for the baseline (annual, $M)");
+
+  std::vector<stordep::CostResult> costs;
+  for (const auto& [name, scenario] : scenarios) {
+    costs.push_back(
+        computeCosts(design, computeRecovery(design, scenario)));
+  }
+
+  // Outlay rows are scenario-independent; list them from the first result.
+  for (const auto& outlay : costs[0].outlays) {
+    std::vector<std::string> row{"outlay: " + outlay.technique};
+    for (const auto& cost : costs) {
+      row.push_back(fixed(cost.find(outlay.technique)->total().millionUsd(),
+                          3));
+    }
+    table.addRow(std::move(row));
+  }
+  table.addSeparator();
+  auto metricRow = [&](const std::string& label, auto getter) {
+    std::vector<std::string> row{label};
+    for (const auto& cost : costs) {
+      row.push_back(fixed(getter(cost).millionUsd(), 2));
+    }
+    table.addRow(std::move(row));
+  };
+  metricRow("outage penalty",
+            [](const stordep::CostResult& c) { return c.outagePenalty; });
+  metricRow("recent data loss penalty",
+            [](const stordep::CostResult& c) { return c.lossPenalty; });
+  table.addSeparator();
+  metricRow("TOTAL", [](const stordep::CostResult& c) { return c.totalCost; });
+  std::cout << table.render();
+
+  std::cout << "\nFigure 5 (each # = $2M):\n";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& c = costs[i];
+    std::cout << "  " << scenarios[i].first << " failure  total $"
+              << fixed(c.totalCost.millionUsd(), 2) << "M\n";
+    std::cout << "    outlays   |" << bar(c.totalOutlays.millionUsd(), 2.0)
+              << "\n";
+    std::cout << "    penalties |" << bar(c.totalPenalties.millionUsd(), 2.0)
+              << "\n";
+  }
+
+  std::cout
+      << "\nShape checks (paper Sec 4.1): penalty costs — especially recent "
+         "data loss —\ndominate for array and site failures; outlays split "
+         "roughly evenly between the\nforeground workload, split mirroring "
+         "and tape backup, with negligible vaulting.\n";
+
+  const auto& arrayCost = costs[1];
+  const bool shape =
+      arrayCost.lossPenalty.usd() > 5.0 * arrayCost.totalOutlays.usd() &&
+      costs[2].lossPenalty.usd() > costs[1].lossPenalty.usd() &&
+      arrayCost.find("remote vaulting")->total().usd() <
+          0.25 * arrayCost.find("split mirror")->total().usd();
+  std::cout << "shape reproduced: " << (shape ? "yes" : "NO") << "\n";
+  return shape ? 0 : 1;
+}

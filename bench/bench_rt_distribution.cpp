@@ -1,0 +1,70 @@
+// bench_rt_distribution — typical vs worst-case recovery, simulated.
+//
+// The paper's recovery times are worst cases. This experiment couples the
+// RP-lifecycle simulation with the restore model to get the *distribution*
+// of achieved recovery times across failure instants: for full-only
+// schedules the restore payload is constant, so RT is deterministic; for
+// full+incremental schedules the payload swings across the cycle (full
+// alone just after the full lands; full + five days of updates at the end),
+// and the restorability rule that an incremental is useless until its base
+// full has finished propagating makes even the lightest restore carry one
+// incremental.
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/report.hpp"
+#include "sim/recovery_simulator.hpp"
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+
+  TextTable table({"Design", "Scenario", "Worst RT (analytic)",
+                   "Max RT (sim)", "Mean RT (sim)", "Payload min-max (GB)",
+                   "Bound"});
+  for (size_t c = 2; c < 7; ++c) table.align(c, Align::kRight);
+  table.title("Recovery-time distributions from 5,000 simulated failure "
+              "instants per row");
+
+  bool allHold = true;
+  for (const auto& [label, design] :
+       std::vector<std::pair<std::string, stordep::StorageDesign>>{
+           {"Baseline (weekly fulls)", cs::baseline()},
+           {"Weekly vault, F+I", cs::weeklyVaultFullPlusIncremental()},
+           {"Weekly vault, daily F", cs::weeklyVaultDailyFull()}}) {
+    stordep::sim::RpSimOptions options;
+    options.horizon = stordep::days(250);
+    stordep::sim::RpLifecycleSimulator sim(design, options);
+    sim.run();
+    const stordep::sim::RecoverySimulator rec(sim);
+
+    for (const auto& [name, scenario] :
+         std::vector<std::pair<std::string, stordep::FailureScenario>>{
+             {"array", cs::arrayFailure()}, {"site", cs::siteDisaster()}}) {
+      const auto dist =
+          rec.distribution(scenario, 5000, stordep::sim::Rng(99));
+      allHold = allHold && dist.rtBoundHolds && dist.unrecoverable == 0;
+      table.addRow(
+          {label, name, fixed(dist.analyticWorstRt.hrs(), 2) + " hr",
+           fixed(dist.maxRt.hrs(), 2) + " hr",
+           fixed(dist.meanRt.hrs(), 2) + " hr",
+           fixed(dist.minPayload.gigabytes(), 0) + "-" +
+               fixed(dist.maxPayload.gigabytes(), 0),
+           dist.rtBoundHolds ? "holds" : "VIOLATED"});
+    }
+  }
+  std::cout << table.render();
+  std::cout
+      << "\nReading the table: full-only schedules restore a constant "
+         "payload, so achieved\nRT equals the worst case at every instant. "
+         "The F+I schedule's payload swings\n~1386-1490 GB across the week "
+         "(never bare 1360: the day-1 incremental lands\nbefore its base "
+         "full finishes propagating, so every restore replays at least "
+         "one\nincrement), yet the analytic worst case bounds every sample."
+         "\n";
+  std::cout << "analytic worst case bounds every simulated restore: "
+            << (allHold ? "yes" : "NO") << "\n";
+  return allHold ? 0 : 1;
+}

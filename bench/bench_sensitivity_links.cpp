@@ -1,0 +1,84 @@
+// bench_sensitivity_links — sensitivity of the mirrored design to link
+// provisioning (extends Table 7's two AsyncB rows into a full series).
+//
+// Sweeps the OC-3 link count 1..16 and reports recovery time, penalties,
+// outlays and total cost for array failure and site disaster, locating the
+// two structural crossovers the paper's rows hint at:
+//  * the RT knee where WAN drain stops dominating (site RT flattens at the
+//    9 h facility provisioning floor);
+//  * the cost minimum: link outlays grow linearly while penalties shrink
+//    hyperbolically, so total cost is U-shaped with its minimum at the low
+//    end for the case study's penalty rates.
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/csv.hpp"
+#include "report/report.hpp"
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::CsvWriter;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+
+  TextTable table({"Links", "Array RT (hr)", "Site RT (hr)", "Outlays ($M)",
+                   "Array total ($M)", "Site total ($M)"});
+  for (size_t c = 0; c < 6; ++c) table.align(c, Align::kRight);
+  table.title("Async-batch mirroring vs OC-3 link count (cello workload, "
+              "$50k/hr penalties)");
+  CsvWriter csv({"links", "array_rt_hr", "site_rt_hr", "outlays_musd",
+                 "array_total_musd", "site_total_musd"});
+
+  double bestTotal = 1e300;
+  int bestLinks = 0;
+  double prevSiteRt = 1e300;
+  bool rtMonotone = true;
+  double kneeLinks = 0;
+
+  for (int links = 1; links <= 16; ++links) {
+    const stordep::StorageDesign design = cs::asyncBatchMirror(links);
+    const auto array = evaluate(design, cs::arrayFailure());
+    const auto site = evaluate(design, cs::siteDisaster());
+    const double arrayRt = array.recovery.recoveryTime.hrs();
+    const double siteRt = site.recovery.recoveryTime.hrs();
+    const double outlays = array.cost.totalOutlays.millionUsd();
+    const double arrayTotal = array.cost.totalCost.millionUsd();
+    const double siteTotal = site.cost.totalCost.millionUsd();
+
+    table.addRow({std::to_string(links), fixed(arrayRt, 2), fixed(siteRt, 2),
+                  fixed(outlays, 2), fixed(arrayTotal, 2),
+                  fixed(siteTotal, 2)});
+    csv.addRow({std::to_string(links), fixed(arrayRt, 3), fixed(siteRt, 3),
+                fixed(outlays, 3), fixed(arrayTotal, 3),
+                fixed(siteTotal, 3)});
+
+    if (arrayTotal < bestTotal) {
+      bestTotal = arrayTotal;
+      bestLinks = links;
+    }
+    if (siteRt > prevSiteRt + 1e-9) rtMonotone = false;
+    // The knee: first link count where site RT hits the provisioning floor.
+    if (kneeLinks == 0 && siteRt < 9.0 + 1.0) kneeLinks = links;
+    prevSiteRt = siteRt;
+  }
+  std::cout << table.render();
+  csv.writeFile("sensitivity_links.csv");
+  std::cout << "\nCSV written to sensitivity_links.csv\n";
+
+  std::cout << "\ncheapest configuration: " << bestLinks
+            << " link(s). The paper compared only 1 vs 10 links and "
+               "concluded the 1-link\nsystem wins; the fine-grained sweep "
+               "refines that — the true optimum sits at the\nlow end (1-2 "
+               "links: the second link halves the outage penalty for one "
+               "link's\nrent), far below the 10-link configuration.\n";
+  std::cout << "site RT flattens at the 9 h facility-provisioning floor "
+               "from "
+            << kneeLinks << " links onward\n";
+  const bool ok = bestLinks <= 2 && rtMonotone && kneeLinks >= 2 &&
+                  kneeLinks <= 4;
+  std::cout << "shape checks (cost minimum at 1-2 links, RT monotone, knee "
+               "at 2-4 links): "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

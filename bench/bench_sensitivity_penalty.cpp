@@ -1,0 +1,88 @@
+// bench_sensitivity_penalty — where do the paper's conclusions flip?
+//
+// Table 7's punchline (the 1-link mirror is cheapest) holds at $50k/hr
+// penalty rates. This sweep varies the outage/loss penalty rate over three
+// orders of magnitude and, at each point, re-ranks the seven case-study
+// designs by array-failure total cost — locating the crossover rates where
+// more protection (10 links; tape hierarchies) starts or stops paying off.
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/csv.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+/// Rebuilds a design with different penalty rates (designs are immutable).
+stordep::StorageDesign withPenaltyRate(const stordep::StorageDesign& base,
+                                       stordep::MoneyRate rate) {
+  std::vector<stordep::TechniquePtr> levels;
+  for (int i = 0; i < base.levelCount(); ++i) {
+    levels.push_back(base.levelPtr(i));
+  }
+  stordep::BusinessRequirements business = base.business();
+  business.unavailabilityPenaltyRate = rate;
+  business.lossPenaltyRate = rate;
+  return stordep::StorageDesign(base.name(), base.workload(), business,
+                                std::move(levels), base.facility());
+}
+
+}  // namespace
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::CsvWriter;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+
+  const auto designs = cs::allWhatIfDesigns();
+
+  TextTable table({"Penalty $/hr", "Cheapest design (array failure)",
+                   "Total ($M)", "Runner-up"});
+  table.align(0, Align::kRight).align(2, Align::kRight);
+  table.title("Cheapest of the seven Table 7 designs as the penalty rate "
+              "varies");
+  CsvWriter csv({"penalty_per_hr", "design", "array_total_musd"});
+
+  std::string cheapAt1k, cheapAt50k, cheapAt1m;
+  for (const double rate : {1e3, 5e3, 1e4, 5e4, 1e5, 5e5, 1e6}) {
+    std::string bestLabel, secondLabel;
+    double best = 1e300, second = 1e300;
+    for (const auto& [label, design] : designs) {
+      const stordep::StorageDesign variant =
+          withPenaltyRate(design, stordep::dollarsPerHour(rate));
+      const auto result = evaluate(variant, cs::arrayFailure());
+      const double total = result.cost.totalCost.millionUsd();
+      csv.addRow({fixed(rate, 0), label, fixed(total, 3)});
+      if (total < best) {
+        second = best;
+        secondLabel = bestLabel;
+        best = total;
+        bestLabel = label;
+      } else if (total < second) {
+        second = total;
+        secondLabel = label;
+      }
+    }
+    table.addRow({fixed(rate, 0), bestLabel, fixed(best, 2), secondLabel});
+    if (rate == 1e3) cheapAt1k = bestLabel;
+    if (rate == 5e4) cheapAt50k = bestLabel;
+    if (rate == 1e6) cheapAt1m = bestLabel;
+  }
+  std::cout << table.render();
+  csv.writeFile("sensitivity_penalty.csv");
+  std::cout << "\nCSV written to sensitivity_penalty.csv\n";
+
+  std::cout
+      << "\nReading the sweep: at low penalty rates cheap tape hierarchies "
+         "win (penalties\nbarely matter); at the paper's $50k/hr the 1-link "
+         "mirror wins; at very high rates\nthe better-provisioned 10-link "
+         "mirror takes over (its $4M of extra links now\nbuy their keep in "
+         "avoided outage).\n";
+  const bool ok = cheapAt50k == "AsyncB mirror, 1 link" &&
+                  cheapAt1m == "AsyncB mirror, 10 links" &&
+                  cheapAt1k != cheapAt1m;
+  std::cout << "crossovers present: " << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

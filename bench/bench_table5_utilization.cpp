@@ -1,0 +1,102 @@
+// bench_table5_utilization — regenerates paper Table 5.
+//
+// "Normal mode bandwidth and capacity utilization for baseline system":
+// per-device, per-technique utilization of the baseline design under the
+// cello workload, alongside the paper's published values for comparison.
+// Also prints the model inputs (Tables 2-4) the computation consumes.
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+/// Published Table 5 values for the comparison column.
+struct PaperRow {
+  const char* device;
+  const char* technique;
+  double bwPct;
+  double capPct;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"primary-array", "foreground workload", 0.2, 14.6},
+    {"primary-array", "split mirror", 0.6, 72.8},
+    {"primary-array", "tape backup", 1.6, 0.0},
+    {"primary-array", "overall", 2.4, 87.4},
+    {"tape-library", "tape backup", 3.4, 3.4},
+    {"tape-library", "overall", 3.4, 3.4},
+    {"tape-vault", "remote vaulting", 0.0, 2.6},
+    {"tape-vault", "overall", 0.0, 2.6},
+};
+
+const PaperRow* findPaper(const std::string& device,
+                          const std::string& technique) {
+  for (const auto& row : kPaper) {
+    if (device == row.device && technique == row.technique) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+  using stordep::report::percent;
+
+  const stordep::StorageDesign design = cs::baseline();
+  const stordep::WorkloadSpec& w = design.workload();
+
+  std::cout << "== Inputs (paper Tables 2-4) ==\n";
+  std::cout << "workload: " << w.name() << " — dataCap "
+            << toString(w.dataCap()) << ", access "
+            << toString(w.avgAccessRate()) << ", updates "
+            << toString(w.avgUpdateRate()) << ", burst "
+            << w.burstMultiplier() << "x, batchUpdR(12 hr) "
+            << toString(w.batchUpdateRate(stordep::hours(12))) << "\n";
+  for (const auto& device : design.devices()) {
+    std::cout << "device: " << device->describe() << "\n";
+  }
+
+  std::cout << "\n== Table 5: normal-mode utilization (model vs paper) ==\n";
+  const stordep::UtilizationResult result = computeUtilization(design);
+
+  TextTable table({"Device", "Technique", "BW (model)", "BW (paper)",
+                   "Cap (model)", "Cap (paper)"});
+  for (size_t c = 2; c < 6; ++c) table.align(c, Align::kRight);
+  bool first = true;
+  for (const auto& dev : result.devices) {
+    if (dev.device == "air-shipment") continue;  // not a Table 5 row
+    if (!first) table.addSeparator();
+    first = false;
+    auto addRow = [&](const std::string& technique, double bw, double cap) {
+      const PaperRow* paper = findPaper(dev.device, technique);
+      table.addRow({dev.device, technique, percent(bw),
+                    paper ? fixed(paper->bwPct, 1) + "%" : "-",
+                    percent(cap),
+                    paper ? fixed(paper->capPct, 1) + "%" : "-"});
+    };
+    for (const auto& share : dev.shares) {
+      addRow(share.technique, share.bwUtil, share.capUtil);
+    }
+    addRow("overall", dev.bwUtil, dev.capUtil);
+  }
+  std::cout << table.render();
+
+  std::cout << "\ntotals: primary array "
+            << toString(result.find("primary-array")->bwDemand)
+            << " demand (paper: 12.4 MB/s), tape library "
+            << toString(result.find("tape-library")->bwDemand)
+            << " (paper: 8.1 MB/s); array capacity "
+            << toString(result.find("primary-array")->capDemand)
+            << " (paper: 8.0 TB), vault "
+            << toString(result.find("tape-vault")->capDemand)
+            << " (paper: 51.8 TB)\n";
+  std::cout << "system: bandwidth " << percent(result.overallBwUtil)
+            << " (paper: ~4%), capacity " << percent(result.overallCapUtil)
+            << " (paper: 88%)\n";
+  return result.feasible() ? 0 : 1;
+}

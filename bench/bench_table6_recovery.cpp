@@ -1,0 +1,76 @@
+// bench_table6_recovery — regenerates paper Table 6.
+//
+// "Worst case recovery time and recent data loss results for baseline
+// system": the three failure scopes (object / array / site), the chosen
+// recovery source, and the RT/DL metrics, next to the published values.
+// Prints the baseline policy parameters (Table 3) as the inputs.
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "report/report.hpp"
+
+int main() {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+
+  const stordep::StorageDesign design = cs::baseline();
+
+  std::cout << "== Inputs (paper Table 3: baseline policies) ==\n";
+  TextTable policies({"Technique", "accW", "propW", "holdW", "retCnt",
+                      "retW"});
+  for (int i = 1; i < design.levelCount(); ++i) {
+    const stordep::ProtectionPolicy& p = *design.level(i).policy();
+    policies.addRow({design.level(i).name(),
+                     toString(p.primaryWindows().accW),
+                     toString(p.primaryWindows().propW),
+                     toString(p.primaryWindows().holdW),
+                     std::to_string(p.retentionCount()),
+                     toString(p.retentionWindow())});
+  }
+  std::cout << policies.render();
+
+  struct Case {
+    const char* scope;
+    stordep::FailureScenario scenario;
+    const char* paperSource;
+    double paperRtHr;
+    double paperDlHr;
+  };
+  const Case cases[] = {
+      {"object", cs::objectFailure(), "split mirror", 0.004 / 3600.0, 12},
+      {"array", cs::arrayFailure(), "tape backup", 2.4, 217},
+      {"site", cs::siteDisaster(), "remote vaulting", 26.4, 1429},
+  };
+
+  std::cout << "\n== Table 6: worst-case recovery time and recent data loss "
+               "==\n";
+  TextTable table({"Failure scope", "Recovery source", "RT (model)",
+                   "RT (paper)", "DL (model)", "DL (paper)"});
+  for (size_t c = 2; c < 6; ++c) table.align(c, Align::kRight);
+
+  bool allRecoverable = true;
+  for (const Case& c : cases) {
+    const stordep::RecoveryResult r = computeRecovery(design, c.scenario);
+    allRecoverable = allRecoverable && r.recoverable;
+    // Print in the paper's units (hours; seconds for the instant case).
+    const std::string rtModel = r.recoveryTime < stordep::minutes(1)
+                                    ? toString(r.recoveryTime)
+                                    : fixed(r.recoveryTime.hrs(), 1) + " hr";
+    table.addRow({c.scope, r.sourceName, rtModel,
+                  c.paperRtHr < 0.01
+                      ? "0.004 s"
+                      : fixed(c.paperRtHr, 1) + " hr",
+                  fixed(r.dataLoss.hrs(), 0) + " hr",
+                  fixed(c.paperDlHr, 0) + " hr"});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nShape checks: object recovery is an instant intra-array "
+               "copy; array recovery\nis dominated by the tape transfer; "
+               "site recovery adds the 24 h shipment with\nfacility "
+               "provisioning hidden inside it; data losses are exact window "
+               "arithmetic\n(12 h / 217 h / 1429 h).\n";
+  return allRecoverable ? 0 : 1;
+}

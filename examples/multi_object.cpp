@@ -1,0 +1,125 @@
+// multi_object — protecting a whole application stack, not one object.
+//
+// The paper models one data object and sketches the multi-object extension
+// (Sec 3.1.1). This example builds a three-tier stack — database, file
+// share, application state — whose designs *share* an array and a tape
+// library, and shows what the single-object view misses:
+//
+//  * the shared array is near capacity even though each object alone looks
+//    comfortable;
+//  * fixed costs are charged once, not three times;
+//  * after an array failure, restores queue on the shared tape library and
+//    the app waits for the database — the stack's recovery time is much
+//    longer than any single object's.
+//
+//   $ ./multi_object
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "core/techniques/backup.hpp"
+#include "core/techniques/split_mirror.hpp"
+#include "devices/catalog.hpp"
+#include "multiobject/portfolio.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+using namespace stordep;
+namespace cs = stordep::casestudy;
+
+WorkloadSpec tierWorkload(const std::string& name, double gb,
+                          double updateKb) {
+  return WorkloadSpec(name, gigabytes(gb), kbPerSec(updateKb * 1.3),
+                      kbPerSec(updateKb), 8.0,
+                      {BatchUpdatePoint{minutes(1), kbPerSec(updateKb * 0.9)},
+                       BatchUpdatePoint{hours(12), kbPerSec(updateKb * 0.4)},
+                       BatchUpdatePoint{weeks(1), kbPerSec(updateKb * 0.35)}});
+}
+
+StorageDesign tierDesign(const DevicePtr& array, const DevicePtr& library,
+                         const std::string& name, double gb,
+                         double updateKb) {
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(array));
+  levels.push_back(std::make_shared<SplitMirror>(
+      name + " mirrors", array,
+      ProtectionPolicy(WindowSpec{.accW = hours(12)}, 4, days(2))));
+  levels.push_back(std::make_shared<Backup>(
+      name + " backup", BackupStyle::kFullOnly, array, library,
+      ProtectionPolicy(WindowSpec{.accW = weeks(1),
+                                  .propW = hours(24),
+                                  .holdW = hours(1)},
+                       4, weeks(4))));
+  return StorageDesign(name, tierWorkload(name + " workload", gb, updateKb),
+                       caseStudyRequirements(), std::move(levels),
+                       cs::recoveryFacility());
+}
+
+}  // namespace
+
+int main() {
+  using report::Align;
+  using report::TextTable;
+  using report::fixed;
+  using report::percent;
+
+  // Shared hardware: one mid-range array, one tape library.
+  const DevicePtr array = catalog::midrangeDiskArray(
+      cs::kPrimaryArrayName, Location::at(cs::kPrimarySite));
+  const DevicePtr library = catalog::enterpriseTapeLibrary(
+      "tape-library", Location::at(cs::kPrimarySite));
+
+  std::vector<multiobject::ObjectSpec> objects;
+  objects.push_back({"database",
+                     tierDesign(array, library, "database", 600, 500), {}});
+  objects.push_back({"fileshare",
+                     tierDesign(array, library, "fileshare", 700, 300), {}});
+  objects.push_back({"appstate",
+                     tierDesign(array, library, "appstate", 120, 100),
+                     {"database", "fileshare"}});
+  const multiobject::Portfolio portfolio(std::move(objects));
+
+  // 1. Aggregate utilization: the shared-array truth.
+  const UtilizationResult merged = portfolio.aggregateUtilization();
+  const UtilizationResult dbAlone =
+      computeUtilization(portfolio.object("database").design);
+  std::cout << "Shared primary array capacity: database alone "
+            << percent(dbAlone.find(cs::kPrimaryArrayName)->capUtil)
+            << ", whole stack "
+            << percent(merged.find(cs::kPrimaryArrayName)->capUtil)
+            << (merged.feasible() ? " (fits)" : " (OVERLOADED)") << "\n";
+
+  // 2. Aggregate outlays vs naive per-object sums.
+  Money naive = Money::zero();
+  for (const auto& object : portfolio.objects()) {
+    naive += computeCosts(object.design,
+                          computeRecovery(object.design, cs::arrayFailure()))
+                 .totalOutlays;
+  }
+  std::cout << "Annual outlays: summed per object " << toString(naive)
+            << "; shared-hardware aggregate "
+            << toString(portfolio.aggregateOutlays())
+            << " (fixed costs charged once)\n\n";
+
+  // 3. Dependency-aware recovery after an array failure.
+  const multiobject::PortfolioRecoveryResult recovery =
+      portfolio.recover(cs::arrayFailure());
+  TextTable table({"Object", "Source device", "Own restore", "Starts",
+                   "Done", "Data loss"});
+  for (size_t c = 2; c < 6; ++c) table.align(c, Align::kRight);
+  table.title("Stack recovery after an array failure (restores share the "
+              "tape library; appstate waits for both stores)");
+  for (const auto& object : recovery.objects) {
+    table.addRow({object.object, object.sourceDevice,
+                  toString(object.ownDuration), toString(object.startTime),
+                  toString(object.completionTime),
+                  toString(object.dataLoss)});
+  }
+  std::cout << table.render();
+  std::cout << "\nstack recovery time: " << toString(recovery.totalRecoveryTime)
+            << " — vs " << toString(recovery.objects[0].ownDuration)
+            << " if the database were alone. Single-object models cannot "
+               "see the queueing\non the shared library or the dependency "
+               "chain; the portfolio scheduler can.\n";
+  return recovery.allRecoverable ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// stordep_eval — command-line dependability evaluator.
+//
+// The downstream-user entry point: evaluate any JSON design file under any
+// scenario without writing C++.
+//
+//   $ ./stordep_eval --dump-baseline design.json      # get a starting point
+//   $ ./stordep_eval design.json site                 # site disaster
+//   $ ./stordep_eval design.json array                # array failure
+//   $ ./stordep_eval design.json object 24h 1MB       # rollback 24 h, 1 MB
+//   $ ./stordep_eval design.json --risk               # expected annual cost
+//   $ ./stordep_eval design.json site --markdown      # GFM report
+//
+// Scenario targets default to the first device / its site; pass a JSON
+// scenario file instead of a keyword for full control, e.g.
+//   {"scope": "site", "target": "primary-site"}
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "casestudy/casestudy.hpp"
+#include "config/design_io.hpp"
+#include "core/risk.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  stordep_eval --dump-baseline <out.json>\n"
+         "  stordep_eval <design.json> (object [age] [size] | array [device]"
+         " | site [site] | <scenario.json>)\n"
+         "  stordep_eval <design.json> --risk\n";
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using stordep::report::fixed;
+  try {
+    if (argc < 2) return usage();
+    const std::string first = argv[1];
+    if (first == "--dump-baseline") {
+      if (argc < 3) return usage();
+      stordep::config::saveDesignFile(stordep::casestudy::baseline(),
+                                      argv[2]);
+      std::cout << "wrote " << argv[2] << "\n";
+      return 0;
+    }
+
+    const stordep::StorageDesign design =
+        stordep::config::loadDesignFile(first);
+    const stordep::DevicePtr primary = design.primary().array();
+
+    if (argc >= 3 && std::string(argv[2]) == "--risk") {
+      // Frequency-weighted view over the standard three scopes against this
+      // design's own primary device/site.
+      std::vector<stordep::FailureMode> modes{
+          {"object corruption",
+           stordep::FailureScenario::objectFailure(stordep::hours(24),
+                                                   stordep::megabytes(1)),
+           12.0},
+          {"array failure",
+           stordep::FailureScenario::arrayFailure(primary->name()), 0.1},
+          {"site disaster",
+           stordep::FailureScenario::siteDisaster(primary->location().site),
+           0.02}};
+      const stordep::RiskAssessment risk = assessRisk(design, modes);
+      std::cout << "design: " << design.name() << "\n";
+      for (const auto& m : risk.modes) {
+        std::cout << "  " << m.name << " @ " << m.annualFrequency << "/yr: ";
+        if (m.recoverable) {
+          std::cout << "RT " << toString(m.recoveryTime) << ", DL "
+                    << toString(m.dataLoss) << ", expected penalty "
+                    << toString(m.expectedAnnualPenalty) << "/yr\n";
+        } else {
+          std::cout << "UNRECOVERABLE\n";
+        }
+      }
+      std::cout << "annual outlays: " << toString(risk.annualOutlays)
+                << "\nexpected annual cost: "
+                << toString(risk.expectedAnnualCost) << "\nexpected downtime: "
+                << fixed(risk.expectedAnnualDowntimeHours, 2) << " hr/yr\n";
+      return risk.unrecoverableFrequency > 0 ? 1 : 0;
+    }
+
+    // Trailing --markdown switches the output format.
+    bool markdown = false;
+    if (argc >= 3 && std::string(argv[argc - 1]) == "--markdown") {
+      markdown = true;
+      --argc;
+    }
+
+    stordep::FailureScenario scenario =
+        stordep::FailureScenario::arrayFailure(primary->name());
+    if (argc >= 3) {
+      const std::string kind = argv[2];
+      if (kind == "object") {
+        const stordep::Duration age =
+            argc >= 4 ? stordep::parseDuration(argv[3]) : stordep::hours(24);
+        const stordep::Bytes size =
+            argc >= 5 ? stordep::parseBytes(argv[4]) : stordep::megabytes(1);
+        scenario = stordep::FailureScenario::objectFailure(age, size);
+      } else if (kind == "array") {
+        scenario = stordep::FailureScenario::arrayFailure(
+            argc >= 4 ? argv[3] : primary->name());
+      } else if (kind == "site") {
+        scenario = stordep::FailureScenario::siteDisaster(
+            argc >= 4 ? argv[3] : primary->location().site);
+      } else {
+        scenario = stordep::config::scenarioFromJson(
+            stordep::config::Json::parse(slurp(kind)));
+      }
+    }
+
+    const stordep::EvaluationResult result = evaluate(design, scenario);
+    std::cout << (markdown
+                      ? stordep::report::markdownReport(design, scenario,
+                                                        result)
+                      : stordep::report::fullReport(design, scenario, result));
+    return result.recovery.recoverable && result.utilization.feasible() ? 0
+                                                                        : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,89 @@
+// whatif_explorer — compare storage designs under failure scenarios.
+//
+// Demonstrates the framework's core use case (paper Sec 4.2): exploring
+// what-if variations of a design and seeing their dependability and cost
+// consequences side by side. Also demonstrates JSON design round-tripping:
+//
+//   $ ./whatif_explorer                 # compare the paper's seven designs
+//   $ ./whatif_explorer --dump baseline.json   # export the baseline design
+//   $ ./whatif_explorer my-design.json  # add your own design to the table
+#include <fstream>
+#include <iostream>
+
+#include "casestudy/casestudy.hpp"
+#include "config/design_io.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+std::string money(stordep::Money m) {
+  return stordep::report::fixed(m.millionUsd(), 2) + "M";
+}
+
+std::string hoursOf(stordep::Duration d) {
+  if (!d.isFinite()) return "inf";
+  return stordep::report::fixed(d.hrs(), d.hrs() < 1 ? 2 : 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace cs = stordep::casestudy;
+  using stordep::report::Align;
+  using stordep::report::TextTable;
+
+  std::vector<std::pair<std::string, stordep::StorageDesign>> designs =
+      cs::allWhatIfDesigns();
+
+  // Optional CLI: --dump writes the baseline as a JSON starting point;
+  // any other argument is a design file to include in the comparison.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dump") {
+      if (i + 1 >= argc) {
+        std::cerr << "--dump needs a path\n";
+        return 1;
+      }
+      stordep::config::saveDesignFile(cs::baseline(), argv[i + 1]);
+      std::cout << "wrote " << argv[i + 1] << "\n";
+      return 0;
+    }
+    try {
+      stordep::StorageDesign loaded = stordep::config::loadDesignFile(arg);
+      designs.emplace_back(loaded.name() + " (" + arg + ")",
+                           std::move(loaded));
+    } catch (const std::exception& e) {
+      std::cerr << "cannot load '" << arg << "': " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  TextTable table({"Storage system design", "Outlays", "Array RT (hr)",
+                   "Array DL (hr)", "Array total", "Site RT (hr)",
+                   "Site DL (hr)", "Site total"});
+  for (size_t c = 1; c < 8; ++c) table.align(c, Align::kRight);
+  table.title("What-if comparison (paper Table 7 layout; penalties at "
+              "$50k/hr for outage and loss)");
+
+  for (const auto& [label, design] : designs) {
+    const auto array = stordep::evaluate(design, cs::arrayFailure());
+    const auto site = stordep::evaluate(design, cs::siteDisaster());
+    table.addRow({label, money(array.cost.totalOutlays),
+                  hoursOf(array.recovery.recoveryTime),
+                  hoursOf(array.recovery.dataLoss),
+                  money(array.cost.totalCost),
+                  hoursOf(site.recovery.recoveryTime),
+                  hoursOf(site.recovery.dataLoss),
+                  money(site.cost.totalCost)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "Reading the table:\n"
+               "  * Weekly vaulting slashes site-disaster loss (1429 h -> "
+               "253 h).\n"
+               "  * Daily fulls cut array-failure loss to 37 h.\n"
+               "  * Mirroring cuts loss to minutes; with one OC-3 link it "
+               "is also the cheapest design overall, because outlays "
+               "dominate once penalties are small.\n";
+  return 0;
+}

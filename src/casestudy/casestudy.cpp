@@ -1,0 +1,246 @@
+#include "casestudy/casestudy.hpp"
+
+#include "core/techniques/backup.hpp"
+#include "core/techniques/remote_mirror.hpp"
+#include "core/techniques/snapshot.hpp"
+#include "core/techniques/split_mirror.hpp"
+#include "core/techniques/vaulting.hpp"
+#include "devices/catalog.hpp"
+
+namespace stordep::casestudy {
+
+namespace {
+
+/// Common device kit for the tape-based designs.
+struct TapeKit {
+  std::shared_ptr<DiskArray> array;
+  std::shared_ptr<TapeLibrary> library;
+  std::shared_ptr<MediaVault> vault;
+  std::shared_ptr<PhysicalShipment> shipment;
+};
+
+TapeKit makeTapeKit() {
+  return TapeKit{
+      .array = catalog::midrangeDiskArray(kPrimaryArrayName,
+                                          Location::at(kPrimarySite)),
+      .library = catalog::enterpriseTapeLibrary("tape-library",
+                                                Location::at(kPrimarySite)),
+      .vault = catalog::offsiteTapeVault("tape-vault", Location::at(kVaultSite)),
+      .shipment = catalog::overnightAirShipment("air-shipment",
+                                                Location::at("in-transit")),
+  };
+}
+
+ProtectionPolicy splitMirrorPolicy() {
+  return ProtectionPolicy(WindowSpec{.accW = hours(12),
+                                     .propW = Duration::zero(),
+                                     .holdW = Duration::zero(),
+                                     .propRep = Representation::kFull},
+                          /*retentionCount=*/4, /*retentionWindow=*/days(2));
+}
+
+ProtectionPolicy snapshotPolicy() {
+  return ProtectionPolicy(WindowSpec{.accW = hours(12),
+                                     .propW = Duration::zero(),
+                                     .holdW = Duration::zero(),
+                                     .propRep = Representation::kPartial},
+                          /*retentionCount=*/4, /*retentionWindow=*/days(2),
+                          Representation::kPartial);
+}
+
+ProtectionPolicy baselineBackupPolicy() {
+  return ProtectionPolicy(WindowSpec{.accW = weeks(1),
+                                     .propW = hours(48),
+                                     .holdW = hours(1),
+                                     .propRep = Representation::kFull},
+                          /*retentionCount=*/4, /*retentionWindow=*/weeks(4));
+}
+
+ProtectionPolicy fullPlusIncrementalBackupPolicy() {
+  // Weekly fulls (48 h backup window) with 5 daily cumulative incrementals
+  // (24 h accW, 12 h propW), one-week cycle (Table 7 "F+I").
+  return ProtectionPolicy(
+      /*primary=*/WindowSpec{.accW = weeks(1),
+                             .propW = hours(48),
+                             .holdW = hours(1),
+                             .propRep = Representation::kFull},
+      /*secondary=*/
+      WindowSpec{.accW = hours(24),
+                 .propW = hours(12),
+                 .holdW = hours(1),
+                 .propRep = Representation::kPartial},
+      /*cycleCount=*/5, /*cyclePeriod=*/weeks(1),
+      /*retentionCount=*/4, /*retentionWindow=*/weeks(4));
+}
+
+ProtectionPolicy dailyFullBackupPolicy() {
+  return ProtectionPolicy(WindowSpec{.accW = hours(24),
+                                     .propW = hours(12),
+                                     .holdW = hours(1),
+                                     .propRep = Representation::kFull},
+                          /*retentionCount=*/28, /*retentionWindow=*/weeks(4));
+}
+
+ProtectionPolicy baselineVaultPolicy() {
+  return ProtectionPolicy(WindowSpec{.accW = weeks(4),
+                                     .propW = hours(24),
+                                     .holdW = weeks(4) + hours(12),
+                                     .propRep = Representation::kFull},
+                          /*retentionCount=*/39, /*retentionWindow=*/years(3));
+}
+
+ProtectionPolicy weeklyVaultPolicy() {
+  // Same 3-year retention at weekly granularity: 157 retained fulls.
+  return ProtectionPolicy(WindowSpec{.accW = weeks(1),
+                                     .propW = hours(24),
+                                     .holdW = hours(12),
+                                     .propRep = Representation::kFull},
+                          /*retentionCount=*/157, /*retentionWindow=*/years(3));
+}
+
+ProtectionPolicy asyncBatchPolicy() {
+  return ProtectionPolicy(WindowSpec{.accW = minutes(1),
+                                     .propW = minutes(1),
+                                     .holdW = Duration::zero(),
+                                     .propRep = Representation::kPartial},
+                          /*retentionCount=*/1,
+                          /*retentionWindow=*/minutes(1));
+}
+
+/// Assembles a tape-based design: split mirror (or snapshot) + backup +
+/// vaulting on the common device kit.
+StorageDesign makeTapeDesign(std::string name, bool useSnapshot,
+                             BackupStyle backupStyle,
+                             ProtectionPolicy backupPolicy,
+                             ProtectionPolicy vaultPolicy) {
+  const TapeKit kit = makeTapeKit();
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(kit.array));
+  if (useSnapshot) {
+    levels.push_back(std::make_shared<VirtualSnapshot>("virtual snapshot",
+                                                       kit.array,
+                                                       snapshotPolicy()));
+  } else {
+    levels.push_back(std::make_shared<SplitMirror>("split mirror", kit.array,
+                                                   splitMirrorPolicy()));
+  }
+  const Duration backupRetW = backupPolicy.retentionWindow();
+  levels.push_back(std::make_shared<Backup>("tape backup", backupStyle,
+                                            kit.array, kit.library,
+                                            std::move(backupPolicy)));
+  levels.push_back(std::make_shared<Vaulting>(
+      "remote vaulting", kit.library, kit.vault, kit.shipment,
+      std::move(vaultPolicy), backupRetW));
+  return StorageDesign(std::move(name), celloWorkload(), requirements(),
+                       std::move(levels), recoveryFacility());
+}
+
+}  // namespace
+
+WorkloadSpec celloWorkload() {
+  return WorkloadSpec(
+      "cello workgroup file server", gigabytes(1360), kbPerSec(1028),
+      kbPerSec(799), /*burstMultiplier=*/10.0,
+      {
+          BatchUpdatePoint{minutes(1), kbPerSec(727)},
+          BatchUpdatePoint{hours(12), kbPerSec(350)},
+          BatchUpdatePoint{hours(24), kbPerSec(317)},
+          BatchUpdatePoint{hours(48), kbPerSec(317)},
+          BatchUpdatePoint{weeks(1), kbPerSec(317)},
+      });
+}
+
+BusinessRequirements requirements() { return caseStudyRequirements(); }
+
+RecoveryFacilitySpec recoveryFacility() {
+  return RecoveryFacilitySpec{.location = Location::at(kRecoverySite),
+                              .provisioningTime = hours(9),
+                              .costDiscount = 0.2};
+}
+
+StorageDesign baseline() {
+  return makeTapeDesign("baseline", /*useSnapshot=*/false,
+                        BackupStyle::kFullOnly, baselineBackupPolicy(),
+                        baselineVaultPolicy());
+}
+
+StorageDesign weeklyVault() {
+  return makeTapeDesign("weekly vault", /*useSnapshot=*/false,
+                        BackupStyle::kFullOnly, baselineBackupPolicy(),
+                        weeklyVaultPolicy());
+}
+
+StorageDesign weeklyVaultFullPlusIncremental() {
+  return makeTapeDesign("weekly vault, F+I", /*useSnapshot=*/false,
+                        BackupStyle::kCumulativeIncremental,
+                        fullPlusIncrementalBackupPolicy(),
+                        weeklyVaultPolicy());
+}
+
+StorageDesign weeklyVaultDailyFull() {
+  return makeTapeDesign("weekly vault, daily F", /*useSnapshot=*/false,
+                        BackupStyle::kFullOnly, dailyFullBackupPolicy(),
+                        weeklyVaultPolicy());
+}
+
+StorageDesign weeklyVaultDailyFullSnapshot() {
+  return makeTapeDesign("weekly vault, daily F, snapshot",
+                        /*useSnapshot=*/true, BackupStyle::kFullOnly,
+                        dailyFullBackupPolicy(), weeklyVaultPolicy());
+}
+
+StorageDesign asyncBatchMirror(int linkCount) {
+  auto array =
+      catalog::midrangeDiskArray(kPrimaryArrayName, Location::at(kPrimarySite));
+  // The mirror target is a full-price array but carries no dedicated spare
+  // (after a disaster the recovery facility provides replacements).
+  auto remote = catalog::midrangeDiskArray(
+      "mirror-array", Location::at(kMirrorSite), RaidLevel::kRaid1,
+      SpareSpec::none());
+  auto links = catalog::oc3WanLinks("wan-links", Location::at("wide-area"),
+                                    linkCount);
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(array));
+  levels.push_back(std::make_shared<RemoteMirror>(
+      "async batch mirror", MirrorMode::kAsyncBatch, array, remote, links,
+      asyncBatchPolicy()));
+  return StorageDesign("asyncB mirror, " + std::to_string(linkCount) +
+                           (linkCount == 1 ? " link" : " links"),
+                       celloWorkload(), requirements(), std::move(levels),
+                       recoveryFacility());
+}
+
+std::vector<std::pair<std::string, StorageDesign>> allWhatIfDesigns() {
+  std::vector<std::pair<std::string, StorageDesign>> out;
+  out.emplace_back("Baseline", baseline());
+  out.emplace_back("Weekly vault", weeklyVault());
+  out.emplace_back("Weekly vault, F+I", weeklyVaultFullPlusIncremental());
+  out.emplace_back("Weekly vault, daily F", weeklyVaultDailyFull());
+  out.emplace_back("Weekly vault, daily F, snapshot",
+                   weeklyVaultDailyFullSnapshot());
+  out.emplace_back("AsyncB mirror, 1 link", asyncBatchMirror(1));
+  out.emplace_back("AsyncB mirror, 10 links", asyncBatchMirror(10));
+  return out;
+}
+
+FailureScenario objectFailure() {
+  return FailureScenario::objectFailure(hours(24), megabytes(1));
+}
+
+FailureScenario arrayFailure() {
+  return FailureScenario::arrayFailure(kPrimaryArrayName);
+}
+
+FailureScenario siteDisaster() {
+  return FailureScenario::siteDisaster(kPrimarySite);
+}
+
+std::vector<FailureMode> defaultFailureModes() {
+  return {
+      FailureMode{"object corruption", objectFailure(), 12.0},
+      FailureMode{"array failure", arrayFailure(), 0.1},
+      FailureMode{"site disaster", siteDisaster(), 0.02},
+  };
+}
+
+}  // namespace stordep::casestudy

@@ -1,0 +1,86 @@
+// casestudy.hpp — the paper's Section 4 case study, ready to evaluate.
+//
+// Encodes the published inputs exactly:
+//   Table 2  the `cello` workgroup file-server workload
+//   Table 3  the baseline protection policies (split mirror + weekly full
+//            tape backup + 4-weekly vaulting)
+//   Table 4  the device configurations (EVA-like array, ESL-like library,
+//            tape vault, overnight air shipment)
+// plus the six what-if designs of Table 7 and the three failure scenarios
+// (object / array / site) the paper evaluates.
+//
+// Site topology: the primary array and tape library live at kPrimarySite;
+// vaulted media at kVaultSite; remote-mirror targets at kMirrorSite; and a
+// shared recovery facility (9 h provisioning, 20% of dedicated cost) at
+// kRecoverySite.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/hierarchy.hpp"
+#include "core/risk.hpp"
+
+namespace stordep::casestudy {
+
+inline constexpr const char* kPrimarySite = "primary-site";
+inline constexpr const char* kVaultSite = "vault-site";
+inline constexpr const char* kMirrorSite = "mirror-site";
+inline constexpr const char* kRecoverySite = "recovery-site";
+inline constexpr const char* kPrimaryArrayName = "primary-array";
+
+/// Table 2: the cello workgroup file-server workload.
+[[nodiscard]] WorkloadSpec celloWorkload();
+
+/// $50,000/hour penalty rates for both outage and recent data loss.
+[[nodiscard]] BusinessRequirements requirements();
+
+/// Shared recovery facility: 9 h provisioning, 20% of dedicated cost.
+[[nodiscard]] RecoveryFacilitySpec recoveryFacility();
+
+// ---- Designs (Table 3 baseline + the Table 7 what-ifs) -------------------
+
+/// Baseline: split mirror (12 h) + weekly full tape backup (48 h window) +
+/// 4-weekly vaulting retained 3 years.
+[[nodiscard]] StorageDesign baseline();
+
+/// Baseline with weekly vaulting (1 wk accW, 12 h holdW, 24 h propW).
+[[nodiscard]] StorageDesign weeklyVault();
+
+/// Weekly vaulting + weekly fulls with 5 daily cumulative incrementals.
+[[nodiscard]] StorageDesign weeklyVaultFullPlusIncremental();
+
+/// Weekly vaulting + daily full backups (24 h accW, 12 h propW).
+[[nodiscard]] StorageDesign weeklyVaultDailyFull();
+
+/// Daily fulls with virtual snapshots instead of split mirrors.
+[[nodiscard]] StorageDesign weeklyVaultDailyFullSnapshot();
+
+/// Asynchronous batch mirroring (1-min batches) over `linkCount` OC-3 links
+/// to a remote array, replacing tape backup and vaulting.
+[[nodiscard]] StorageDesign asyncBatchMirror(int linkCount);
+
+/// All seven Table 7 rows, in the paper's order, labeled as in the paper.
+[[nodiscard]] std::vector<std::pair<std::string, StorageDesign>>
+allWhatIfDesigns();
+
+// ---- Failure scenarios -----------------------------------------------------
+
+/// A user mistake corrupts a 1 MB object; roll back to 24 hours ago.
+[[nodiscard]] FailureScenario objectFailure();
+
+/// The primary disk array fails; recover everything to "now".
+[[nodiscard]] FailureScenario arrayFailure();
+
+/// The whole primary site is lost; recover everything to "now".
+[[nodiscard]] FailureScenario siteDisaster();
+
+/// The three scenarios annotated with literature-flavored annual rates for
+/// the risk model: operator/software corruption monthly (12/yr), array
+/// failure once per decade (0.1/yr), site disaster once per half-century
+/// (0.02/yr).
+[[nodiscard]] std::vector<FailureMode> defaultFailureModes();
+
+}  // namespace stordep::casestudy

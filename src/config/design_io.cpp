@@ -1,0 +1,627 @@
+#include "config/design_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/techniques/backup.hpp"
+#include "core/techniques/foreground.hpp"
+#include "core/techniques/remote_mirror.hpp"
+#include "core/techniques/snapshot.hpp"
+#include "core/techniques/split_mirror.hpp"
+#include "core/techniques/vaulting.hpp"
+#include "devices/disk_array.hpp"
+#include "devices/interconnect.hpp"
+#include "devices/tape_library.hpp"
+#include "devices/vault.hpp"
+
+namespace stordep::config {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw DesignIoError(message);
+}
+
+Json durationJson(Duration d) { return Json(d.secs()); }
+Json bytesJson(Bytes b) { return Json(b.bytes()); }
+Json bandwidthJson(Bandwidth bw) { return Json(bw.bytesPerSec()); }
+
+Location locationFromJson(const Json& value) {
+  const std::string site = value.at("site").asString();
+  const Json* building = value.find("building");
+  const Json* region = value.find("region");
+  return Location::at(site, building ? building->asString() : std::string{},
+                      region ? region->asString() : std::string{});
+}
+
+Json locationToJson(const Location& loc) {
+  Json out{JsonObject{}};
+  out.set("site", Json(loc.site));
+  if (loc.building != loc.site) out.set("building", Json(loc.building));
+  if (loc.region != loc.site) out.set("region", Json(loc.region));
+  return out;
+}
+
+SpareSpec spareFromJson(const Json* value) {
+  if (value == nullptr) return SpareSpec::none();
+  const std::string type = value->at("type").asString();
+  if (type == "none") return SpareSpec::none();
+  const Duration time = jsonToDuration(value->at("provisioningTime"));
+  const Json* disc = value->find("discountFactor");
+  const double discount = disc ? disc->asNumber() : 1.0;
+  if (type == "dedicated") return SpareSpec::dedicated(time, discount);
+  if (type == "shared") return SpareSpec::shared(time, discount);
+  fail("unknown spare type '" + type + "'");
+}
+
+Json spareToJson(const SpareSpec& spare) {
+  Json out{JsonObject{}};
+  out.set("type", Json(toString(spare.type)));
+  if (spare.type != SpareType::kNone) {
+    out.set("provisioningTime", durationJson(spare.provisioningTime));
+    out.set("discountFactor", Json(spare.discountFactor));
+  }
+  return out;
+}
+
+Json costToJson(const DeviceCostModel& cost) {
+  Json out{JsonObject{}};
+  out.set("fixed", Json(cost.fixedCost.usd()));
+  out.set("perGB", Json(cost.costPerGB));
+  out.set("perMBps", Json(cost.costPerMBps));
+  out.set("perShipment", Json(cost.costPerShipment));
+  return out;
+}
+
+DeviceCostModel costFromJson(const Json* value) {
+  DeviceCostModel cost;
+  if (value == nullptr) return cost;
+  if (const Json* fixed = value->find("fixed")) {
+    cost.fixedCost = jsonToMoney(*fixed);
+  }
+  if (const Json* perGB = value->find("perGB")) {
+    cost.costPerGB = perGB->asNumber();
+  }
+  if (const Json* perMBps = value->find("perMBps")) {
+    cost.costPerMBps = perMBps->asNumber();
+  }
+  if (const Json* perShipment = value->find("perShipment")) {
+    cost.costPerShipment = perShipment->asNumber();
+  }
+  return cost;
+}
+
+RaidLevel raidFromString(const std::string& name) {
+  if (name == "none") return RaidLevel::kNone;
+  if (name == "RAID-1") return RaidLevel::kRaid1;
+  if (name == "RAID-5") return RaidLevel::kRaid5;
+  if (name == "RAID-10") return RaidLevel::kRaid10;
+  fail("unknown RAID level '" + name + "'");
+}
+
+WindowSpec windowsFromJson(const Json& value) {
+  WindowSpec w;
+  w.accW = jsonToDuration(value.at("accW"));
+  if (const Json* propW = value.find("propW")) {
+    w.propW = jsonToDuration(*propW);
+  }
+  if (const Json* holdW = value.find("holdW")) {
+    w.holdW = jsonToDuration(*holdW);
+  }
+  if (const Json* rep = value.find("propRep")) {
+    w.propRep = rep->asString() == "partial" ? Representation::kPartial
+                                             : Representation::kFull;
+  }
+  return w;
+}
+
+Json windowsToJson(const WindowSpec& w) {
+  Json out{JsonObject{}};
+  out.set("accW", durationJson(w.accW));
+  out.set("propW", durationJson(w.propW));
+  out.set("holdW", durationJson(w.holdW));
+  out.set("propRep", Json(toString(w.propRep)));
+  return out;
+}
+
+}  // namespace
+
+Duration jsonToDuration(const Json& value) {
+  if (value.isNumber()) return seconds(value.asNumber());
+  if (value.isString()) return parseDuration(value.asString());
+  fail("expected a duration (seconds or string like '12 hr')");
+}
+
+Bytes jsonToBytes(const Json& value) {
+  if (value.isNumber()) return bytes(value.asNumber());
+  if (value.isString()) return parseBytes(value.asString());
+  fail("expected a size (bytes or string like '1360 GB')");
+}
+
+Bandwidth jsonToBandwidth(const Json& value) {
+  if (value.isNumber()) return bytesPerSec(value.asNumber());
+  if (value.isString()) return parseBandwidth(value.asString());
+  fail("expected a bandwidth (bytes/sec or string like '25 MB/s')");
+}
+
+Money jsonToMoney(const Json& value) {
+  if (value.isNumber()) return dollars(value.asNumber());
+  if (value.isString()) return parseMoney(value.asString());
+  fail("expected a money value (dollars or string like '$50K')");
+}
+
+Json workloadToJson(const WorkloadSpec& workload) {
+  Json out{JsonObject{}};
+  out.set("name", Json(workload.name()));
+  out.set("dataCap", bytesJson(workload.dataCap()));
+  out.set("avgAccessR", bandwidthJson(workload.avgAccessRate()));
+  out.set("avgUpdateR", bandwidthJson(workload.avgUpdateRate()));
+  out.set("burstM", Json(workload.burstMultiplier()));
+  JsonArray curve;
+  for (const auto& point : workload.batchCurve()) {
+    Json p{JsonObject{}};
+    p.set("window", durationJson(point.window));
+    p.set("rate", bandwidthJson(point.rate));
+    curve.push_back(std::move(p));
+  }
+  out.set("batchUpdR", Json(std::move(curve)));
+  return out;
+}
+
+WorkloadSpec workloadFromJson(const Json& value) {
+  std::vector<BatchUpdatePoint> curve;
+  if (const Json* points = value.find("batchUpdR")) {
+    for (const Json& p : points->asArray()) {
+      curve.push_back(BatchUpdatePoint{jsonToDuration(p.at("window")),
+                                       jsonToBandwidth(p.at("rate"))});
+    }
+  }
+  return WorkloadSpec(value.at("name").asString(),
+                      jsonToBytes(value.at("dataCap")),
+                      jsonToBandwidth(value.at("avgAccessR")),
+                      jsonToBandwidth(value.at("avgUpdateR")),
+                      value.at("burstM").asNumber(), std::move(curve));
+}
+
+Json policyToJson(const ProtectionPolicy& policy) {
+  Json out{JsonObject{}};
+  out.set("windows", windowsToJson(policy.primaryWindows()));
+  if (policy.isCyclic()) {
+    out.set("secondaryWindows", windowsToJson(*policy.secondaryWindows()));
+    out.set("cycleCnt", Json(policy.cycleCount()));
+    out.set("cyclePer", durationJson(policy.cyclePeriod()));
+  }
+  out.set("retCnt", Json(policy.retentionCount()));
+  out.set("retW", durationJson(policy.retentionWindow()));
+  out.set("copyRep", Json(toString(policy.copyRep())));
+  return out;
+}
+
+ProtectionPolicy policyFromJson(const Json& value) {
+  const WindowSpec primary = windowsFromJson(value.at("windows"));
+  const int retCnt = static_cast<int>(value.at("retCnt").asNumber());
+  const Duration retW = jsonToDuration(value.at("retW"));
+  Representation copyRep = Representation::kFull;
+  if (const Json* rep = value.find("copyRep")) {
+    copyRep = rep->asString() == "partial" ? Representation::kPartial
+                                           : Representation::kFull;
+  }
+  if (const Json* secondary = value.find("secondaryWindows")) {
+    return ProtectionPolicy(
+        primary, windowsFromJson(*secondary),
+        static_cast<int>(value.at("cycleCnt").asNumber()),
+        jsonToDuration(value.at("cyclePer")), retCnt, retW, copyRep);
+  }
+  return ProtectionPolicy(primary, retCnt, retW, copyRep);
+}
+
+Json deviceToJson(const DeviceModel& device) {
+  Json out{JsonObject{}};
+  const DeviceSpec& spec = device.spec();
+  if (const auto* array = dynamic_cast<const DiskArray*>(&device)) {
+    out.set("type", Json("disk_array"));
+    out.set("raid", Json(toString(array->raidLevel())));
+    out.set("raidGroupSize", Json(array->raidGroupSize()));
+  } else if (dynamic_cast<const TapeLibrary*>(&device) != nullptr) {
+    out.set("type", Json("tape_library"));
+  } else if (dynamic_cast<const MediaVault*>(&device) != nullptr) {
+    out.set("type", Json("vault"));
+  } else if (const auto* link = dynamic_cast<const NetworkLink*>(&device)) {
+    out.set("type", Json("network_link"));
+    out.set("linkCount", Json(link->linkCount()));
+    out.set("perLinkBW", bandwidthJson(link->perLinkBandwidth()));
+  } else if (dynamic_cast<const PhysicalShipment*>(&device) != nullptr) {
+    out.set("type", Json("shipment"));
+  } else {
+    fail("cannot serialize unknown device type for '" + device.name() + "'");
+  }
+  out.set("name", Json(spec.name));
+  out.set("location", locationToJson(spec.location));
+  out.set("maxCapSlots", Json(spec.maxCapSlots));
+  out.set("slotCap", bytesJson(spec.slotCap));
+  out.set("maxBWSlots", Json(spec.maxBWSlots));
+  out.set("slotBW", bandwidthJson(spec.slotBW));
+  out.set("enclBW", bandwidthJson(spec.enclosureBW));
+  out.set("devDelay", durationJson(spec.accessDelay));
+  out.set("costs", costToJson(spec.cost));
+  out.set("spare", spareToJson(spec.spare));
+  return out;
+}
+
+DevicePtr deviceFromJson(const Json& value) {
+  const std::string type = value.at("type").asString();
+  const std::string name = value.at("name").asString();
+  const Location location = locationFromJson(value.at("location"));
+  const DeviceCostModel cost = costFromJson(value.find("costs"));
+  const SpareSpec spare = spareFromJson(value.find("spare"));
+
+  if (type == "network_link") {
+    return std::make_shared<NetworkLink>(
+        name, location, static_cast<int>(value.at("linkCount").asNumber()),
+        jsonToBandwidth(value.at("perLinkBW")),
+        value.find("devDelay") ? jsonToDuration(value.at("devDelay"))
+                               : Duration::zero(),
+        cost, spare);
+  }
+  if (type == "shipment") {
+    return std::make_shared<PhysicalShipment>(
+        name, location, jsonToDuration(value.at("devDelay")),
+        cost.costPerShipment);
+  }
+
+  DeviceSpec spec;
+  spec.name = name;
+  spec.location = location;
+  spec.cost = cost;
+  spec.spare = spare;
+  if (const Json* v = value.find("maxCapSlots")) {
+    spec.maxCapSlots = static_cast<int>(v->asNumber());
+  }
+  if (const Json* v = value.find("slotCap")) spec.slotCap = jsonToBytes(*v);
+  if (const Json* v = value.find("maxBWSlots")) {
+    spec.maxBWSlots = static_cast<int>(v->asNumber());
+  }
+  if (const Json* v = value.find("slotBW")) spec.slotBW = jsonToBandwidth(*v);
+  if (const Json* v = value.find("enclBW")) {
+    spec.enclosureBW = jsonToBandwidth(*v);
+  }
+  if (const Json* v = value.find("devDelay")) {
+    spec.accessDelay = jsonToDuration(*v);
+  }
+
+  if (type == "disk_array") {
+    RaidLevel raid = RaidLevel::kRaid1;
+    if (const Json* r = value.find("raid")) {
+      raid = raidFromString(r->asString());
+    }
+    int groupSize = 8;
+    if (const Json* g = value.find("raidGroupSize")) {
+      groupSize = static_cast<int>(g->asNumber());
+    }
+    return std::make_shared<DiskArray>(std::move(spec), raid, groupSize);
+  }
+  if (type == "tape_library") {
+    return std::make_shared<TapeLibrary>(std::move(spec));
+  }
+  if (type == "vault") {
+    return std::make_shared<MediaVault>(std::move(spec));
+  }
+  fail("unknown device type '" + type + "'");
+}
+
+Json scenarioToJson(const FailureScenario& scenario) {
+  Json out{JsonObject{}};
+  switch (scenario.scope) {
+    case FailureScope::kDataObject:
+      out.set("scope", Json("object"));
+      break;
+    case FailureScope::kArray:
+      out.set("scope", Json("array"));
+      break;
+    case FailureScope::kBuilding:
+      out.set("scope", Json("building"));
+      break;
+    case FailureScope::kSite:
+      out.set("scope", Json("site"));
+      break;
+    case FailureScope::kRegion:
+      out.set("scope", Json("region"));
+      break;
+  }
+  if (!scenario.target.empty()) out.set("target", Json(scenario.target));
+  if (scenario.recoveryTargetAge > Duration::zero()) {
+    out.set("recoveryTargetAge", durationJson(scenario.recoveryTargetAge));
+  }
+  if (scenario.recoverySize) {
+    out.set("recoverySize", bytesJson(*scenario.recoverySize));
+  }
+  return out;
+}
+
+FailureScenario scenarioFromJson(const Json& value) {
+  FailureScenario scenario;
+  const std::string scope = value.at("scope").asString();
+  if (scope == "object") {
+    scenario.scope = FailureScope::kDataObject;
+  } else if (scope == "array") {
+    scenario.scope = FailureScope::kArray;
+  } else if (scope == "building") {
+    scenario.scope = FailureScope::kBuilding;
+  } else if (scope == "site") {
+    scenario.scope = FailureScope::kSite;
+  } else if (scope == "region") {
+    scenario.scope = FailureScope::kRegion;
+  } else {
+    fail("unknown failure scope '" + scope + "'");
+  }
+  if (const Json* target = value.find("target")) {
+    scenario.target = target->asString();
+  }
+  if (const Json* age = value.find("recoveryTargetAge")) {
+    scenario.recoveryTargetAge = jsonToDuration(*age);
+  }
+  if (const Json* size = value.find("recoverySize")) {
+    scenario.recoverySize = jsonToBytes(*size);
+  }
+  return scenario;
+}
+
+namespace {
+
+/// Serializes one level: technique type + device references + policy.
+Json levelToJson(const Technique& level) {
+  Json out{JsonObject{}};
+  switch (level.kind()) {
+    case TechniqueKind::kPrimaryCopy: {
+      const auto& primary = static_cast<const PrimaryCopy&>(level);
+      out.set("technique", Json("primary_copy"));
+      out.set("array", Json(primary.array()->name()));
+      return out;
+    }
+    case TechniqueKind::kVirtualSnapshot: {
+      const auto& snap = static_cast<const VirtualSnapshot&>(level);
+      out.set("technique", Json("virtual_snapshot"));
+      out.set("name", Json(level.name()));
+      out.set("array", Json(snap.array()->name()));
+      break;
+    }
+    case TechniqueKind::kSplitMirror: {
+      const auto& sm = static_cast<const SplitMirror&>(level);
+      out.set("technique", Json("split_mirror"));
+      out.set("name", Json(level.name()));
+      out.set("array", Json(sm.array()->name()));
+      break;
+    }
+    case TechniqueKind::kSyncMirror:
+    case TechniqueKind::kAsyncMirror:
+    case TechniqueKind::kAsyncBatchMirror: {
+      const auto& mirror = static_cast<const RemoteMirror&>(level);
+      out.set("technique", Json("remote_mirror"));
+      out.set("name", Json(level.name()));
+      out.set("mode", Json(toString(mirror.mode())));
+      out.set("source", Json(mirror.sourceArray()->name()));
+      out.set("destination", Json(mirror.destArray()->name()));
+      out.set("links", Json(mirror.links()->name()));
+      break;
+    }
+    case TechniqueKind::kBackup: {
+      const auto& backup = static_cast<const Backup&>(level);
+      out.set("technique", Json("backup"));
+      out.set("name", Json(level.name()));
+      out.set("style", Json(backup.style() == BackupStyle::kFullOnly
+                                ? "full"
+                                : backup.style() ==
+                                          BackupStyle::kCumulativeIncremental
+                                      ? "cumulative"
+                                      : "differential"));
+      out.set("source", Json(backup.sourceArray()->name()));
+      out.set("device", Json(backup.backupDevice()->name()));
+      if (backup.transport()) {
+        out.set("transport", Json(backup.transport()->name()));
+      }
+      break;
+    }
+    case TechniqueKind::kVaulting: {
+      const auto& vaulting = static_cast<const Vaulting&>(level);
+      out.set("technique", Json("vaulting"));
+      out.set("name", Json(level.name()));
+      out.set("backupDevice", Json(vaulting.backupDevice()->name()));
+      out.set("vault", Json(vaulting.vault()->name()));
+      out.set("shipment", Json(vaulting.shipment()->name()));
+      break;
+    }
+  }
+  if (level.policy() != nullptr) {
+    out.set("policy", policyToJson(*level.policy()));
+  }
+  return out;
+}
+
+DevicePtr findDevice(const std::map<std::string, DevicePtr>& devices,
+                     const Json& value, const std::string& key) {
+  const std::string name = value.at(key).asString();
+  const auto it = devices.find(name);
+  if (it == devices.end()) fail("level references unknown device '" + name +
+                                "'");
+  return it->second;
+}
+
+TechniquePtr levelFromJson(const Json& value,
+                           const std::map<std::string, DevicePtr>& devices,
+                           Duration previousRetW) {
+  const std::string technique = value.at("technique").asString();
+  if (technique == "primary_copy") {
+    return std::make_shared<PrimaryCopy>(findDevice(devices, value, "array"));
+  }
+  const Json* nameJson = value.find("name");
+  const std::string name =
+      nameJson != nullptr ? nameJson->asString() : technique;
+  ProtectionPolicy policy = policyFromJson(value.at("policy"));
+  if (technique == "virtual_snapshot") {
+    return std::make_shared<VirtualSnapshot>(
+        name, findDevice(devices, value, "array"), std::move(policy));
+  }
+  if (technique == "split_mirror") {
+    return std::make_shared<SplitMirror>(
+        name, findDevice(devices, value, "array"), std::move(policy));
+  }
+  if (technique == "remote_mirror") {
+    const std::string mode = value.at("mode").asString();
+    MirrorMode mirrorMode = MirrorMode::kSync;
+    if (mode == "async") {
+      mirrorMode = MirrorMode::kAsync;
+    } else if (mode == "async-batch") {
+      mirrorMode = MirrorMode::kAsyncBatch;
+    } else if (mode != "sync") {
+      fail("unknown mirror mode '" + mode + "'");
+    }
+    return std::make_shared<RemoteMirror>(
+        name, mirrorMode, findDevice(devices, value, "source"),
+        findDevice(devices, value, "destination"),
+        findDevice(devices, value, "links"), std::move(policy));
+  }
+  if (technique == "backup") {
+    const std::string style = value.at("style").asString();
+    BackupStyle backupStyle = BackupStyle::kFullOnly;
+    if (style == "cumulative") {
+      backupStyle = BackupStyle::kCumulativeIncremental;
+    } else if (style == "differential") {
+      backupStyle = BackupStyle::kDifferentialIncremental;
+    } else if (style != "full") {
+      fail("unknown backup style '" + style + "'");
+    }
+    DevicePtr transport;
+    if (value.find("transport") != nullptr) {
+      transport = findDevice(devices, value, "transport");
+    }
+    return std::make_shared<Backup>(name, backupStyle,
+                                    findDevice(devices, value, "source"),
+                                    findDevice(devices, value, "device"),
+                                    std::move(policy), std::move(transport));
+  }
+  if (technique == "vaulting") {
+    return std::make_shared<Vaulting>(
+        name, findDevice(devices, value, "backupDevice"),
+        findDevice(devices, value, "vault"),
+        findDevice(devices, value, "shipment"), std::move(policy),
+        previousRetW);
+  }
+  fail("unknown technique '" + technique + "'");
+}
+
+}  // namespace
+
+Json designToJson(const StorageDesign& design) {
+  Json out{JsonObject{}};
+  out.set("name", Json(design.name()));
+  out.set("workload", workloadToJson(design.workload()));
+
+  Json business{JsonObject{}};
+  business.set("unavailPenRatePerHour",
+               Json(design.business().unavailabilityPenaltyRate.usdPerHour()));
+  business.set("lossPenRatePerHour",
+               Json(design.business().lossPenaltyRate.usdPerHour()));
+  if (design.business().rto) {
+    business.set("rto", durationJson(*design.business().rto));
+  }
+  if (design.business().rpo) {
+    business.set("rpo", durationJson(*design.business().rpo));
+  }
+  out.set("business", std::move(business));
+
+  JsonArray devices;
+  for (const DevicePtr& device : design.devices()) {
+    devices.push_back(deviceToJson(*device));
+  }
+  out.set("devices", Json(std::move(devices)));
+
+  JsonArray levels;
+  for (int i = 0; i < design.levelCount(); ++i) {
+    levels.push_back(levelToJson(design.level(i)));
+  }
+  out.set("levels", Json(std::move(levels)));
+
+  if (design.facility()) {
+    Json facility{JsonObject{}};
+    facility.set("location", locationToJson(design.facility()->location));
+    facility.set("provisioningTime",
+                 durationJson(design.facility()->provisioningTime));
+    facility.set("costDiscount", Json(design.facility()->costDiscount));
+    out.set("recoveryFacility", std::move(facility));
+  }
+  return out;
+}
+
+StorageDesign designFromJson(const Json& value) {
+  const std::string name = value.at("name").asString();
+  WorkloadSpec workload = workloadFromJson(value.at("workload"));
+
+  BusinessRequirements business;
+  const Json& businessJson = value.at("business");
+  business.unavailabilityPenaltyRate =
+      dollarsPerHour(businessJson.at("unavailPenRatePerHour").asNumber());
+  business.lossPenaltyRate =
+      dollarsPerHour(businessJson.at("lossPenRatePerHour").asNumber());
+  if (const Json* rto = businessJson.find("rto")) {
+    business.rto = jsonToDuration(*rto);
+  }
+  if (const Json* rpo = businessJson.find("rpo")) {
+    business.rpo = jsonToDuration(*rpo);
+  }
+
+  std::map<std::string, DevicePtr> devices;
+  for (const Json& deviceJson : value.at("devices").asArray()) {
+    DevicePtr device = deviceFromJson(deviceJson);
+    if (!devices.emplace(device->name(), device).second) {
+      fail("duplicate device name '" + device->name() + "'");
+    }
+  }
+
+  std::vector<TechniquePtr> levels;
+  Duration previousRetW = Duration::zero();
+  for (const Json& levelJson : value.at("levels").asArray()) {
+    TechniquePtr level = levelFromJson(levelJson, devices, previousRetW);
+    if (level->policy() != nullptr) {
+      previousRetW = level->policy()->retentionWindow();
+    }
+    levels.push_back(std::move(level));
+  }
+
+  std::optional<RecoveryFacilitySpec> facility;
+  if (const Json* facilityJson = value.find("recoveryFacility")) {
+    facility = RecoveryFacilitySpec{
+        .location = locationFromJson(facilityJson->at("location")),
+        .provisioningTime =
+            jsonToDuration(facilityJson->at("provisioningTime")),
+        .costDiscount = facilityJson->at("costDiscount").asNumber(),
+    };
+  }
+  return StorageDesign(name, std::move(workload), business, std::move(levels),
+                       std::move(facility));
+}
+
+StorageDesign loadDesign(const std::string& jsonText) {
+  return designFromJson(Json::parse(jsonText));
+}
+
+std::string saveDesign(const StorageDesign& design) {
+  return designToJson(design).pretty();
+}
+
+StorageDesign loadDesignFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DesignIoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return loadDesign(buffer.str());
+}
+
+void saveDesignFile(const StorageDesign& design, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw DesignIoError("cannot open " + path + " for writing");
+  out << saveDesign(design) << '\n';
+  if (!out) throw DesignIoError("failed writing " + path);
+}
+
+}  // namespace stordep::config

@@ -1,0 +1,75 @@
+// design_io.hpp — JSON (de)serialization of complete storage designs.
+//
+// A design document carries the workload, the business requirements, the
+// device inventory, the technique hierarchy (levels referencing devices by
+// name) and the optional recovery facility. Quantities may be written as
+// numbers in base units (bytes, seconds, dollars) or as strings in the
+// paper's notation ("1360 GB", "4 wk + 12 hr", "$50000"); the loader
+// accepts both, the writer emits readable strings.
+//
+// Example (abridged):
+//   {
+//     "name": "baseline",
+//     "workload": {"dataCap": "1360 GB", "avgAccessR": "1028 KB/s", ...},
+//     "business": {"unavailPenRate": "$50000", "lossPenRate": "$50000"},
+//     "devices": [
+//       {"type": "disk_array", "name": "primary-array", "site": "primary",
+//        "raid": "RAID-1", ...},
+//       ...
+//     ],
+//     "levels": [
+//       {"technique": "primary_copy", "array": "primary-array"},
+//       {"technique": "split_mirror", "array": "primary-array",
+//        "policy": {"accW": "12 hr", "retCnt": 4, "retW": "2 days"}},
+//       ...
+//     ],
+//     "recoveryFacility": {"site": "recovery-site",
+//                          "provisioningTime": "9 hr", "costDiscount": 0.2}
+//   }
+#pragma once
+
+#include <string>
+
+#include "config/json.hpp"
+#include "core/failure.hpp"
+#include "core/hierarchy.hpp"
+
+namespace stordep::config {
+
+class DesignIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ---- Quantity helpers (number in base units, or paper-notation string) ----
+[[nodiscard]] Duration jsonToDuration(const Json& value);
+[[nodiscard]] Bytes jsonToBytes(const Json& value);
+[[nodiscard]] Bandwidth jsonToBandwidth(const Json& value);
+[[nodiscard]] Money jsonToMoney(const Json& value);
+
+// ---- Component (de)serializers -------------------------------------------
+[[nodiscard]] Json workloadToJson(const WorkloadSpec& workload);
+[[nodiscard]] WorkloadSpec workloadFromJson(const Json& value);
+
+[[nodiscard]] Json policyToJson(const ProtectionPolicy& policy);
+[[nodiscard]] ProtectionPolicy policyFromJson(const Json& value);
+
+[[nodiscard]] Json deviceToJson(const DeviceModel& device);
+[[nodiscard]] DevicePtr deviceFromJson(const Json& value);
+
+[[nodiscard]] Json scenarioToJson(const FailureScenario& scenario);
+[[nodiscard]] FailureScenario scenarioFromJson(const Json& value);
+
+// ---- Whole designs ---------------------------------------------------------
+[[nodiscard]] Json designToJson(const StorageDesign& design);
+[[nodiscard]] StorageDesign designFromJson(const Json& value);
+
+/// Round-trip convenience: parse/serialize whole documents.
+[[nodiscard]] StorageDesign loadDesign(const std::string& jsonText);
+[[nodiscard]] std::string saveDesign(const StorageDesign& design);
+
+/// File I/O; throws DesignIoError on filesystem failures.
+[[nodiscard]] StorageDesign loadDesignFile(const std::string& path);
+void saveDesignFile(const StorageDesign& design, const std::string& path);
+
+}  // namespace stordep::config

@@ -1,0 +1,14 @@
+#include "core/business.hpp"
+
+namespace stordep {
+
+BusinessRequirements caseStudyRequirements() {
+  return BusinessRequirements{
+      .unavailabilityPenaltyRate = dollarsPerHour(50'000.0),
+      .lossPenaltyRate = dollarsPerHour(50'000.0),
+      .rto = std::nullopt,
+      .rpo = std::nullopt,
+  };
+}
+
+}  // namespace stordep

@@ -1,0 +1,48 @@
+// business.hpp — business requirement inputs (paper Sec 3.1.2).
+//
+// The business consequences of an outage are captured by two penalty rates;
+// the framework multiplies them by the worst-case recovery time and recent
+// data loss to obtain the penalty component of overall cost. Optional RTO/RPO
+// objectives let callers (and the optimizer) check designs against hard
+// business-continuity targets.
+#pragma once
+
+#include <optional>
+
+#include "core/units.hpp"
+
+namespace stordep {
+
+/// Penalty rates and (optional) recovery objectives for one data object.
+struct BusinessRequirements {
+  /// Penalty per unit time of data unavailability (outage).
+  MoneyRate unavailabilityPenaltyRate;
+  /// Penalty per unit time of lost recent updates.
+  MoneyRate lossPenaltyRate;
+  /// Recovery time objective: upper bound on acceptable recovery time.
+  std::optional<Duration> rto;
+  /// Recovery point objective: upper bound on acceptable recent data loss.
+  std::optional<Duration> rpo;
+
+  [[nodiscard]] Money outagePenalty(Duration recoveryTime) const noexcept {
+    return unavailabilityPenaltyRate * recoveryTime;
+  }
+  [[nodiscard]] Money lossPenalty(Duration dataLoss) const noexcept {
+    return lossPenaltyRate * dataLoss;
+  }
+
+  /// True when the given outcome meets both objectives (absent objective =
+  /// always met).
+  [[nodiscard]] bool meetsObjectives(Duration recoveryTime,
+                                     Duration dataLoss) const noexcept {
+    if (rto && recoveryTime > *rto) return false;
+    if (rpo && dataLoss > *rpo) return false;
+    return true;
+  }
+};
+
+/// The paper's case-study requirements: $50,000/hour for both unavailability
+/// and recent data loss, no hard RTO/RPO.
+[[nodiscard]] BusinessRequirements caseStudyRequirements();
+
+}  // namespace stordep

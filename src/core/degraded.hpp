@@ -1,0 +1,91 @@
+// degraded.hpp — degraded-mode operation (the paper's Sec 5 future work:
+// "extend the model ... to evaluate degraded mode operation (e.g., under
+// the failure of a data protection technique)").
+//
+// A *technique outage* means a protection level has stopped creating and
+// propagating new RPs for some elapsed time — a broken tape robot, a
+// suspended mirror, a paused snapshot schedule — while its already-stored
+// RPs remain readable (contrast with a hardware failure scope, which
+// destroys the stored copies too). Consequences modeled here:
+//
+//  * staleness growth — every level at or above the outage sees its
+//    youngest guaranteed RP age grow by the outage's elapsed time (nothing
+//    new has flowed past the broken level);
+//  * degraded data loss / recovery — the loss cases and the recovery-source
+//    choice re-evaluated under the grown staleness, composing with a
+//    hardware failure scenario (what if the array dies *while* the backup
+//    robot is down?);
+//  * catch-up — once the technique resumes, the backlog of unique updates
+//    must be propagated; catchUpTime() estimates how long the level stays
+//    degraded after repair;
+//  * a protection-coverage report — for each single-level outage, the
+//    residual dependability under each failure scenario, exposing single
+//    points of failure in the protection scheme.
+#pragma once
+
+#include <vector>
+
+#include "core/data_loss.hpp"
+#include "core/recovery.hpp"
+
+namespace stordep {
+
+/// One protection level out of service for `elapsed` so far.
+struct TechniqueOutage {
+  int level = 0;
+  Duration elapsed = Duration::zero();
+};
+
+/// Additional staleness at `level` caused by `outages`: the maximum elapsed
+/// outage among levels at or below it (level 0 outages are hardware
+/// failures, not technique outages, and are rejected).
+[[nodiscard]] Duration degradedExtraStaleness(
+    const StorageDesign& design, int level,
+    const std::vector<TechniqueOutage>& outages);
+
+/// assessLevel() under technique outages: the guaranteed range's young edge
+/// ages by the extra staleness; a level whose own technique is down still
+/// serves from its retained RPs.
+[[nodiscard]] LevelLossAssessment assessLevelDegraded(
+    const StorageDesign& design, int level, const FailureScenario& scenario,
+    const std::vector<TechniqueOutage>& outages);
+
+/// Recovery-source choice under outages.
+[[nodiscard]] std::optional<LevelLossAssessment> chooseDegradedSource(
+    const StorageDesign& design, const FailureScenario& scenario,
+    const std::vector<TechniqueOutage>& outages);
+
+/// Full recovery evaluation under outages (data loss reflects the grown
+/// staleness; restore legs are unchanged — the stored media are intact).
+[[nodiscard]] RecoveryResult computeDegradedRecovery(
+    const StorageDesign& design, const FailureScenario& scenario,
+    const std::vector<TechniqueOutage>& outages);
+
+/// Time for `level` to re-protect after its outage ends: the backlog of
+/// unique updates accumulated over the outage (plus one normal window)
+/// propagated at the level's available inbound bandwidth.
+[[nodiscard]] Duration catchUpTime(const StorageDesign& design, int level,
+                                   Duration outageElapsed);
+
+/// One cell of the protection-coverage matrix.
+struct CoverageCell {
+  int downLevel;             ///< which technique was out of service
+  std::string downName;
+  std::string scenarioName;
+  bool recoverable = false;
+  Duration dataLoss = Duration::infinite();
+  Duration recoveryTime = Duration::infinite();
+  int sourceLevel = -1;
+  /// Loss growth versus the fully healthy design.
+  Duration lossIncrease = Duration::zero();
+};
+
+/// Evaluates every single-level outage (each down for `elapsed`) against
+/// every named scenario. Rows where `recoverable` is false are the
+/// protection scheme's single points of failure.
+[[nodiscard]] std::vector<CoverageCell> protectionCoverage(
+    const StorageDesign& design,
+    const std::vector<std::pair<std::string, FailureScenario>>& scenarios,
+    Duration elapsed);
+
+}  // namespace stordep

@@ -1,0 +1,18 @@
+#include "core/evaluator.hpp"
+
+namespace stordep {
+
+EvaluationResult evaluate(const StorageDesign& design,
+                          const FailureScenario& scenario) {
+  EvaluationResult result;
+  result.utilization = computeUtilization(design);
+  result.levelAssessments = assessAllLevels(design, scenario);
+  result.recovery = computeRecovery(design, scenario);
+  result.cost = computeCosts(design, result.recovery);
+  result.warnings = design.validate();
+  result.meetsObjectives = design.business().meetsObjectives(
+      result.recovery.recoveryTime, result.recovery.dataLoss);
+  return result;
+}
+
+}  // namespace stordep

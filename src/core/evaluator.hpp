@@ -1,0 +1,36 @@
+// evaluator.hpp — the framework's top-level entry point.
+//
+// evaluate(design, scenario) composes all sub-models (paper Sec 3.3) and
+// returns the four output metrics: normal-mode utilization, worst-case
+// recovery time, worst-case recent data loss, and overall cost, together
+// with the full supporting detail (per-device utilizations, recovery
+// timeline, per-technique outlays, convention warnings).
+#pragma once
+
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/data_loss.hpp"
+#include "core/hierarchy.hpp"
+#include "core/recovery.hpp"
+#include "core/utilization.hpp"
+
+namespace stordep {
+
+struct EvaluationResult {
+  UtilizationResult utilization;
+  RecoveryResult recovery;
+  CostResult cost;
+  /// Per-level loss assessments (diagnostic view of the source choice).
+  std::vector<LevelLossAssessment> levelAssessments;
+  /// Soft convention violations from the design (paper Sec 3.2.1).
+  std::vector<std::string> warnings;
+  /// Whether the design meets the business RTO/RPO (always true when no
+  /// objectives are set).
+  bool meetsObjectives = false;
+};
+
+[[nodiscard]] EvaluationResult evaluate(const StorageDesign& design,
+                                        const FailureScenario& scenario);
+
+}  // namespace stordep

@@ -1,0 +1,82 @@
+#include "core/failure.hpp"
+
+namespace stordep {
+
+Location Location::at(std::string site, std::string building,
+                      std::string region) {
+  Location loc;
+  loc.building = building.empty() ? site : std::move(building);
+  loc.region = region.empty() ? site : std::move(region);
+  loc.site = std::move(site);
+  return loc;
+}
+
+std::string toString(FailureScope scope) {
+  switch (scope) {
+    case FailureScope::kDataObject:
+      return "data object";
+    case FailureScope::kArray:
+      return "array";
+    case FailureScope::kBuilding:
+      return "building";
+    case FailureScope::kSite:
+      return "site";
+    case FailureScope::kRegion:
+      return "region";
+  }
+  return "unknown";
+}
+
+bool FailureScenario::destroys(const std::string& deviceName,
+                               const Location& loc) const {
+  switch (scope) {
+    case FailureScope::kDataObject:
+      return false;
+    case FailureScope::kArray:
+      return deviceName == target;
+    case FailureScope::kBuilding:
+      return loc.building == target;
+    case FailureScope::kSite:
+      return loc.site == target;
+    case FailureScope::kRegion:
+      return loc.region == target;
+  }
+  return false;
+}
+
+FailureScenario FailureScenario::objectFailure(Duration targetAge,
+                                               Bytes objectSize) {
+  return FailureScenario{.scope = FailureScope::kDataObject,
+                         .target = {},
+                         .recoveryTargetAge = targetAge,
+                         .recoverySize = objectSize};
+}
+
+FailureScenario FailureScenario::arrayFailure(std::string deviceName) {
+  return FailureScenario{.scope = FailureScope::kArray,
+                         .target = std::move(deviceName),
+                         .recoveryTargetAge = Duration::zero(),
+                         .recoverySize = std::nullopt};
+}
+
+FailureScenario FailureScenario::buildingFailure(std::string building) {
+  return FailureScenario{.scope = FailureScope::kBuilding,
+                         .target = std::move(building),
+                         .recoveryTargetAge = Duration::zero(),
+                         .recoverySize = std::nullopt};
+}
+
+FailureScenario FailureScenario::siteDisaster(std::string site) {
+  return FailureScenario{.scope = FailureScope::kSite,
+                         .target = std::move(site),
+                         .recoveryTargetAge = Duration::zero(),
+                         .recoverySize = std::nullopt};
+}
+
+FailureScenario FailureScenario::regionDisaster(std::string region) {
+  return FailureScenario{.scope = FailureScope::kRegion,
+                         .target = std::move(region),
+                         .recoverySize = std::nullopt};
+}
+
+}  // namespace stordep

@@ -1,0 +1,70 @@
+// failure.hpp — failure scenarios and recovery goals (paper Sec 3.1.3).
+//
+// The framework evaluates dependability under one imposed failure scenario at
+// a time (the business-continuity community designs against hypothesized
+// disasters, not failure-frequency-weighted averages). A scenario is a
+// *failure scope* — which set of device locations is wiped out — plus a
+// *recovery target*: the point in time to which restoration is requested,
+// expressed as an age relative to "now" (0 = the instant before the failure).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/units.hpp"
+
+namespace stordep {
+
+/// Physical placement of a device; failure scopes knock out matching sets.
+struct Location {
+  std::string site;      ///< e.g. "primary-site", "recovery-facility"
+  std::string building;  ///< e.g. "bldg-1"; defaults to site when empty
+  std::string region;    ///< e.g. "west-coast"; defaults to site when empty
+
+  /// Convenience: a location where building and region default sensibly.
+  [[nodiscard]] static Location at(std::string site,
+                                   std::string building = {},
+                                   std::string region = {});
+
+  friend bool operator==(const Location&, const Location&) = default;
+};
+
+/// What is destroyed by the failure (paper Table 1, "failure scope").
+enum class FailureScope {
+  kDataObject,  ///< object corrupted (user/software error); no hardware lost
+  kArray,       ///< one named device fails
+  kBuilding,    ///< every device in a building fails
+  kSite,        ///< every device on a site fails
+  kRegion,      ///< every device in a geographic region fails
+};
+
+[[nodiscard]] std::string toString(FailureScope scope);
+
+/// An imposed failure scenario.
+struct FailureScenario {
+  FailureScope scope = FailureScope::kArray;
+  /// Scope target: device name for kArray; building/site/region name for the
+  /// wider scopes; unused for kDataObject.
+  std::string target;
+  /// Age of the requested restoration point. Zero means "now" (just before
+  /// the failure); a positive value is used for user-error rollback (the
+  /// case study rolls a corrupted object back 24 hours).
+  Duration recoveryTargetAge = Duration::zero();
+  /// For kDataObject failures, the amount of data to restore (the case study
+  /// restores a single 1 MB object). Unset means the entire data object.
+  std::optional<Bytes> recoverySize;
+
+  /// True if a device at `loc` named `deviceName` is destroyed.
+  [[nodiscard]] bool destroys(const std::string& deviceName,
+                              const Location& loc) const;
+
+  // -- Named constructors matching the case study -------------------------
+  [[nodiscard]] static FailureScenario objectFailure(Duration targetAge,
+                                                     Bytes objectSize);
+  [[nodiscard]] static FailureScenario arrayFailure(std::string deviceName);
+  [[nodiscard]] static FailureScenario buildingFailure(std::string building);
+  [[nodiscard]] static FailureScenario siteDisaster(std::string site);
+  [[nodiscard]] static FailureScenario regionDisaster(std::string region);
+};
+
+}  // namespace stordep

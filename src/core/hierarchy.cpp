@@ -1,0 +1,127 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace stordep {
+
+StorageDesign::StorageDesign(std::string name, WorkloadSpec workload,
+                             BusinessRequirements business,
+                             std::vector<TechniquePtr> levels,
+                             std::optional<RecoveryFacilitySpec> facility)
+    : name_(std::move(name)),
+      workload_(std::move(workload)),
+      business_(business),
+      levels_(std::move(levels)),
+      facility_(std::move(facility)) {
+  if (levels_.empty()) {
+    throw DesignError("design '" + name_ + "': needs at least the primary copy");
+  }
+  for (const auto& level : levels_) {
+    if (!level) throw DesignError("design '" + name_ + "': null level");
+  }
+  if (levels_[0]->kind() != TechniqueKind::kPrimaryCopy) {
+    throw DesignError("design '" + name_ +
+                      "': level 0 must be the primary copy");
+  }
+  for (size_t i = 1; i < levels_.size(); ++i) {
+    if (levels_[i]->kind() == TechniqueKind::kPrimaryCopy) {
+      throw DesignError("design '" + name_ +
+                        "': only level 0 may be the primary copy");
+    }
+    if (levels_[i]->policy() == nullptr) {
+      throw DesignError("design '" + name_ + "': level '" +
+                        levels_[i]->name() + "' has no policy");
+    }
+  }
+  if (facility_ && facility_->costDiscount < 0) {
+    throw DesignError("design '" + name_ +
+                      "': facility cost discount must be >= 0");
+  }
+}
+
+const Technique& StorageDesign::level(int i) const {
+  if (i < 0 || i >= levelCount()) {
+    throw DesignError("design '" + name_ + "': no level " + std::to_string(i));
+  }
+  return *levels_[static_cast<size_t>(i)];
+}
+
+TechniquePtr StorageDesign::levelPtr(int i) const {
+  if (i < 0 || i >= levelCount()) {
+    throw DesignError("design '" + name_ + "': no level " + std::to_string(i));
+  }
+  return levels_[static_cast<size_t>(i)];
+}
+
+const PrimaryCopy& StorageDesign::primary() const {
+  return static_cast<const PrimaryCopy&>(*levels_[0]);
+}
+
+std::vector<DevicePtr> StorageDesign::devices() const {
+  std::vector<DevicePtr> out;
+  std::unordered_set<const DeviceModel*> seen;
+  auto add = [&](const DevicePtr& d) {
+    if (d && seen.insert(d.get()).second) out.push_back(d);
+  };
+  for (const auto& level : levels_) {
+    for (const auto& d : level->storageDevices()) add(d);
+    for (const auto& pd : level->normalModeDemands(workload_)) add(pd.device);
+    for (const auto& leg : level->recoveryLegs(nullptr)) {
+      add(leg.from);
+      add(leg.to);
+      add(leg.via);
+    }
+  }
+  return out;
+}
+
+std::vector<PlacedDemand> StorageDesign::allDemands() const {
+  std::vector<PlacedDemand> out;
+  for (const auto& level : levels_) {
+    auto demands = level->normalModeDemands(workload_);
+    out.insert(out.end(), std::make_move_iterator(demands.begin()),
+               std::make_move_iterator(demands.end()));
+  }
+  return out;
+}
+
+std::vector<std::string> StorageDesign::validate() const {
+  std::vector<std::string> out;
+  for (size_t i = 1; i < levels_.size(); ++i) {
+    const auto& tech = *levels_[i];
+    const ProtectionPolicy& pol = *tech.policy();
+    for (auto& v : pol.conventionViolations()) {
+      out.push_back("level " + std::to_string(i) + " (" + tech.name() +
+                    "): " + v);
+    }
+    if (i + 1 < levels_.size()) {
+      const ProtectionPolicy& next = *levels_[i + 1]->policy();
+      if (next.primaryWindows().accW < pol.cyclePeriod()) {
+        out.push_back("level " + std::to_string(i + 1) + " (" +
+                      levels_[i + 1]->name() + "): accW " +
+                      toString(next.primaryWindows().accW) +
+                      " is shorter than level " + std::to_string(i) +
+                      "'s cycle period " + toString(pol.cyclePeriod()) +
+                      " — slower levels should take less frequent RPs");
+      }
+      if (next.retentionCount() < pol.retentionCount()) {
+        out.push_back("level " + std::to_string(i + 1) + " (" +
+                      levels_[i + 1]->name() + "): retCnt " +
+                      std::to_string(next.retentionCount()) +
+                      " is below level " + std::to_string(i) + "'s " +
+                      std::to_string(pol.retentionCount()));
+      }
+      if (pol.holdW() > next.retentionWindow() &&
+          next.retentionWindow().secs() > 0) {
+        out.push_back("level " + std::to_string(i) + " (" + tech.name() +
+                      "): holdW " + toString(pol.holdW()) +
+                      " exceeds the next level's retention window " +
+                      toString(next.retentionWindow()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stordep

@@ -1,0 +1,130 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+namespace stordep {
+
+std::string toString(Representation rep) {
+  return rep == Representation::kFull ? "full" : "partial";
+}
+
+ProtectionPolicy::ProtectionPolicy(WindowSpec windows, int retentionCount,
+                                   Duration retentionWindow,
+                                   Representation copyRep)
+    : primary_(windows),
+      secondary_(std::nullopt),
+      cycleCount_(0),
+      cyclePeriod_(windows.accW),
+      retentionCount_(retentionCount),
+      retentionWindow_(retentionWindow),
+      copyRep_(copyRep) {
+  checkBasics();
+}
+
+ProtectionPolicy::ProtectionPolicy(WindowSpec primary, WindowSpec secondary,
+                                   int cycleCount, Duration cyclePeriod,
+                                   int retentionCount, Duration retentionWindow,
+                                   Representation copyRep)
+    : primary_(primary),
+      secondary_(secondary),
+      cycleCount_(cycleCount),
+      cyclePeriod_(cyclePeriod),
+      retentionCount_(retentionCount),
+      retentionWindow_(retentionWindow),
+      copyRep_(copyRep) {
+  if (cycleCount_ <= 0) {
+    throw PolicyError("cyclic policy requires cycleCount > 0");
+  }
+  checkBasics();
+  if (!(secondary_->accW.secs() > 0)) {
+    throw PolicyError("secondary accumulation window must be positive");
+  }
+  if (secondary_->propW.secs() < 0 || secondary_->holdW.secs() < 0) {
+    throw PolicyError("secondary windows must be non-negative");
+  }
+  if (cyclePeriod_ < secondary_->accW) {
+    throw PolicyError("cycle period shorter than the secondary window");
+  }
+}
+
+void ProtectionPolicy::checkBasics() const {
+  // accW == 0 is meaningful: synchronous mirroring propagates every update
+  // immediately (no batching), so its accumulation window is zero.
+  if (!(primary_.accW.secs() >= 0)) {
+    throw PolicyError("accumulation window must be non-negative");
+  }
+  if (primary_.propW.secs() < 0 || primary_.holdW.secs() < 0) {
+    throw PolicyError("propagation and hold windows must be non-negative");
+  }
+  if (retentionCount_ < 1) {
+    throw PolicyError("retention count must be at least 1");
+  }
+  if (!(retentionWindow_.secs() >= 0)) {
+    throw PolicyError("retention window must be non-negative");
+  }
+  if (!(cyclePeriod_.secs() >= 0)) {
+    throw PolicyError("cycle period must be non-negative");
+  }
+}
+
+Duration ProtectionPolicy::effectiveAccW() const noexcept {
+  if (!secondary_) return primary_.accW;
+  return std::min(primary_.accW, secondary_->accW);
+}
+
+Duration ProtectionPolicy::worstPropW() const noexcept {
+  if (!secondary_) return primary_.propW;
+  return std::max(primary_.propW, secondary_->propW);
+}
+
+Duration ProtectionPolicy::worstArrivalGap() const noexcept {
+  if (!secondary_) return primary_.accW;
+  // Last incremental of cycle k arrives at
+  //   k*P + cycleCnt*accW_i + holdW + propW_i;
+  // the next arrival is cycle (k+1)'s first incremental at
+  //   (k+1)*P + accW_i + holdW + propW_i
+  // (the full created at (k+1)*P arrives later than that whenever
+  // propW_f > accW_i + propW_i - accW_f... the incremental is the earlier
+  // of the two in every sane configuration; take the smaller gap of the
+  // two candidates to stay a guaranteed bound).
+  const Duration toNextIncr =
+      cyclePeriod() -
+      secondary_->accW * static_cast<double>(cycleCount()) +
+      secondary_->accW;
+  const Duration toNextFull = cyclePeriod() -
+                              (secondary_->accW *
+                                   static_cast<double>(cycleCount()) +
+                               secondary_->holdW + secondary_->propW) +
+                              primary_.holdW + primary_.propW;
+  const Duration gap = std::min(toNextIncr, toNextFull);
+  return std::max(gap, effectiveAccW());
+}
+
+std::vector<std::string> ProtectionPolicy::conventionViolations() const {
+  std::vector<std::string> out;
+  if (primary_.propW > primary_.accW) {
+    out.push_back(
+        "propW exceeds accW for the primary representation: the level cannot "
+        "keep up with RP production (propW " +
+        toString(primary_.propW) + " > accW " + toString(primary_.accW) + ")");
+  }
+  if (secondary_ && secondary_->propW > secondary_->accW) {
+    out.push_back(
+        "propW exceeds accW for the secondary representation (propW " +
+        toString(secondary_->propW) + " > accW " + toString(secondary_->accW) +
+        ")");
+  }
+  // retW should roughly cover retCnt cycles of RPs; a retention window much
+  // shorter than the retained range means the bookkeeping is inconsistent.
+  const Duration impliedRange =
+      cyclePeriod_ * static_cast<double>(retentionCount_);
+  if (retentionWindow_.secs() > 0 &&
+      retentionWindow_ < impliedRange * (1.0 / 2.0)) {
+    out.push_back("retention window " + toString(retentionWindow_) +
+                  " is much shorter than retCnt*cyclePer = " +
+                  toString(impliedRange));
+  }
+  return out;
+}
+
+}  // namespace stordep

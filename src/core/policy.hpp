@@ -1,0 +1,142 @@
+// policy.hpp — the common data-protection parameter set (paper Sec 3.2.1).
+//
+// The paper's key insight is that every data protection technique — PiT
+// copies, backup, mirroring, vaulting — performs the same three basic
+// operations: *creation*, *retention* and *propagation* of retrieval points
+// (RPs). A ProtectionPolicy captures one level's configuration with a single
+// parameter set:
+//
+//   accW      accumulation window: period over which updates are batched
+//             to create one RP (also the RP creation period)
+//   propW     propagation window: time to transmit an RP to this level
+//   holdW     hold window: delay between an RP becoming eligible and the
+//             start of its transmission (e.g., tapes waiting for a shipment)
+//   cycleCnt  number of secondary-representation windows per cycle (e.g., 5
+//             daily incrementals between weekly fulls)
+//   cyclePer  length of one full cycle
+//   retCnt    number of cycles of RPs retained simultaneously
+//   retW      how long one RP is retained
+//   copyRep   full or partial RP representation kept at the level
+//   propRep   full or partial representation transmitted
+//
+// Cyclic policies (full + incremental backup) carry two WindowSpecs: the
+// *primary* (full) representation — which is also what feeds the next level
+// up, e.g. only fulls are vaulted — and the *secondary* (incremental) one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace stordep {
+
+/// Whether an RP copy/transmission carries the full dataset or only changes.
+enum class Representation {
+  kFull,     ///< complete dataset image
+  kPartial,  ///< deltas only (incrementals, copy-on-write snapshots)
+};
+
+[[nodiscard]] std::string toString(Representation rep);
+
+/// The accumulation/propagation/hold windows for one RP representation.
+struct WindowSpec {
+  Duration accW = Duration::zero();
+  Duration propW = Duration::zero();
+  Duration holdW = Duration::zero();
+  Representation propRep = Representation::kFull;
+};
+
+/// Thrown for physically meaningless policy parameters (negative windows,
+/// zero retention, ...). Soft convention violations (paper Sec 3.2.1) are
+/// reported by ProtectionPolicy::conventionViolations() instead.
+class PolicyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One level's RP creation/retention/propagation configuration.
+class ProtectionPolicy {
+ public:
+  /// Simple (non-cyclic) policy: a single representation.
+  ProtectionPolicy(WindowSpec windows, int retentionCount,
+                   Duration retentionWindow,
+                   Representation copyRep = Representation::kFull);
+
+  /// Cyclic policy: `primary` (e.g. weekly fulls) plus `cycleCount`
+  /// occurrences of `secondary` (e.g. daily cumulative incrementals) per
+  /// cycle of length `cyclePeriod`.
+  ProtectionPolicy(WindowSpec primary, WindowSpec secondary, int cycleCount,
+                   Duration cyclePeriod, int retentionCount,
+                   Duration retentionWindow,
+                   Representation copyRep = Representation::kFull);
+
+  [[nodiscard]] const WindowSpec& primaryWindows() const noexcept {
+    return primary_;
+  }
+  [[nodiscard]] const std::optional<WindowSpec>& secondaryWindows()
+      const noexcept {
+    return secondary_;
+  }
+  [[nodiscard]] bool isCyclic() const noexcept { return secondary_.has_value(); }
+  [[nodiscard]] int cycleCount() const noexcept { return cycleCount_; }
+  [[nodiscard]] Duration cyclePeriod() const noexcept { return cyclePeriod_; }
+  [[nodiscard]] int retentionCount() const noexcept { return retentionCount_; }
+  [[nodiscard]] Duration retentionWindow() const noexcept {
+    return retentionWindow_;
+  }
+  [[nodiscard]] Representation copyRep() const noexcept { return copyRep_; }
+
+  // ---- Derived quantities used by the composition models -----------------
+
+  /// Windows of the representation that feeds the *next* level up (fulls);
+  /// intermediate-level lag contributions use these (see DESIGN.md).
+  [[nodiscard]] const WindowSpec& feedWindows() const noexcept {
+    return primary_;
+  }
+
+  /// Shortest interval between successive RP arrivals at this level — the
+  /// worst-case loss when an RP for the target has already propagated here
+  /// (data-loss case 2).
+  [[nodiscard]] Duration effectiveAccW() const noexcept;
+
+  /// Largest propagation window across the cycle's representations — the
+  /// worst-case in-flight time for the most recent RP (data-loss case 1 uses
+  /// holdW + worstPropW + effectiveAccW at the target level).
+  [[nodiscard]] Duration worstPropW() const noexcept;
+
+  /// Hold window applied at this level (shared across representations).
+  [[nodiscard]] Duration holdW() const noexcept { return primary_.holdW; }
+
+  /// Worst gap between *arrivals* of consecutive RPs at this level. For
+  /// simple policies this is just accW. For cyclic policies it exceeds
+  /// effectiveAccW(): after the cycle's last incremental, no RP arrives
+  /// until the next cycle's first one — the "weekend gap" the paper's lag
+  /// formula does not model (our simulator exposed it; see EXPERIMENTS.md).
+  /// The gap is cyclePer - cycleCnt x accW_incr, widened by the full's
+  /// longer propagation and narrowed by the incremental's:
+  ///   gap = (cyclePer - cycleCnt*accW_i) + accW_i + propW_i - propW_f
+  /// measured arrival-to-arrival (last incremental -> first incremental of
+  /// the next cycle, both offset by their own transmission).
+  [[nodiscard]] Duration worstArrivalGap() const noexcept;
+
+  /// Soft violations of the paper's parameter conventions:
+  ///   propW <= accW (to keep up with RP production)
+  ///   retW ~ retCnt * cyclePer (retention bookkeeping consistency)
+  /// Returns human-readable descriptions; empty means fully conventional.
+  [[nodiscard]] std::vector<std::string> conventionViolations() const;
+
+ private:
+  void checkBasics() const;
+
+  WindowSpec primary_;
+  std::optional<WindowSpec> secondary_;
+  int cycleCount_ = 0;
+  Duration cyclePeriod_;
+  int retentionCount_ = 1;
+  Duration retentionWindow_;
+  Representation copyRep_ = Representation::kFull;
+};
+
+}  // namespace stordep

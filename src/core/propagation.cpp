@@ -1,0 +1,67 @@
+#include "core/propagation.hpp"
+
+namespace stordep {
+
+Duration rpTransitTime(const StorageDesign& design, int level) {
+  if (level < 0 || level >= design.levelCount()) {
+    throw DesignError("rpTransitTime: no level " + std::to_string(level));
+  }
+  Duration transit = Duration::zero();
+  for (int i = 1; i <= level; ++i) {
+    const ProtectionPolicy& pol = *design.level(i).policy();
+    if (i < level) {
+      // Intermediate level: updates ride the representation that feeds the
+      // next level up (the primary/full windows).
+      transit += pol.feedWindows().holdW + pol.feedWindows().propW;
+    } else {
+      // Target level: the most recent RP may be the slowest representation
+      // still in flight.
+      transit += pol.holdW() + pol.worstPropW();
+    }
+  }
+  return transit;
+}
+
+Duration rpTimeLag(const StorageDesign& design, int level) {
+  if (level == 0) return Duration::zero();
+  const ProtectionPolicy& pol = *design.level(level).policy();
+  return rpTransitTime(design, level) + pol.effectiveAccW();
+}
+
+Duration rpTimeLagConservative(const StorageDesign& design, int level) {
+  if (level == 0) return Duration::zero();
+  const ProtectionPolicy& pol = *design.level(level).policy();
+  // Transit through intermediate levels is unchanged; at the target level
+  // the most recent arrival is the *last-arriving* representation (the
+  // incrementals, for cyclic schedules), followed by the worst
+  // arrival-to-arrival gap.
+  Duration transit = Duration::zero();
+  for (int i = 1; i < level; ++i) {
+    const WindowSpec& feed = design.level(i).policy()->feedWindows();
+    transit += feed.holdW + feed.propW;
+  }
+  const Duration lastPropW = pol.isCyclic() ? pol.secondaryWindows()->propW
+                                            : pol.primaryWindows().propW;
+  return transit + pol.holdW() + lastPropW + pol.worstArrivalGap();
+}
+
+Duration rpExpectedTimeLag(const StorageDesign& design, int level) {
+  if (level == 0) return Duration::zero();
+  const ProtectionPolicy& pol = *design.level(level).policy();
+  return rpTransitTime(design, level) + pol.effectiveAccW() * 0.5;
+}
+
+RpRange guaranteedRange(const StorageDesign& design, int level) {
+  if (level == 0) {
+    return RpRange{.youngestAge = Duration::zero(),
+                   .oldestAge = Duration::zero()};
+  }
+  const ProtectionPolicy& pol = *design.level(level).policy();
+  const Duration transit = rpTransitTime(design, level);
+  return RpRange{
+      .youngestAge = transit + pol.effectiveAccW(),
+      .oldestAge = transit + pol.cyclePeriod() *
+                                 static_cast<double>(pol.retentionCount() - 1)};
+}
+
+}  // namespace stordep

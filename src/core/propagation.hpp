@@ -1,0 +1,72 @@
+// propagation.hpp — retrieval-point propagation math (paper Sec 3.3.2, Fig 3).
+//
+// Determining data loss and recovery time requires knowing what range of
+// time is *guaranteed* to be represented by the RPs held at each level. Two
+// quantities drive it:
+//
+//  transit(j)  = sum over levels 1..j of (holdW_i + propW_i): the time for an
+//                RP to travel from the primary into level j. Intermediate
+//                levels contribute the windows of the representation that
+//                actually feeds upward (only fulls are vaulted); the target
+//                level contributes its worst-case (largest) propW.
+//  lag(j)      = transit(j) + effAccW(j): how stale level j can be just
+//                before its next RP arrives — the age of the youngest RP
+//                guaranteed present.
+//  oldest(j)   = (retCnt_j - 1) * cyclePer_j + transit(j): the age of the
+//                oldest RP guaranteed present.
+//
+// The guaranteed range of RP ages at level j is [lag(j), oldest(j)]; it is
+// empty when retCnt = 1 and accW > 0 (a single retained RP may be anywhere
+// within one window of the lag).
+#pragma once
+
+#include "core/hierarchy.hpp"
+
+namespace stordep {
+
+/// Guaranteed RP age range at one level, as ages relative to "now".
+struct RpRange {
+  /// Age of the youngest RP guaranteed present (the level's worst-case lag).
+  Duration youngestAge;
+  /// Age of the oldest RP guaranteed present.
+  Duration oldestAge;
+
+  [[nodiscard]] bool empty() const noexcept { return oldestAge < youngestAge; }
+  /// True when an RP no younger than `targetAge` is guaranteed to exist
+  /// within the range (i.e., targetAge falls inside [youngest, oldest]).
+  [[nodiscard]] bool covers(Duration targetAge) const noexcept {
+    return targetAge >= youngestAge && targetAge <= oldestAge;
+  }
+};
+
+/// Cumulative hold+propagation transit from the primary into `level`.
+/// Zero for level 0.
+[[nodiscard]] Duration rpTransitTime(const StorageDesign& design, int level);
+
+/// Worst-case staleness of `level` (paper: sum(holdW+propW) + accW_j).
+[[nodiscard]] Duration rpTimeLag(const StorageDesign& design, int level);
+
+/// Guaranteed RP age range at `level` (paper Figure 3). Level 0's range is
+/// [0, 0]: the primary copy is exactly current.
+[[nodiscard]] RpRange guaranteedRange(const StorageDesign& design, int level);
+
+/// Expected (mean) staleness of `level` under a failure at a uniformly
+/// random instant: transit + accW/2 (the in-flight wait averages to half an
+/// accumulation window instead of a full one). An extension beyond the
+/// paper, which reports only worst cases; the RP-lifecycle simulator's
+/// empirical means validate this formula (see bench_expected_vs_worst).
+[[nodiscard]] Duration rpExpectedTimeLag(const StorageDesign& design,
+                                         int level);
+
+/// A *sound* worst-case staleness bound for cyclic policies. The paper's
+/// formula (rpTimeLag) charges one incremental window of exposure, but
+/// simulation shows the end-of-cycle arrival gap ("weekend gap") makes the
+/// true worst case larger — e.g. 85 h instead of 73 h for the case study's
+/// F+I policy (EXPERIMENTS.md). This variant replaces the paper's
+/// accW + worstPropW terms at the target level with the last-arriving
+/// representation's propW plus the worst arrival gap, and coincides with
+/// rpTimeLag for simple (non-cyclic) policies.
+[[nodiscard]] Duration rpTimeLagConservative(const StorageDesign& design,
+                                             int level);
+
+}  // namespace stordep

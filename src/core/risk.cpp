@@ -1,0 +1,53 @@
+#include "core/risk.hpp"
+
+#include <limits>
+
+namespace stordep {
+
+RiskAssessment assessRisk(const StorageDesign& design,
+                          const std::vector<FailureMode>& modes) {
+  RiskAssessment out;
+  bool outlaysRecorded = false;
+  for (const FailureMode& mode : modes) {
+    if (mode.annualFrequency < 0) {
+      throw DesignError("failure mode '" + mode.name +
+                        "': frequency must be >= 0");
+    }
+    const EvaluationResult result = evaluate(design, mode.scenario);
+    if (!outlaysRecorded) {
+      out.annualOutlays = result.cost.totalOutlays;
+      outlaysRecorded = true;
+    }
+
+    FailureModeResult mr;
+    mr.name = mode.name;
+    mr.annualFrequency = mode.annualFrequency;
+    mr.recoverable = result.recovery.recoverable;
+    mr.dataLoss = result.recovery.dataLoss;
+    mr.recoveryTime = result.recovery.recoveryTime;
+    if (mr.recoverable) {
+      mr.penaltyPerEvent = result.cost.totalPenalties;
+      mr.expectedAnnualPenalty = mr.penaltyPerEvent * mode.annualFrequency;
+      out.expectedAnnualPenalty += mr.expectedAnnualPenalty;
+      out.expectedAnnualDowntimeHours +=
+          mode.annualFrequency * mr.recoveryTime.hrs();
+    } else {
+      // Penalties are unbounded for unrecoverable events; track their rate
+      // separately rather than poisoning the expectation with infinities.
+      mr.penaltyPerEvent = Money{std::numeric_limits<double>::infinity()};
+      mr.expectedAnnualPenalty =
+          mode.annualFrequency > 0
+              ? Money{std::numeric_limits<double>::infinity()}
+              : Money::zero();
+      out.unrecoverableFrequency += mode.annualFrequency;
+    }
+    out.modes.push_back(std::move(mr));
+  }
+  out.expectedAnnualCost =
+      out.unrecoverableFrequency > 0
+          ? Money{std::numeric_limits<double>::infinity()}
+          : out.annualOutlays + out.expectedAnnualPenalty;
+  return out;
+}
+
+}  // namespace stordep

@@ -1,0 +1,57 @@
+// risk.hpp — failure-frequency risk model.
+//
+// The paper evaluates one imposed scenario at a time (business-continuity
+// practice), but notes (Sec 5) that its automated-design work "allows us to
+// incorporate failure frequencies and prioritizations, thus permitting the
+// concurrent consideration of multiple failures". This module provides that
+// layer: annotate scenarios with annual occurrence frequencies and compute
+// the *expected annual cost* — outlays plus frequency-weighted per-event
+// penalties — and the residual annual probability of unrecoverable loss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace stordep {
+
+/// A failure scenario with an expected occurrence rate.
+struct FailureMode {
+  std::string name;
+  FailureScenario scenario;
+  /// Expected occurrences per year (0.02 = once in 50 years).
+  double annualFrequency = 0.0;
+};
+
+struct FailureModeResult {
+  std::string name;
+  double annualFrequency = 0.0;
+  bool recoverable = false;
+  Duration dataLoss = Duration::infinite();
+  Duration recoveryTime = Duration::infinite();
+  Money penaltyPerEvent;          ///< outage + loss penalties for one event
+  Money expectedAnnualPenalty;    ///< frequency x per-event penalty
+};
+
+struct RiskAssessment {
+  std::vector<FailureModeResult> modes;
+  Money annualOutlays;
+  Money expectedAnnualPenalty;
+  /// outlays + sum of expected penalties: the number to minimize when
+  /// designing against a whole failure-mode portfolio.
+  Money expectedAnnualCost;
+  /// Combined rate of events the design cannot recover from at all
+  /// (events/year); zero for a fully covered design.
+  double unrecoverableFrequency = 0.0;
+  /// Downtime expectation: sum of frequency x recovery time, in hours/year.
+  double expectedAnnualDowntimeHours = 0.0;
+};
+
+/// Evaluates `design` against every failure mode and aggregates.
+/// (casestudy::defaultFailureModes() provides literature-flavored rates for
+/// the paper's three scenarios.)
+[[nodiscard]] RiskAssessment assessRisk(const StorageDesign& design,
+                                        const std::vector<FailureMode>& modes);
+
+}  // namespace stordep

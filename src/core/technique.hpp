@@ -1,0 +1,118 @@
+// technique.hpp — abstract data-protection technique (one hierarchy level).
+//
+// A storage design is a hierarchy of levels (paper Sec 3.2): level 0 is the
+// primary copy; each higher level is a data protection technique that
+// receives retrieval points (RPs) from the level below, retains some number
+// of them, and propagates RPs further up. Every concrete technique
+// (PiT copies, backup, inter-array mirroring, vaulting) implements this
+// interface by:
+//
+//   1. declaring which hardware devices it uses,
+//   2. converting its policy + the workload into normal-mode bandwidth and
+//      capacity demands on those devices (Sec 3.2.3), and
+//   3. describing how data is read back out of it during recovery
+//      (payload composition and the devices a restore traverses).
+//
+// The composition models (utilization, propagation, data loss, recovery,
+// cost) consume only this interface, so new techniques can be added without
+// touching the framework — the paper's core design goal.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/workload.hpp"
+#include "devices/device.hpp"
+
+namespace stordep {
+
+enum class TechniqueKind {
+  kPrimaryCopy,
+  kVirtualSnapshot,
+  kSplitMirror,
+  kSyncMirror,
+  kAsyncMirror,
+  kAsyncBatchMirror,
+  kBackup,
+  kVaulting,
+};
+
+[[nodiscard]] std::string toString(TechniqueKind kind);
+
+/// A normal-mode demand a technique places on a specific device.
+struct PlacedDemand {
+  DevicePtr device;
+  DeviceDemand demand;
+};
+
+/// One leg of a restore: move `payload` bytes from `from` into `to`, possibly
+/// `via` a transport (network link or physical shipment). `from == to` means
+/// an intra-device copy (PiT restore), which consumes the device's bandwidth
+/// twice (read + write).
+struct RecoveryLeg {
+  DevicePtr from;
+  DevicePtr to;        ///< null = the (replacement) primary array
+  DevicePtr via;       ///< optional transport; null = co-located transfer
+  /// Fixed serialized time after the data arrives for this leg (tape
+  /// load/seek at the sending device, media handling, ...).
+  Duration serializedFix = Duration::zero();
+};
+
+class TechniqueError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Technique {
+ public:
+  Technique(std::string name, TechniqueKind kind);
+  virtual ~Technique() = default;
+
+  Technique(const Technique&) = delete;
+  Technique& operator=(const Technique&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] TechniqueKind kind() const noexcept { return kind_; }
+
+  /// The level's RP creation/retention/propagation policy. Null for the
+  /// primary copy (level 0), which holds exactly the current data.
+  [[nodiscard]] virtual const ProtectionPolicy* policy() const noexcept {
+    return nullptr;
+  }
+
+  /// The device(s) on which this level's RPs physically reside. A level is
+  /// destroyed by a failure scenario iff all its storage devices are.
+  [[nodiscard]] virtual std::vector<DevicePtr> storageDevices() const = 0;
+
+  /// Normal-mode demands on every device this technique touches.
+  [[nodiscard]] virtual std::vector<PlacedDemand> normalModeDemands(
+      const WorkloadSpec& workload) const = 0;
+
+  /// The bytes that must be read from this level to restore `baseSize` of
+  /// data (a full image plus any incrementals the representation requires).
+  [[nodiscard]] virtual Bytes restorePayload(const WorkloadSpec& workload,
+                                             Bytes baseSize) const {
+    (void)workload;
+    return baseSize;
+  }
+
+  /// The restore path from this level's storage to the (replacement)
+  /// primary array. `primaryTarget` is null when the recovery model will
+  /// substitute the replacement primary itself.
+  [[nodiscard]] virtual std::vector<RecoveryLeg> recoveryLegs(
+      DevicePtr primaryTarget) const = 0;
+
+  /// Human-readable summary for reports.
+  [[nodiscard]] virtual std::string describe() const;
+
+ private:
+  std::string name_;
+  TechniqueKind kind_;
+};
+
+using TechniquePtr = std::shared_ptr<const Technique>;
+
+}  // namespace stordep

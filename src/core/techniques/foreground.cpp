@@ -1,0 +1,27 @@
+#include "core/techniques/foreground.hpp"
+
+namespace stordep {
+
+PrimaryCopy::PrimaryCopy(DevicePtr array)
+    : Technique("foreground workload", TechniqueKind::kPrimaryCopy),
+      array_(std::move(array)) {
+  if (!array_) throw TechniqueError("primary copy requires an array");
+}
+
+std::vector<PlacedDemand> PrimaryCopy::normalModeDemands(
+    const WorkloadSpec& workload) const {
+  return {PlacedDemand{
+      array_,
+      DeviceDemand{.techniqueName = name(),
+                   .bandwidth = workload.avgAccessRate(),
+                   .capacity = workload.dataCap(),
+                   .shipmentsPerYear = 0.0,
+                   .isPrimaryTechnique = true}}};
+}
+
+std::vector<RecoveryLeg> PrimaryCopy::recoveryLegs(
+    DevicePtr /*primaryTarget*/) const {
+  return {};  // the primary copy is the recovery *destination*
+}
+
+}  // namespace stordep

@@ -1,0 +1,43 @@
+#include "core/techniques/snapshot.hpp"
+
+namespace stordep {
+
+VirtualSnapshot::VirtualSnapshot(std::string name, DevicePtr array,
+                                 ProtectionPolicy policy)
+    : Technique(std::move(name), TechniqueKind::kVirtualSnapshot),
+      array_(std::move(array)),
+      policy_(std::move(policy)) {
+  if (!array_) throw TechniqueError("virtual snapshot requires an array");
+  if (!(policy_.primaryWindows().accW.secs() > 0)) {
+    throw TechniqueError("virtual snapshot requires a positive accW");
+  }
+}
+
+std::vector<PlacedDemand> VirtualSnapshot::normalModeDemands(
+    const WorkloadSpec& workload) const {
+  const Bandwidth cowBandwidth = 2.0 * workload.avgUpdateRate();
+  const Bytes perSnapshot =
+      workload.uniqueBytes(policy_.primaryWindows().accW);
+  const Bytes capacity =
+      perSnapshot * static_cast<double>(policy_.retentionCount());
+  return {PlacedDemand{
+      array_,
+      DeviceDemand{.techniqueName = name(),
+                   .bandwidth = cowBandwidth,
+                   .capacity = capacity,
+                   .shipmentsPerYear = 0.0,
+                   .isPrimaryTechnique = false}}};
+}
+
+std::vector<RecoveryLeg> VirtualSnapshot::recoveryLegs(
+    DevicePtr primaryTarget) const {
+  // Snapshots share the primary array: restoring copies old blocks back in
+  // place. If the recovery target is a replacement array (shouldn't happen —
+  // snapshots die with the array), the leg still reads from this array.
+  return {RecoveryLeg{.from = array_,
+                      .to = primaryTarget ? primaryTarget : array_,
+                      .via = nullptr,
+                      .serializedFix = Duration::zero()}};
+}
+
+}  // namespace stordep

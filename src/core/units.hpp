@@ -1,0 +1,317 @@
+// units.hpp — strongly typed physical quantities for the dependability models.
+//
+// The modeling framework (Keeton & Merchant, DSN'04) manipulates four kinds of
+// quantities: data sizes (bytes), data rates (bytes/second), time intervals
+// (seconds) and money (US dollars, plus dollars/second penalty rates). Mixing
+// them up is the classic source of silent modeling bugs, so each gets its own
+// strong type with only the physically meaningful operators defined:
+//
+//   Bytes / Duration   -> Bandwidth        Bandwidth * Duration -> Bytes
+//   Bytes / Bandwidth  -> Duration         Money / Duration     -> MoneyRate
+//   MoneyRate * Duration -> Money
+//
+// All quantities are stored as double in SI-ish base units (bytes, seconds,
+// dollars). The paper uses binary prefixes for storage (1 GB = 2^30 bytes);
+// we follow that convention because it is what reproduces the paper's
+// published utilization and transfer-time numbers (see DESIGN.md).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace stordep {
+
+/// Numeric tolerance used by approxEqual() on quantities.
+inline constexpr double kQuantityEpsilon = 1e-9;
+
+namespace detail {
+/// CRTP base providing the operators shared by every scalar quantity type.
+/// Derived must expose a `double v` member and be constructible from double.
+template <typename Derived>
+class Quantity {
+ public:
+  [[nodiscard]] constexpr double raw() const noexcept { return self().v; }
+
+  [[nodiscard]] constexpr bool isFinite() const noexcept {
+    return std::isfinite(self().v);
+  }
+  [[nodiscard]] constexpr bool isInfinite() const noexcept {
+    return std::isinf(self().v);
+  }
+
+  friend constexpr Derived operator+(Derived a, Derived b) noexcept {
+    return Derived{a.v + b.v};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) noexcept {
+    return Derived{a.v - b.v};
+  }
+  friend constexpr Derived operator*(Derived a, double s) noexcept {
+    return Derived{a.v * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) noexcept {
+    return Derived{a.v * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) noexcept {
+    return Derived{a.v / s};
+  }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) noexcept {
+    return a.v / b.v;
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) noexcept {
+    return a.v <=> b.v;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) noexcept {
+    return a.v == b.v;
+  }
+
+  constexpr Derived& operator+=(Derived b) noexcept {
+    self().v += b.v;
+    return self();
+  }
+  constexpr Derived& operator-=(Derived b) noexcept {
+    self().v -= b.v;
+    return self();
+  }
+  constexpr Derived& operator*=(double s) noexcept {
+    self().v *= s;
+    return self();
+  }
+
+  [[nodiscard]] friend constexpr bool approxEqual(
+      Derived a, Derived b, double relTol = 1e-9) noexcept {
+    const double scale = std::max({std::fabs(a.v), std::fabs(b.v), 1.0});
+    return std::fabs(a.v - b.v) <= relTol * scale;
+  }
+
+ private:
+  constexpr Derived& self() noexcept { return static_cast<Derived&>(*this); }
+  constexpr const Derived& self() const noexcept {
+    return static_cast<const Derived&>(*this);
+  }
+};
+}  // namespace detail
+
+/// A data size in bytes. Binary prefixes (KB = 2^10 B etc.), matching the
+/// paper's conventions for storage capacities.
+class Bytes : public detail::Quantity<Bytes> {
+ public:
+  constexpr Bytes() noexcept : v(0) {}
+  constexpr explicit Bytes(double bytes) noexcept : v(bytes) {}
+
+  [[nodiscard]] constexpr double bytes() const noexcept { return v; }
+  [[nodiscard]] constexpr double kilobytes() const noexcept { return v / kKB; }
+  [[nodiscard]] constexpr double megabytes() const noexcept { return v / kMB; }
+  [[nodiscard]] constexpr double gigabytes() const noexcept { return v / kGB; }
+  [[nodiscard]] constexpr double terabytes() const noexcept { return v / kTB; }
+
+  static constexpr double kKB = 1024.0;
+  static constexpr double kMB = 1024.0 * 1024.0;
+  static constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+  static constexpr double kTB = 1024.0 * kGB;
+
+  [[nodiscard]] static constexpr Bytes infinite() noexcept {
+    return Bytes{std::numeric_limits<double>::infinity()};
+  }
+
+  double v;
+};
+
+[[nodiscard]] constexpr Bytes bytes(double n) noexcept { return Bytes{n}; }
+[[nodiscard]] constexpr Bytes kilobytes(double n) noexcept {
+  return Bytes{n * Bytes::kKB};
+}
+[[nodiscard]] constexpr Bytes megabytes(double n) noexcept {
+  return Bytes{n * Bytes::kMB};
+}
+[[nodiscard]] constexpr Bytes gigabytes(double n) noexcept {
+  return Bytes{n * Bytes::kGB};
+}
+[[nodiscard]] constexpr Bytes terabytes(double n) noexcept {
+  return Bytes{n * Bytes::kTB};
+}
+
+/// A time interval in seconds. May be infinite (e.g., "never propagates").
+class Duration : public detail::Quantity<Duration> {
+ public:
+  constexpr Duration() noexcept : v(0) {}
+  constexpr explicit Duration(double seconds) noexcept : v(seconds) {}
+
+  [[nodiscard]] constexpr double secs() const noexcept { return v; }
+  [[nodiscard]] constexpr double minutes() const noexcept { return v / kMinute; }
+  [[nodiscard]] constexpr double hrs() const noexcept { return v / kHour; }
+  [[nodiscard]] constexpr double dys() const noexcept { return v / kDay; }
+  [[nodiscard]] constexpr double wks() const noexcept { return v / kWeek; }
+  [[nodiscard]] constexpr double yrs() const noexcept { return v / kYear; }
+
+  static constexpr double kMinute = 60.0;
+  static constexpr double kHour = 3600.0;
+  static constexpr double kDay = 24.0 * kHour;
+  static constexpr double kWeek = 7.0 * kDay;
+  /// Calendar year (365 days); the paper's "3 years" retention etc.
+  static constexpr double kYear = 365.0 * kDay;
+
+  [[nodiscard]] static constexpr Duration zero() noexcept { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration infinite() noexcept {
+    return Duration{std::numeric_limits<double>::infinity()};
+  }
+
+  double v;
+};
+
+[[nodiscard]] constexpr Duration seconds(double n) noexcept {
+  return Duration{n};
+}
+[[nodiscard]] constexpr Duration minutes(double n) noexcept {
+  return Duration{n * Duration::kMinute};
+}
+[[nodiscard]] constexpr Duration hours(double n) noexcept {
+  return Duration{n * Duration::kHour};
+}
+[[nodiscard]] constexpr Duration days(double n) noexcept {
+  return Duration{n * Duration::kDay};
+}
+[[nodiscard]] constexpr Duration weeks(double n) noexcept {
+  return Duration{n * Duration::kWeek};
+}
+[[nodiscard]] constexpr Duration years(double n) noexcept {
+  return Duration{n * Duration::kYear};
+}
+
+/// A data rate in bytes/second.
+class Bandwidth : public detail::Quantity<Bandwidth> {
+ public:
+  constexpr Bandwidth() noexcept : v(0) {}
+  constexpr explicit Bandwidth(double bytesPerSec) noexcept : v(bytesPerSec) {}
+
+  [[nodiscard]] constexpr double bytesPerSec() const noexcept { return v; }
+  [[nodiscard]] constexpr double kbPerSec() const noexcept {
+    return v / Bytes::kKB;
+  }
+  [[nodiscard]] constexpr double mbPerSec() const noexcept {
+    return v / Bytes::kMB;
+  }
+
+  [[nodiscard]] static constexpr Bandwidth zero() noexcept {
+    return Bandwidth{0};
+  }
+  [[nodiscard]] static constexpr Bandwidth infinite() noexcept {
+    return Bandwidth{std::numeric_limits<double>::infinity()};
+  }
+
+  double v;
+};
+
+[[nodiscard]] constexpr Bandwidth bytesPerSec(double n) noexcept {
+  return Bandwidth{n};
+}
+[[nodiscard]] constexpr Bandwidth kbPerSec(double n) noexcept {
+  return Bandwidth{n * Bytes::kKB};
+}
+[[nodiscard]] constexpr Bandwidth mbPerSec(double n) noexcept {
+  return Bandwidth{n * Bytes::kMB};
+}
+/// Network links are quoted in decimal megabits/sec (e.g., OC-3 = 155 Mbps).
+[[nodiscard]] constexpr Bandwidth megabitsPerSec(double n) noexcept {
+  return Bandwidth{n * 1e6 / 8.0};
+}
+
+/// US dollars.
+class Money : public detail::Quantity<Money> {
+ public:
+  constexpr Money() noexcept : v(0) {}
+  constexpr explicit Money(double usd) noexcept : v(usd) {}
+
+  [[nodiscard]] constexpr double usd() const noexcept { return v; }
+  [[nodiscard]] constexpr double millionUsd() const noexcept { return v / 1e6; }
+
+  [[nodiscard]] static constexpr Money zero() noexcept { return Money{0}; }
+
+  double v;
+};
+
+[[nodiscard]] constexpr Money dollars(double n) noexcept { return Money{n}; }
+[[nodiscard]] constexpr Money millionDollars(double n) noexcept {
+  return Money{n * 1e6};
+}
+
+/// US dollars per second (penalty rates).
+class MoneyRate : public detail::Quantity<MoneyRate> {
+ public:
+  constexpr MoneyRate() noexcept : v(0) {}
+  constexpr explicit MoneyRate(double usdPerSec) noexcept : v(usdPerSec) {}
+
+  [[nodiscard]] constexpr double usdPerSec() const noexcept { return v; }
+  [[nodiscard]] constexpr double usdPerHour() const noexcept {
+    return v * Duration::kHour;
+  }
+
+  double v;
+};
+
+[[nodiscard]] constexpr MoneyRate dollarsPerHour(double n) noexcept {
+  return MoneyRate{n / Duration::kHour};
+}
+[[nodiscard]] constexpr MoneyRate dollarsPerSec(double n) noexcept {
+  return MoneyRate{n};
+}
+
+// ---- Cross-type arithmetic -------------------------------------------------
+
+[[nodiscard]] constexpr Bandwidth operator/(Bytes b, Duration t) noexcept {
+  return Bandwidth{b.v / t.v};
+}
+[[nodiscard]] constexpr Bytes operator*(Bandwidth r, Duration t) noexcept {
+  return Bytes{r.v * t.v};
+}
+[[nodiscard]] constexpr Bytes operator*(Duration t, Bandwidth r) noexcept {
+  return Bytes{r.v * t.v};
+}
+[[nodiscard]] constexpr Duration operator/(Bytes b, Bandwidth r) noexcept {
+  return Duration{b.v / r.v};
+}
+[[nodiscard]] constexpr MoneyRate operator/(Money m, Duration t) noexcept {
+  return MoneyRate{m.v / t.v};
+}
+[[nodiscard]] constexpr Money operator*(MoneyRate r, Duration t) noexcept {
+  return Money{r.v * t.v};
+}
+[[nodiscard]] constexpr Money operator*(Duration t, MoneyRate r) noexcept {
+  return Money{r.v * t.v};
+}
+
+// ---- Formatting and parsing -------------------------------------------------
+
+/// Human-readable rendering: "1.33 TB", "8.06 MB/s", "26.4 hr", "$11.94M".
+[[nodiscard]] std::string toString(Bytes b);
+[[nodiscard]] std::string toString(Duration d);
+[[nodiscard]] std::string toString(Bandwidth bw);
+[[nodiscard]] std::string toString(Money m);
+[[nodiscard]] std::string toString(MoneyRate r);
+
+std::ostream& operator<<(std::ostream& os, Bytes b);
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Bandwidth bw);
+std::ostream& operator<<(std::ostream& os, Money m);
+std::ostream& operator<<(std::ostream& os, MoneyRate r);
+
+/// Thrown by the parse*() functions on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses strings like "1360 GB", "727 KB/s", "12 hr", "4 wk + 12 hr",
+/// "$50000/hr". Used by the JSON design loader so design files can use the
+/// paper's notation directly. Whitespace around tokens is ignored.
+[[nodiscard]] Bytes parseBytes(const std::string& text);
+[[nodiscard]] Duration parseDuration(const std::string& text);
+[[nodiscard]] Bandwidth parseBandwidth(const std::string& text);
+[[nodiscard]] Money parseMoney(const std::string& text);
+
+}  // namespace stordep

@@ -1,0 +1,82 @@
+#include "core/utilization.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace stordep {
+
+const DeviceUtilization* UtilizationResult::find(
+    const std::string& name) const {
+  const auto it =
+      std::find_if(devices.begin(), devices.end(),
+                   [&](const DeviceUtilization& d) { return d.device == name; });
+  return it == devices.end() ? nullptr : &*it;
+}
+
+UtilizationResult computeUtilization(const StorageDesign& design) {
+  return computeUtilization(design.allDemands());
+}
+
+UtilizationResult computeUtilization(const std::vector<PlacedDemand>& all) {
+  // Gather demands per device, preserving first-seen device order.
+  std::vector<DevicePtr> order;
+  std::map<const DeviceModel*, std::vector<DeviceDemand>> byDevice;
+  for (const auto& pd : all) {
+    if (byDevice.find(pd.device.get()) == byDevice.end()) {
+      order.push_back(pd.device);
+    }
+    byDevice[pd.device.get()].push_back(pd.demand);
+  }
+
+  UtilizationResult result;
+  for (const auto& device : order) {
+    DeviceUtilization du;
+    du.device = device->name();
+    du.bwLimit = device->maxBandwidth();
+    du.capLimit = device->usableCapacity();
+
+    for (const auto& demand : byDevice[device.get()]) {
+      DemandShare share;
+      share.technique = demand.techniqueName;
+      share.bandwidth = demand.bandwidth;
+      share.capacity = demand.capacity;
+      share.bwUtil = du.bwLimit.isInfinite() || du.bwLimit.bytesPerSec() == 0
+                         ? 0.0
+                         : demand.bandwidth / du.bwLimit;
+      share.capUtil = du.capLimit.isInfinite()
+                          ? 0.0
+                          : demand.capacity / du.capLimit;
+      du.bwDemand += demand.bandwidth;
+      du.capDemand += demand.capacity;
+      du.bwUtil += share.bwUtil;
+      du.capUtil += share.capUtil;
+      du.shares.push_back(std::move(share));
+    }
+
+    if (du.bwUtil > 1.0) {
+      result.errors.push_back(
+          "device '" + du.device + "' bandwidth overloaded: demand " +
+          toString(du.bwDemand) + " exceeds " + toString(du.bwLimit));
+    }
+    if (du.capUtil > 1.0) {
+      result.errors.push_back(
+          "device '" + du.device + "' capacity overloaded: demand " +
+          toString(du.capDemand) + " exceeds " + toString(du.capLimit));
+    }
+    result.devices.push_back(std::move(du));
+  }
+
+  for (const auto& du : result.devices) {
+    if (du.bwUtil > result.overallBwUtil) {
+      result.overallBwUtil = du.bwUtil;
+      result.maxBwDevice = du.device;
+    }
+    if (du.capUtil > result.overallCapUtil) {
+      result.overallCapUtil = du.capUtil;
+      result.maxCapDevice = du.device;
+    }
+  }
+  return result;
+}
+
+}  // namespace stordep

@@ -1,0 +1,61 @@
+// utilization.hpp — normal-mode utilization model (paper Sec 3.3.1).
+//
+// Each device model computes its own bandwidth and capacity utilization from
+// the demands the techniques place on it; the global model reports the
+// system utilization as that of the most heavily utilized device and flags
+// an error whenever any utilization exceeds 1 (the design is infeasible).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.hpp"
+
+namespace stordep {
+
+/// Per-technique share of one device's load (one row of paper Table 5).
+struct DemandShare {
+  std::string technique;
+  Bandwidth bandwidth;
+  Bytes capacity;
+  double bwUtil = 0.0;
+  double capUtil = 0.0;
+};
+
+struct DeviceUtilization {
+  std::string device;
+  Bandwidth bwDemand;   ///< total bandwidth demand
+  Bytes capDemand;      ///< total capacity demand
+  Bandwidth bwLimit;    ///< deliverable bandwidth (min of slots/enclosure)
+  Bytes capLimit;       ///< usable capacity (after RAID overheads)
+  double bwUtil = 0.0;  ///< 0 for devices without bandwidth components
+  double capUtil = 0.0;
+  std::vector<DemandShare> shares;
+
+  [[nodiscard]] bool overloaded() const noexcept {
+    return bwUtil > 1.0 || capUtil > 1.0;
+  }
+};
+
+struct UtilizationResult {
+  std::vector<DeviceUtilization> devices;
+  /// System utilization = the most heavily utilized device's (Sec 3.3.1).
+  double overallBwUtil = 0.0;
+  double overallCapUtil = 0.0;
+  std::string maxBwDevice;
+  std::string maxCapDevice;
+  /// Overload diagnostics; empty means the configuration is feasible.
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool feasible() const noexcept { return errors.empty(); }
+  [[nodiscard]] const DeviceUtilization* find(const std::string& name) const;
+};
+
+[[nodiscard]] UtilizationResult computeUtilization(const StorageDesign& design);
+
+/// Same model over an explicit demand set (used by multi-object portfolios,
+/// which merge demands from several designs sharing devices).
+[[nodiscard]] UtilizationResult computeUtilization(
+    const std::vector<PlacedDemand>& demands);
+
+}  // namespace stordep

@@ -1,0 +1,89 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stordep {
+
+WorkloadSpec::WorkloadSpec(std::string name, Bytes dataCap,
+                           Bandwidth avgAccessRate, Bandwidth avgUpdateRate,
+                           double burstMultiplier,
+                           std::vector<BatchUpdatePoint> batchCurve)
+    : name_(std::move(name)),
+      dataCap_(dataCap),
+      avgAccessR_(avgAccessRate),
+      avgUpdateR_(avgUpdateRate),
+      burstM_(burstMultiplier),
+      curve_(std::move(batchCurve)) {
+  if (!(dataCap_.bytes() > 0)) {
+    throw WorkloadError("workload '" + name_ + "': dataCap must be positive");
+  }
+  if (avgAccessR_.bytesPerSec() < 0 || avgUpdateR_.bytesPerSec() < 0) {
+    throw WorkloadError("workload '" + name_ + "': rates must be non-negative");
+  }
+  if (avgUpdateR_ > avgAccessR_) {
+    throw WorkloadError("workload '" + name_ +
+                        "': avgUpdateR cannot exceed avgAccessR");
+  }
+  if (burstM_ < 1.0) {
+    throw WorkloadError("workload '" + name_ + "': burstM must be >= 1");
+  }
+  for (size_t i = 0; i < curve_.size(); ++i) {
+    if (!(curve_[i].window.secs() > 0)) {
+      throw WorkloadError("workload '" + name_ +
+                          "': batch curve windows must be positive");
+    }
+    if (curve_[i].rate.bytesPerSec() < 0) {
+      throw WorkloadError("workload '" + name_ +
+                          "': batch curve rates must be non-negative");
+    }
+    if (curve_[i].rate > avgUpdateR_ * (1.0 + 1e-9)) {
+      throw WorkloadError("workload '" + name_ +
+                          "': unique update rate cannot exceed avgUpdateR");
+    }
+    if (i > 0) {
+      if (!(curve_[i].window > curve_[i - 1].window)) {
+        throw WorkloadError("workload '" + name_ +
+                            "': batch curve windows must strictly increase");
+      }
+      if (curve_[i].rate > curve_[i - 1].rate * (1.0 + 1e-9)) {
+        throw WorkloadError("workload '" + name_ +
+                            "': batch curve rates must be non-increasing");
+      }
+    }
+  }
+}
+
+Bandwidth WorkloadSpec::batchUpdateRate(Duration win) const {
+  if (!(win.secs() > 0)) {
+    // Degenerate window: every update is unique; peak coalescing is none.
+    return avgUpdateR_;
+  }
+  if (curve_.empty()) return avgUpdateR_;
+  if (win <= curve_.front().window) {
+    return std::min(avgUpdateR_, curve_.front().rate);
+  }
+  if (win >= curve_.back().window) return curve_.back().rate;
+
+  // log-space linear interpolation between the bracketing points.
+  const auto upper = std::lower_bound(
+      curve_.begin(), curve_.end(), win,
+      [](const BatchUpdatePoint& p, Duration w) { return p.window < w; });
+  const auto lower = upper - 1;
+  const double x0 = std::log(lower->window.secs());
+  const double x1 = std::log(upper->window.secs());
+  const double x = std::log(win.secs());
+  const double t = (x - x0) / (x1 - x0);
+  const double rate =
+      lower->rate.bytesPerSec() +
+      t * (upper->rate.bytesPerSec() - lower->rate.bytesPerSec());
+  return Bandwidth{rate};
+}
+
+Bytes WorkloadSpec::uniqueBytes(Duration win) const {
+  if (win.isInfinite()) return dataCap_;
+  const Bytes raw = batchUpdateRate(win) * win;
+  return std::min(raw, dataCap_);
+}
+
+}  // namespace stordep

@@ -1,0 +1,89 @@
+// workload.hpp — the workload abstraction consumed by the dependability models.
+//
+// The paper (Sec 3.1.1, Table 1) characterizes the foreground workload on the
+// primary copy with five parameters:
+//
+//   dataCap        size of the protected data object
+//   avgAccessR     average rate of reads+writes to the object
+//   avgUpdateR     average rate of (non-unique) updates
+//   burstM         ratio of peak update rate to average update rate
+//   batchUpdR(win) unique update rate within a batching window `win`
+//
+// batchUpdR captures overwrite locality: as the window grows, more updates hit
+// already-dirty data, so the *unique* update rate declines. Techniques that
+// ship periodic batches (split mirrors, async-batch mirroring, incremental
+// backup, snapshots) consume batchUpdR; techniques that ship every update
+// (sync/async mirroring) consume avgUpdateR/burstM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace stordep {
+
+/// One measured point of the unique-update-rate curve.
+struct BatchUpdatePoint {
+  Duration window;  ///< batching window
+  Bandwidth rate;   ///< unique update rate over that window
+};
+
+/// Thrown when a workload specification violates its invariants.
+class WorkloadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Immutable description of a single data object's workload.
+///
+/// Invariants (checked by the constructor):
+///  - dataCap > 0, rates >= 0, burstMultiplier >= 1
+///  - batch curve windows strictly increasing, rates non-increasing
+///  - batchUpdR(win) <= avgUpdateR for all points (unique <= total updates)
+class WorkloadSpec {
+ public:
+  /// `batchCurve` may be empty, in which case batchUpdateRate() falls back to
+  /// avgUpdateRate (no overwrite coalescing assumed — conservative).
+  WorkloadSpec(std::string name, Bytes dataCap, Bandwidth avgAccessRate,
+               Bandwidth avgUpdateRate, double burstMultiplier,
+               std::vector<BatchUpdatePoint> batchCurve);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Bytes dataCap() const noexcept { return dataCap_; }
+  [[nodiscard]] Bandwidth avgAccessRate() const noexcept { return avgAccessR_; }
+  [[nodiscard]] Bandwidth avgUpdateRate() const noexcept { return avgUpdateR_; }
+  [[nodiscard]] double burstMultiplier() const noexcept { return burstM_; }
+  [[nodiscard]] Bandwidth peakUpdateRate() const noexcept {
+    return avgUpdateR_ * burstM_;
+  }
+  [[nodiscard]] const std::vector<BatchUpdatePoint>& batchCurve() const noexcept {
+    return curve_;
+  }
+
+  /// Unique update rate for a batching window `win`.
+  ///
+  /// Interpolates the measured curve in log(window) space (windows span
+  /// minutes to weeks, so log-space interpolation is the natural choice) and
+  /// clamps outside the measured range:
+  ///  - win below the first point: the first point's rate (capped by
+  ///    avgUpdateRate — at window -> 0 every update is unique)
+  ///  - win above the last point: the last point's rate (working set has
+  ///    saturated).
+  [[nodiscard]] Bandwidth batchUpdateRate(Duration win) const;
+
+  /// Total unique bytes written in a window: batchUpdateRate(win) * win.
+  /// Monotonically non-decreasing in win and capped at dataCap (a window
+  /// cannot dirty more data than exists).
+  [[nodiscard]] Bytes uniqueBytes(Duration win) const;
+
+ private:
+  std::string name_;
+  Bytes dataCap_;
+  Bandwidth avgAccessR_;
+  Bandwidth avgUpdateR_;
+  double burstM_;
+  std::vector<BatchUpdatePoint> curve_;
+};
+
+}  // namespace stordep

@@ -1,0 +1,108 @@
+#include "devices/catalog.hpp"
+
+namespace stordep::catalog {
+
+std::shared_ptr<DiskArray> midrangeDiskArray(std::string name,
+                                             Location location, RaidLevel raid,
+                                             SpareSpec spare) {
+  DeviceSpec spec;
+  spec.name = std::move(name);
+  spec.location = std::move(location);
+  spec.maxCapSlots = 256;
+  spec.slotCap = gigabytes(73);
+  spec.maxBWSlots = 256;
+  spec.slotBW = mbPerSec(25);
+  spec.enclosureBW = mbPerSec(512);
+  spec.accessDelay = Duration::zero();
+  spec.cost = DeviceCostModel{.fixedCost = dollars(123'297),
+                              .costPerGB = 17.2,
+                              .costPerMBps = 0.0,
+                              .costPerShipment = 0.0};
+  spec.spare = spare;
+  return std::make_shared<DiskArray>(std::move(spec), raid);
+}
+
+std::shared_ptr<TapeLibrary> enterpriseTapeLibrary(std::string name,
+                                                   Location location) {
+  DeviceSpec spec;
+  spec.name = std::move(name);
+  spec.location = std::move(location);
+  spec.maxCapSlots = 500;
+  spec.slotCap = gigabytes(400);
+  spec.maxBWSlots = 16;
+  spec.slotBW = mbPerSec(60);
+  spec.enclosureBW = mbPerSec(240);
+  spec.accessDelay = hours(0.01);
+  spec.cost = DeviceCostModel{.fixedCost = dollars(98'895),
+                              .costPerGB = 0.4,
+                              .costPerMBps = 108.6,
+                              .costPerShipment = 0.0};
+  spec.spare = SpareSpec::dedicated(hours(0.02), 1.0);
+  return std::make_shared<TapeLibrary>(std::move(spec));
+}
+
+std::shared_ptr<DiskArray> nearlineDiskArray(std::string name,
+                                             Location location) {
+  DeviceSpec spec;
+  spec.name = std::move(name);
+  spec.location = std::move(location);
+  spec.maxCapSlots = 192;
+  spec.slotCap = gigabytes(250);
+  spec.maxBWSlots = 192;
+  spec.slotBW = mbPerSec(15);
+  spec.enclosureBW = mbPerSec(400);
+  spec.accessDelay = Duration::zero();  // no media load/seek
+  spec.cost = DeviceCostModel{.fixedCost = dollars(64'000),
+                              .costPerGB = 4.8,
+                              .costPerMBps = 0.0,
+                              .costPerShipment = 0.0};
+  spec.spare = SpareSpec::dedicated(hours(0.02), 1.0);
+  return std::make_shared<DiskArray>(std::move(spec), RaidLevel::kRaid5, 12);
+}
+
+std::shared_ptr<MediaVault> offsiteTapeVault(std::string name,
+                                             Location location) {
+  DeviceSpec spec;
+  spec.name = std::move(name);
+  spec.location = std::move(location);
+  spec.maxCapSlots = 5000;
+  spec.slotCap = gigabytes(400);
+  spec.cost = DeviceCostModel{.fixedCost = dollars(25'000),
+                              .costPerGB = 0.4,
+                              .costPerMBps = 0.0,
+                              .costPerShipment = 0.0};
+  spec.spare = SpareSpec::none();
+  return std::make_shared<MediaVault>(std::move(spec));
+}
+
+std::shared_ptr<PhysicalShipment> overnightAirShipment(std::string name,
+                                                       Location location) {
+  return std::make_shared<PhysicalShipment>(std::move(name),
+                                            std::move(location), hours(24),
+                                            /*costPerShipment=*/50.0);
+}
+
+std::shared_ptr<NetworkLink> oc3WanLinks(std::string name, Location location,
+                                         int count) {
+  // Table 7 quotes the link cost as $23535 per (decimal) MB/s: an OC-3's
+  // 19.375 decimal MB/s is 18.477 binary MB/s, so the per-binary-MB/s rate
+  // is 23535 x (2^20 / 1e6) ~ 24678, making one link ~$456k/yr as published.
+  constexpr double kCostPerBinaryMBps = 23'535.0 * ((1024.0 * 1024.0) / 1e6);
+  return std::make_shared<NetworkLink>(
+      std::move(name), std::move(location), count, megabitsPerSec(155),
+      /*propagationDelay=*/seconds(0.05),
+      DeviceCostModel{.fixedCost = Money::zero(),
+                      .costPerGB = 0.0,
+                      .costPerMBps = kCostPerBinaryMBps,
+                      .costPerShipment = 0.0},
+      SpareSpec::none());
+}
+
+std::shared_ptr<NetworkLink> sanFabric(std::string name, Location location) {
+  return std::make_shared<NetworkLink>(
+      std::move(name), std::move(location), /*linkCount=*/8, mbPerSec(200),
+      /*propagationDelay=*/Duration::zero(), DeviceCostModel{},
+      SpareSpec::none());
+}
+
+}  // namespace stordep::catalog

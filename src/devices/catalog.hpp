@@ -1,0 +1,67 @@
+// catalog.hpp — factory functions for the paper's Table 4 devices.
+//
+// Encodes the case study's device parameters (annualized costs, 3-year
+// depreciation, list prices / expert estimates as published):
+//
+//   Disk array   256 x 73 GB disks, 256 x 25 MB/s, 512 MB/s enclosure,
+//                $123297 + $17.2/GB/yr, dedicated hot spare (0.02 hr, 1x),
+//                RAID-1 (usable capacity is half of raw; see DESIGN.md)
+//   Tape library 500 x 400 GB LTO cartridges, 16 x 60 MB/s drives, 240 MB/s,
+//                0.01 hr load/seek, $98895 + $0.4/GB + $108.6/(MB/s) per yr,
+//                dedicated hot spare (0.02 hr, 1x)
+//   Vault        5000 x 400 GB shelf slots, $25000 + $0.4/GB/yr, no spare
+//   Air shipment 24 hr transit, $50/shipment
+//   OC-3 links   155 Mbps per link, $23535/(MB/s)/yr (Table 7's AsyncB rows)
+//   SAN fabric   Fibre-channel SAN; bandwidth generous enough never to be
+//                the bottleneck between co-located devices, cost folded into
+//                the enclosures' fixed costs (the paper carries no separate
+//                SAN cost term)
+#pragma once
+
+#include <memory>
+
+#include "devices/disk_array.hpp"
+#include "devices/interconnect.hpp"
+#include "devices/tape_library.hpp"
+#include "devices/vault.hpp"
+
+namespace stordep::catalog {
+
+/// Mid-range disk array modeled on HP's EVA (Table 4 row 1). The default
+/// spare is the case study's dedicated hot spare; pass SpareSpec::none() for
+/// un-spared instances (e.g., a remote mirror target).
+[[nodiscard]] std::shared_ptr<DiskArray> midrangeDiskArray(
+    std::string name, Location location, RaidLevel raid = RaidLevel::kRaid1,
+    SpareSpec spare = SpareSpec::dedicated(hours(0.02), 1.0));
+
+/// Enterprise tape library modeled on HP's ESL9595 (Table 4 row 2).
+[[nodiscard]] std::shared_ptr<TapeLibrary> enterpriseTapeLibrary(
+    std::string name, Location location);
+
+/// Nearline SATA disk array for disk-to-disk backup (not in the paper's
+/// Table 4; parameters follow the same era's nearline offerings: dense,
+/// slower disks, RAID-5, cheaper per GB than the primary array but far more
+/// expensive than tape media, with no access delay). Lets designs trade
+/// backup cost for restore speed.
+[[nodiscard]] std::shared_ptr<DiskArray> nearlineDiskArray(
+    std::string name, Location location);
+
+/// Off-site tape vault (Table 4 row 3).
+[[nodiscard]] std::shared_ptr<MediaVault> offsiteTapeVault(std::string name,
+                                                           Location location);
+
+/// Overnight air shipment courier (Table 4 row 4).
+[[nodiscard]] std::shared_ptr<PhysicalShipment> overnightAirShipment(
+    std::string name, Location location);
+
+/// `count` OC-3 wide-area links (155 Mbps each), costed per Table 7's
+/// asynchronous-batch mirroring scenarios ($23535 per MB/s per year).
+[[nodiscard]] std::shared_ptr<NetworkLink> oc3WanLinks(std::string name,
+                                                       Location location,
+                                                       int count);
+
+/// Co-located Fibre-channel SAN fabric (no separate cost).
+[[nodiscard]] std::shared_ptr<NetworkLink> sanFabric(std::string name,
+                                                     Location location);
+
+}  // namespace stordep::catalog

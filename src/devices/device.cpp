@@ -1,0 +1,70 @@
+#include "devices/device.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace stordep {
+
+DeviceModel::DeviceModel(DeviceSpec spec) : spec_(std::move(spec)) {
+  if (spec_.name.empty()) {
+    throw DeviceError("device must have a name");
+  }
+  if (spec_.maxCapSlots < 0 || spec_.maxBWSlots < 0) {
+    throw DeviceError("device '" + spec_.name + "': slot counts must be >= 0");
+  }
+  if (spec_.slotCap.bytes() < 0 || spec_.slotBW.bytesPerSec() < 0) {
+    throw DeviceError("device '" + spec_.name +
+                      "': slot capacity/bandwidth must be >= 0");
+  }
+  if (spec_.accessDelay.secs() < 0) {
+    throw DeviceError("device '" + spec_.name + "': delay must be >= 0");
+  }
+  if (spec_.spare.discountFactor < 0) {
+    throw DeviceError("device '" + spec_.name +
+                      "': spare discount must be >= 0");
+  }
+}
+
+Bytes DeviceModel::usableCapacity() const {
+  if (spec_.maxCapSlots == 0) return Bytes::infinite();
+  return spec_.slotCap * static_cast<double>(spec_.maxCapSlots);
+}
+
+Bandwidth DeviceModel::maxBandwidth() const {
+  const Bandwidth fromSlots =
+      spec_.maxBWSlots == 0
+          ? Bandwidth::infinite()
+          : spec_.slotBW * static_cast<double>(spec_.maxBWSlots);
+  const Bandwidth fromEnclosure = spec_.enclosureBW.bytesPerSec() > 0
+                                      ? spec_.enclosureBW
+                                      : Bandwidth::infinite();
+  return std::min(fromSlots, fromEnclosure);
+}
+
+Money DeviceModel::annualOutlay(Bytes usedCapacity, Bandwidth usedBandwidth,
+                                double shipmentsPerYear) const {
+  return spec_.cost.annualOutlay(usedCapacity, usedBandwidth,
+                                 shipmentsPerYear);
+}
+
+Money DeviceModel::annualSpareOutlay(Bytes usedCapacity,
+                                     Bandwidth usedBandwidth) const {
+  if (spec_.spare.type == SpareType::kNone) return Money::zero();
+  return annualOutlay(usedCapacity, usedBandwidth) *
+         spec_.spare.discountFactor;
+}
+
+Duration DeviceModel::spareProvisioningTime() const {
+  if (spec_.spare.type == SpareType::kNone) return Duration::infinite();
+  return spec_.spare.provisioningTime;
+}
+
+std::string DeviceModel::describe() const {
+  std::ostringstream os;
+  os << name() << " @ " << location().site << " [cap "
+     << toString(usableCapacity()) << ", bw " << toString(maxBandwidth())
+     << ", spare " << stordep::toString(spec_.spare.type) << "]";
+  return os.str();
+}
+
+}  // namespace stordep

@@ -1,0 +1,75 @@
+#include "devices/disk_array.hpp"
+
+#include <sstream>
+
+namespace stordep {
+
+std::string toString(RaidLevel level) {
+  switch (level) {
+    case RaidLevel::kNone:
+      return "none";
+    case RaidLevel::kRaid1:
+      return "RAID-1";
+    case RaidLevel::kRaid5:
+      return "RAID-5";
+    case RaidLevel::kRaid10:
+      return "RAID-10";
+  }
+  return "unknown";
+}
+
+DiskArray::DiskArray(DeviceSpec spec, RaidLevel raid, int raidGroupSize)
+    : DeviceModel(std::move(spec)), raid_(raid), groupSize_(raidGroupSize) {
+  if (raid_ == RaidLevel::kRaid5 && groupSize_ < 3) {
+    throw DeviceError("device '" + name() +
+                      "': RAID-5 group size must be at least 3");
+  }
+}
+
+Bytes DiskArray::usableCapacity() const {
+  const Bytes raw = DeviceModel::usableCapacity();
+  switch (raid_) {
+    case RaidLevel::kNone:
+      return raw;
+    case RaidLevel::kRaid1:
+    case RaidLevel::kRaid10:
+      return raw * 0.5;
+    case RaidLevel::kRaid5:
+      return raw * (static_cast<double>(groupSize_ - 1) / groupSize_);
+  }
+  return raw;
+}
+
+double DiskArray::writeAmplification() const {
+  switch (raid_) {
+    case RaidLevel::kNone:
+      return 1.0;
+    case RaidLevel::kRaid1:
+    case RaidLevel::kRaid10:
+      return 2.0;
+    case RaidLevel::kRaid5:
+      return static_cast<double>(groupSize_) / (groupSize_ - 1);
+  }
+  return 1.0;
+}
+
+double DiskArray::smallWriteCost() const {
+  switch (raid_) {
+    case RaidLevel::kNone:
+      return 1.0;
+    case RaidLevel::kRaid1:
+    case RaidLevel::kRaid10:
+      return 2.0;
+    case RaidLevel::kRaid5:
+      return 4.0;  // read data + read parity + write data + write parity
+  }
+  return 1.0;
+}
+
+std::string DiskArray::describe() const {
+  std::ostringstream os;
+  os << DeviceModel::describe() << " " << toString(raid_);
+  return os.str();
+}
+
+}  // namespace stordep

@@ -1,0 +1,76 @@
+#include "devices/interconnect.hpp"
+
+#include <sstream>
+
+namespace stordep {
+
+namespace {
+DeviceSpec makeLinkSpec(std::string name, Location location, int linkCount,
+                        Bandwidth perLinkBW, Duration propagationDelay,
+                        DeviceCostModel cost, SpareSpec spare) {
+  if (linkCount <= 0) {
+    throw DeviceError("link '" + name + "': need at least one link");
+  }
+  if (perLinkBW.bytesPerSec() <= 0) {
+    throw DeviceError("link '" + name + "': per-link bandwidth must be > 0");
+  }
+  DeviceSpec spec;
+  spec.name = std::move(name);
+  spec.location = std::move(location);
+  spec.maxCapSlots = 0;
+  spec.slotCap = Bytes{0};
+  spec.maxBWSlots = linkCount;
+  spec.slotBW = perLinkBW;
+  spec.enclosureBW = Bandwidth::zero();  // unconstrained by an enclosure
+  spec.accessDelay = propagationDelay;
+  spec.cost = cost;
+  spec.spare = spare;
+  return spec;
+}
+
+DeviceSpec makeShipmentSpec(std::string name, Location location,
+                            Duration transitDelay, double costPerShipment) {
+  DeviceSpec spec;
+  spec.name = std::move(name);
+  spec.location = std::move(location);
+  spec.accessDelay = transitDelay;
+  spec.cost.costPerShipment = costPerShipment;
+  return spec;
+}
+}  // namespace
+
+NetworkLink::NetworkLink(std::string name, Location location, int linkCount,
+                         Bandwidth perLinkBW, Duration propagationDelay,
+                         DeviceCostModel cost, SpareSpec spare)
+    : DeviceModel(makeLinkSpec(std::move(name), std::move(location), linkCount,
+                               perLinkBW, propagationDelay, std::move(cost),
+                               spare)) {}
+
+Money NetworkLink::annualOutlay(Bytes usedCapacity, Bandwidth usedBandwidth,
+                                double shipmentsPerYear) const {
+  (void)usedBandwidth;
+  return spec().cost.annualOutlay(usedCapacity, maxBandwidth(),
+                                  shipmentsPerYear);
+}
+
+std::string NetworkLink::describe() const {
+  std::ostringstream os;
+  os << name() << " [" << linkCount() << " x " << toString(perLinkBandwidth())
+     << " links]";
+  return os.str();
+}
+
+PhysicalShipment::PhysicalShipment(std::string name, Location location,
+                                   Duration transitDelay,
+                                   double costPerShipment)
+    : DeviceModel(makeShipmentSpec(std::move(name), std::move(location),
+                                   transitDelay, costPerShipment)) {}
+
+std::string PhysicalShipment::describe() const {
+  std::ostringstream os;
+  os << name() << " [shipment, " << toString(accessDelay()) << " transit, $"
+     << spec().cost.costPerShipment << "/shipment]";
+  return os.str();
+}
+
+}  // namespace stordep

@@ -1,0 +1,65 @@
+// interconnect.hpp — interconnect device models (paper Sec 3.2.2).
+//
+// Two kinds of interconnect move RPs between storage devices:
+//  - NetworkLink: SAN or WAN links (e.g., OC-3). Bandwidth = links x per-link
+//    rate; cost is per-bandwidth; delay is signal propagation (negligible for
+//    the models here but carried for completeness).
+//  - PhysicalShipment: couriers moving removable media. A shipment delivers
+//    any amount of media after a fixed transit delay (a station wagon full of
+//    tapes...), so it contributes latency, not a bandwidth ceiling; its cost
+//    is per-shipment.
+#pragma once
+
+#include "devices/device.hpp"
+
+namespace stordep {
+
+class NetworkLink final : public DeviceModel {
+ public:
+  /// `linkCount` parallel links of `perLinkBW` each. The DeviceSpec's
+  /// maxBWSlots/slotBW are set from these so the base class arithmetic holds.
+  NetworkLink(std::string name, Location location, int linkCount,
+              Bandwidth perLinkBW, Duration propagationDelay,
+              DeviceCostModel cost, SpareSpec spare = SpareSpec::none());
+
+  [[nodiscard]] int linkCount() const noexcept { return spec().maxBWSlots; }
+  [[nodiscard]] Bandwidth perLinkBandwidth() const noexcept {
+    return spec().slotBW;
+  }
+
+  [[nodiscard]] Bytes usableCapacity() const override {
+    return Bytes::infinite();  // links store nothing
+  }
+  [[nodiscard]] bool isTransport() const override { return true; }
+
+  /// Links are leased at their provisioned capacity, not their utilization:
+  /// the per-bandwidth cost applies to linkCount x perLinkBW regardless of
+  /// the demanded rate (this is what reproduces Table 7's link outlays).
+  [[nodiscard]] Money annualOutlay(Bytes usedCapacity, Bandwidth usedBandwidth,
+                                   double shipmentsPerYear = 0.0) const override;
+
+  [[nodiscard]] std::string describe() const override;
+};
+
+class PhysicalShipment final : public DeviceModel {
+ public:
+  /// `transitDelay` is door-to-door shipment latency (the paper's overnight
+  /// air shipment is 24 hours); `costPerShipment` is charged per dispatch.
+  PhysicalShipment(std::string name, Location location, Duration transitDelay,
+                   double costPerShipment);
+
+  [[nodiscard]] Bytes usableCapacity() const override {
+    return Bytes::infinite();
+  }
+  /// Shipments deliver the whole payload after the transit delay; they do
+  /// not rate-limit transfers.
+  [[nodiscard]] Bandwidth maxBandwidth() const override {
+    return Bandwidth::infinite();
+  }
+  [[nodiscard]] bool isTransport() const override { return true; }
+  [[nodiscard]] bool deliversPhysically() const override { return true; }
+
+  [[nodiscard]] std::string describe() const override;
+};
+
+}  // namespace stordep

@@ -1,0 +1,17 @@
+#include "devices/spares.hpp"
+
+namespace stordep {
+
+std::string toString(SpareType type) {
+  switch (type) {
+    case SpareType::kNone:
+      return "none";
+    case SpareType::kDedicated:
+      return "dedicated";
+    case SpareType::kShared:
+      return "shared";
+  }
+  return "unknown";
+}
+
+}  // namespace stordep

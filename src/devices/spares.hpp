@@ -1,0 +1,42 @@
+// spares.hpp — spare-resource model (paper Sec 3.2.2).
+//
+// Each device may have a spare that replaces it after a failure. A dedicated
+// hot spare provisions in seconds and costs as much as the original; a shared
+// resource (e.g., capacity at a commercial recovery facility) takes hours to
+// drain/scrub but costs only a fraction of a dedicated one.
+#pragma once
+
+#include <string>
+
+#include "core/units.hpp"
+
+namespace stordep {
+
+enum class SpareType {
+  kNone,       ///< no spare: recovery onto this device cannot be provisioned
+  kDedicated,  ///< dedicated hot spare
+  kShared,     ///< shared resource (recovery facility)
+};
+
+[[nodiscard]] std::string toString(SpareType type);
+
+struct SpareSpec {
+  SpareType type = SpareType::kNone;
+  /// Time to make the spare usable (drain, scrub, reconfigure).
+  Duration provisioningTime = Duration::zero();
+  /// Fraction of the original resource's cost charged for the spare
+  /// (1.0 for dedicated, e.g. 0.2 for a shared facility).
+  double discountFactor = 1.0;
+
+  [[nodiscard]] static SpareSpec none() { return SpareSpec{}; }
+  [[nodiscard]] static SpareSpec dedicated(Duration provisioningTime,
+                                           double discountFactor = 1.0) {
+    return SpareSpec{SpareType::kDedicated, provisioningTime, discountFactor};
+  }
+  [[nodiscard]] static SpareSpec shared(Duration provisioningTime,
+                                        double discountFactor) {
+    return SpareSpec{SpareType::kShared, provisioningTime, discountFactor};
+  }
+};
+
+}  // namespace stordep

@@ -1,0 +1,35 @@
+#include "devices/tape_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace stordep {
+
+TapeLibrary::TapeLibrary(DeviceSpec spec) : DeviceModel(std::move(spec)) {
+  if (this->spec().maxCapSlots <= 0 || this->spec().slotCap.bytes() <= 0) {
+    throw DeviceError("tape library '" + name() +
+                      "' needs cartridge slots with positive capacity");
+  }
+}
+
+int TapeLibrary::cartridgesFor(Bytes data) const {
+  if (data.bytes() <= 0) return 0;
+  return static_cast<int>(std::ceil(data / spec().slotCap));
+}
+
+Bandwidth TapeLibrary::transferBandwidth(Bytes data) const {
+  const int cartridges = cartridgesFor(data);
+  const int drives = std::min(cartridges, spec().maxBWSlots);
+  if (drives <= 0) return Bandwidth::zero();
+  return std::min(spec().slotBW * static_cast<double>(drives), maxBandwidth());
+}
+
+std::string TapeLibrary::describe() const {
+  std::ostringstream os;
+  os << DeviceModel::describe() << " (" << spec().maxBWSlots << " drives x "
+     << toString(spec().slotBW) << ")";
+  return os.str();
+}
+
+}  // namespace stordep

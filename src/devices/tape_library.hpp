@@ -1,0 +1,28 @@
+// tape_library.hpp — tape library device model.
+//
+// A tape library is an enclosure with removable cartridges (capacity slots)
+// and drives (bandwidth slots). Its access delay models cartridge load and
+// seek time. Cartridges are the unit of vaulting: the library can eject media
+// for off-site shipment, which is how the vaulting technique moves RPs.
+#pragma once
+
+#include "devices/device.hpp"
+
+namespace stordep {
+
+class TapeLibrary final : public DeviceModel {
+ public:
+  explicit TapeLibrary(DeviceSpec spec);
+
+  /// Number of cartridges needed to hold `data` (whole cartridges).
+  [[nodiscard]] int cartridgesFor(Bytes data) const;
+
+  /// Aggregate streaming bandwidth usable for a transfer of `data`: reading
+  /// or writing N cartridges can engage at most N drives in parallel (and
+  /// never more than the enclosure allows).
+  [[nodiscard]] Bandwidth transferBandwidth(Bytes data) const override;
+
+  [[nodiscard]] std::string describe() const override;
+};
+
+}  // namespace stordep

@@ -1,0 +1,20 @@
+#include "devices/vault.hpp"
+
+#include <sstream>
+
+namespace stordep {
+
+MediaVault::MediaVault(DeviceSpec spec) : DeviceModel(std::move(spec)) {
+  if (this->spec().maxCapSlots <= 0) {
+    throw DeviceError("vault '" + name() + "' needs capacity slots");
+  }
+}
+
+std::string MediaVault::describe() const {
+  std::ostringstream os;
+  os << name() << " @ " << location().site << " [vault, cap "
+     << toString(usableCapacity()) << "]";
+  return os.str();
+}
+
+}  // namespace stordep

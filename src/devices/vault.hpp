@@ -1,0 +1,24 @@
+// vault.hpp — off-site media vault device model.
+//
+// A vault is pure retention capacity: shelves of tape cartridges with no
+// drives. It never constrains bandwidth (reading vaulted data means shipping
+// the media back to a library). Its cost is fixed + per-capacity.
+#pragma once
+
+#include "devices/device.hpp"
+
+namespace stordep {
+
+class MediaVault final : public DeviceModel {
+ public:
+  explicit MediaVault(DeviceSpec spec);
+
+  /// Vaults have no bandwidth components; transfers never bottleneck here.
+  [[nodiscard]] Bandwidth maxBandwidth() const override {
+    return Bandwidth::infinite();
+  }
+
+  [[nodiscard]] std::string describe() const override;
+};
+
+}  // namespace stordep

@@ -1,0 +1,108 @@
+// portfolio.hpp — multi-object storage designs (the extension the paper
+// sketches in Sec 3.1.1: "explicitly tracking each object's workload
+// demands, the set of techniques and underlying storage devices used to
+// protect the object, and inter-object dependencies during recovery").
+//
+// A Portfolio composes several per-object StorageDesigns that may *share*
+// hardware (the same array instance holding two databases, one tape library
+// backing up everything). It provides:
+//
+//  * aggregate utilization — demands from every object summed per shared
+//    device, with overload detection the single-object models can't see;
+//  * aggregate outlays — shared fixed costs charged once, not per object;
+//  * dependency-aware recovery — objects declare recovery dependencies
+//    ("the app restores only after its database"); restores sharing a
+//    source device serialize on it, independent restores proceed in
+//    parallel, and the portfolio recovery time is the last completion.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/evaluator.hpp"
+
+namespace stordep::multiobject {
+
+class PortfolioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One protected data object: its design plus recovery dependencies.
+struct ObjectSpec {
+  std::string name;
+  StorageDesign design;
+  /// Names of objects that must complete recovery before this one starts
+  /// (e.g., restore the database before the application server state).
+  std::vector<std::string> dependsOn;
+};
+
+/// One object's recovery outcome within the portfolio schedule.
+struct ObjectRecovery {
+  std::string object;
+  bool recoverable = false;
+  Duration dataLoss = Duration::infinite();
+  /// When this object's restore began (after dependencies and device
+  /// queueing) and when it completed, on the portfolio clock.
+  Duration startTime = Duration::infinite();
+  Duration completionTime = Duration::infinite();
+  /// The standalone recovery duration (no queueing).
+  Duration ownDuration = Duration::infinite();
+  std::string sourceDevice;  ///< device the restore reads from
+};
+
+struct PortfolioRecoveryResult {
+  std::vector<ObjectRecovery> objects;
+  bool allRecoverable = false;
+  /// Completion of the last object: the business is down until then.
+  Duration totalRecoveryTime = Duration::infinite();
+  /// The worst per-object data loss.
+  Duration worstDataLoss = Duration::infinite();
+};
+
+class Portfolio {
+ public:
+  /// Validates names (unique), dependencies (known, acyclic).
+  explicit Portfolio(std::vector<ObjectSpec> objects);
+
+  [[nodiscard]] const std::vector<ObjectSpec>& objects() const noexcept {
+    return objects_;
+  }
+  [[nodiscard]] const ObjectSpec& object(const std::string& name) const;
+
+  /// Demands from every object, per shared device (devices are shared when
+  /// the same DeviceModel instance appears in several designs).
+  [[nodiscard]] UtilizationResult aggregateUtilization() const;
+
+  /// Aggregate annual outlays: each device's fixed cost charged once (to
+  /// the first primary technique using it), incremental costs per demand,
+  /// spares on the device's total usage.
+  [[nodiscard]] Money aggregateOutlays() const;
+
+  /// Dependency-aware recovery under `scenario`:
+  ///  1. objects restore in topological order of their dependencies;
+  ///  2. an object's restore starts once its dependencies completed AND its
+  ///     recovery-source device is free (restores sharing a source device
+  ///     serialize; distinct devices run in parallel);
+  ///  3. the portfolio is recovered when the last object is.
+  [[nodiscard]] PortfolioRecoveryResult recover(
+      const FailureScenario& scenario) const;
+
+  /// Objects in a valid dependency order (computed at construction).
+  [[nodiscard]] const std::vector<size_t>& topologicalOrder() const noexcept {
+    return topoOrder_;
+  }
+
+ private:
+  std::vector<ObjectSpec> objects_;
+  std::vector<size_t> topoOrder_;
+};
+
+/// Convenience: per-device merged demand view used by the aggregate models
+/// (exposed for tests).
+[[nodiscard]] std::vector<PlacedDemand> mergedDemands(
+    const std::vector<ObjectSpec>& objects);
+
+}  // namespace stordep::multiobject

@@ -1,0 +1,264 @@
+#include "optimizer/design_space.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "casestudy/casestudy.hpp"
+#include "core/techniques/backup.hpp"
+#include "core/techniques/remote_mirror.hpp"
+#include "core/techniques/snapshot.hpp"
+#include "core/techniques/split_mirror.hpp"
+#include "core/techniques/vaulting.hpp"
+#include "devices/catalog.hpp"
+
+namespace stordep::optimizer {
+
+std::string toString(PitChoice choice) {
+  switch (choice) {
+    case PitChoice::kNone:
+      return "no-pit";
+    case PitChoice::kSnapshot:
+      return "snapshot";
+    case PitChoice::kSplitMirror:
+      return "split-mirror";
+  }
+  return "?";
+}
+
+std::string toString(BackupChoice choice) {
+  switch (choice) {
+    case BackupChoice::kNone:
+      return "no-backup";
+    case BackupChoice::kFullOnly:
+      return "full";
+    case BackupChoice::kFullPlusIncremental:
+      return "full+incr";
+  }
+  return "?";
+}
+
+std::string toString(MirrorChoice choice) {
+  switch (choice) {
+    case MirrorChoice::kNone:
+      return "no-mirror";
+    case MirrorChoice::kSync:
+      return "sync-mirror";
+    case MirrorChoice::kAsync:
+      return "async-mirror";
+    case MirrorChoice::kAsyncBatch:
+      return "asyncB-mirror";
+  }
+  return "?";
+}
+
+std::string CandidateSpec::label() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << " + ";
+    first = false;
+  };
+  if (pit != PitChoice::kNone) {
+    sep();
+    os << toString(pit) << "(" << toString(pitAccW) << " x"
+       << pitRetentionCount << ")";
+  }
+  if (backup != BackupChoice::kNone) {
+    sep();
+    os << toString(backup) << "(" << toString(backupAccW) << ")";
+    if (vault) os << " + vault(" << toString(vaultAccW) << ")";
+  }
+  if (mirror != MirrorChoice::kNone) {
+    sep();
+    os << toString(mirror) << "(" << mirrorLinkCount
+       << (mirrorLinkCount == 1 ? " link)" : " links)");
+  }
+  if (first) os << "primary-only";
+  return os.str();
+}
+
+bool CandidateSpec::valid() const {
+  if (vault && backup == BackupChoice::kNone) return false;
+  if (pit == PitChoice::kNone && backup == BackupChoice::kNone &&
+      mirror == MirrorChoice::kNone) {
+    return false;  // no protection at all
+  }
+  // Backup needs a PiT technique for a consistent source image (the paper's
+  // backup model assumes one).
+  if (backup != BackupChoice::kNone && pit == PitChoice::kNone) return false;
+  if (pit != PitChoice::kNone &&
+      (!(pitAccW.secs() > 0) || pitRetentionCount < 1)) {
+    return false;
+  }
+  if (backup != BackupChoice::kNone && !(backupAccW.secs() > 0)) return false;
+  if (backup == BackupChoice::kFullPlusIncremental &&
+      backupAccW < hours(48)) {
+    return false;  // no room for daily incrementals inside the cycle
+  }
+  if (vault && vaultAccW < backupAccW) return false;
+  if (mirror != MirrorChoice::kNone && mirrorLinkCount < 1) return false;
+  return true;
+}
+
+StorageDesign CandidateSpec::build(const WorkloadSpec& workload,
+                                   const BusinessRequirements& business) const {
+  namespace cs = casestudy;
+  if (!valid()) {
+    throw DesignError("cannot build invalid candidate: " + label());
+  }
+
+  auto array =
+      catalog::midrangeDiskArray(cs::kPrimaryArrayName,
+                                 Location::at(cs::kPrimarySite));
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(array));
+
+  if (pit != PitChoice::kNone) {
+    const ProtectionPolicy policy(
+        WindowSpec{.accW = pitAccW,
+                   .propW = Duration::zero(),
+                   .holdW = Duration::zero(),
+                   .propRep = pit == PitChoice::kSnapshot
+                                  ? Representation::kPartial
+                                  : Representation::kFull},
+        pitRetentionCount, pitAccW * static_cast<double>(pitRetentionCount),
+        pit == PitChoice::kSnapshot ? Representation::kPartial
+                                    : Representation::kFull);
+    if (pit == PitChoice::kSnapshot) {
+      levels.push_back(
+          std::make_shared<VirtualSnapshot>("snapshot", array, policy));
+    } else {
+      levels.push_back(
+          std::make_shared<SplitMirror>("split mirror", array, policy));
+    }
+  }
+
+  if (mirror != MirrorChoice::kNone) {
+    auto remote = catalog::midrangeDiskArray("mirror-array",
+                                             Location::at(cs::kMirrorSite),
+                                             RaidLevel::kRaid1,
+                                             SpareSpec::none());
+    auto links = catalog::oc3WanLinks("wan-links", Location::at("wide-area"),
+                                      mirrorLinkCount);
+    ProtectionPolicy policy = continuousMirrorPolicy();
+    MirrorMode mode = MirrorMode::kSync;
+    if (mirror == MirrorChoice::kAsync) {
+      mode = MirrorMode::kAsync;
+    } else if (mirror == MirrorChoice::kAsyncBatch) {
+      mode = MirrorMode::kAsyncBatch;
+      policy = ProtectionPolicy(WindowSpec{.accW = minutes(1),
+                                           .propW = minutes(1),
+                                           .holdW = Duration::zero(),
+                                           .propRep = Representation::kPartial},
+                                1, minutes(1));
+    }
+    levels.push_back(std::make_shared<RemoteMirror>(
+        toString(mirror), mode, array, remote, links, std::move(policy)));
+  }
+
+  if (backup != BackupChoice::kNone) {
+    auto library = catalog::enterpriseTapeLibrary(
+        "tape-library", Location::at(cs::kPrimarySite));
+    const Duration propW = std::min(backupAccW * 0.5, hours(48));
+    const Duration retW = weeks(4);
+    const int retCnt = std::max(
+        1, static_cast<int>(retW / backupAccW));
+    ProtectionPolicy policy =
+        backup == BackupChoice::kFullOnly
+            ? ProtectionPolicy(WindowSpec{.accW = backupAccW,
+                                          .propW = propW,
+                                          .holdW = hours(1)},
+                               retCnt, retW)
+            : ProtectionPolicy(
+                  WindowSpec{.accW = backupAccW,
+                             .propW = propW,
+                             .holdW = hours(1)},
+                  WindowSpec{.accW = hours(24),
+                             .propW = hours(12),
+                             .holdW = hours(1),
+                             .propRep = Representation::kPartial},
+                  std::max(1, static_cast<int>(backupAccW / hours(24)) - 1),
+                  backupAccW, retCnt, retW);
+    levels.push_back(std::make_shared<Backup>(
+        "tape backup",
+        backup == BackupChoice::kFullOnly
+            ? BackupStyle::kFullOnly
+            : BackupStyle::kCumulativeIncremental,
+        array, library, policy));
+
+    if (vault) {
+      auto vaultDevice = catalog::offsiteTapeVault(
+          "tape-vault", Location::at(cs::kVaultSite));
+      auto shipment = catalog::overnightAirShipment(
+          "air-shipment", Location::at("in-transit"));
+      const int vaultRetCnt = std::max(
+          1, static_cast<int>(years(3) / vaultAccW));
+      const ProtectionPolicy vaultPolicy(
+          WindowSpec{.accW = vaultAccW,
+                     .propW = hours(24),
+                     .holdW = hours(12)},
+          vaultRetCnt, years(3));
+      levels.push_back(std::make_shared<Vaulting>(
+          "remote vaulting", library, vaultDevice, shipment, vaultPolicy,
+          retW));
+    }
+  }
+
+  return StorageDesign(label(), workload, business, std::move(levels),
+                       cs::recoveryFacility());
+}
+
+std::vector<CandidateSpec> enumerateDesignSpace(
+    const DesignSpaceOptions& options) {
+  std::vector<CandidateSpec> out;
+  for (PitChoice pit : options.pitChoices) {
+    const auto pitAccWs = pit == PitChoice::kNone
+                              ? std::vector<Duration>{hours(12)}
+                              : options.pitAccWs;
+    const auto pitRets = pit == PitChoice::kNone
+                             ? std::vector<int>{1}
+                             : options.pitRetentionCounts;
+    for (Duration pitAccW : pitAccWs) {
+      for (int pitRet : pitRets) {
+        for (BackupChoice backup : options.backupChoices) {
+          const auto backupAccWs = backup == BackupChoice::kNone
+                                       ? std::vector<Duration>{weeks(1)}
+                                       : options.backupAccWs;
+          for (Duration backupAccW : backupAccWs) {
+            const std::vector<bool> vaultChoices =
+                backup == BackupChoice::kNone ? std::vector<bool>{false}
+                                              : std::vector<bool>{false, true};
+            for (bool vault : vaultChoices) {
+              const auto vaultAccWs = vault ? options.vaultAccWs
+                                            : std::vector<Duration>{weeks(4)};
+              for (Duration vaultAccW : vaultAccWs) {
+                for (MirrorChoice mirror : options.mirrorChoices) {
+                  const auto linkCounts =
+                      mirror == MirrorChoice::kNone
+                          ? std::vector<int>{1}
+                          : options.mirrorLinkCounts;
+                  for (int links : linkCounts) {
+                    CandidateSpec spec;
+                    spec.pit = pit;
+                    spec.pitAccW = pitAccW;
+                    spec.pitRetentionCount = pitRet;
+                    spec.backup = backup;
+                    spec.backupAccW = backupAccW;
+                    spec.vault = vault;
+                    spec.vaultAccW = vaultAccW;
+                    spec.mirror = mirror;
+                    spec.mirrorLinkCount = links;
+                    if (spec.valid()) out.push_back(spec);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stordep::optimizer

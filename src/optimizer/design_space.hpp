@@ -1,0 +1,75 @@
+// design_space.hpp — enumerable space of candidate storage designs.
+//
+// The paper's introduction motivates the framework as "the inner-most loop
+// of an automated optimization loop" for dependable storage design. This
+// module provides the loop's search space: a candidate is a combination of
+// a PiT technique, a backup policy, a vaulting policy and an inter-array
+// mirroring choice over the case-study device catalog; build() materializes
+// it as a StorageDesign ready for evaluate().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.hpp"
+
+namespace stordep::optimizer {
+
+enum class PitChoice { kNone, kSnapshot, kSplitMirror };
+enum class BackupChoice { kNone, kFullOnly, kFullPlusIncremental };
+enum class MirrorChoice { kNone, kSync, kAsync, kAsyncBatch };
+
+[[nodiscard]] std::string toString(PitChoice choice);
+[[nodiscard]] std::string toString(BackupChoice choice);
+[[nodiscard]] std::string toString(MirrorChoice choice);
+
+/// One point in the design space.
+struct CandidateSpec {
+  PitChoice pit = PitChoice::kNone;
+  Duration pitAccW = hours(12);
+  int pitRetentionCount = 4;
+
+  BackupChoice backup = BackupChoice::kNone;
+  /// Interval between fulls (propW is derived as accW/2, capped at 48 h;
+  /// the case-study policies follow the same proportions).
+  Duration backupAccW = weeks(1);
+
+  bool vault = false;  ///< requires backup != kNone
+  Duration vaultAccW = weeks(4);
+
+  MirrorChoice mirror = MirrorChoice::kNone;
+  int mirrorLinkCount = 1;
+
+  /// Human-readable label ("split-mirror(12 hr x4) + full(1 wk) + vault(4 wk)").
+  [[nodiscard]] std::string label() const;
+
+  /// True when the combination is structurally valid (vault needs backup,
+  /// at least one secondary copy exists, positive windows, ...).
+  [[nodiscard]] bool valid() const;
+
+  /// Materializes the candidate over the case-study device catalog.
+  [[nodiscard]] StorageDesign build(const WorkloadSpec& workload,
+                                    const BusinessRequirements& business) const;
+};
+
+/// Grids to enumerate; defaults give a ~200-candidate space.
+struct DesignSpaceOptions {
+  std::vector<PitChoice> pitChoices{PitChoice::kNone, PitChoice::kSnapshot,
+                                    PitChoice::kSplitMirror};
+  std::vector<Duration> pitAccWs{hours(6), hours(12), hours(24)};
+  std::vector<int> pitRetentionCounts{4};
+  std::vector<BackupChoice> backupChoices{BackupChoice::kNone,
+                                          BackupChoice::kFullOnly,
+                                          BackupChoice::kFullPlusIncremental};
+  std::vector<Duration> backupAccWs{hours(24), weeks(1)};
+  std::vector<Duration> vaultAccWs{weeks(1), weeks(4)};
+  std::vector<MirrorChoice> mirrorChoices{MirrorChoice::kNone,
+                                          MirrorChoice::kAsyncBatch};
+  std::vector<int> mirrorLinkCounts{1, 4, 10};
+};
+
+/// Enumerates every structurally valid candidate in the grid.
+[[nodiscard]] std::vector<CandidateSpec> enumerateDesignSpace(
+    const DesignSpaceOptions& options = {});
+
+}  // namespace stordep::optimizer

@@ -1,0 +1,90 @@
+#include "optimizer/refine.hpp"
+
+namespace stordep::optimizer {
+
+std::vector<CandidateSpec> neighbors(const CandidateSpec& spec,
+                                     const RefineOptions& options) {
+  std::vector<CandidateSpec> out;
+  auto push = [&](CandidateSpec next) {
+    if (next.valid()) out.push_back(std::move(next));
+  };
+
+  if (spec.pit != PitChoice::kNone) {
+    for (const double f : options.windowFactors) {
+      CandidateSpec next = spec;
+      next.pitAccW = spec.pitAccW * f;
+      push(std::move(next));
+    }
+    for (const int delta : {-1, +1}) {
+      CandidateSpec next = spec;
+      next.pitRetentionCount = spec.pitRetentionCount + delta;
+      push(std::move(next));
+    }
+    {
+      CandidateSpec next = spec;
+      next.pitRetentionCount = spec.pitRetentionCount * 2;
+      push(std::move(next));
+    }
+  }
+  if (spec.backup != BackupChoice::kNone) {
+    for (const double f : options.windowFactors) {
+      CandidateSpec next = spec;
+      next.backupAccW = spec.backupAccW * f;
+      push(std::move(next));
+    }
+  }
+  if (spec.vault) {
+    for (const double f : options.windowFactors) {
+      CandidateSpec next = spec;
+      next.vaultAccW = spec.vaultAccW * f;
+      push(std::move(next));
+    }
+  }
+  if (spec.mirror != MirrorChoice::kNone) {
+    for (const int delta : {-1, +1}) {
+      CandidateSpec next = spec;
+      next.mirrorLinkCount = spec.mirrorLinkCount + delta;
+      push(std::move(next));
+    }
+  }
+  return out;
+}
+
+RefineResult refineCandidate(const CandidateSpec& start,
+                             const WorkloadSpec& workload,
+                             const BusinessRequirements& business,
+                             const std::vector<ScenarioCase>& scenarios,
+                             const RefineOptions& options) {
+  RefineResult result;
+  result.best = evaluateCandidate(start, workload, business, scenarios);
+  ++result.evaluations;
+  const Money startCost = result.best.totalCost;
+  if (!result.best.feasible) {
+    result.improvement = Money::zero();
+    return result;
+  }
+
+  for (int step = 0; step < options.maxSteps; ++step) {
+    const EvaluatedCandidate* accepted = nullptr;
+    EvaluatedCandidate bestNeighbor;
+    for (const CandidateSpec& next : neighbors(result.best.spec, options)) {
+      EvaluatedCandidate evaluated =
+          evaluateCandidate(next, workload, business, scenarios);
+      ++result.evaluations;
+      if (!evaluated.feasible || !evaluated.meetsObjectives) continue;
+      if (evaluated.totalCost < result.best.totalCost &&
+          (accepted == nullptr ||
+           evaluated.totalCost < bestNeighbor.totalCost)) {
+        bestNeighbor = std::move(evaluated);
+        accepted = &bestNeighbor;
+      }
+    }
+    if (accepted == nullptr) break;  // local optimum
+    result.best = std::move(bestNeighbor);
+    ++result.steps;
+  }
+  result.improvement = startCost - result.best.totalCost;
+  return result;
+}
+
+}  // namespace stordep::optimizer

@@ -1,0 +1,126 @@
+#include "optimizer/search.hpp"
+
+#include <algorithm>
+
+#include "casestudy/casestudy.hpp"
+
+namespace stordep::optimizer {
+
+EvaluatedCandidate evaluateCandidate(
+    const CandidateSpec& spec, const WorkloadSpec& workload,
+    const BusinessRequirements& business,
+    const std::vector<ScenarioCase>& scenarios) {
+  EvaluatedCandidate out;
+  out.spec = spec;
+  out.label = spec.label();
+  out.feasible = true;
+  out.meetsObjectives = true;
+
+  const StorageDesign design = spec.build(workload, business);
+  bool outlaysRecorded = false;
+
+  for (const ScenarioCase& sc : scenarios) {
+    const EvaluationResult result = evaluate(design, sc.scenario);
+    if (!result.utilization.feasible()) {
+      out.feasible = false;
+      out.rejectionReason = "over-utilized: " + result.utilization.errors[0];
+      break;
+    }
+    if (!result.recovery.recoverable) {
+      out.feasible = false;
+      out.rejectionReason = "unrecoverable under scenario '" + sc.name + "'";
+      break;
+    }
+    if (!result.meetsObjectives) {
+      out.meetsObjectives = false;
+      out.rejectionReason = "misses RTO/RPO under scenario '" + sc.name + "'";
+    }
+    if (!outlaysRecorded) {
+      out.outlays = result.cost.totalOutlays;  // scenario-independent
+      outlaysRecorded = true;
+    }
+    out.weightedPenalties += result.cost.totalPenalties * sc.weight;
+    out.worstRecoveryTime =
+        std::max(out.worstRecoveryTime, result.recovery.recoveryTime);
+    out.worstDataLoss = std::max(out.worstDataLoss, result.recovery.dataLoss);
+  }
+  out.totalCost = out.outlays + out.weightedPenalties;
+  return out;
+}
+
+SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
+                               const WorkloadSpec& workload,
+                               const BusinessRequirements& business,
+                               const std::vector<ScenarioCase>& scenarios) {
+  SearchResult result;
+  for (const CandidateSpec& spec : candidates) {
+    EvaluatedCandidate evaluated =
+        evaluateCandidate(spec, workload, business, scenarios);
+    ++result.evaluated;
+    if (evaluated.feasible && evaluated.meetsObjectives) {
+      result.ranked.push_back(std::move(evaluated));
+    } else {
+      result.rejected.push_back(std::move(evaluated));
+    }
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const EvaluatedCandidate& a, const EvaluatedCandidate& b) {
+              if (a.totalCost != b.totalCost) return a.totalCost < b.totalCost;
+              return a.label < b.label;  // deterministic tie-break
+            });
+  return result;
+}
+
+std::vector<EvaluatedCandidate> paretoFrontier(
+    const std::vector<EvaluatedCandidate>& candidates) {
+  auto dominates = [](const EvaluatedCandidate& a,
+                      const EvaluatedCandidate& b) {
+    const bool geAll = a.outlays <= b.outlays &&
+                       a.worstRecoveryTime <= b.worstRecoveryTime &&
+                       a.worstDataLoss <= b.worstDataLoss;
+    const bool gtAny = a.outlays < b.outlays ||
+                       a.worstRecoveryTime < b.worstRecoveryTime ||
+                       a.worstDataLoss < b.worstDataLoss;
+    return geAll && gtAny;
+  };
+
+  std::vector<EvaluatedCandidate> frontier;
+  for (const EvaluatedCandidate& candidate : candidates) {
+    if (!candidate.feasible) continue;
+    bool dominated = false;
+    for (const EvaluatedCandidate& other : candidates) {
+      if (!other.feasible) continue;
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(candidate);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const EvaluatedCandidate& a, const EvaluatedCandidate& b) {
+              if (a.outlays != b.outlays) return a.outlays < b.outlays;
+              return a.label < b.label;
+            });
+  // Identical metric triples would all survive domination; keep the first
+  // of each (deterministic by label through the sort above).
+  std::vector<EvaluatedCandidate> unique;
+  for (auto& candidate : frontier) {
+    const bool duplicate =
+        !unique.empty() && unique.back().outlays == candidate.outlays &&
+        unique.back().worstRecoveryTime == candidate.worstRecoveryTime &&
+        unique.back().worstDataLoss == candidate.worstDataLoss;
+    if (!duplicate) unique.push_back(std::move(candidate));
+  }
+  return unique;
+}
+
+std::vector<ScenarioCase> caseStudyScenarios() {
+  return {
+      ScenarioCase{"object failure", casestudy::objectFailure(), 1.0},
+      ScenarioCase{"array failure", casestudy::arrayFailure(), 1.0},
+      ScenarioCase{"site disaster", casestudy::siteDisaster(), 1.0},
+  };
+}
+
+}  // namespace stordep::optimizer

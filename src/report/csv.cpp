@@ -1,0 +1,59 @@
+#include "report/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stordep::report {
+
+std::string csvEscape(const std::string& field) {
+  const bool needsQuoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("CSV needs at least one column");
+  }
+}
+
+CsvWriter& CsvWriter::addRow(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("CSV row has more cells than columns");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      os << csvEscape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << render();
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace stordep::report

@@ -1,0 +1,33 @@
+// csv.hpp — RFC-4180-style CSV output for benchmark series and reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stordep::report {
+
+/// Escapes one CSV field: quotes it when it contains commas, quotes or
+/// newlines, doubling embedded quotes.
+[[nodiscard]] std::string csvEscape(const std::string& field);
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  CsvWriter& addRow(std::vector<std::string> cells);
+
+  [[nodiscard]] size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Renders the whole document (header + rows, '\n' line endings).
+  [[nodiscard]] std::string render() const;
+
+  /// Writes render() to a file; throws std::runtime_error on I/O failure.
+  void writeFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stordep::report

@@ -1,0 +1,47 @@
+// report.hpp — renders evaluation results as paper-style text reports.
+//
+// Produces the same views the paper's case study presents: the normal-mode
+// utilization table (Table 5), the recovery summary (Table 6), the cost
+// breakdown (Figure 5), the recovery timeline (Figure 4) and the guaranteed
+// RP ranges per level (Figure 3).
+#pragma once
+
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "report/table.hpp"
+
+namespace stordep::report {
+
+/// Table 5 style: per-device, per-technique bandwidth/capacity utilization.
+[[nodiscard]] TextTable utilizationTable(const UtilizationResult& result);
+
+/// Table 6 style: one row per scenario result (compose rows externally).
+[[nodiscard]] std::string recoverySummaryLine(const FailureScenario& scenario,
+                                              const RecoveryResult& recovery);
+
+/// Figure 5 style: outlays by technique plus penalties for one scenario.
+[[nodiscard]] TextTable costTable(const CostResult& cost);
+
+/// Figure 4 style: the recovery timeline with its overlap structure.
+[[nodiscard]] TextTable recoveryTimelineTable(const RecoveryResult& recovery);
+
+/// Figure 3 style: guaranteed RP age ranges per level.
+[[nodiscard]] TextTable rpRangeTable(const StorageDesign& design);
+
+/// Full multi-section report for one design under one scenario.
+[[nodiscard]] std::string fullReport(const StorageDesign& design,
+                                     const FailureScenario& scenario,
+                                     const EvaluationResult& result);
+
+/// The same report as a GitHub-flavored-markdown document (for wikis,
+/// tickets and PR descriptions).
+[[nodiscard]] std::string markdownReport(const StorageDesign& design,
+                                         const FailureScenario& scenario,
+                                         const EvaluationResult& result);
+
+/// Helpers shared by benches: fixed-precision number rendering.
+[[nodiscard]] std::string fixed(double value, int precision);
+[[nodiscard]] std::string percent(double fraction, int precision = 1);
+
+}  // namespace stordep::report

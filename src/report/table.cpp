@@ -1,0 +1,132 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stordep::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("table needs at least one column");
+  }
+}
+
+TextTable& TextTable::align(size_t column, Align alignment) {
+  if (column >= aligns_.size()) {
+    throw std::out_of_range("table column out of range");
+  }
+  aligns_[column] = alignment;
+  return *this;
+}
+
+TextTable& TextTable::addRow(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("row has more cells than columns");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+TextTable& TextTable::addSeparator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+TextTable& TextTable::title(std::string text) {
+  title_ = std::move(text);
+  return *this;
+}
+
+size_t TextTable::rowCount() const noexcept {
+  size_t n = 0;
+  for (const auto& r : rows_) {
+    if (!r.separator) ++n;
+  }
+  return n;
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const size_t pad = widths[c] - cell.size();
+      os << ' ';
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << cell;
+      if (aligns_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      emit(row.cells);
+    }
+  }
+  rule();
+  return os.str();
+}
+
+std::string TextTable::renderMarkdown() const {
+  std::ostringstream os;
+  auto escape = [](const std::string& cell) {
+    std::string out;
+    for (char c : cell) {
+      if (c == '|') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  if (!title_.empty()) os << "**" << title_ << "**\n\n";
+  os << '|';
+  for (const auto& header : headers_) os << ' ' << escape(header) << " |";
+  os << "\n|";
+  for (const Align align : aligns_) {
+    os << (align == Align::kRight ? " ---: |" : " --- |");
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    os << '|';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell =
+          c < row.cells.size() ? row.cells[c] : std::string{};
+      os << ' ' << escape(cell) << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.render();
+}
+
+}  // namespace stordep::report

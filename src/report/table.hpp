@@ -1,0 +1,58 @@
+// table.hpp — plain-text table rendering for reports and benches.
+//
+// A small, dependency-free table formatter used to print the paper-style
+// result tables (Tables 5-7) and the evaluation reports: fixed-width
+// columns, left/right alignment, optional separator rows and a title.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stordep::report {
+
+enum class Align { kLeft, kRight };
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers (all left-aligned).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets one column's alignment (default kLeft).
+  TextTable& align(size_t column, Align alignment);
+
+  /// Appends a data row; missing cells render empty, extras are an error.
+  TextTable& addRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator at the current position.
+  TextTable& addSeparator();
+
+  /// Optional title printed above the table.
+  TextTable& title(std::string text);
+
+  [[nodiscard]] size_t columnCount() const noexcept { return headers_.size(); }
+  [[nodiscard]] size_t rowCount() const noexcept;
+
+  /// Renders with box-drawing rules: header row, separators, padded cells.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as a GitHub-flavored-markdown table (alignment markers from
+  /// align(); the title becomes a bold caption line; separator rows are
+  /// dropped — GFM has no mid-table rules; pipes in cells are escaped).
+  [[nodiscard]] std::string renderMarkdown() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace stordep::report

@@ -1,0 +1,154 @@
+#include "sim/bandwidth_probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/techniques/backup.hpp"
+#include "core/techniques/remote_mirror.hpp"
+
+namespace stordep::sim {
+
+Bandwidth DeviceBandwidthProfile::peak() const {
+  double best = 0;
+  for (double rate : binRates) best = std::max(best, rate);
+  return Bandwidth{best};
+}
+
+Bandwidth DeviceBandwidthProfile::mean() const {
+  if (binRates.empty()) return Bandwidth::zero();
+  double sum = 0;
+  for (double rate : binRates) sum += rate;
+  return Bandwidth{sum / static_cast<double>(binRates.size())};
+}
+
+double DeviceBandwidthProfile::dutyCycle() const {
+  if (binRates.empty()) return 0.0;
+  size_t active = 0;
+  for (double rate : binRates) {
+    if (rate > 0) ++active;
+  }
+  return static_cast<double>(active) / static_cast<double>(binRates.size());
+}
+
+namespace {
+
+/// The devices an RP transfer into `level` streams through (read side,
+/// write side); empty when the level does not stream (PiT copies,
+/// vaulting's physical shipment).
+std::vector<DevicePtr> streamingDevices(const Technique& tech) {
+  switch (tech.kind()) {
+    case TechniqueKind::kBackup: {
+      const auto& backup = static_cast<const Backup&>(tech);
+      return {backup.sourceArray(), backup.backupDevice()};
+    }
+    case TechniqueKind::kSyncMirror:
+    case TechniqueKind::kAsyncMirror:
+    case TechniqueKind::kAsyncBatchMirror: {
+      const auto& mirror = static_cast<const RemoteMirror&>(tech);
+      return {mirror.links(), mirror.destArray()};
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+std::vector<DeviceBandwidthProfile> profileTransferBandwidth(
+    const RpLifecycleSimulator& simulator, Duration binWidth) {
+  if (!(binWidth.secs() > 0)) {
+    throw SimulationError("bin width must be positive");
+  }
+  const StorageDesign& design = simulator.design();
+  const WorkloadSpec& workload = design.workload();
+  const double horizon = simulator.horizon();
+  const auto binCount =
+      static_cast<size_t>(std::ceil(horizon / binWidth.secs()));
+
+  std::vector<DevicePtr> order;
+  std::map<const DeviceModel*, std::vector<double>> rates;
+  auto binsFor = [&](const DevicePtr& device) -> std::vector<double>& {
+    auto [it, inserted] = rates.try_emplace(device.get());
+    if (inserted) {
+      it->second.assign(binCount, 0.0);
+      order.push_back(device);
+    }
+    return it->second;
+  };
+
+  for (int level = 1; level < design.levelCount(); ++level) {
+    const Technique& tech = design.level(level);
+    const auto devices = streamingDevices(tech);
+    if (devices.empty()) continue;
+
+    // Reconstruct each RP's transfer interval and size. Full
+    // representations ship the whole image; partial ones ship deltas —
+    // cumulative incrementals chain to the last full, batch mirrors and
+    // differentials to the previous RP.
+    const bool cumulative =
+        tech.kind() == TechniqueKind::kBackup &&
+        static_cast<const Backup&>(tech).style() ==
+            BackupStyle::kCumulativeIncremental;
+    double lastFullDataTime = -1;
+    double prevDataTime = -1;
+    for (const SimRp& rp : simulator.timeline(level)) {
+      if (rp.isFull) lastFullDataTime = rp.dataTime;
+      const WindowSpec& window =
+          rp.isFull || !tech.policy()->isCyclic()
+              ? tech.policy()->primaryWindows()
+              : *tech.policy()->secondaryWindows();
+      const double start = rp.createTime;
+      const double end = rp.arrivalTime;
+      const double chainBase = cumulative ? lastFullDataTime : prevDataTime;
+      prevDataTime = rp.dataTime;
+      if (end <= start) continue;  // instantaneous (no propW): no stream
+      Bytes size;
+      if (window.propRep == Representation::kFull) {
+        size = workload.dataCap();
+      } else if (chainBase >= 0) {
+        size = workload.uniqueBytes(Duration{rp.dataTime - chainBase});
+      } else {
+        // First partial RP: charge a steady-state batch, not the initial
+        // full synchronization (which is a provisioning event, not part of
+        // the steady-state profile the analytic model describes).
+        size = workload.uniqueBytes(tech.policy()->effectiveAccW());
+      }
+      // holdW precedes the transfer within [create, arrival].
+      const double holdW = tech.policy()->holdW().secs();
+      const double xferStart = std::min(start + holdW, end);
+      const double xferSecs = end - xferStart;
+      if (xferSecs <= 0) continue;
+      const double rate = size.bytes() / xferSecs;
+
+      for (const DevicePtr& device : devices) {
+        auto& bins = binsFor(device);
+        const auto firstBin =
+            static_cast<size_t>(xferStart / binWidth.secs());
+        const auto lastBin =
+            std::min(binCount - 1,
+                     static_cast<size_t>(end / binWidth.secs()));
+        for (size_t b = firstBin; b <= lastBin && b < binCount; ++b) {
+          const double binStart = static_cast<double>(b) * binWidth.secs();
+          const double binEnd = binStart + binWidth.secs();
+          const double overlap =
+              std::min(end, binEnd) - std::max(xferStart, binStart);
+          if (overlap > 0) {
+            bins[b] += rate * overlap / binWidth.secs();
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<DeviceBandwidthProfile> out;
+  for (const DevicePtr& device : order) {
+    DeviceBandwidthProfile profile;
+    profile.device = device->name();
+    profile.binWidth = binWidth;
+    profile.binRates = std::move(rates[device.get()]);
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+}  // namespace stordep::sim

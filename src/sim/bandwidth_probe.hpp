@@ -1,0 +1,40 @@
+// bandwidth_probe.hpp — simulated device bandwidth profiles.
+//
+// The analytic utilization model (Table 5) charges each technique its peak
+// within-window transfer rate. This probe reconstructs the actual transfer
+// activity from the simulated RP schedules — every RP propagation occupies
+// [create + holdW, arrival] at size/propW on its source and destination
+// devices — and bins it into a per-device bandwidth time series. Validation:
+// the binned peak must equal the analytic demand (the backup really does
+// drive the tape library at 8.06 MB/s during its window and at zero
+// otherwise), and the mean shows how bursty the provisioning question is.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/rp_simulator.hpp"
+
+namespace stordep::sim {
+
+struct DeviceBandwidthProfile {
+  std::string device;
+  Duration binWidth;
+  /// Average transfer rate within each bin (bytes/sec), from t=0.
+  std::vector<double> binRates;
+
+  [[nodiscard]] Bandwidth peak() const;
+  [[nodiscard]] Bandwidth mean() const;
+  /// Fraction of bins with any transfer activity.
+  [[nodiscard]] double dutyCycle() const;
+};
+
+/// Profiles the RP-propagation transfer load on every storage device
+/// involved in levels with a real propagation window. PiT levels (propW=0)
+/// and physical shipments contribute no streaming bandwidth. `simulator`
+/// must have been run().
+[[nodiscard]] std::vector<DeviceBandwidthProfile> profileTransferBandwidth(
+    const RpLifecycleSimulator& simulator, Duration binWidth);
+
+}  // namespace stordep::sim

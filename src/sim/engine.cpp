@@ -1,0 +1,46 @@
+#include "sim/engine.hpp"
+
+namespace stordep::sim {
+
+void Engine::scheduleIn(SimTime delay, std::function<void()> action) {
+  if (delay < 0) throw SimulationError("cannot schedule in the past");
+  queue_.schedule(now_ + delay, std::move(action));
+}
+
+void Engine::scheduleAt(SimTime time, std::function<void()> action) {
+  if (time < now_) throw SimulationError("cannot schedule in the past");
+  queue_.schedule(time, std::move(action));
+}
+
+std::uint64_t Engine::run(SimTime until) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.nextTime() <= until) {
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++count;
+    ++processed_;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+std::uint64_t Engine::runAll() {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++count;
+    ++processed_;
+  }
+  return count;
+}
+
+void Engine::reset() {
+  queue_.clear();
+  now_ = 0;
+  processed_ = 0;
+}
+
+}  // namespace stordep::sim

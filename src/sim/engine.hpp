@@ -1,0 +1,50 @@
+// engine.hpp — a minimal deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock through a stable event queue. Handlers
+// may schedule further events (at or after the current time). Used by the
+// RP-lifecycle simulator to validate the analytic dependability models, and
+// reusable for any other timed process.
+#pragma once
+
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace stordep::sim {
+
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Engine {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t processedEvents() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] bool hasPending() const noexcept { return !queue_.empty(); }
+
+  /// Schedules `action` `delay` seconds from now (delay >= 0).
+  void scheduleIn(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute `time` (>= now()).
+  void scheduleAt(SimTime time, std::function<void()> action);
+
+  /// Runs until the queue drains or the clock passes `until` (events after
+  /// `until` stay pending). Returns the number of events processed.
+  std::uint64_t run(SimTime until);
+
+  /// Runs the queue to exhaustion.
+  std::uint64_t runAll();
+
+  /// Discards all pending events and resets the clock.
+  void reset();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace stordep::sim

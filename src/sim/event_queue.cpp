@@ -1,0 +1,28 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace stordep::sim {
+
+std::uint64_t EventQueue::schedule(SimTime time, std::function<void()> action) {
+  const std::uint64_t seq = nextSeq_++;
+  heap_.push(Event{time, seq, std::move(action)});
+  return seq;
+}
+
+Event EventQueue::pop() {
+  // std::priority_queue::top() returns const&; move via const_cast is the
+  // standard idiom avoided here — copy the handle, then pop. The function
+  // object is small (captures by value), so the copy is cheap relative to
+  // event dispatch.
+  Event ev = heap_.top();
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  nextSeq_ = 0;
+}
+
+}  // namespace stordep::sim

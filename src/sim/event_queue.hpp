@@ -1,0 +1,52 @@
+// event_queue.hpp — the discrete-event simulator's pending-event set.
+//
+// A binary min-heap of (time, sequence) keyed events. The sequence number
+// makes ordering *stable*: events scheduled earlier run first among equals,
+// which keeps simulations deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace stordep::sim {
+
+using SimTime = double;  ///< seconds since simulation start
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  ///< global scheduling order, breaks time ties
+  std::function<void()> action;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `time`. Returns the event's
+  /// sequence number (usable for debugging/tracing).
+  std::uint64_t schedule(SimTime time, std::function<void()> action);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  [[nodiscard]] SimTime nextTime() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest pending event.
+  [[nodiscard]] Event pop();
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace stordep::sim

@@ -1,0 +1,87 @@
+// recovery_simulator.hpp — recovery-time distributions from the simulated
+// RP schedules.
+//
+// The analytic recovery model is worst-case: it always restores the largest
+// possible payload (a full image plus the biggest incremental chain). In
+// reality the payload depends on *when* the failure strikes within the
+// backup cycle: right after a full backup lands, there is nothing to
+// replay; just before the next full, the whole chain must be. This module
+// couples the RP-lifecycle simulation (which knows exactly which RP would
+// be restored at any instant, and which full it chains from) with the
+// analytic restore-leg machinery to produce the distribution of achieved
+// recovery times — worst, mean and best — and to check that the analytic
+// worst case bounds them all.
+#pragma once
+
+#include <optional>
+
+#include "sim/failure_injector.hpp"
+#include "sim/rp_simulator.hpp"
+
+namespace stordep::sim {
+
+/// The restore that would actually run for a failure at one instant.
+struct ObservedRecovery {
+  int sourceLevel = -1;
+  Duration dataLoss = Duration::infinite();
+  /// Bytes actually read from the source level (full + the incremental
+  /// chain between that full and the chosen RP).
+  Bytes payload;
+  Duration recoveryTime = Duration::infinite();
+};
+
+struct RecoveryDistribution {
+  int samples = 0;
+  int unrecoverable = 0;
+  /// The paper-style worst case from the analytic model.
+  Duration analyticWorstRt = Duration::infinite();
+  Duration minRt = Duration::infinite();
+  Duration meanRt = Duration::infinite();
+  Duration maxRt = Duration::infinite();
+  Bytes minPayload;
+  Bytes meanPayload;
+  Bytes maxPayload;
+  /// maxRt <= analyticWorstRt (+epsilon) over all recoverable samples.
+  bool rtBoundHolds = false;
+  /// maxRt / analyticWorstRt.
+  double tightness = 0.0;
+};
+
+class RecoverySimulator {
+ public:
+  /// `simulator` must have been run() already and must outlive this object.
+  explicit RecoverySimulator(const RpLifecycleSimulator& simulator);
+
+  /// The restore that a failure at `failTime` would trigger: the best
+  /// surviving RP across levels, its exact payload, and the recovery time
+  /// via the analytic restore legs. Empty when nothing can serve.
+  [[nodiscard]] std::optional<ObservedRecovery> observedRecovery(
+      const FailureScenario& scenario, SimTime failTime) const;
+
+  /// Monte-Carlo distribution over the steady-state window.
+  [[nodiscard]] RecoveryDistribution distribution(
+      const FailureScenario& scenario, int samples, Rng rng) const;
+
+ private:
+  /// Payload to read from `level` when restoring the RP `rp` (chains
+  /// incremental-backup RPs back to their full).
+  [[nodiscard]] Bytes restorePayloadFor(int level, const SimRp& rp,
+                                        SimTime failTime,
+                                        const FailureScenario& scenario) const;
+
+  /// The base full an incremental RP chains from, if it is visible (and not
+  /// evicted) at `failTime`; null otherwise.
+  [[nodiscard]] const SimRp* visibleBaseFull(int level, const SimRp& rp,
+                                             SimTime failTime) const;
+
+  /// Like RpLifecycleSimulator::bestVisibleRp, but skips *unusable*
+  /// incrementals — ones whose base full has not arrived yet. (A new
+  /// cycle's first incremental routinely lands before its full finishes
+  /// propagating; it cannot be restored until the full exists.)
+  [[nodiscard]] std::optional<SimRp> bestUsableRp(int level, SimTime failTime,
+                                                  SimTime targetTime) const;
+
+  const RpLifecycleSimulator& sim_;
+};
+
+}  // namespace stordep::sim

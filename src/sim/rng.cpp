@@ -1,0 +1,111 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace stordep::sim {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t n) {
+  // Lemire's debiased multiply-shift.
+  if (n == 0) return 0;
+  for (;;) {
+    const std::uint64_t x = next();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(n);
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= n) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+    // Reject the biased low range.
+    if (low >= (0 - n) % n) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return uniformInt(n);
+  // Rejection-inversion (Hörmann & Derflinger 1996) over ranks 1..n,
+  // returned as 0-based.
+  const double N = static_cast<double>(n);
+  auto H = [s](double x) {
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto Hinv = [s](double y) {
+    if (s == 1.0) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hX1 = H(1.5) - 1.0;
+  const double hN = H(N + 0.5);
+  for (;;) {
+    const double u = hX1 + uniform() * (hN - hX1);
+    const double x = Hinv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    if (u >= H(kd + 0.5) - std::pow(kd, -s)) {
+      return k - 1;
+    }
+  }
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+}  // namespace stordep::sim

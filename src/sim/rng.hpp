@@ -1,0 +1,46 @@
+// rng.hpp — deterministic random numbers for simulations and generators.
+//
+// A small splitmix64-seeded xoshiro256** generator with the distributions
+// the simulators need. Self-contained so simulation results are reproducible
+// across standard-library implementations (std::uniform_real_distribution &
+// friends are not portable bit-for-bit).
+#pragma once
+
+#include <cstdint>
+
+namespace stordep::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) (n > 0), bias-corrected.
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard-ish normal via Box-Muller (mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// Zipf-like rank in [0, n): P(k) proportional to 1/(k+1)^s. Uses the
+  /// rejection-inversion method (Hörmann/Derflinger), O(1) per draw.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fork a statistically independent stream (for parallel entities).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace stordep::sim

@@ -1,0 +1,110 @@
+#include "workloadgen/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace stordep::workloadgen {
+
+TraceAnalyzer::TraceAnalyzer(const UpdateTrace& trace) : trace_(trace) {
+  if (trace_.empty()) throw TraceError("cannot analyze an empty trace");
+}
+
+Bandwidth TraceAnalyzer::averageUpdateRate() const {
+  const double duration = trace_.duration();
+  if (!(duration > 0)) return Bandwidth::zero();
+  return Bandwidth{trace_.totalBytes().bytes() / duration};
+}
+
+double TraceAnalyzer::burstMultiplier(Duration binSize) const {
+  const double bin = binSize.secs();
+  if (!(bin > 0)) throw TraceError("burst bin must be positive");
+  const double duration = trace_.duration();
+  const auto binCount = static_cast<size_t>(std::ceil(duration / bin));
+  if (binCount == 0) return 1.0;
+
+  std::vector<double> volume(binCount, 0.0);
+  const double blockBytes = trace_.blockSize().bytes();
+  for (const auto& rec : trace_.records()) {
+    auto idx = static_cast<size_t>(rec.time / bin);
+    if (idx >= binCount) idx = binCount - 1;
+    volume[idx] += blockBytes * rec.length;
+  }
+  const double peak = *std::max_element(volume.begin(), volume.end());
+  const double avg = trace_.totalBytes().bytes() / static_cast<double>(binCount);
+  return avg > 0 ? peak / avg : 1.0;
+}
+
+Bytes TraceAnalyzer::uniqueBytesPerWindow(Duration win) const {
+  const double w = win.secs();
+  if (!(w > 0)) throw TraceError("window must be positive");
+  const double duration = trace_.duration();
+  const auto fullWindows = static_cast<size_t>(std::floor(duration / w));
+  if (fullWindows == 0) {
+    throw TraceError("trace shorter than the requested window");
+  }
+
+  const double blockBytes = trace_.blockSize().bytes();
+  double uniqueTotal = 0;
+  size_t windowIdx = 0;
+  std::unordered_set<std::uint64_t> dirty;
+  for (const auto& rec : trace_.records()) {
+    const auto idx = static_cast<size_t>(rec.time / w);
+    if (idx >= fullWindows) break;
+    if (idx != windowIdx) {
+      uniqueTotal += static_cast<double>(dirty.size()) * blockBytes;
+      dirty.clear();
+      windowIdx = idx;
+    }
+    for (std::uint32_t k = 0; k < rec.length; ++k) {
+      dirty.insert(rec.block + k);
+    }
+  }
+  uniqueTotal += static_cast<double>(dirty.size()) * blockBytes;
+  return Bytes{uniqueTotal / static_cast<double>(fullWindows)};
+}
+
+Bandwidth TraceAnalyzer::batchUpdateRate(Duration win) const {
+  return uniqueBytesPerWindow(win) / win;
+}
+
+TraceStats TraceAnalyzer::stats(const std::vector<Duration>& windows,
+                                Duration burstBin) const {
+  TraceStats out;
+  out.avgUpdateRate = averageUpdateRate();
+  out.burstMultiplier = burstMultiplier(burstBin);
+  for (const Duration& w : windows) {
+    out.batchCurve.push_back(BatchUpdatePoint{w, batchUpdateRate(w)});
+  }
+  std::sort(out.batchCurve.begin(), out.batchCurve.end(),
+            [](const BatchUpdatePoint& a, const BatchUpdatePoint& b) {
+              return a.window < b.window;
+            });
+  // Enforce the monotone-rate invariant WorkloadSpec requires: measurement
+  // noise can produce tiny upticks; clamp each point to its predecessor.
+  for (size_t i = 1; i < out.batchCurve.size(); ++i) {
+    out.batchCurve[i].rate =
+        std::min(out.batchCurve[i].rate, out.batchCurve[i - 1].rate);
+  }
+  return out;
+}
+
+WorkloadSpec TraceAnalyzer::fitWorkload(const std::string& name,
+                                        const std::vector<Duration>& windows,
+                                        Duration burstBin,
+                                        double accessToUpdateRatio) const {
+  if (accessToUpdateRatio < 1.0) {
+    throw TraceError("access rate cannot be below the update rate");
+  }
+  TraceStats s = stats(windows, burstBin);
+  // Unique rates can never exceed the average update rate; clamp residual
+  // measurement artifacts before WorkloadSpec validation.
+  for (auto& p : s.batchCurve) {
+    p.rate = std::min(p.rate, s.avgUpdateRate);
+  }
+  return WorkloadSpec(name, trace_.objectSize(),
+                      s.avgUpdateRate * accessToUpdateRatio, s.avgUpdateRate,
+                      std::max(1.0, s.burstMultiplier), std::move(s.batchCurve));
+}
+
+}  // namespace stordep::workloadgen

@@ -1,0 +1,57 @@
+// analyzer.hpp — measures model-input statistics from an update trace.
+//
+// Computes exactly the Table 2 quantities the dependability models consume:
+// average update rate, burstiness (peak/average over fine bins), and the
+// unique-update-rate curve batchUpdR(win) for a set of windows; and fits a
+// complete WorkloadSpec from them.
+#pragma once
+
+#include <vector>
+
+#include "core/workload.hpp"
+#include "workloadgen/trace.hpp"
+
+namespace stordep::workloadgen {
+
+struct TraceStats {
+  Bandwidth avgUpdateRate;
+  /// Peak-to-average ratio of update volume over `burstBin`-sized bins.
+  double burstMultiplier = 1.0;
+  std::vector<BatchUpdatePoint> batchCurve;
+};
+
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const UpdateTrace& trace);
+
+  /// Average (non-unique) update bandwidth over the whole trace.
+  [[nodiscard]] Bandwidth averageUpdateRate() const;
+
+  /// Peak/average update-volume ratio measured over bins of `binSize`.
+  [[nodiscard]] double burstMultiplier(Duration binSize) const;
+
+  /// Unique bytes written within one window of length `win`, averaged over
+  /// all full windows in the trace (tumbling windows).
+  [[nodiscard]] Bytes uniqueBytesPerWindow(Duration win) const;
+
+  /// batchUpdR(win) = uniqueBytesPerWindow(win) / win.
+  [[nodiscard]] Bandwidth batchUpdateRate(Duration win) const;
+
+  /// Measures the full statistics set for the given curve windows.
+  [[nodiscard]] TraceStats stats(const std::vector<Duration>& windows,
+                                 Duration burstBin) const;
+
+  /// Fits a WorkloadSpec usable by the dependability models: measured
+  /// rates/curve, the trace's object size, and a read/write ratio to derive
+  /// the access rate (accessRate = updateRate * (1 + readFraction /
+  /// (1 - readFraction)) is left to the caller via `accessToUpdateRatio`).
+  [[nodiscard]] WorkloadSpec fitWorkload(const std::string& name,
+                                         const std::vector<Duration>& windows,
+                                         Duration burstBin,
+                                         double accessToUpdateRatio) const;
+
+ private:
+  const UpdateTrace& trace_;
+};
+
+}  // namespace stordep::workloadgen

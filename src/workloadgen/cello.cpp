@@ -1,0 +1,40 @@
+#include "workloadgen/cello.hpp"
+
+namespace stordep::workloadgen::cello {
+
+GeneratorConfig generatorConfig(Bytes objectSize, std::uint64_t seed) {
+  GeneratorConfig config;
+  config.objectSize = objectSize;
+  config.blockSize = kilobytes(4);
+  config.avgUpdateRate = kbPerSec(799);
+  config.burstMultiplier = 10.0;
+  config.meanBurstLength = seconds(20);
+  // cello's 12-hour unique rate (350 KB/s) against a 799 KB/s update rate
+  // implies roughly half the day's writes are overwrites; a generous working
+  // set with mild skew keeps short windows mostly unique (727/799 at one
+  // minute) while long windows saturate.
+  config.workingSetFraction = 0.5;
+  config.zipfSkew = 0.55;
+  config.updateLengthBlocks = 4;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<Duration> publishedWindows() {
+  return {minutes(1), hours(12), hours(24), hours(48), weeks(1)};
+}
+
+WorkloadSpec publishedWorkload() {
+  return WorkloadSpec(
+      "cello workgroup file server", gigabytes(1360), kbPerSec(1028),
+      kbPerSec(799), 10.0,
+      {
+          BatchUpdatePoint{minutes(1), kbPerSec(727)},
+          BatchUpdatePoint{hours(12), kbPerSec(350)},
+          BatchUpdatePoint{hours(24), kbPerSec(317)},
+          BatchUpdatePoint{hours(48), kbPerSec(317)},
+          BatchUpdatePoint{weeks(1), kbPerSec(317)},
+      });
+}
+
+}  // namespace stordep::workloadgen::cello

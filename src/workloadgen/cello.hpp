@@ -1,0 +1,33 @@
+// cello.hpp — a synthetic stand-in for the cello workgroup-server traces.
+//
+// The paper drives its case study with statistics measured from HP's
+// internal `cello` traces (Table 2). Those traces are not available, but
+// the models only consume the published statistics — which the case-study
+// module encodes directly. This header complements that with a *generator
+// configuration* tuned so that a synthetic trace, pushed through the
+// analyzer, reproduces the published statistics' shape: ~800 KB/s average
+// updates, ~10x burstiness, and a unique-update curve that decays from
+// ~90% of the update rate at 1-minute windows toward a saturated working
+// set at day-plus windows.
+#pragma once
+
+#include "core/workload.hpp"
+#include "workloadgen/generator.hpp"
+
+namespace stordep::workloadgen::cello {
+
+/// Generator settings approximating cello's published statistics at a
+/// laptop-friendly scale (the object is scaled down; rates are preserved,
+/// so window statistics saturate proportionally faster).
+[[nodiscard]] GeneratorConfig generatorConfig(Bytes objectSize = gigabytes(2),
+                                              std::uint64_t seed = 42);
+
+/// The windows Table 2 publishes batchUpdR for.
+[[nodiscard]] std::vector<Duration> publishedWindows();
+
+/// The published Table 2 statistics as a WorkloadSpec (same values as
+/// casestudy::celloWorkload(); repeated here so the workload-generation
+/// substrate is self-contained).
+[[nodiscard]] WorkloadSpec publishedWorkload();
+
+}  // namespace stordep::workloadgen::cello

@@ -1,0 +1,86 @@
+#include "workloadgen/generator.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace stordep::workloadgen {
+
+TraceGenerator::TraceGenerator(GeneratorConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.burstMultiplier < 1.0) {
+    throw TraceError("burst multiplier must be >= 1");
+  }
+  if (!(config_.workingSetFraction > 0.0) ||
+      config_.workingSetFraction > 1.0) {
+    throw TraceError("working-set fraction must be in (0, 1]");
+  }
+  if (!(config_.meanBurstLength.secs() > 0)) {
+    throw TraceError("mean burst length must be positive");
+  }
+  if (config_.updateLengthBlocks == 0) {
+    throw TraceError("update length must be positive");
+  }
+}
+
+UpdateTrace TraceGenerator::generate(Duration duration) {
+  UpdateTrace trace(config_.objectSize, config_.blockSize);
+
+  const double updateBytes =
+      config_.blockSize.bytes() * config_.updateLengthBlocks;
+  const double avgRecordsPerSec =
+      config_.avgUpdateRate.bytesPerSec() / updateBytes;
+
+  // On/off modulation: bursts at `m x avg`, gaps at `avg / m` (residual
+  // trickle), with duty cycle chosen so the long-run average is `avg`.
+  //   duty * m + (1 - duty) / m = 1  =>  duty = (1 - 1/m) / (m - 1/m)
+  const double m = config_.burstMultiplier;
+  const double duty = m > 1.0 ? (1.0 - 1.0 / m) / (m - 1.0 / m) : 1.0;
+  const double burstRate = avgRecordsPerSec * m;
+  const double gapRate = avgRecordsPerSec / m;
+  const double meanBurst = config_.meanBurstLength.secs();
+  const double meanGap =
+      duty < 1.0 ? meanBurst * (1.0 - duty) / duty : 0.0;
+
+  const auto workingBlocks = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(trace.blockCount()) *
+             config_.workingSetFraction));
+  const std::uint64_t maxStart =
+      workingBlocks > config_.updateLengthBlocks
+          ? workingBlocks - config_.updateLengthBlocks
+          : 0;
+
+  double now = 0;
+  bool inBurst = true;
+  double phaseEnd = rng_.exponential(meanBurst);
+  const double end = duration.secs();
+
+  while (now < end) {
+    const double rate = inBurst ? burstRate : gapRate;
+    const double step = rate > 0
+                            ? rng_.exponential(1.0 / rate)
+                            : std::numeric_limits<double>::infinity();
+    if (now + step >= phaseEnd) {
+      // The next arrival would land in a different phase: jump to the
+      // boundary and resample at the new phase's rate (memorylessness of
+      // the exponential makes this exact, not an approximation).
+      now = phaseEnd;
+      inBurst = !inBurst;
+      const double mean = inBurst ? meanBurst : meanGap;
+      phaseEnd += mean > 0 ? rng_.exponential(mean) : 1e-9;
+      continue;
+    }
+    now += step;
+    if (now >= end) break;
+
+    std::uint64_t block = rng_.zipf(maxStart + 1, config_.zipfSkew);
+    trace.append(UpdateRecord{
+        .time = now,
+        .block = block,
+        .length = config_.updateLengthBlocks,
+    });
+  }
+  return trace;
+}
+
+}  // namespace stordep::workloadgen

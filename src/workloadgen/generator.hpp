@@ -1,0 +1,54 @@
+// generator.hpp — synthetic bursty update-trace generation.
+//
+// Emits block-level update traces with the two properties the dependability
+// models care about:
+//
+//  * burstiness — an on/off modulated arrival process: updates arrive at
+//    `peak = burstMultiplier x average` rate during bursts and at a low
+//    residual rate between them, with exponentially distributed burst and
+//    gap lengths (mean burst duration configurable);
+//  * overwrite locality — each update targets a Zipf-distributed block of a
+//    working set that is a configurable fraction of the object, so unique
+//    bytes per window saturate and the measured batchUpdR(win) curve
+//    declines with the window, just like the published cello curve.
+#pragma once
+
+#include "sim/rng.hpp"
+#include "workloadgen/trace.hpp"
+
+namespace stordep::workloadgen {
+
+struct GeneratorConfig {
+  Bytes objectSize = megabytes(256);
+  Bytes blockSize = kilobytes(4);
+  Bandwidth avgUpdateRate = kbPerSec(800);
+  /// Peak-to-average update ratio (>= 1).
+  double burstMultiplier = 10.0;
+  /// Mean duration of a burst (exponentially distributed).
+  Duration meanBurstLength = seconds(10);
+  /// Fraction of the object that is actively updated (0 < f <= 1).
+  double workingSetFraction = 0.25;
+  /// Zipf skew over the working set (0 = uniform; ~1 = heavily skewed).
+  double zipfSkew = 0.9;
+  /// Blocks written per update record.
+  std::uint32_t updateLengthBlocks = 4;
+  std::uint64_t seed = 42;
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(GeneratorConfig config);
+
+  /// Generates a trace covering `duration` of activity.
+  [[nodiscard]] UpdateTrace generate(Duration duration);
+
+  [[nodiscard]] const GeneratorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  GeneratorConfig config_;
+  sim::Rng rng_;
+};
+
+}  // namespace stordep::workloadgen

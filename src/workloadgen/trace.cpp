@@ -1,0 +1,96 @@
+#include "workloadgen/trace.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace stordep::workloadgen {
+
+UpdateTrace::UpdateTrace(Bytes objectSize, Bytes blockSize)
+    : objectSize_(objectSize), blockSize_(blockSize) {
+  if (!(objectSize.bytes() > 0) || !(blockSize.bytes() > 0)) {
+    throw TraceError("object and block sizes must be positive");
+  }
+  if (blockSize > objectSize) {
+    throw TraceError("block size exceeds object size");
+  }
+  blockCount_ =
+      static_cast<std::uint64_t>(std::floor(objectSize / blockSize));
+}
+
+void UpdateTrace::append(UpdateRecord record) {
+  if (!records_.empty() && record.time < records_.back().time) {
+    throw TraceError("trace records must be time-ordered");
+  }
+  if (record.length == 0) {
+    throw TraceError("update length must be positive");
+  }
+  if (record.block + record.length > blockCount_) {
+    throw TraceError("update beyond the end of the object");
+  }
+  totalBytes_ += blockSize_ * static_cast<double>(record.length);
+  records_.push_back(record);
+}
+
+void UpdateTrace::save(std::ostream& out) const {
+  // Sizes are whole bytes; timestamps need full double precision to
+  // round-trip ordering exactly.
+  out << "# stordep-trace v1 object="
+      << static_cast<unsigned long long>(objectSize_.bytes())
+      << " block=" << static_cast<unsigned long long>(blockSize_.bytes())
+      << "\n";
+  out.precision(17);
+  for (const UpdateRecord& rec : records_) {
+    out << rec.time << ' ' << rec.block << ' ' << rec.length << '\n';
+  }
+  if (!out) throw TraceError("failed writing trace stream");
+}
+
+UpdateTrace UpdateTrace::load(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) throw TraceError("empty trace stream");
+
+  // Header layout: "# stordep-trace v1 object=N block=M".
+  std::istringstream hs(header);
+  std::string hash, magic, version, objectField, blockField;
+  hs >> hash >> magic >> version >> objectField >> blockField;
+  if (hash != "#" || magic != "stordep-trace" || version != "v1") {
+    throw TraceError("unrecognized trace header: " + header);
+  }
+  const auto parseField = [](const std::string& field,
+                             const std::string& key) {
+    const std::string prefix = key + "=";
+    if (field.rfind(prefix, 0) != 0) {
+      throw TraceError("bad trace header field '" + field + "'");
+    }
+    return std::stod(field.substr(prefix.size()));
+  };
+  const double objectBytes = parseField(objectField, "object");
+  const double blockBytes = parseField(blockField, "block");
+
+  UpdateTrace trace(Bytes{objectBytes}, Bytes{blockBytes});
+  double time = 0;
+  std::uint64_t block = 0;
+  std::uint32_t length = 0;
+  while (in >> time >> block >> length) {
+    trace.append(UpdateRecord{time, block, length});
+  }
+  if (!in.eof() && in.fail()) {
+    throw TraceError("malformed trace record");
+  }
+  return trace;
+}
+
+void UpdateTrace::saveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw TraceError("cannot open " + path + " for writing");
+  save(out);
+}
+
+UpdateTrace UpdateTrace::loadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceError("cannot open " + path);
+  return load(in);
+}
+
+}  // namespace stordep::workloadgen

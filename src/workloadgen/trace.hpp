@@ -1,0 +1,76 @@
+// trace.hpp — block-level update traces.
+//
+// The paper's models are driven by statistics measured from the `cello`
+// workgroup-server traces (Table 2), which are not publicly distributable.
+// This substrate substitutes a synthetic trace pipeline: a generator
+// (generator.hpp) emits block-level update records; an analyzer
+// (analyzer.hpp) measures exactly the statistics the models consume
+// (average rates, burstiness, the batchUpdR(win) curve), closing the loop
+// from raw I/O records to a WorkloadSpec.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace stordep::workloadgen {
+
+/// One update (write) to the data object.
+struct UpdateRecord {
+  double time = 0;           ///< seconds since trace start
+  std::uint64_t block = 0;   ///< block index within the object
+  std::uint32_t length = 1;  ///< blocks written, starting at `block`
+};
+
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A time-ordered sequence of update records over a fixed-size object.
+class UpdateTrace {
+ public:
+  UpdateTrace(Bytes objectSize, Bytes blockSize);
+
+  /// Appends a record; times must be non-decreasing and blocks in range.
+  void append(UpdateRecord record);
+
+  [[nodiscard]] Bytes objectSize() const noexcept { return objectSize_; }
+  [[nodiscard]] Bytes blockSize() const noexcept { return blockSize_; }
+  [[nodiscard]] std::uint64_t blockCount() const noexcept {
+    return blockCount_;
+  }
+  [[nodiscard]] const std::vector<UpdateRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] double duration() const noexcept {
+    return records_.empty() ? 0.0 : records_.back().time;
+  }
+
+  /// Total bytes written (non-unique).
+  [[nodiscard]] Bytes totalBytes() const noexcept { return totalBytes_; }
+
+  /// Serializes to the trace text format:
+  ///   # stordep-trace v1 object=<bytes> block=<bytes>
+  ///   <time> <block> <length>        (one record per line)
+  /// and back. The format is line-oriented so real traces can be converted
+  /// with a one-line awk script.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static UpdateTrace load(std::istream& in);
+  void saveFile(const std::string& path) const;
+  [[nodiscard]] static UpdateTrace loadFile(const std::string& path);
+
+ private:
+  Bytes objectSize_;
+  Bytes blockSize_;
+  std::uint64_t blockCount_;
+  Bytes totalBytes_;
+  std::vector<UpdateRecord> records_;
+};
+
+}  // namespace stordep::workloadgen

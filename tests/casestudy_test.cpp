@@ -1,0 +1,196 @@
+// End-to-end tests reproducing the paper's Section 4 case study through the
+// public evaluate() entry point: Table 5 (utilization), Table 6 (recovery),
+// Figure 5 (cost structure) and Table 7 (what-if scenarios).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "casestudy/casestudy.hpp"
+
+namespace stordep {
+namespace {
+
+namespace cs = casestudy;
+
+TEST(CaseStudy, BaselineIsFeasibleAndConventional) {
+  const StorageDesign d = cs::baseline();
+  const EvaluationResult r = evaluate(d, cs::arrayFailure());
+  EXPECT_TRUE(r.utilization.feasible());
+  EXPECT_TRUE(r.warnings.empty())
+      << "unexpected warning: " << (r.warnings.empty() ? "" : r.warnings[0]);
+  EXPECT_EQ(d.levelCount(), 4);
+  EXPECT_EQ(d.level(1).kind(), TechniqueKind::kSplitMirror);
+  EXPECT_EQ(d.level(2).kind(), TechniqueKind::kBackup);
+  EXPECT_EQ(d.level(3).kind(), TechniqueKind::kVaulting);
+}
+
+TEST(CaseStudy, Table6ObjectFailure) {
+  const EvaluationResult r = evaluate(cs::baseline(), cs::objectFailure());
+  EXPECT_EQ(r.recovery.sourceName, "split mirror");
+  EXPECT_NEAR(r.recovery.recoveryTime.secs(), 0.004, 0.0005);
+  EXPECT_EQ(r.recovery.dataLoss, hours(12));
+}
+
+TEST(CaseStudy, Table6ArrayFailure) {
+  const EvaluationResult r = evaluate(cs::baseline(), cs::arrayFailure());
+  EXPECT_EQ(r.recovery.sourceName, "tape backup");
+  EXPECT_NEAR(r.recovery.recoveryTime.hrs(), 2.4, 0.15);
+  EXPECT_EQ(r.recovery.dataLoss, hours(217));
+}
+
+TEST(CaseStudy, Table6SiteDisaster) {
+  const EvaluationResult r = evaluate(cs::baseline(), cs::siteDisaster());
+  EXPECT_EQ(r.recovery.sourceName, "remote vaulting");
+  EXPECT_NEAR(r.recovery.recoveryTime.hrs(), 26.4, 0.2);
+  EXPECT_EQ(r.recovery.dataLoss, hours(1429));
+}
+
+/// One Table 7 row (array failure and site disaster) for a design.
+/// `rtTol` is the relative tolerance on recovery times: two cells carry a
+/// wider band because the paper's restore-bandwidth accounting for
+/// incremental replay and concurrent vault copies is unpublished (the
+/// divergences are itemized in EXPERIMENTS.md).
+struct Table7Row {
+  const char* label;
+  double paperOutlaysM;
+  double arrayRtHr, arrayDlHr, arrayTotalM;
+  double siteRtHr, siteDlHr, siteTotalM;
+  double rtTol;
+};
+
+// Published values (Table 7). Total costs recomputed as outlays +
+// (RT+DL) x $50k where the paper's own arithmetic is internally
+// inconsistent (site rows of the baseline; see EXPERIMENTS.md).
+constexpr Table7Row kTable7[] = {
+    {"Baseline", 0.97, 2.4, 217, 11.94, 26.4, 1429, 73.74, 0.10},
+    {"Weekly vault", 0.99, 2.4, 217, 11.96, 26.4, 253, 14.96, 0.10},
+    {"Weekly vault, F+I", 0.99, 4.0, 73, 4.84, 26.4, 253, 14.96, 0.40},
+    {"Weekly vault, daily F", 1.01, 2.4, 37, 2.98, 26.4, 217, 13.18, 0.30},
+    {"Weekly vault, daily F, snapshot", 0.76, 2.4, 37, 2.73, 26.4, 217, 12.93,
+     0.30},
+    {"AsyncB mirror, 1 link", 0.93, 21.7, 0.03, 2.01, 21.7, 0.03, 2.01, 0.10},
+    {"AsyncB mirror, 10 links", 5.03, 2.8, 0.03, 5.18, 9.8, 0.03, 5.52, 0.10},
+};
+
+class Table7Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table7Test, RowReproduces) {
+  const Table7Row& row = kTable7[GetParam()];
+  const auto designs = cs::allWhatIfDesigns();
+  const auto it = std::find_if(
+      designs.begin(), designs.end(),
+      [&](const auto& entry) { return entry.first == row.label; });
+  ASSERT_NE(it, designs.end()) << row.label;
+  const StorageDesign& d = it->second;
+
+  const EvaluationResult array = evaluate(d, cs::arrayFailure());
+  const EvaluationResult site = evaluate(d, cs::siteDisaster());
+  ASSERT_TRUE(array.recovery.recoverable) << row.label;
+  ASSERT_TRUE(site.recovery.recoverable) << row.label;
+
+  // Outlays: within 25% of the paper. The paper's component costs are only
+  // partially published (a ~$0.2M/yr facilities/service block is missing
+  // from what can be reconstructed); shapes and orderings are exact.
+  EXPECT_NEAR(array.cost.totalOutlays.millionUsd(), row.paperOutlaysM,
+              0.25 * row.paperOutlaysM)
+      << row.label;
+
+  // Recovery time: per-row tolerance + a small absolute slack.
+  EXPECT_NEAR(array.recovery.recoveryTime.hrs(), row.arrayRtHr,
+              row.rtTol * row.arrayRtHr + 0.25)
+      << row.label;
+  EXPECT_NEAR(site.recovery.recoveryTime.hrs(), row.siteRtHr,
+              row.rtTol * row.siteRtHr + 0.25)
+      << row.label;
+
+  // Data loss: exact policy arithmetic, reproduced to the hour
+  // (the async rows are 2 minutes = 0.033 hr).
+  EXPECT_NEAR(array.recovery.dataLoss.hrs(), row.arrayDlHr,
+              row.arrayDlHr > 1 ? 0.5 : 0.01)
+      << row.label;
+  EXPECT_NEAR(site.recovery.dataLoss.hrs(), row.siteDlHr,
+              row.siteDlHr > 1 ? 0.5 : 0.01)
+      << row.label;
+
+  // Total cost: within 12% (penalties dominate and reproduce tightly).
+  EXPECT_NEAR(array.cost.totalCost.millionUsd(), row.arrayTotalM,
+              0.12 * row.arrayTotalM)
+      << row.label;
+  EXPECT_NEAR(site.cost.totalCost.millionUsd(), row.siteTotalM,
+              0.12 * row.siteTotalM)
+      << row.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table7Test, ::testing::Range(0, 7));
+
+TEST(CaseStudy, Table7Orderings) {
+  // The qualitative conclusions the paper draws from Table 7.
+  const auto designs = cs::allWhatIfDesigns();
+  auto total = [&](const char* label, const FailureScenario& s) {
+    const auto it = std::find_if(
+        designs.begin(), designs.end(),
+        [&](const auto& e) { return e.first == label; });
+    return evaluate(it->second, s).cost.totalCost.millionUsd();
+  };
+  const auto array = cs::arrayFailure();
+  const auto site = cs::siteDisaster();
+
+  // Weekly vaulting slashes site-disaster cost.
+  EXPECT_LT(total("Weekly vault", site), 0.3 * total("Baseline", site));
+  // Incrementals cut array-failure cost; daily fulls cut it further.
+  EXPECT_LT(total("Weekly vault, F+I", array), total("Weekly vault", array));
+  EXPECT_LT(total("Weekly vault, daily F", array),
+            total("Weekly vault, F+I", array));
+  // Snapshots shave outlays off the daily-full design.
+  EXPECT_LT(total("Weekly vault, daily F, snapshot", array),
+            total("Weekly vault, daily F", array));
+  // The paper's punchline: the single-link mirror is the cheapest design
+  // overall despite its long recovery, because outlays dominate.
+  double cheapest = 1e30;
+  std::string cheapestLabel;
+  for (const auto& [label, design] : designs) {
+    const double t = evaluate(design, array).cost.totalCost.millionUsd();
+    if (t < cheapest) {
+      cheapest = t;
+      cheapestLabel = label;
+    }
+  }
+  EXPECT_EQ(cheapestLabel, "AsyncB mirror, 1 link");
+}
+
+TEST(CaseStudy, WhatIfDesignsAreFeasible) {
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    const UtilizationResult u = computeUtilization(design);
+    EXPECT_TRUE(u.feasible()) << label << ": "
+                              << (u.errors.empty() ? "" : u.errors[0]);
+  }
+}
+
+TEST(CaseStudy, EvaluateProducesAssessmentsAndObjectives) {
+  const EvaluationResult r = evaluate(cs::baseline(), cs::siteDisaster());
+  ASSERT_EQ(r.levelAssessments.size(), 4u);
+  EXPECT_EQ(r.levelAssessments[3].lossCase, LossCase::kNotYetPropagated);
+  EXPECT_TRUE(r.meetsObjectives);  // no RTO/RPO set
+
+  // With a hard RPO of 24 h, the baseline fails a site disaster.
+  StorageDesign strict(
+      "strict", cs::celloWorkload(),
+      BusinessRequirements{.unavailabilityPenaltyRate = dollarsPerHour(50'000),
+                           .lossPenaltyRate = dollarsPerHour(50'000),
+                           .rto = hours(48),
+                           .rpo = hours(24)},
+      [] {
+        const StorageDesign base = cs::baseline();
+        std::vector<TechniquePtr> levels;
+        for (int i = 0; i < base.levelCount(); ++i) {
+          levels.push_back(base.levelPtr(i));
+        }
+        return levels;
+      }(),
+      cs::recoveryFacility());
+  const EvaluationResult strictResult = evaluate(strict, cs::siteDisaster());
+  EXPECT_FALSE(strictResult.meetsObjectives);
+}
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,165 @@
+// Tests for core/cost: outlay attribution (fixed costs to the primary
+// technique, incremental costs to secondaries, spares proportional) and
+// penalty computation (paper Sec 3.3.5, Figure 5, Table 7).
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+#include "core/evaluator.hpp"
+
+namespace stordep {
+namespace {
+
+using casestudy::arrayFailure;
+using casestudy::baseline;
+using casestudy::objectFailure;
+using casestudy::siteDisaster;
+
+CostResult baselineCosts(const FailureScenario& scenario) {
+  const StorageDesign d = baseline();
+  return computeCosts(d, computeRecovery(d, scenario));
+}
+
+TEST(Cost, PenaltyIsRateTimesTime) {
+  const CostResult c = baselineCosts(arrayFailure());
+  // Paper Table 7 baseline array failure: penalties $10.97M
+  // ((2.4 + 217) hr x $50k/hr).
+  EXPECT_NEAR(c.lossPenalty.millionUsd(), 217 * 0.05, 1e-6);
+  EXPECT_NEAR(c.outagePenalty.millionUsd(), 2.4 * 0.05, 0.01);
+  EXPECT_NEAR(c.totalPenalties.millionUsd(), 10.97, 0.02);
+}
+
+TEST(Cost, SitePenaltiesDominatedByDataLoss) {
+  const CostResult c = baselineCosts(siteDisaster());
+  // (26.4 + 1429) hr x $50k/hr ~ $72.8M. (The paper prints $70.97M, which
+  // is inconsistent with its own RT/DL figures; see EXPERIMENTS.md.)
+  EXPECT_NEAR(c.lossPenalty.millionUsd(), 1429 * 0.05, 1e-6);
+  EXPECT_NEAR(c.totalPenalties.millionUsd(), 72.8, 0.1);
+  EXPECT_GT(c.lossPenalty.usd(), 50 * c.outagePenalty.usd());
+}
+
+TEST(Cost, ObjectFailurePenaltiesAreSmall) {
+  const CostResult c = baselineCosts(objectFailure());
+  // 12 h loss x $50k = $0.6M; recovery is sub-second.
+  EXPECT_NEAR(c.lossPenalty.millionUsd(), 0.6, 1e-6);
+  EXPECT_LT(c.outagePenalty.usd(), 1.0);
+}
+
+TEST(Cost, OutlaysIndependentOfScenario) {
+  const CostResult a = baselineCosts(arrayFailure());
+  const CostResult b = baselineCosts(siteDisaster());
+  EXPECT_DOUBLE_EQ(a.totalOutlays.usd(), b.totalOutlays.usd());
+}
+
+TEST(Cost, BaselineOutlayBreakdownMatchesFigure5Shape) {
+  const CostResult c = baselineCosts(arrayFailure());
+  // Figure 5: outlays split roughly evenly between foreground, split
+  // mirroring and tape backup, with negligible vaulting.
+  const auto* fg = c.find("foreground workload");
+  const auto* sm = c.find("split mirror");
+  const auto* bk = c.find("tape backup");
+  const auto* vt = c.find("remote vaulting");
+  ASSERT_NE(fg, nullptr);
+  ASSERT_NE(sm, nullptr);
+  ASSERT_NE(bk, nullptr);
+  ASSERT_NE(vt, nullptr);
+  // Foreground: array fixed + its capacity, doubled by the dedicated spare.
+  EXPECT_NEAR(fg->total().usd(), 2 * (123'297 + 1360 * 17.2), 5.0);
+  // Split mirror: 5 x 1360 GB of array capacity, doubled by the spare.
+  EXPECT_NEAR(sm->total().usd(), 2 * (6800 * 17.2), 5.0);
+  // Tape backup: the whole library (fixed + media + drives), doubled.
+  EXPECT_NEAR(bk->total().usd(), 2 * (98'895 + 6800 * 0.4 + 8.06 * 108.6),
+              20.0);
+  // Vaulting: vault capacity + 13 shipments, no spare.
+  EXPECT_NEAR(vt->total().usd(), 25'000 + 39 * 1360 * 0.4 + 50 * 365.0 / 28,
+              5.0);
+  // "Roughly evenly": each of the big three within a factor ~2 of the
+  // others; vaulting negligible.
+  EXPECT_LT(fg->total().usd() / bk->total().usd(), 2.0);
+  EXPECT_LT(bk->total().usd() / sm->total().usd(), 2.0);
+  EXPECT_LT(vt->total().usd(), 0.25 * sm->total().usd());
+  // Total ~ $0.78M against the paper's $0.97M (unpublished facilities
+  // costs account for the gap; the split is what matters).
+  EXPECT_NEAR(c.totalOutlays.millionUsd(), 0.78, 0.02);
+}
+
+TEST(Cost, SecondaryTechniqueChargedIncrementallyOnly) {
+  // The split mirror shares the primary array: it must not be charged the
+  // array's fixed cost, only its own capacity (plus spare share).
+  const CostResult c = baselineCosts(arrayFailure());
+  const auto* sm = c.find("split mirror");
+  ASSERT_NE(sm, nullptr);
+  EXPECT_NEAR(sm->deviceOutlay.usd(), 6800 * 17.2, 1.0);
+  EXPECT_GT(sm->spareOutlay.usd(), 0.0);
+}
+
+TEST(Cost, SpareSharesAreProportional) {
+  const CostResult c = baselineCosts(arrayFailure());
+  const auto* fg = c.find("foreground workload");
+  const auto* sm = c.find("split mirror");
+  ASSERT_NE(fg, nullptr);
+  ASSERT_NE(sm, nullptr);
+  // Dedicated spare at 1x: every technique's spare share equals its direct
+  // share on that device.
+  EXPECT_NEAR(fg->spareOutlay.usd(), fg->deviceOutlay.usd(), 1e-6);
+  EXPECT_NEAR(sm->spareOutlay.usd(), sm->deviceOutlay.usd(), 1e-6);
+}
+
+TEST(Cost, AsyncBatchOutlaysMatchTable7) {
+  // Table 7: 1 link $0.93M, 10 links $5.03M.
+  const StorageDesign one = casestudy::asyncBatchMirror(1);
+  const CostResult c1 = computeCosts(one, computeRecovery(one, arrayFailure()));
+  EXPECT_NEAR(c1.totalOutlays.millionUsd(), 0.93, 0.05);
+  const StorageDesign ten = casestudy::asyncBatchMirror(10);
+  const CostResult c10 =
+      computeCosts(ten, computeRecovery(ten, arrayFailure()));
+  EXPECT_NEAR(c10.totalOutlays.millionUsd(), 5.03, 0.15);
+}
+
+TEST(Cost, AsyncBatchTotalsMatchTable7) {
+  // The paper's punchline: the cheap 1-link mirror has the lowest total
+  // cost despite its much longer recovery, because outlays dominate.
+  const StorageDesign one = casestudy::asyncBatchMirror(1);
+  const CostResult c1 = computeCosts(one, computeRecovery(one, arrayFailure()));
+  EXPECT_NEAR(c1.totalPenalties.millionUsd(), 1.09, 0.06);
+  EXPECT_NEAR(c1.totalCost.millionUsd(), 2.01, 0.1);
+
+  const StorageDesign ten = casestudy::asyncBatchMirror(10);
+  const CostResult c10 =
+      computeCosts(ten, computeRecovery(ten, arrayFailure()));
+  EXPECT_NEAR(c10.totalPenalties.millionUsd(), 0.14, 0.02);
+  EXPECT_NEAR(c10.totalCost.millionUsd(), 5.18, 0.15);
+  EXPECT_LT(c1.totalCost, c10.totalCost);
+}
+
+TEST(Cost, UnrecoverableScenarioHasInfinitePenalty) {
+  const StorageDesign d = casestudy::asyncBatchMirror(1);
+  // The mirror cannot serve a 24 h rollback: infinite loss -> infinite cost.
+  const CostResult c = computeCosts(d, computeRecovery(d, objectFailure()));
+  EXPECT_TRUE(std::isinf(c.lossPenalty.usd()));
+  EXPECT_TRUE(std::isinf(c.totalCost.usd()));
+  EXPECT_TRUE(c.totalOutlays.isFinite());
+}
+
+TEST(Cost, SnapshotVariantCheaperThanSplitMirrors) {
+  // Table 7: snapshots save ~$0.25M/yr over split mirrors (array capacity
+  // plus its mirrored spare).
+  const StorageDesign mirror = casestudy::weeklyVaultDailyFull();
+  const StorageDesign snap = casestudy::weeklyVaultDailyFullSnapshot();
+  const CostResult cm =
+      computeCosts(mirror, computeRecovery(mirror, arrayFailure()));
+  const CostResult cs =
+      computeCosts(snap, computeRecovery(snap, arrayFailure()));
+  EXPECT_NEAR(cm.totalOutlays.usd() - cs.totalOutlays.usd(),
+              2 * (6800 - 56) * 17.2, 2'000.0);
+  EXPECT_LT(cs.totalOutlays, cm.totalOutlays);
+}
+
+TEST(Cost, FindReturnsNullForUnknownTechnique) {
+  const CostResult c = baselineCosts(arrayFailure());
+  EXPECT_EQ(c.find("nonexistent"), nullptr);
+}
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,188 @@
+// Tests for core/data_loss: the three-case loss model and recovery-source
+// selection (paper Sec 3.3.3), on the case-study scenarios.
+#include "core/data_loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+
+namespace stordep {
+namespace {
+
+using casestudy::arrayFailure;
+using casestudy::baseline;
+using casestudy::objectFailure;
+using casestudy::siteDisaster;
+
+TEST(LevelDestroyed, ScopesKnockOutTheRightLevels) {
+  const StorageDesign d = baseline();
+  const auto object = objectFailure();
+  const auto array = arrayFailure();
+  const auto site = siteDisaster();
+  // Object corruption destroys no hardware.
+  for (int i = 0; i < d.levelCount(); ++i) {
+    EXPECT_FALSE(levelDestroyed(d, i, object)) << i;
+  }
+  // Array failure kills the primary copy and the on-array split mirrors.
+  EXPECT_TRUE(levelDestroyed(d, 0, array));
+  EXPECT_TRUE(levelDestroyed(d, 1, array));
+  EXPECT_FALSE(levelDestroyed(d, 2, array));
+  EXPECT_FALSE(levelDestroyed(d, 3, array));
+  // Site disaster also takes the tape library; the vault survives off-site.
+  EXPECT_TRUE(levelDestroyed(d, 0, site));
+  EXPECT_TRUE(levelDestroyed(d, 1, site));
+  EXPECT_TRUE(levelDestroyed(d, 2, site));
+  EXPECT_FALSE(levelDestroyed(d, 3, site));
+}
+
+TEST(AssessLevel, ObjectFailureCorruptsPrimary) {
+  const StorageDesign d = baseline();
+  const auto a = assessLevel(d, 0, objectFailure());
+  EXPECT_EQ(a.lossCase, LossCase::kLevelCorrupted);
+  EXPECT_TRUE(a.dataLoss.isInfinite());
+}
+
+TEST(AssessLevel, ObjectFailureSplitMirrorWithinRange) {
+  const StorageDesign d = baseline();
+  // 24 h target sits inside the mirror's [12 h, 36 h] range: loss = accW.
+  const auto a = assessLevel(d, 1, objectFailure());
+  EXPECT_EQ(a.lossCase, LossCase::kWithinRange);
+  EXPECT_EQ(a.dataLoss, hours(12));  // Table 6
+}
+
+TEST(AssessLevel, ArrayFailureBackupNotYetPropagated) {
+  const StorageDesign d = baseline();
+  const auto a = assessLevel(d, 2, arrayFailure());
+  EXPECT_EQ(a.lossCase, LossCase::kNotYetPropagated);
+  EXPECT_EQ(a.dataLoss, hours(217));  // Table 6
+}
+
+TEST(AssessLevel, SiteDisasterVaultNotYetPropagated) {
+  const StorageDesign d = baseline();
+  const auto a = assessLevel(d, 3, siteDisaster());
+  EXPECT_EQ(a.lossCase, LossCase::kNotYetPropagated);
+  EXPECT_EQ(a.dataLoss, hours(1429));  // Table 6
+}
+
+TEST(AssessLevel, TargetOlderThanRetention) {
+  const StorageDesign d = baseline();
+  // Ask for a version from 5 years ago: even the vault (3 yr) has retired it.
+  const auto scenario =
+      FailureScenario::objectFailure(years(5), megabytes(1));
+  for (int i = 1; i < d.levelCount(); ++i) {
+    const auto a = assessLevel(d, i, scenario);
+    EXPECT_EQ(a.lossCase, LossCase::kTooOld) << "level " << i;
+    EXPECT_TRUE(a.dataLoss.isInfinite());
+  }
+  EXPECT_FALSE(chooseRecoverySource(d, scenario).has_value());
+}
+
+TEST(AssessLevel, OldTargetServedByDeeperLevel) {
+  const StorageDesign d = baseline();
+  // A 3-week-old version: the split mirror (36 h) can't help; backup can.
+  const auto scenario =
+      FailureScenario::objectFailure(weeks(3), megabytes(1));
+  EXPECT_EQ(assessLevel(d, 1, scenario).lossCase, LossCase::kTooOld);
+  const auto backup = assessLevel(d, 2, scenario);
+  EXPECT_EQ(backup.lossCase, LossCase::kWithinRange);
+  EXPECT_EQ(backup.dataLoss, weeks(1));  // weekly RPs at the backup level
+  const auto chosen = chooseRecoverySource(d, scenario);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->level, 2);
+}
+
+TEST(ChooseRecoverySource, PaperTable6Sources) {
+  const StorageDesign d = baseline();
+  const auto object = chooseRecoverySource(d, objectFailure());
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->level, 1);  // split mirror
+  const auto array = chooseRecoverySource(d, arrayFailure());
+  ASSERT_TRUE(array.has_value());
+  EXPECT_EQ(array->level, 2);  // tape backup
+  const auto site = chooseRecoverySource(d, siteDisaster());
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(site->level, 3);  // remote vault
+}
+
+TEST(ChooseRecoverySource, PrimarySurvivesNonPrimaryFailure) {
+  const StorageDesign d = baseline();
+  // A failure that only hits the tape library leaves the primary intact:
+  // recovery is trivial (source = level 0, no loss).
+  const auto scenario = FailureScenario::arrayFailure("tape-library");
+  const auto chosen = chooseRecoverySource(d, scenario);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->level, 0);
+  EXPECT_EQ(chosen->dataLoss, Duration::zero());
+}
+
+TEST(ChooseRecoverySource, MirrorCannotServeOldRollback) {
+  // An async-batch mirror holds only the current state; a 24 h rollback must
+  // fail when it is the only secondary level.
+  const StorageDesign d = casestudy::asyncBatchMirror(1);
+  const auto chosen = chooseRecoverySource(d, objectFailure());
+  EXPECT_FALSE(chosen.has_value());
+  const auto a = assessLevel(d, 1, objectFailure());
+  EXPECT_EQ(a.lossCase, LossCase::kTooOld);
+}
+
+TEST(ChooseRecoverySource, MirrorServesCurrentTarget) {
+  const StorageDesign d = casestudy::asyncBatchMirror(1);
+  const auto chosen = chooseRecoverySource(d, arrayFailure());
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->level, 1);
+  EXPECT_EQ(chosen->dataLoss, minutes(2));  // Table 7: 0.03 hr
+}
+
+TEST(AssessLevel, RollbackTargetReducesCase1Loss) {
+  const StorageDesign d = baseline();
+  // For a 24 h-old target, the backup level's loss is its lag minus the
+  // target age: the requested point predates the target by lag, but only
+  // updates back to the target count as loss.
+  const auto scenario =
+      FailureScenario::objectFailure(hours(24), megabytes(1));
+  const auto a = assessLevel(d, 2, scenario);
+  EXPECT_EQ(a.lossCase, LossCase::kNotYetPropagated);
+  EXPECT_EQ(a.dataLoss, hours(217 - 24));
+}
+
+TEST(AssessAllLevels, CoversEveryLevel) {
+  const StorageDesign d = baseline();
+  const auto all = assessAllLevels(d, arrayFailure());
+  ASSERT_EQ(all.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(all[static_cast<size_t>(i)].level, i);
+  EXPECT_EQ(all[0].lossCase, LossCase::kLevelDestroyed);
+  EXPECT_EQ(all[1].lossCase, LossCase::kLevelDestroyed);
+}
+
+TEST(LossCase, Names) {
+  EXPECT_EQ(toString(LossCase::kNotYetPropagated), "target not yet propagated");
+  EXPECT_EQ(toString(LossCase::kWithinRange), "target within retained range");
+  EXPECT_EQ(toString(LossCase::kTooOld), "target older than retention");
+  EXPECT_EQ(toString(LossCase::kLevelDestroyed), "level destroyed");
+  EXPECT_EQ(toString(LossCase::kLevelCorrupted), "level corrupted");
+}
+
+// Property sweep: data loss is monotone in the rollback target age — asking
+// for an older restoration point never *increases* the loss, until the
+// target falls off the end of retention.
+class TargetAgeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TargetAgeSweep, LossIsBoundedByLag) {
+  const StorageDesign d = baseline();
+  const Duration target = hours(GetParam());
+  const auto scenario = FailureScenario::objectFailure(target, megabytes(1));
+  for (int i = 1; i < d.levelCount(); ++i) {
+    const auto a = assessLevel(d, i, scenario);
+    if (a.dataLoss.isFinite()) {
+      EXPECT_LE(a.dataLoss, rpTimeLag(d, i)) << "level " << i;
+      EXPECT_GE(a.dataLoss.secs(), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ages, TargetAgeSweep,
+                         ::testing::Values(0.0, 6.0, 12.0, 24.0, 48.0, 100.0,
+                                           217.0, 400.0, 1000.0));
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,184 @@
+// Tests for core/degraded: technique outages, staleness growth, degraded
+// recovery, catch-up estimation and the protection-coverage matrix.
+#include "core/degraded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+#include "core/propagation.hpp"
+
+namespace stordep {
+namespace {
+
+namespace cs = casestudy;
+
+TEST(DegradedStaleness, PropagatesUpward) {
+  const StorageDesign d = cs::baseline();
+  const std::vector<TechniqueOutage> backup{{2, hours(48)}};
+  // Below the outage: unaffected.
+  EXPECT_EQ(degradedExtraStaleness(d, 1, backup), Duration::zero());
+  // At and above the outage: stale by the elapsed time.
+  EXPECT_EQ(degradedExtraStaleness(d, 2, backup), hours(48));
+  EXPECT_EQ(degradedExtraStaleness(d, 3, backup), hours(48));
+}
+
+TEST(DegradedStaleness, ConcurrentOutagesTakeTheMax) {
+  const StorageDesign d = cs::baseline();
+  const std::vector<TechniqueOutage> both{{1, hours(10)}, {2, hours(48)}};
+  EXPECT_EQ(degradedExtraStaleness(d, 1, both), hours(10));
+  EXPECT_EQ(degradedExtraStaleness(d, 3, both), hours(48));
+}
+
+TEST(DegradedStaleness, RejectsBadLevels) {
+  const StorageDesign d = cs::baseline();
+  EXPECT_THROW((void)degradedExtraStaleness(d, 1, {{0, hours(1)}}),
+               DesignError);
+  EXPECT_THROW((void)degradedExtraStaleness(d, 1, {{9, hours(1)}}),
+               DesignError);
+  EXPECT_THROW((void)degradedExtraStaleness(d, 1, {{1, hours(-1)}}),
+               DesignError);
+}
+
+TEST(DegradedAssessment, BackupOutageGrowsArrayFailureLoss) {
+  const StorageDesign d = cs::baseline();
+  // Healthy: array failure loses 217 h. With the backup technique down for
+  // two days, the newest tape is 48 h staler.
+  const auto degraded =
+      assessLevelDegraded(d, 2, cs::arrayFailure(), {{2, hours(48)}});
+  EXPECT_EQ(degraded.lossCase, LossCase::kNotYetPropagated);
+  EXPECT_EQ(degraded.dataLoss, hours(217 + 48));
+}
+
+TEST(DegradedAssessment, NoOutageMatchesHealthyAssessment) {
+  const StorageDesign d = cs::baseline();
+  for (int level = 0; level < d.levelCount(); ++level) {
+    const auto healthy = assessLevel(d, level, cs::arrayFailure());
+    const auto degraded =
+        assessLevelDegraded(d, level, cs::arrayFailure(), {});
+    EXPECT_EQ(healthy.lossCase, degraded.lossCase) << level;
+    EXPECT_EQ(healthy.dataLoss.secs(), degraded.dataLoss.secs()) << level;
+  }
+}
+
+TEST(DegradedAssessment, MirrorOutageAgesTheRollbackWindow) {
+  const StorageDesign d = cs::baseline();
+  // Split mirrors suspended for 20 h: the 24 h-old rollback target now sits
+  // *above* the young edge (12 + 20 = 32 h), so the loss is the grown lag
+  // minus the target age.
+  const auto degraded =
+      assessLevelDegraded(d, 1, cs::objectFailure(), {{1, hours(20)}});
+  EXPECT_EQ(degraded.lossCase, LossCase::kNotYetPropagated);
+  EXPECT_EQ(degraded.dataLoss, hours(12 + 20 - 24));
+}
+
+TEST(DegradedRecovery, LossGrowsWithMirrorOutage) {
+  const StorageDesign d = cs::baseline();
+  // Healthy object failure restores from the split mirror (12 h loss).
+  // With mirrors suspended for 30 h, the freshest retained mirror predates
+  // the 24 h target by (12 + 30) - 24 = 18 h.
+  const RecoveryResult degraded =
+      computeDegradedRecovery(d, cs::objectFailure(), {{1, hours(30)}});
+  ASSERT_TRUE(degraded.recoverable);
+  EXPECT_EQ(degraded.sourceLevel, 1);
+  EXPECT_EQ(degraded.dataLoss, hours(12 + 30 - 24));
+
+  // Even a week-long mirror outage keeps the (frozen, aging) mirrors the
+  // best source: the backup's RPs flowed *through* the mirrors and are
+  // equally stale plus the tape transit. The loss reflects the outage 1:1.
+  const RecoveryResult week =
+      computeDegradedRecovery(d, cs::objectFailure(), {{1, weeks(1)}});
+  ASSERT_TRUE(week.recoverable);
+  EXPECT_EQ(week.sourceLevel, 1);
+  EXPECT_EQ(week.dataLoss, hours(12) + weeks(1) - hours(24));
+}
+
+TEST(DegradedRecovery, MirrorOnlyDesignLosesCurrencyDuringOutage) {
+  const StorageDesign d = cs::asyncBatchMirror(1);
+  // Mirror suspended 6 h when the array dies: 6 h of updates are gone.
+  const RecoveryResult r =
+      computeDegradedRecovery(d, cs::arrayFailure(), {{1, hours(6)}});
+  ASSERT_TRUE(r.recoverable);
+  EXPECT_EQ(r.dataLoss, minutes(2) + hours(6));
+  // Recovery mechanics (transfer over the WAN) are unchanged.
+  EXPECT_NEAR(r.recoveryTime.hrs(), 21.7, 0.8);
+}
+
+TEST(DegradedRecovery, UnrecoverableWhenEverythingTooStale) {
+  // Mirror-only design + outage: the only secondary level cannot serve.
+  auto base = cs::asyncBatchMirror(1);
+  const RecoveryResult r =
+      computeDegradedRecovery(base, cs::objectFailure(), {{1, hours(1)}});
+  EXPECT_FALSE(r.recoverable);
+}
+
+TEST(CatchUp, GrowsWithOutageDuration) {
+  const StorageDesign d = cs::baseline();
+  const Duration day = catchUpTime(d, 1, hours(24));
+  const Duration week = catchUpTime(d, 1, weeks(1));
+  EXPECT_GT(week, day);
+  EXPECT_GT(day, Duration::zero());
+  // A week's backlog of unique updates (~183 GB) through the array's
+  // remaining bandwidth: minutes, not days.
+  EXPECT_LT(week, hours(1));
+}
+
+TEST(CatchUp, BackupCatchUpBoundedByTapeBandwidth) {
+  const StorageDesign d = cs::baseline();
+  // The tape path is the narrow pipe for the backup level.
+  const Duration t = catchUpTime(d, 2, weeks(2));
+  EXPECT_GT(t, minutes(5));
+  EXPECT_LT(t, days(1));
+  EXPECT_THROW((void)catchUpTime(d, 0, hours(1)), DesignError);
+  EXPECT_THROW((void)catchUpTime(d, 1, hours(-1)), DesignError);
+}
+
+TEST(Coverage, MatrixExposesSinglePointsOfFailure) {
+  const StorageDesign d = cs::baseline();
+  const std::vector<std::pair<std::string, FailureScenario>> scenarios{
+      {"object", cs::objectFailure()},
+      {"array", cs::arrayFailure()},
+      {"site", cs::siteDisaster()}};
+  const auto matrix = protectionCoverage(d, scenarios, hours(48));
+  // 3 protection levels x 3 scenarios.
+  ASSERT_EQ(matrix.size(), 9u);
+
+  for (const auto& cell : matrix) {
+    // The baseline hierarchy has no single point of failure: some level
+    // always serves.
+    EXPECT_TRUE(cell.recoverable)
+        << cell.downName << " / " << cell.scenarioName;
+    // An outage never *improves* dependability.
+    EXPECT_GE(cell.lossIncrease.secs(), 0.0);
+  }
+
+  // A backup outage hurts the array-failure case by exactly its duration.
+  const auto backupArray = std::find_if(
+      matrix.begin(), matrix.end(), [](const CoverageCell& c) {
+        return c.downLevel == 2 && c.scenarioName == "array";
+      });
+  ASSERT_NE(backupArray, matrix.end());
+  EXPECT_EQ(backupArray->lossIncrease, hours(48));
+  // A vault outage is invisible to the array-failure case (recovery uses
+  // the backup level).
+  const auto vaultArray = std::find_if(
+      matrix.begin(), matrix.end(), [](const CoverageCell& c) {
+        return c.downLevel == 3 && c.scenarioName == "array";
+      });
+  ASSERT_NE(vaultArray, matrix.end());
+  EXPECT_EQ(vaultArray->lossIncrease, Duration::zero());
+}
+
+TEST(Coverage, MirrorOnlyDesignHasASinglePointOfFailure) {
+  const StorageDesign d = cs::asyncBatchMirror(1);
+  const std::vector<std::pair<std::string, FailureScenario>> scenarios{
+      {"array", cs::arrayFailure()}};
+  const auto matrix = protectionCoverage(d, scenarios, hours(48));
+  ASSERT_EQ(matrix.size(), 1u);
+  // Recoverable, but with two full days of loss: the mirror is the only
+  // protection and its outage translates 1:1 into exposure.
+  EXPECT_TRUE(matrix[0].recoverable);
+  EXPECT_EQ(matrix[0].lossIncrease, hours(48));
+}
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,237 @@
+// Tests for design (de)serialization: quantity parsing from both notations,
+// component round trips, and full-design round trips that must evaluate to
+// identical results.
+#include "config/design_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "casestudy/casestudy.hpp"
+#include "core/evaluator.hpp"
+
+namespace stordep::config {
+namespace {
+
+namespace cs = casestudy;
+
+TEST(QuantityJson, AcceptsNumbersAndStrings) {
+  EXPECT_EQ(jsonToDuration(Json(3600.0)), hours(1));
+  EXPECT_EQ(jsonToDuration(Json("4 wk + 12 hr")), weeks(4) + hours(12));
+  EXPECT_EQ(jsonToBytes(Json("1360 GB")), gigabytes(1360));
+  EXPECT_EQ(jsonToBytes(Json(1024.0)), kilobytes(1));
+  EXPECT_EQ(jsonToBandwidth(Json("155 Mbps")), megabitsPerSec(155));
+  EXPECT_EQ(jsonToMoney(Json("$50K")), dollars(50'000));
+  EXPECT_THROW((void)jsonToDuration(Json(true)), DesignIoError);
+  EXPECT_THROW((void)jsonToBytes(Json::parse("[]")), DesignIoError);
+}
+
+TEST(WorkloadJson, RoundTrips) {
+  const WorkloadSpec original = cs::celloWorkload();
+  const WorkloadSpec reloaded = workloadFromJson(workloadToJson(original));
+  EXPECT_EQ(reloaded.name(), original.name());
+  EXPECT_EQ(reloaded.dataCap(), original.dataCap());
+  EXPECT_EQ(reloaded.avgAccessRate(), original.avgAccessRate());
+  EXPECT_EQ(reloaded.avgUpdateRate(), original.avgUpdateRate());
+  EXPECT_DOUBLE_EQ(reloaded.burstMultiplier(), original.burstMultiplier());
+  ASSERT_EQ(reloaded.batchCurve().size(), original.batchCurve().size());
+  for (size_t i = 0; i < original.batchCurve().size(); ++i) {
+    EXPECT_EQ(reloaded.batchCurve()[i].window, original.batchCurve()[i].window);
+    EXPECT_EQ(reloaded.batchCurve()[i].rate, original.batchCurve()[i].rate);
+  }
+}
+
+TEST(PolicyJson, RoundTripsSimpleAndCyclic) {
+  const ProtectionPolicy simple(
+      WindowSpec{.accW = weeks(1), .propW = hours(48), .holdW = hours(1)}, 4,
+      weeks(4));
+  const ProtectionPolicy reloadedSimple =
+      policyFromJson(policyToJson(simple));
+  EXPECT_EQ(reloadedSimple.primaryWindows().accW, weeks(1));
+  EXPECT_EQ(reloadedSimple.primaryWindows().propW, hours(48));
+  EXPECT_EQ(reloadedSimple.retentionCount(), 4);
+  EXPECT_FALSE(reloadedSimple.isCyclic());
+
+  const ProtectionPolicy cyclic(
+      WindowSpec{.accW = weeks(1), .propW = hours(48), .holdW = hours(1)},
+      WindowSpec{.accW = hours(24),
+                 .propW = hours(12),
+                 .holdW = hours(1),
+                 .propRep = Representation::kPartial},
+      5, weeks(1), 4, weeks(4));
+  const ProtectionPolicy reloadedCyclic =
+      policyFromJson(policyToJson(cyclic));
+  ASSERT_TRUE(reloadedCyclic.isCyclic());
+  EXPECT_EQ(reloadedCyclic.cycleCount(), 5);
+  EXPECT_EQ(reloadedCyclic.secondaryWindows()->propRep,
+            Representation::kPartial);
+  EXPECT_EQ(reloadedCyclic.cyclePeriod(), weeks(1));
+}
+
+TEST(DeviceJson, RoundTripsEveryDeviceType) {
+  const StorageDesign baseline = cs::baseline();
+  const StorageDesign mirror = cs::asyncBatchMirror(3);
+  std::vector<DevicePtr> devices = baseline.devices();
+  for (const auto& d : mirror.devices()) devices.push_back(d);
+
+  for (const DevicePtr& device : devices) {
+    const DevicePtr reloaded = deviceFromJson(deviceToJson(*device));
+    EXPECT_EQ(reloaded->name(), device->name());
+    EXPECT_EQ(reloaded->location(), device->location());
+    EXPECT_EQ(reloaded->usableCapacity(), device->usableCapacity());
+    EXPECT_EQ(reloaded->maxBandwidth(), device->maxBandwidth());
+    EXPECT_EQ(reloaded->accessDelay(), device->accessDelay());
+    EXPECT_EQ(reloaded->isTransport(), device->isTransport());
+    EXPECT_EQ(reloaded->deliversPhysically(), device->deliversPhysically());
+    EXPECT_EQ(reloaded->spec().spare.type, device->spec().spare.type);
+    EXPECT_DOUBLE_EQ(
+        reloaded->annualOutlay(gigabytes(100), mbPerSec(5), 2.0).usd(),
+        device->annualOutlay(gigabytes(100), mbPerSec(5), 2.0).usd());
+  }
+}
+
+TEST(ScenarioJson, RoundTrips) {
+  for (const FailureScenario& scenario :
+       {cs::objectFailure(), cs::arrayFailure(), cs::siteDisaster(),
+        FailureScenario::buildingFailure("b1"),
+        FailureScenario::regionDisaster("west")}) {
+    const FailureScenario reloaded =
+        scenarioFromJson(scenarioToJson(scenario));
+    EXPECT_EQ(reloaded.scope, scenario.scope);
+    EXPECT_EQ(reloaded.target, scenario.target);
+    EXPECT_EQ(reloaded.recoveryTargetAge, scenario.recoveryTargetAge);
+    EXPECT_EQ(reloaded.recoverySize.has_value(),
+              scenario.recoverySize.has_value());
+  }
+}
+
+/// Round-tripping a design must preserve its evaluation results exactly.
+class DesignRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DesignRoundTrip, EvaluationInvariant) {
+  const auto designs = cs::allWhatIfDesigns();
+  const auto& [label, original] = designs[static_cast<size_t>(GetParam())];
+  const StorageDesign reloaded = loadDesign(saveDesign(original));
+  EXPECT_EQ(reloaded.name(), original.name());
+  EXPECT_EQ(reloaded.levelCount(), original.levelCount());
+
+  for (const FailureScenario& scenario :
+       {cs::objectFailure(), cs::arrayFailure(), cs::siteDisaster()}) {
+    const EvaluationResult a = evaluate(original, scenario);
+    const EvaluationResult b = evaluate(reloaded, scenario);
+    EXPECT_EQ(a.recovery.recoverable, b.recovery.recoverable) << label;
+    if (a.recovery.recoverable) {
+      EXPECT_DOUBLE_EQ(a.recovery.recoveryTime.secs(),
+                       b.recovery.recoveryTime.secs())
+          << label;
+      EXPECT_DOUBLE_EQ(a.recovery.dataLoss.secs(), b.recovery.dataLoss.secs())
+          << label;
+      EXPECT_DOUBLE_EQ(a.cost.totalCost.usd(), b.cost.totalCost.usd())
+          << label;
+    }
+    EXPECT_DOUBLE_EQ(a.utilization.overallCapUtil,
+                     b.utilization.overallCapUtil)
+        << label;
+    EXPECT_DOUBLE_EQ(a.cost.totalOutlays.usd(), b.cost.totalOutlays.usd())
+        << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignRoundTrip, ::testing::Range(0, 7));
+
+TEST(DesignJson, HumanNotationAccepted) {
+  // A hand-written design using the paper's notation throughout.
+  const std::string text = R"({
+    "name": "hand-written",
+    "workload": {
+      "name": "small",
+      "dataCap": "100 GB",
+      "avgAccessR": "1 MB/s",
+      "avgUpdateR": "500 KB/s",
+      "burstM": 5,
+      "batchUpdR": [
+        {"window": "1 min", "rate": "400 KB/s"},
+        {"window": "12 hr", "rate": "200 KB/s"}
+      ]
+    },
+    "business": {"unavailPenRatePerHour": 50000, "lossPenRatePerHour": 50000},
+    "devices": [
+      {"type": "disk_array", "name": "array", "location": {"site": "hq"},
+       "raid": "RAID-1", "maxCapSlots": 16, "slotCap": "73 GB",
+       "maxBWSlots": 16, "slotBW": "25 MB/s", "enclBW": "200 MB/s",
+       "costs": {"fixed": "$20K", "perGB": 17.2},
+       "spare": {"type": "dedicated", "provisioningTime": "0.02 hr"}}
+    ],
+    "levels": [
+      {"technique": "primary_copy", "array": "array"},
+      {"technique": "split_mirror", "array": "array",
+       "policy": {"windows": {"accW": "12 hr"}, "retCnt": 3,
+                  "retW": "1 day + 12 hr"}}
+    ]
+  })";
+  const StorageDesign design = loadDesign(text);
+  EXPECT_EQ(design.name(), "hand-written");
+  EXPECT_EQ(design.levelCount(), 2);
+  EXPECT_EQ(design.workload().dataCap(), gigabytes(100));
+  const EvaluationResult result =
+      evaluate(design, FailureScenario::objectFailure(hours(13), megabytes(1)));
+  EXPECT_TRUE(result.recovery.recoverable);
+  EXPECT_EQ(result.recovery.dataLoss, hours(12));
+}
+
+TEST(DesignJson, ErrorsAreDiagnosed) {
+  EXPECT_THROW((void)loadDesign("{}"), std::runtime_error);
+  // Unknown device reference.
+  const std::string badRef = R"({
+    "name": "x",
+    "workload": {"name": "w", "dataCap": "1 GB", "avgAccessR": "1 MB/s",
+                 "avgUpdateR": "1 KB/s", "burstM": 1, "batchUpdR": []},
+    "business": {"unavailPenRatePerHour": 1, "lossPenRatePerHour": 1},
+    "devices": [],
+    "levels": [{"technique": "primary_copy", "array": "missing"}]
+  })";
+  EXPECT_THROW((void)loadDesign(badRef), DesignIoError);
+}
+
+TEST(DesignJson, ShippedDesignFilesEvaluate) {
+  // The repository ships the seven case-study designs under designs/; they
+  // must load and evaluate identically to the in-code builders. The test
+  // locates the directory relative to the source tree.
+  const std::string dir = std::string(STORDEP_SOURCE_DIR) + "/designs/";
+  const std::vector<std::pair<std::string, StorageDesign>> expected = {
+      {"baseline.json", cs::baseline()},
+      {"weekly_vault.json", cs::weeklyVault()},
+      {"weekly_vault_full_plus_incremental.json",
+       cs::weeklyVaultFullPlusIncremental()},
+      {"weekly_vault_daily_full.json", cs::weeklyVaultDailyFull()},
+      {"weekly_vault_daily_full_snapshot.json",
+       cs::weeklyVaultDailyFullSnapshot()},
+      {"async_batch_mirror_1link.json", cs::asyncBatchMirror(1)},
+      {"async_batch_mirror_10links.json", cs::asyncBatchMirror(10)},
+  };
+  for (const auto& [file, builder] : expected) {
+    const StorageDesign loaded = loadDesignFile(dir + file);
+    for (const FailureScenario& scenario :
+         {cs::arrayFailure(), cs::siteDisaster()}) {
+      const EvaluationResult a = evaluate(loaded, scenario);
+      const EvaluationResult b = evaluate(builder, scenario);
+      EXPECT_DOUBLE_EQ(a.cost.totalCost.usd(), b.cost.totalCost.usd())
+          << file;
+      EXPECT_DOUBLE_EQ(a.recovery.dataLoss.secs(), b.recovery.dataLoss.secs())
+          << file;
+    }
+  }
+}
+
+TEST(DesignJson, FileRoundTrip) {
+  const std::string path = "/tmp/stordep_design_io_test.json";
+  saveDesignFile(cs::baseline(), path);
+  const StorageDesign reloaded = loadDesignFile(path);
+  EXPECT_EQ(reloaded.name(), "baseline");
+  EXPECT_EQ(reloaded.levelCount(), 4);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)loadDesignFile("/nonexistent/nope.json"), DesignIoError);
+}
+
+}  // namespace
+}  // namespace stordep::config

@@ -1,0 +1,210 @@
+// Tests for the device models: capacity/bandwidth derivations, RAID
+// overheads, tape transfer limits, transports, spares and cost models.
+#include <gtest/gtest.h>
+
+#include "devices/catalog.hpp"
+#include "devices/disk_array.hpp"
+#include "devices/interconnect.hpp"
+#include "devices/tape_library.hpp"
+#include "devices/vault.hpp"
+
+namespace stordep {
+namespace {
+
+using catalog::enterpriseTapeLibrary;
+using catalog::midrangeDiskArray;
+using catalog::offsiteTapeVault;
+using catalog::overnightAirShipment;
+using catalog::oc3WanLinks;
+
+TEST(DiskArray, Raid1HalvesCapacity) {
+  const auto array = midrangeDiskArray("a", Location::at("s"));
+  // 256 x 73 GB raw = 18688 GB; RAID-1 usable = 9344 GB (what Table 5 needs).
+  EXPECT_DOUBLE_EQ(array->usableCapacity().gigabytes(), 9344.0);
+  EXPECT_DOUBLE_EQ(array->writeAmplification(), 2.0);
+  EXPECT_DOUBLE_EQ(array->smallWriteCost(), 2.0);
+}
+
+TEST(DiskArray, BandwidthIsEnclosureLimited) {
+  const auto array = midrangeDiskArray("a", Location::at("s"));
+  // min(512 MB/s enclosure, 256 x 25 MB/s slots) = 512 MB/s.
+  EXPECT_DOUBLE_EQ(array->maxBandwidth().mbPerSec(), 512.0);
+}
+
+TEST(DiskArray, RaidLevels) {
+  const auto jbod =
+      midrangeDiskArray("a", Location::at("s"), RaidLevel::kNone);
+  EXPECT_DOUBLE_EQ(jbod->usableCapacity().gigabytes(), 18688.0);
+  EXPECT_DOUBLE_EQ(jbod->writeAmplification(), 1.0);
+
+  const auto r5 = midrangeDiskArray("a", Location::at("s"), RaidLevel::kRaid5);
+  // default group size 8: usable 7/8 of raw.
+  EXPECT_DOUBLE_EQ(r5->usableCapacity().gigabytes(), 18688.0 * 7 / 8);
+  EXPECT_DOUBLE_EQ(r5->writeAmplification(), 8.0 / 7.0);
+  EXPECT_DOUBLE_EQ(r5->smallWriteCost(), 4.0);
+
+  const auto r10 =
+      midrangeDiskArray("a", Location::at("s"), RaidLevel::kRaid10);
+  EXPECT_DOUBLE_EQ(r10->usableCapacity().gigabytes(), 9344.0);
+}
+
+TEST(DiskArray, Raid5GroupSizeValidated) {
+  DeviceSpec spec;
+  spec.name = "bad";
+  spec.maxCapSlots = 8;
+  spec.slotCap = gigabytes(73);
+  EXPECT_THROW(DiskArray(spec, RaidLevel::kRaid5, 2), DeviceError);
+}
+
+TEST(TapeLibrary, CapacityAndBandwidth) {
+  const auto lib = enterpriseTapeLibrary("t", Location::at("s"));
+  EXPECT_DOUBLE_EQ(lib->usableCapacity().terabytes(),
+                   500 * 400.0 / 1024.0);  // ~195 TB
+  // min(240 enclosure, 16 x 60) = 240 MB/s.
+  EXPECT_DOUBLE_EQ(lib->maxBandwidth().mbPerSec(), 240.0);
+  EXPECT_EQ(lib->accessDelay(), hours(0.01));
+}
+
+TEST(TapeLibrary, CartridgeMath) {
+  const auto lib = enterpriseTapeLibrary("t", Location::at("s"));
+  EXPECT_EQ(lib->cartridgesFor(Bytes{0}), 0);
+  EXPECT_EQ(lib->cartridgesFor(gigabytes(1)), 1);
+  EXPECT_EQ(lib->cartridgesFor(gigabytes(400)), 1);
+  EXPECT_EQ(lib->cartridgesFor(gigabytes(401)), 2);
+  EXPECT_EQ(lib->cartridgesFor(gigabytes(1360)), 4);
+}
+
+TEST(TapeLibrary, TransferBandwidthScalesWithCartridges) {
+  const auto lib = enterpriseTapeLibrary("t", Location::at("s"));
+  // One cartridge: one drive.
+  EXPECT_DOUBLE_EQ(lib->transferBandwidth(gigabytes(100)).mbPerSec(), 60.0);
+  // Two cartridges: two drives.
+  EXPECT_DOUBLE_EQ(lib->transferBandwidth(gigabytes(500)).mbPerSec(), 120.0);
+  // Full dataset (4 cartridges): enclosure-limited at 240.
+  EXPECT_DOUBLE_EQ(lib->transferBandwidth(gigabytes(1360)).mbPerSec(), 240.0);
+  // A huge payload can't exceed the enclosure either.
+  EXPECT_DOUBLE_EQ(lib->transferBandwidth(terabytes(50)).mbPerSec(), 240.0);
+}
+
+TEST(MediaVault, PureCapacity) {
+  const auto vault = offsiteTapeVault("v", Location::at("s"));
+  EXPECT_DOUBLE_EQ(vault->usableCapacity().terabytes(), 5000 * 400.0 / 1024.0);
+  EXPECT_TRUE(vault->maxBandwidth().isInfinite());
+  EXPECT_FALSE(vault->isTransport());
+}
+
+TEST(PhysicalShipment, DeliversPhysically) {
+  const auto air = overnightAirShipment("air", Location::at("transit"));
+  EXPECT_TRUE(air->isTransport());
+  EXPECT_TRUE(air->deliversPhysically());
+  EXPECT_EQ(air->accessDelay(), hours(24));
+  EXPECT_TRUE(air->maxBandwidth().isInfinite());
+  // $50 per shipment, 13 shipments per year.
+  EXPECT_DOUBLE_EQ(air->annualOutlay(Bytes{0}, Bandwidth::zero(), 13.0).usd(),
+                   650.0);
+}
+
+TEST(NetworkLink, BandwidthScalesWithLinkCount) {
+  const auto one = oc3WanLinks("wan", Location::at("wide-area"), 1);
+  const auto ten = oc3WanLinks("wan", Location::at("wide-area"), 10);
+  EXPECT_NEAR(one->maxBandwidth().bytesPerSec(), 155e6 / 8, 1);
+  EXPECT_NEAR(ten->maxBandwidth().bytesPerSec(), 10 * 155e6 / 8, 1);
+  EXPECT_TRUE(one->isTransport());
+  EXPECT_FALSE(one->deliversPhysically());
+}
+
+TEST(NetworkLink, ChargedAtProvisionedCapacity) {
+  const auto one = oc3WanLinks("wan", Location::at("wide-area"), 1);
+  // Cost is per provisioned MB/s (x $23535), independent of demand.
+  const Money demandless = one->annualOutlay(Bytes{0}, Bandwidth::zero());
+  const Money demanded = one->annualOutlay(Bytes{0}, mbPerSec(5));
+  EXPECT_DOUBLE_EQ(demandless.usd(), demanded.usd());
+  // $23535 per decimal MB/s x 19.375 MB/s ~ $456k (Table 7).
+  EXPECT_NEAR(demandless.usd(), 23'535 * 19.375, 1.0);
+}
+
+TEST(NetworkLink, Validation) {
+  EXPECT_THROW(NetworkLink("w", Location::at("s"), 0, mbPerSec(10),
+                           Duration::zero(), DeviceCostModel{}),
+               DeviceError);
+  EXPECT_THROW(NetworkLink("w", Location::at("s"), 1, Bandwidth::zero(),
+                           Duration::zero(), DeviceCostModel{}),
+               DeviceError);
+}
+
+TEST(DeviceCostModel, Components) {
+  const DeviceCostModel cost{.fixedCost = dollars(1000),
+                             .costPerGB = 2.0,
+                             .costPerMBps = 10.0,
+                             .costPerShipment = 5.0};
+  const Money total = cost.annualOutlay(gigabytes(100), mbPerSec(3), 4.0);
+  EXPECT_DOUBLE_EQ(total.usd(), 1000 + 200 + 30 + 20);
+}
+
+TEST(Spares, DedicatedSpareCostsAndTime) {
+  const auto array = midrangeDiskArray("a", Location::at("s"));
+  EXPECT_EQ(array->spec().spare.type, SpareType::kDedicated);
+  EXPECT_EQ(array->spareProvisioningTime(), hours(0.02));
+  // Dedicated spare at 1x: same outlay as the original usage.
+  const Money base = array->annualOutlay(gigabytes(8160), Bandwidth::zero());
+  const Money spare = array->annualSpareOutlay(gigabytes(8160),
+                                               Bandwidth::zero());
+  EXPECT_DOUBLE_EQ(base.usd(), spare.usd());
+}
+
+TEST(Spares, NoSpareMeansInfiniteProvisioning) {
+  const auto vault = offsiteTapeVault("v", Location::at("s"));
+  EXPECT_EQ(vault->spec().spare.type, SpareType::kNone);
+  EXPECT_TRUE(vault->spareProvisioningTime().isInfinite());
+  EXPECT_DOUBLE_EQ(
+      vault->annualSpareOutlay(gigabytes(100), Bandwidth::zero()).usd(), 0.0);
+}
+
+TEST(Spares, SharedSpareDiscounted) {
+  const SpareSpec shared = SpareSpec::shared(hours(9), 0.2);
+  EXPECT_EQ(shared.type, SpareType::kShared);
+  EXPECT_EQ(shared.provisioningTime, hours(9));
+  EXPECT_DOUBLE_EQ(shared.discountFactor, 0.2);
+  EXPECT_EQ(toString(SpareType::kShared), "shared");
+  EXPECT_EQ(toString(SpareType::kDedicated), "dedicated");
+  EXPECT_EQ(toString(SpareType::kNone), "none");
+}
+
+TEST(DeviceModel, PaperTable4Costs) {
+  // Spot-check the catalog cost models against Table 4.
+  const auto array = midrangeDiskArray("a", Location::at("s"));
+  EXPECT_DOUBLE_EQ(
+      array->annualOutlay(gigabytes(8160), Bandwidth::zero()).usd(),
+      123'297 + 8160 * 17.2);
+  const auto lib = enterpriseTapeLibrary("t", Location::at("s"));
+  EXPECT_NEAR(lib->annualOutlay(gigabytes(6800), mbPerSec(8.06)).usd(),
+              98'895 + 6800 * 0.4 + 8.06 * 108.6, 0.5);
+  const auto vault = offsiteTapeVault("v", Location::at("s"));
+  EXPECT_DOUBLE_EQ(
+      vault->annualOutlay(gigabytes(53'040), Bandwidth::zero()).usd(),
+      25'000 + 53'040 * 0.4);
+}
+
+TEST(DeviceModel, Validation) {
+  DeviceSpec spec;
+  EXPECT_THROW(DiskArray(spec, RaidLevel::kNone), DeviceError);  // no name
+  spec.name = "x";
+  spec.maxCapSlots = -1;
+  EXPECT_THROW(DiskArray(spec, RaidLevel::kNone), DeviceError);
+  spec.maxCapSlots = 1;
+  spec.slotCap = gigabytes(1);
+  spec.accessDelay = seconds(-1);
+  EXPECT_THROW(DiskArray(spec, RaidLevel::kNone), DeviceError);
+}
+
+TEST(DeviceModel, Describe) {
+  const auto array = midrangeDiskArray("primary-array", Location::at("hq"));
+  const std::string desc = array->describe();
+  EXPECT_NE(desc.find("primary-array"), std::string::npos);
+  EXPECT_NE(desc.find("RAID-1"), std::string::npos);
+  const auto lib = enterpriseTapeLibrary("lib", Location::at("hq"));
+  EXPECT_NE(lib->describe().find("drives"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,159 @@
+// Tests for the expected-case analytics (rpExpectedTimeLag /
+// expectedDataLoss) and the sync-mirror write-latency advisory — extensions
+// beyond the paper's worst-case metrics.
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+#include "core/data_loss.hpp"
+#include "core/propagation.hpp"
+#include "core/techniques/remote_mirror.hpp"
+#include "devices/catalog.hpp"
+
+namespace stordep {
+namespace {
+
+namespace cs = casestudy;
+
+TEST(ExpectedLag, HalvesTheAccumulationTerm) {
+  const StorageDesign d = cs::baseline();
+  // Worst: transit + accW; expected: transit + accW/2.
+  EXPECT_EQ(rpExpectedTimeLag(d, 0), Duration::zero());
+  EXPECT_EQ(rpExpectedTimeLag(d, 1), hours(6));
+  EXPECT_EQ(rpExpectedTimeLag(d, 2), hours(49) + weeks(0.5));
+  EXPECT_EQ(rpExpectedTimeLag(d, 3), rpTransitTime(d, 3) + weeks(2));
+  // Always at most the worst case, and at least the transit.
+  for (int level = 1; level < d.levelCount(); ++level) {
+    EXPECT_LE(rpExpectedTimeLag(d, level), rpTimeLag(d, level));
+    EXPECT_GE(rpExpectedTimeLag(d, level), rpTransitTime(d, level));
+  }
+}
+
+TEST(ExpectedLoss, Case1IsExpectedLagMinusTarget) {
+  const StorageDesign d = cs::baseline();
+  // Array failure (target now): expected loss at the backup level
+  // = 49 h + 84 h = 133 h (vs the 217 h worst case).
+  EXPECT_EQ(expectedDataLoss(d, 2, cs::arrayFailure()),
+            hours(49) + hours(84));
+  EXPECT_LT(expectedDataLoss(d, 2, cs::arrayFailure()),
+            assessLevel(d, 2, cs::arrayFailure()).dataLoss);
+}
+
+TEST(ExpectedLoss, Case2IsHalfTheWindow) {
+  const StorageDesign d = cs::baseline();
+  // Object failure: the 24 h target sits inside the mirror range; RPs every
+  // 12 h put the expected gap at 6 h.
+  EXPECT_EQ(expectedDataLoss(d, 1, cs::objectFailure()), hours(6));
+}
+
+TEST(ExpectedLoss, ClampsAtZeroWhenTargetExceedsExpectedLag) {
+  const StorageDesign d = cs::baseline();
+  // Target 100 h old at the backup level: worst case still case 1
+  // (lag 217 > 100) but the *expected* staleness (133 h) exceeds the
+  // target by only 33 h.
+  const auto scenario = FailureScenario::objectFailure(hours(100),
+                                                       megabytes(1));
+  EXPECT_EQ(expectedDataLoss(d, 2, scenario), hours(33));
+  // Target older than the expected lag but younger than the worst:
+  // expectation clamps at zero (on average the RP already covers it).
+  const auto older = FailureScenario::objectFailure(hours(150), megabytes(1));
+  const auto worst = assessLevel(d, 2, older);
+  if (worst.lossCase == LossCase::kNotYetPropagated) {
+    EXPECT_EQ(expectedDataLoss(d, 2, older), Duration::zero());
+  }
+}
+
+TEST(ExpectedLoss, InfiniteWhenLevelCannotServe) {
+  const StorageDesign d = cs::baseline();
+  EXPECT_TRUE(expectedDataLoss(d, 0, cs::objectFailure()).isInfinite());
+  EXPECT_TRUE(expectedDataLoss(d, 1, cs::arrayFailure()).isInfinite());
+  const auto ancient = FailureScenario::objectFailure(years(5), megabytes(1));
+  EXPECT_TRUE(expectedDataLoss(d, 3, ancient).isInfinite());
+}
+
+TEST(ExpectedLoss, AcrossAllDesignsBoundedByWorst) {
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    for (const auto& scenario : {cs::arrayFailure(), cs::siteDisaster()}) {
+      for (int level = 1; level < design.levelCount(); ++level) {
+        const Duration expected = expectedDataLoss(design, level, scenario);
+        const Duration worst = assessLevel(design, level, scenario).dataLoss;
+        if (worst.isFinite()) {
+          EXPECT_LE(expected.secs(), worst.secs() + 1e-9)
+              << label << " level " << level;
+        } else {
+          EXPECT_TRUE(expected.isInfinite()) << label << " level " << level;
+        }
+      }
+    }
+  }
+}
+
+TEST(MirrorBufferSizing, AsyncBufferAbsorbsBurstOvershoot) {
+  const WorkloadSpec w = cs::celloWorkload();
+  auto src = catalog::midrangeDiskArray("src", Location::at("a"));
+  auto dst = catalog::midrangeDiskArray("dst", Location::at("b"),
+                                        RaidLevel::kRaid1, SpareSpec::none());
+  // One OC-3: 18.5 MB/s — well below cello's 7.8 MB/s peak? No: peak is
+  // 7.8 MB/s, below the link; the overshoot is zero.
+  auto bigLink = catalog::oc3WanLinks("wan", Location::at("wide-area"), 1);
+  const RemoteMirror asyncBig("a", MirrorMode::kAsync, src, dst, bigLink,
+                              continuousMirrorPolicy());
+  EXPECT_EQ(asyncBig.requiredBufferSize(w, minutes(5)), Bytes{0});
+
+  // A thin 2 MB/s link: bursts overshoot by ~5.8 MB/s; five minutes of
+  // burst needs ~1.7 GB of buffer.
+  auto thinLink = std::make_shared<NetworkLink>(
+      "thin", Location::at("wide-area"), 1, mbPerSec(2), seconds(0.05),
+      DeviceCostModel{});
+  const RemoteMirror asyncThin("a", MirrorMode::kAsync, src, dst, thinLink,
+                               continuousMirrorPolicy());
+  const Bytes buffer = asyncThin.requiredBufferSize(w, minutes(5));
+  const double overshootMBps = w.peakUpdateRate().mbPerSec() - 2.0;
+  EXPECT_NEAR(buffer.megabytes(), overshootMBps * 300.0, 1.0);
+
+  // Sync mirrors buffer nothing (they block instead).
+  const RemoteMirror sync("s", MirrorMode::kSync, src, dst, thinLink,
+                          continuousMirrorPolicy());
+  EXPECT_EQ(sync.requiredBufferSize(w, minutes(5)), Bytes{0});
+}
+
+TEST(MirrorBufferSizing, AsyncBatchStagesTheWholeBatch) {
+  const WorkloadSpec w = cs::celloWorkload();
+  auto src = catalog::midrangeDiskArray("src", Location::at("a"));
+  auto dst = catalog::midrangeDiskArray("dst", Location::at("b"),
+                                        RaidLevel::kRaid1, SpareSpec::none());
+  auto links = catalog::oc3WanLinks("wan", Location::at("wide-area"), 1);
+  const RemoteMirror batch(
+      "b", MirrorMode::kAsyncBatch, src, dst, links,
+      ProtectionPolicy(WindowSpec{.accW = minutes(1), .propW = minutes(1)}, 1,
+                       minutes(1)));
+  // One minute's unique updates: 727 KB/s x 60 s ~ 42.6 MB — indeed a small
+  // fraction of the array's 32 GB cache, as the paper asserts.
+  const Bytes buffer = batch.requiredBufferSize(w, minutes(5));
+  EXPECT_NEAR(buffer.megabytes(), 727.0 * 60 / 1024, 0.5);
+  EXPECT_LT(buffer.gigabytes(), 32.0 * 0.01);
+}
+
+TEST(SyncMirrorLatency, RoundTripOverTheLinks) {
+  auto src = catalog::midrangeDiskArray("src", Location::at("a"));
+  auto dst = catalog::midrangeDiskArray("dst", Location::at("b"),
+                                        RaidLevel::kRaid1, SpareSpec::none());
+  // 5 ms one-way propagation (~1000 km of fiber).
+  auto links = std::make_shared<NetworkLink>(
+      "wan", Location::at("wide-area"), 2, mbPerSec(50), seconds(0.005),
+      DeviceCostModel{});
+  const RemoteMirror sync("sync", MirrorMode::kSync, src, dst, links,
+                          continuousMirrorPolicy());
+  EXPECT_DOUBLE_EQ(sync.foregroundWriteLatency().secs(), 0.010);
+  // Async modes hide the distance from the application.
+  const RemoteMirror async("async", MirrorMode::kAsync, src, dst, links,
+                           continuousMirrorPolicy());
+  EXPECT_EQ(async.foregroundWriteLatency(), Duration::zero());
+  const RemoteMirror batch(
+      "batch", MirrorMode::kAsyncBatch, src, dst, links,
+      ProtectionPolicy(WindowSpec{.accW = minutes(1), .propW = minutes(1)}, 1,
+                       minutes(1)));
+  EXPECT_EQ(batch.foregroundWriteLatency(), Duration::zero());
+}
+
+}  // namespace
+}  // namespace stordep

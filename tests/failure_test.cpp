@@ -1,0 +1,92 @@
+// Tests for core/failure: scopes, location matching and named constructors;
+// and for core/business: penalties and objectives.
+#include "core/business.hpp"
+#include "core/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stordep {
+namespace {
+
+TEST(Location, DefaultsBuildingAndRegionToSite) {
+  const Location loc = Location::at("oakland");
+  EXPECT_EQ(loc.site, "oakland");
+  EXPECT_EQ(loc.building, "oakland");
+  EXPECT_EQ(loc.region, "oakland");
+}
+
+TEST(Location, ExplicitBuildingAndRegion) {
+  const Location loc = Location::at("oakland", "bldg-3", "west-coast");
+  EXPECT_EQ(loc.site, "oakland");
+  EXPECT_EQ(loc.building, "bldg-3");
+  EXPECT_EQ(loc.region, "west-coast");
+}
+
+TEST(FailureScenario, ObjectFailureDestroysNoHardware) {
+  const auto s = FailureScenario::objectFailure(hours(24), megabytes(1));
+  EXPECT_EQ(s.scope, FailureScope::kDataObject);
+  EXPECT_EQ(s.recoveryTargetAge, hours(24));
+  ASSERT_TRUE(s.recoverySize.has_value());
+  EXPECT_EQ(*s.recoverySize, megabytes(1));
+  EXPECT_FALSE(s.destroys("array", Location::at("anywhere")));
+}
+
+TEST(FailureScenario, ArrayFailureDestroysOnlyTheNamedDevice) {
+  const auto s = FailureScenario::arrayFailure("primary-array");
+  EXPECT_TRUE(s.destroys("primary-array", Location::at("site-a")));
+  EXPECT_FALSE(s.destroys("tape-library", Location::at("site-a")));
+  EXPECT_FALSE(s.destroys("primary-array-2", Location::at("site-a")));
+}
+
+TEST(FailureScenario, BuildingFailureMatchesBuilding) {
+  const auto s = FailureScenario::buildingFailure("bldg-1");
+  EXPECT_TRUE(s.destroys("x", Location::at("site-a", "bldg-1")));
+  EXPECT_FALSE(s.destroys("x", Location::at("site-a", "bldg-2")));
+}
+
+TEST(FailureScenario, SiteDisasterMatchesWholeSite) {
+  const auto s = FailureScenario::siteDisaster("site-a");
+  EXPECT_TRUE(s.destroys("array", Location::at("site-a", "bldg-1")));
+  EXPECT_TRUE(s.destroys("library", Location::at("site-a", "bldg-2")));
+  EXPECT_FALSE(s.destroys("vault", Location::at("site-b")));
+}
+
+TEST(FailureScenario, RegionDisasterMatchesRegion) {
+  const auto s = FailureScenario::regionDisaster("west");
+  EXPECT_TRUE(s.destroys("a", Location::at("site-a", "b1", "west")));
+  EXPECT_TRUE(s.destroys("b", Location::at("site-b", "b9", "west")));
+  EXPECT_FALSE(s.destroys("c", Location::at("site-c", "b1", "east")));
+}
+
+TEST(FailureScope, Names) {
+  EXPECT_EQ(toString(FailureScope::kDataObject), "data object");
+  EXPECT_EQ(toString(FailureScope::kArray), "array");
+  EXPECT_EQ(toString(FailureScope::kBuilding), "building");
+  EXPECT_EQ(toString(FailureScope::kSite), "site");
+  EXPECT_EQ(toString(FailureScope::kRegion), "region");
+}
+
+TEST(BusinessRequirements, PenaltiesScaleWithTime) {
+  const BusinessRequirements biz = caseStudyRequirements();
+  EXPECT_DOUBLE_EQ(biz.outagePenalty(hours(2.4)).usd(), 120'000.0);
+  EXPECT_DOUBLE_EQ(biz.lossPenalty(hours(217)).millionUsd(), 10.85);
+  EXPECT_DOUBLE_EQ(biz.outagePenalty(Duration::zero()).usd(), 0.0);
+}
+
+TEST(BusinessRequirements, ObjectivesDefaultToAlwaysMet) {
+  const BusinessRequirements biz = caseStudyRequirements();
+  EXPECT_TRUE(biz.meetsObjectives(hours(1000), hours(1000)));
+}
+
+TEST(BusinessRequirements, RtoRpoEnforced) {
+  BusinessRequirements biz = caseStudyRequirements();
+  biz.rto = hours(4);
+  biz.rpo = hours(24);
+  EXPECT_TRUE(biz.meetsObjectives(hours(4), hours(24)));
+  EXPECT_FALSE(biz.meetsObjectives(hours(4.1), hours(1)));
+  EXPECT_FALSE(biz.meetsObjectives(hours(1), hours(25)));
+  EXPECT_FALSE(biz.meetsObjectives(Duration::infinite(), Duration::zero()));
+}
+
+}  // namespace
+}  // namespace stordep

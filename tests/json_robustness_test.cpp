@@ -1,0 +1,129 @@
+// Robustness tests for the JSON parser and design loader: deterministic
+// random mutations of valid documents must either parse or throw a typed
+// exception — never crash, hang or silently mis-load — and serialization is
+// idempotent.
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+#include "config/design_io.hpp"
+#include "sim/rng.hpp"
+
+namespace stordep::config {
+namespace {
+
+namespace cs = stordep::casestudy;
+
+TEST(JsonRobustness, SaveIsIdempotent) {
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    const std::string once = saveDesign(design);
+    const std::string twice = saveDesign(loadDesign(once));
+    EXPECT_EQ(once, twice) << label;
+  }
+}
+
+TEST(JsonRobustness, TruncationsAlwaysThrowCleanly) {
+  const std::string doc = saveDesign(cs::baseline());
+  // Cutting the document anywhere must yield JsonError or a loader error,
+  // never a crash or an accepted partial design.
+  for (size_t cut = 0; cut < doc.size(); cut += 97) {
+    const std::string truncated = doc.substr(0, cut);
+    EXPECT_THROW((void)loadDesign(truncated), std::exception) << cut;
+  }
+}
+
+TEST(JsonRobustness, ByteMutationsNeverCrash) {
+  const std::string doc = saveDesign(cs::baseline());
+  sim::Rng rng(0xBADF00D);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = doc;
+    // 1-3 random byte substitutions.
+    const int edits = 1 + static_cast<int>(rng.uniformInt(3));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.uniformInt(mutated.size());
+      mutated[pos] = static_cast<char>(32 + rng.uniformInt(95));
+    }
+    try {
+      const StorageDesign design = loadDesign(mutated);
+      // If it loaded, it must be a structurally sound design.
+      EXPECT_GE(design.levelCount(), 1);
+      ++parsed;
+    } catch (const std::exception&) {
+      ++rejected;  // typed rejection is the expected common outcome
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 500);
+  EXPECT_GT(rejected, 250);  // most mutations corrupt something structural
+}
+
+TEST(JsonRobustness, DeletionMutationsNeverCrash) {
+  const std::string doc = saveDesign(cs::asyncBatchMirror(2));
+  sim::Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = doc;
+    const size_t pos = rng.uniformInt(mutated.size() - 1);
+    const size_t len = 1 + rng.uniformInt(20);
+    mutated.erase(pos, std::min(len, mutated.size() - pos));
+    try {
+      (void)loadDesign(mutated);
+    } catch (const std::exception&) {
+      // fine — must simply not crash
+    }
+  }
+  SUCCEED();
+}
+
+TEST(JsonRobustness, DeepNestingDoesNotOverflow) {
+  // 10k-deep arrays: the parser must handle or reject them without a stack
+  // smash. (Recursive descent: depth is bounded by input size; this guards
+  // against quadratic/crash behavior at realistic hostile depths.)
+  std::string deep;
+  for (int i = 0; i < 10'000; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 10'000; ++i) deep += ']';
+  try {
+    const Json doc = Json::parse(deep);
+    EXPECT_TRUE(doc.isArray());
+  } catch (const std::exception&) {
+    SUCCEED();
+  }
+}
+
+TEST(JsonRobustness, HostileScalars) {
+  EXPECT_THROW((void)Json::parse("1e99999999999999999999x"), JsonError);
+  // Over/underflow to inf/0 per strtod is acceptable; must not throw
+  // unexpectedly or crash.
+  try {
+    (void)Json::parse("1e999");
+  } catch (const JsonError&) {
+  }
+  EXPECT_THROW((void)Json::parse("-"), JsonError);
+  EXPECT_THROW((void)Json::parse("+1"), JsonError);
+  EXPECT_THROW((void)Json::parse("tru"), JsonError);
+  EXPECT_THROW((void)Json::parse("nulll"), JsonError);
+  EXPECT_THROW((void)Json::parse(std::string("\"\x01\"")), JsonError);
+}
+
+TEST(JsonRobustness, LoaderRejectsSemanticNonsense) {
+  // Structurally valid JSON, semantically broken designs.
+  auto mutate = [&](const std::string& path, Json value) {
+    Json doc = designToJson(cs::baseline());
+    // Only top-level workload fields are exercised here.
+    Json workload = doc.at("workload");
+    workload.set(path, std::move(value));
+    doc.set("workload", std::move(workload));
+    return doc;
+  };
+  // Negative capacity.
+  EXPECT_THROW((void)designFromJson(mutate("dataCap", Json(-5.0))),
+               std::exception);
+  // Update rate above access rate.
+  EXPECT_THROW((void)designFromJson(mutate("avgUpdateR", Json(1e12))),
+               std::exception);
+  // Burst below 1.
+  EXPECT_THROW((void)designFromJson(mutate("burstM", Json(0.2))),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace stordep::config

@@ -1,0 +1,127 @@
+// Tests for the JSON substrate: parsing (full grammar, errors with
+// positions), document model accessors, and rendering round trips.
+#include "config/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stordep::config {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").isNull());
+  EXPECT_EQ(Json::parse("true").asBool(), true);
+  EXPECT_EQ(Json::parse("false").asBool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.25e2").asNumber(), -325.0);
+  EXPECT_EQ(Json::parse("\"hello\"").asString(), "hello");
+}
+
+TEST(Json, ParsesContainers) {
+  const Json doc = Json::parse(R"({"a": [1, 2, 3], "b": {"c": "d"}})");
+  ASSERT_TRUE(doc.isObject());
+  const JsonArray& a = doc.at("a").asArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].asNumber(), 2.0);
+  EXPECT_EQ(doc.at("b").at("c").asString(), "d");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), std::runtime_error);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json doc = Json::parse(R"([[1, [2, [3]]], {}, [], {"k": null}])");
+  ASSERT_EQ(doc.asArray().size(), 4u);
+  EXPECT_DOUBLE_EQ(doc.asArray()[0].asArray()[1].asArray()[1].asArray()[0]
+                       .asNumber(),
+                   3.0);
+  EXPECT_TRUE(doc.asArray()[3].at("k").isNull());
+}
+
+TEST(Json, StringEscapes) {
+  const Json doc = Json::parse(R"("line\nbreak\t\"quoted\" \\ A")");
+  EXPECT_EQ(doc.asString(), "line\nbreak\t\"quoted\" \\ A");
+  // Unicode beyond ASCII encodes as UTF-8.
+  EXPECT_EQ(Json::parse(R"("é")").asString(), "\xC3\xA9");
+  EXPECT_EQ(Json::parse(R"("€")").asString(), "\xE2\x82\xAC");
+}
+
+TEST(Json, ParseErrorsCarryPositions) {
+  try {
+    (void)Json::parse("{\n  \"a\": tru\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("{"), JsonError);
+  EXPECT_THROW((void)Json::parse("[1, 2,]"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW((void)Json::parse("{1: 2}"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"bad\\q\""), JsonError);
+  EXPECT_THROW((void)Json::parse("\"bad\\u12g4\""), JsonError);
+  EXPECT_THROW((void)Json::parse("12 34"), JsonError);  // trailing garbage
+  EXPECT_THROW((void)Json::parse("nope"), JsonError);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const Json num = Json::parse("1");
+  EXPECT_THROW((void)num.asString(), std::runtime_error);
+  EXPECT_THROW((void)num.asArray(), std::runtime_error);
+  EXPECT_THROW((void)num.asObject(), std::runtime_error);
+  EXPECT_THROW((void)num.asBool(), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"s\"").asNumber(), std::runtime_error);
+}
+
+TEST(Json, DumpRoundTrips) {
+  const std::string text =
+      R"({"name":"baseline","n":42,"nested":{"list":[1,2.5,"x",true,null]}})";
+  const Json doc = Json::parse(text);
+  const Json reparsed = Json::parse(doc.dump());
+  EXPECT_TRUE(doc == reparsed);
+  const Json repretty = Json::parse(doc.pretty());
+  EXPECT_TRUE(doc == repretty);
+}
+
+TEST(Json, PrettyIsIndentated) {
+  const Json doc = Json::parse(R"({"a": [1, 2]})");
+  const std::string pretty = doc.pretty();
+  EXPECT_NE(pretty.find("{\n  \"a\": [\n    1,\n    2\n  ]\n}"),
+            std::string::npos);
+}
+
+TEST(Json, SetBuildsObjects) {
+  Json doc;  // starts null
+  doc.set("a", Json(1));
+  doc.set("b", Json("two"));
+  doc.set("a", Json(3));  // overwrite keeps position
+  ASSERT_TRUE(doc.isObject());
+  ASSERT_EQ(doc.asObject().size(), 2u);
+  EXPECT_EQ(doc.asObject()[0].first, "a");
+  EXPECT_DOUBLE_EQ(doc.at("a").asNumber(), 3.0);
+}
+
+TEST(Json, ObjectOrderPreserved) {
+  const Json doc = Json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const JsonObject& object = doc.asObject();
+  ASSERT_EQ(object.size(), 3u);
+  EXPECT_EQ(object[0].first, "z");
+  EXPECT_EQ(object[1].first, "a");
+  EXPECT_EQ(object[2].first, "m");
+  // And the order survives a dump/parse cycle.
+  EXPECT_EQ(Json::parse(doc.dump()).asObject()[0].first, "z");
+}
+
+TEST(Json, NumbersRenderCleanly) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json(1360.0 * 1024 * 1024 * 1024).dump(), "1460288880640");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Json doc = Json::parse("  \n\t{ \"a\" :\r\n [ 1 , 2 ] }  \n");
+  EXPECT_EQ(doc.at("a").asArray().size(), 2u);
+}
+
+}  // namespace
+}  // namespace stordep::config

@@ -1,0 +1,141 @@
+// Tests for core/policy: the common parameter abstraction, cyclic policies,
+// derived worst-case quantities and convention checking.
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stordep {
+namespace {
+
+WindowSpec win(Duration accW, Duration propW, Duration holdW) {
+  return WindowSpec{.accW = accW,
+                    .propW = propW,
+                    .holdW = holdW,
+                    .propRep = Representation::kFull};
+}
+
+TEST(ProtectionPolicy, SimplePolicyDerivedQuantities) {
+  // The baseline tape-backup policy (Table 3).
+  const ProtectionPolicy p(win(weeks(1), hours(48), hours(1)), 4, weeks(4));
+  EXPECT_FALSE(p.isCyclic());
+  EXPECT_EQ(p.effectiveAccW(), weeks(1));
+  EXPECT_EQ(p.worstPropW(), hours(48));
+  EXPECT_EQ(p.holdW(), hours(1));
+  EXPECT_EQ(p.cyclePeriod(), weeks(1));
+  EXPECT_EQ(p.retentionCount(), 4);
+  EXPECT_EQ(p.retentionWindow(), weeks(4));
+  EXPECT_TRUE(p.conventionViolations().empty());
+}
+
+TEST(ProtectionPolicy, CyclicPolicyDerivedQuantities) {
+  // Table 7's "F+I": weekly fulls (48 h propW) + 5 daily cumulative
+  // incrementals (24 h accW, 12 h propW).
+  const ProtectionPolicy p(win(weeks(1), hours(48), hours(1)),
+                           win(hours(24), hours(12), hours(1)), 5, weeks(1), 4,
+                           weeks(4));
+  EXPECT_TRUE(p.isCyclic());
+  EXPECT_EQ(p.cycleCount(), 5);
+  // RPs arrive daily; the worst in-flight RP is a full (48 h window).
+  EXPECT_EQ(p.effectiveAccW(), hours(24));
+  EXPECT_EQ(p.worstPropW(), hours(48));
+  EXPECT_EQ(p.feedWindows().propW, hours(48));
+}
+
+TEST(ProtectionPolicy, ZeroAccWMeansContinuousPropagation) {
+  // Synchronous mirroring: no batching at all.
+  const ProtectionPolicy p(win(Duration::zero(), Duration::zero(),
+                               Duration::zero()),
+                           1, Duration::zero());
+  EXPECT_EQ(p.effectiveAccW(), Duration::zero());
+  EXPECT_EQ(p.worstPropW(), Duration::zero());
+}
+
+TEST(ProtectionPolicy, RejectsNonsense) {
+  EXPECT_THROW(ProtectionPolicy(win(hours(-1), hours(0), hours(0)), 1, hours(1)),
+               PolicyError);
+  EXPECT_THROW(ProtectionPolicy(win(hours(1), hours(-1), hours(0)), 1, hours(1)),
+               PolicyError);
+  EXPECT_THROW(ProtectionPolicy(win(hours(1), hours(0), hours(-1)), 1, hours(1)),
+               PolicyError);
+  EXPECT_THROW(ProtectionPolicy(win(hours(1), hours(0), hours(0)), 0, hours(1)),
+               PolicyError);
+  EXPECT_THROW(ProtectionPolicy(win(hours(1), hours(0), hours(0)), 1,
+                                hours(-1)),
+               PolicyError);
+}
+
+TEST(ProtectionPolicy, RejectsBadCyclicParameters) {
+  // cycleCount must be positive.
+  EXPECT_THROW(ProtectionPolicy(win(weeks(1), hours(1), hours(0)),
+                                win(hours(24), hours(1), hours(0)), 0, weeks(1),
+                                1, weeks(1)),
+               PolicyError);
+  // Secondary accW must be positive.
+  EXPECT_THROW(ProtectionPolicy(win(weeks(1), hours(1), hours(0)),
+                                win(Duration::zero(), hours(1), hours(0)), 5,
+                                weeks(1), 1, weeks(1)),
+               PolicyError);
+  // Cycle must fit at least one secondary window.
+  EXPECT_THROW(ProtectionPolicy(win(weeks(1), hours(1), hours(0)),
+                                win(hours(24), hours(1), hours(0)), 5, hours(12),
+                                1, weeks(1)),
+               PolicyError);
+}
+
+TEST(ProtectionPolicy, ConventionViolationPropWExceedsAccW) {
+  // A 12-hour backup window for RPs created every hour can't keep up.
+  const ProtectionPolicy p(win(hours(1), hours(12), hours(0)), 4, days(2));
+  const auto violations = p.conventionViolations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("propW exceeds accW"), std::string::npos);
+}
+
+TEST(ProtectionPolicy, ConventionViolationShortRetentionWindow) {
+  // retW of 1 hour against 4 retained weekly cycles is inconsistent.
+  const ProtectionPolicy p(win(weeks(1), hours(1), hours(0)), 4, hours(1));
+  const auto violations = p.conventionViolations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("retention window"), std::string::npos);
+}
+
+TEST(ProtectionPolicy, ConventionalPoliciesAreClean) {
+  const ProtectionPolicy splitMirror(win(hours(12), Duration::zero(),
+                                         Duration::zero()),
+                                     4, days(2));
+  EXPECT_TRUE(splitMirror.conventionViolations().empty());
+  const ProtectionPolicy vault(win(weeks(4), hours(24), weeks(4) + hours(12)),
+                               39, years(3));
+  EXPECT_TRUE(vault.conventionViolations().empty());
+}
+
+TEST(Representation, Names) {
+  EXPECT_EQ(toString(Representation::kFull), "full");
+  EXPECT_EQ(toString(Representation::kPartial), "partial");
+}
+
+// Property sweep: effectiveAccW == min of windows, worstPropW == max, for a
+// grid of cyclic window combinations.
+struct CyclicCase {
+  double fullAccH, fullPropH, incrAccH, incrPropH;
+};
+
+class CyclicPolicySweep : public ::testing::TestWithParam<CyclicCase> {};
+
+TEST_P(CyclicPolicySweep, MinMaxDerivations) {
+  const auto& c = GetParam();
+  const ProtectionPolicy p(win(hours(c.fullAccH), hours(c.fullPropH), hours(1)),
+                           win(hours(c.incrAccH), hours(c.incrPropH), hours(1)),
+                           3, hours(std::max(c.fullAccH, 3 * c.incrAccH)), 2,
+                           weeks(8));
+  EXPECT_DOUBLE_EQ(p.effectiveAccW().hrs(), std::min(c.fullAccH, c.incrAccH));
+  EXPECT_DOUBLE_EQ(p.worstPropW().hrs(), std::max(c.fullPropH, c.incrPropH));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowGrid, CyclicPolicySweep,
+    ::testing::Values(CyclicCase{168, 48, 24, 12}, CyclicCase{168, 12, 24, 48},
+                      CyclicCase{24, 6, 6, 3}, CyclicCase{48, 48, 24, 24},
+                      CyclicCase{720, 24, 168, 24}));
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,199 @@
+// Tests for core/propagation: transit, lag and guaranteed-range math
+// (paper Sec 3.3.2, Figure 3), validated against the case study's levels.
+#include "core/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+#include "core/techniques/backup.hpp"
+#include "devices/catalog.hpp"
+
+namespace stordep {
+namespace {
+
+TEST(Propagation, PrimaryCopyIsCurrent) {
+  const StorageDesign d = casestudy::baseline();
+  EXPECT_EQ(rpTimeLag(d, 0), Duration::zero());
+  EXPECT_EQ(rpTransitTime(d, 0), Duration::zero());
+  const RpRange r = guaranteedRange(d, 0);
+  EXPECT_EQ(r.youngestAge, Duration::zero());
+  EXPECT_EQ(r.oldestAge, Duration::zero());
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Propagation, BaselineSplitMirrorLevel) {
+  const StorageDesign d = casestudy::baseline();
+  // Split mirror: no hold/prop; lag = accW = 12 h.
+  EXPECT_EQ(rpTransitTime(d, 1), Duration::zero());
+  EXPECT_EQ(rpTimeLag(d, 1), hours(12));
+  const RpRange r = guaranteedRange(d, 1);
+  EXPECT_EQ(r.youngestAge, hours(12));
+  // (retCnt-1) x cyclePer = 3 x 12 h = 36 h.
+  EXPECT_EQ(r.oldestAge, hours(36));
+  EXPECT_TRUE(r.covers(hours(24)));   // the object-failure rollback target
+  EXPECT_FALSE(r.covers(hours(6)));   // too recent
+  EXPECT_FALSE(r.covers(hours(48)));  // expired
+}
+
+TEST(Propagation, BaselineBackupLevel) {
+  const StorageDesign d = casestudy::baseline();
+  // Transit: split mirror (0) + backup hold 1 h + propW 48 h = 49 h.
+  EXPECT_EQ(rpTransitTime(d, 2), hours(49));
+  // Lag: + accW (1 wk) = 217 h — the paper's array-failure data loss.
+  EXPECT_EQ(rpTimeLag(d, 2), hours(217));
+  const RpRange r = guaranteedRange(d, 2);
+  EXPECT_EQ(r.youngestAge, hours(217));
+  // 3 retained weekly cycles + transit.
+  EXPECT_EQ(r.oldestAge, hours(49) + weeks(3));
+}
+
+TEST(Propagation, BaselineVaultLevel) {
+  const StorageDesign d = casestudy::baseline();
+  // Transit: 49 h (through backup) + vault hold (4 wk + 12 h) + prop 24 h.
+  EXPECT_EQ(rpTransitTime(d, 3), hours(49) + weeks(4) + hours(12) + hours(24));
+  // Lag: + accW (4 wk) = 1429 h — the paper's site-disaster data loss.
+  EXPECT_EQ(rpTimeLag(d, 3), hours(1429));
+  const RpRange r = guaranteedRange(d, 3);
+  // 38 retained 4-weekly cycles: just over 2.9 years of history.
+  EXPECT_EQ(r.oldestAge, rpTransitTime(d, 3) + weeks(4 * 38));
+  EXPECT_GT(r.oldestAge, years(2.9));
+}
+
+TEST(Propagation, WeeklyVaultShrinksLag) {
+  const StorageDesign d = casestudy::weeklyVault();
+  // 49 h transit through backup + 12 h hold + 24 h prop + 1 wk accW = 253 h
+  // (Table 7, "Weekly vault" site DL).
+  EXPECT_EQ(rpTimeLag(d, 3), hours(253));
+}
+
+TEST(Propagation, FullPlusIncrementalUsesWorstPropWAtTarget) {
+  const StorageDesign d = casestudy::weeklyVaultFullPlusIncremental();
+  // Backup level: hold 1 h + worst propW 48 h (the full) + daily accW 24 h
+  // = 73 h (Table 7, "F+I" array DL).
+  EXPECT_EQ(rpTimeLag(d, 2), hours(73));
+  // Vault level rides fulls only: transit through backup = 1 + 48 h.
+  EXPECT_EQ(rpTimeLag(d, 3), hours(49) + hours(12) + hours(24) + weeks(1));
+  EXPECT_EQ(rpTimeLag(d, 3), hours(253));
+}
+
+TEST(Propagation, DailyFullShrinksBackupAndVaultLag) {
+  const StorageDesign d = casestudy::weeklyVaultDailyFull();
+  // Backup: 1 h hold + 12 h prop + 24 h accW = 37 h (Table 7 array DL).
+  EXPECT_EQ(rpTimeLag(d, 2), hours(37));
+  // Vault: (1+12) + (12+24) + 168 = 217 h (Table 7 site DL).
+  EXPECT_EQ(rpTimeLag(d, 3), hours(217));
+}
+
+TEST(Propagation, ConservativeLagMatchesPaperForSimplePolicies) {
+  const StorageDesign d = casestudy::baseline();
+  for (int level = 0; level < d.levelCount(); ++level) {
+    EXPECT_EQ(rpTimeLagConservative(d, level).secs(),
+              rpTimeLag(d, level).secs())
+        << level;
+  }
+}
+
+TEST(Propagation, ConservativeLagCoversTheCyclicDeadZone) {
+  const StorageDesign d = casestudy::weeklyVaultFullPlusIncremental();
+  // Paper-style lag: 1 + 48 + 24 = 73 h. The true worst case includes the
+  // end-of-cycle gap: 1 + 12 + (168 - 120 + 24) = 85 h, exactly what the
+  // failure-injection simulator observes (EXPERIMENTS.md).
+  EXPECT_EQ(rpTimeLag(d, 2), hours(73));
+  EXPECT_EQ(rpTimeLagConservative(d, 2), hours(85));
+  // Conservative never undercuts the paper's formula.
+  for (int level = 1; level < d.levelCount(); ++level) {
+    EXPECT_GE(rpTimeLagConservative(d, level).secs(),
+              rpTimeLag(d, level).secs())
+        << level;
+  }
+}
+
+TEST(Propagation, WorstArrivalGapReducesToAccWForSimplePolicies) {
+  const ProtectionPolicy simple(
+      WindowSpec{.accW = hours(24), .propW = hours(6), .holdW = hours(1)}, 4,
+      weeks(4));
+  EXPECT_EQ(simple.worstArrivalGap(), hours(24));
+  // F+I: the weekend gap spans (168 - 120) + 24 = 72 h.
+  const ProtectionPolicy cyclic(
+      WindowSpec{.accW = weeks(1), .propW = hours(48), .holdW = hours(1)},
+      WindowSpec{.accW = hours(24), .propW = hours(12), .holdW = hours(1)}, 5,
+      weeks(1), 4, weeks(4));
+  EXPECT_EQ(cyclic.worstArrivalGap(), hours(72));
+  // A dense cycle (6 daily incrementals, weekly full) shrinks the gap.
+  const ProtectionPolicy dense(
+      WindowSpec{.accW = weeks(1), .propW = hours(48), .holdW = hours(1)},
+      WindowSpec{.accW = hours(24), .propW = hours(12), .holdW = hours(1)}, 6,
+      weeks(1), 4, weeks(4));
+  EXPECT_LT(dense.worstArrivalGap(), cyclic.worstArrivalGap());
+  // Never below the plain inter-RP spacing.
+  EXPECT_GE(dense.worstArrivalGap(), dense.effectiveAccW());
+}
+
+TEST(Propagation, AsyncBatchMirrorLagIsTwoMinutes) {
+  const StorageDesign d = casestudy::asyncBatchMirror(1);
+  // accW + propW = 2 min = 0.03 hr (Table 7 AsyncB DL).
+  EXPECT_EQ(rpTimeLag(d, 1), minutes(2));
+  // A single retained RP: the guaranteed range is empty (an RP exists but
+  // its age floats within one window).
+  EXPECT_TRUE(guaranteedRange(d, 1).empty());
+}
+
+TEST(Propagation, RangesNestUpTheHierarchy) {
+  // Higher levels hold older data: youngest age grows with the level.
+  const StorageDesign d = casestudy::baseline();
+  Duration prevYoungest = Duration::zero();
+  for (int i = 0; i < d.levelCount(); ++i) {
+    const RpRange r = guaranteedRange(d, i);
+    EXPECT_GE(r.youngestAge, prevYoungest) << "level " << i;
+    prevYoungest = r.youngestAge;
+  }
+  // And the deepest level's history extends furthest back.
+  EXPECT_GT(guaranteedRange(d, 3).oldestAge, guaranteedRange(d, 2).oldestAge);
+  EXPECT_GT(guaranteedRange(d, 2).oldestAge, guaranteedRange(d, 1).oldestAge);
+}
+
+TEST(Propagation, InvalidLevelThrows) {
+  const StorageDesign d = casestudy::baseline();
+  EXPECT_THROW((void)rpTransitTime(d, -1), DesignError);
+  EXPECT_THROW((void)rpTransitTime(d, 99), DesignError);
+}
+
+// Property sweep: lag decomposition holds across a grid of window shapes —
+// lag == transit + effective accW, and the range bounds are consistent.
+struct LagCase {
+  double accH, propH, holdH;
+  int retCnt;
+};
+
+class LagSweep : public ::testing::TestWithParam<LagCase> {};
+
+TEST_P(LagSweep, LagDecomposition) {
+  const auto& c = GetParam();
+  auto array = catalog::midrangeDiskArray("a", Location::at("s"));
+  auto lib = catalog::enterpriseTapeLibrary("l", Location::at("s"));
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(array));
+  levels.push_back(std::make_shared<Backup>(
+      "b", BackupStyle::kFullOnly, array, lib,
+      ProtectionPolicy(WindowSpec{.accW = hours(c.accH),
+                                  .propW = hours(c.propH),
+                                  .holdW = hours(c.holdH)},
+                       c.retCnt, hours(c.accH * c.retCnt))));
+  const StorageDesign d("sweep", casestudy::celloWorkload(),
+                        caseStudyRequirements(), std::move(levels));
+  EXPECT_DOUBLE_EQ(rpTimeLag(d, 1).hrs(), c.holdH + c.propH + c.accH);
+  const RpRange r = guaranteedRange(d, 1);
+  EXPECT_DOUBLE_EQ(r.youngestAge.hrs(), c.holdH + c.propH + c.accH);
+  EXPECT_DOUBLE_EQ(r.oldestAge.hrs(),
+                   c.holdH + c.propH + (c.retCnt - 1) * c.accH);
+  EXPECT_EQ(r.empty(), c.retCnt == 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowGrid, LagSweep,
+    ::testing::Values(LagCase{24, 12, 1, 4}, LagCase{168, 48, 1, 4},
+                      LagCase{12, 6, 0, 2}, LagCase{24, 24, 24, 1},
+                      LagCase{6, 1, 2, 10}, LagCase{48, 12, 6, 3}));
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,101 @@
+// Tests for sim/recovery_simulator: per-instant restore payloads, recovery-
+// time distributions, and the analytic worst case bounding them.
+#include "sim/recovery_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+#include "core/recovery.hpp"
+
+namespace stordep::sim {
+namespace {
+
+namespace cs = casestudy;
+
+RpSimOptions options(Duration horizon) {
+  RpSimOptions opts;
+  opts.horizon = horizon;
+  return opts;
+}
+
+TEST(RecoverySimulator, FullOnlyPayloadIsConstant) {
+  RpLifecycleSimulator sim(cs::baseline(), options(days(200)));
+  sim.run();
+  const RecoverySimulator rec(sim);
+  const RecoveryDistribution dist =
+      rec.distribution(cs::arrayFailure(), 500, Rng(5));
+  EXPECT_EQ(dist.unrecoverable, 0);
+  // Full-only backups always restore exactly one image.
+  EXPECT_EQ(dist.minPayload, gigabytes(1360));
+  EXPECT_EQ(dist.maxPayload, gigabytes(1360));
+  // RT is then also constant and equal to the analytic worst case.
+  EXPECT_TRUE(dist.rtBoundHolds);
+  EXPECT_NEAR(dist.tightness, 1.0, 1e-6);
+  EXPECT_NEAR(dist.minRt.secs(), dist.maxRt.secs(), 1.0);
+}
+
+TEST(RecoverySimulator, IncrementalPayloadVariesAcrossTheCycle) {
+  RpLifecycleSimulator sim(cs::weeklyVaultFullPlusIncremental(),
+                           options(days(200)));
+  sim.run();
+  const RecoverySimulator rec(sim);
+  const RecoveryDistribution dist =
+      rec.distribution(cs::arrayFailure(), 2000, Rng(7));
+  EXPECT_EQ(dist.unrecoverable, 0);
+  // The day-1 incremental always arrives before its base full finishes
+  // propagating, so the lightest restore is full + one day of updates
+  // (~1386 GB); deep into the cycle it grows to full + five days (~1490 GB).
+  EXPECT_NEAR(dist.minPayload.gigabytes(), 1386.1, 1.0);
+  EXPECT_GT(dist.maxPayload.gigabytes(), 1360.0 + 80.0);
+  EXPECT_LT(dist.maxPayload.gigabytes(), 1360.0 + 135.0);
+  // The analytic worst case (full + largest incremental) bounds every
+  // observed recovery time and is approached.
+  EXPECT_TRUE(dist.rtBoundHolds);
+  EXPECT_GT(dist.tightness, 0.9);
+  EXPECT_LT(dist.minRt, dist.maxRt);
+  EXPECT_LT(dist.meanRt, dist.maxRt);
+}
+
+TEST(RecoverySimulator, ObservedRecoveryMatchesAnalyticForBaseline) {
+  RpLifecycleSimulator sim(cs::baseline(), options(days(200)));
+  sim.run();
+  const RecoverySimulator rec(sim);
+  const auto observed =
+      rec.observedRecovery(cs::arrayFailure(), sim.warmupTime() + 1000.0);
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_EQ(observed->sourceLevel, 2);  // tape backup
+  const RecoveryResult analytic =
+      computeRecovery(cs::baseline(), cs::arrayFailure());
+  EXPECT_NEAR(observed->recoveryTime.secs(), analytic.recoveryTime.secs(),
+              1.0);
+  // The observed loss at an arbitrary instant is below the worst case.
+  EXPECT_LE(observed->dataLoss, analytic.dataLoss);
+}
+
+TEST(RecoverySimulator, UnrecoverableInstantsReported) {
+  RpLifecycleSimulator sim(cs::asyncBatchMirror(1), options(hours(6)));
+  sim.run();
+  const RecoverySimulator rec(sim);
+  // A 24 h rollback has no serving level in a mirror-only design.
+  EXPECT_FALSE(
+      rec.observedRecovery(cs::objectFailure(), hours(3).secs()).has_value());
+  const RecoveryDistribution dist =
+      rec.distribution(cs::objectFailure(), 100, Rng(9));
+  EXPECT_EQ(dist.unrecoverable, 100);
+}
+
+TEST(RecoverySimulator, SiteDisasterDistributionBounded) {
+  RpLifecycleSimulator sim(cs::baseline(), options(days(250)));
+  sim.run();
+  const RecoverySimulator rec(sim);
+  const RecoveryDistribution dist =
+      rec.distribution(cs::siteDisaster(), 500, Rng(13));
+  EXPECT_EQ(dist.unrecoverable, 0);
+  EXPECT_TRUE(dist.rtBoundHolds);
+  // The 24 h shipment dominates: every sample lands at ~26.4 h.
+  EXPECT_GT(dist.minRt, hours(25));
+  EXPECT_LT(dist.maxRt, hours(27));
+}
+
+}  // namespace
+}  // namespace stordep::sim

@@ -1,0 +1,176 @@
+// Tests for the reporting substrate: table/CSV rendering and the
+// paper-style evaluation report sections.
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+#include "report/csv.hpp"
+#include "report/report.hpp"
+#include "report/table.hpp"
+
+namespace stordep::report {
+namespace {
+
+namespace cs = stordep::casestudy;
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable table({"Name", "Value"});
+  table.align(1, Align::kRight);
+  table.addRow({"alpha", "1"});
+  table.addRow({"b", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Name  | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     |    22 |"), std::string::npos);
+  EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, SeparatorsAndTitle) {
+  TextTable table({"A"});
+  table.title("My Table").addRow({"x"}).addSeparator().addRow({"y"});
+  const std::string out = table.render();
+  EXPECT_EQ(out.find("My Table"), 0u);
+  // 5 rules: top, after header, the explicit separator, bottom.
+  size_t rules = 0;
+  for (size_t pos = out.find("+--"); pos != std::string::npos;
+       pos = out.find("+--", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"A", "B", "C"});
+  table.addRow({"only"});
+  EXPECT_NE(table.render().find("| only |"), std::string::npos);
+  EXPECT_THROW(table.addRow({"1", "2", "3", "4"}), std::invalid_argument);
+  EXPECT_THROW(table.align(5, Align::kRight), std::out_of_range);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csvEscape("plain"), "plain");
+  EXPECT_EQ(csvEscape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csvEscape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csvEscape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(Csv, RendersDocument) {
+  CsvWriter csv({"design", "rt_hr", "dl_hr"});
+  csv.addRow({"baseline", "2.4", "217"});
+  csv.addRow({"weekly, vault", "2.4", "217"});
+  EXPECT_EQ(csv.render(),
+            "design,rt_hr,dl_hr\n"
+            "baseline,2.4,217\n"
+            "\"weekly, vault\",2.4,217\n");
+  EXPECT_EQ(csv.rowCount(), 2u);
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(Report, NumberHelpers) {
+  EXPECT_EQ(fixed(2.379, 1), "2.4");
+  EXPECT_EQ(fixed(217.0, 0), "217");
+  EXPECT_EQ(percent(0.874), "87.4%");
+  EXPECT_EQ(percent(0.002, 1), "0.2%");
+}
+
+TEST(Report, UtilizationTableHasPaperRows) {
+  const auto u = computeUtilization(cs::baseline());
+  const std::string out = utilizationTable(u).render();
+  EXPECT_NE(out.find("foreground workload"), std::string::npos);
+  EXPECT_NE(out.find("split mirror"), std::string::npos);
+  EXPECT_NE(out.find("tape backup"), std::string::npos);
+  EXPECT_NE(out.find("87.3%"), std::string::npos);  // array capacity
+  EXPECT_NE(out.find("3.4%"), std::string::npos);   // tape bandwidth
+}
+
+TEST(Report, RecoverySummaryLines) {
+  const StorageDesign design = cs::baseline();
+  const auto site = computeRecovery(design, cs::siteDisaster());
+  const std::string line = recoverySummaryLine(cs::siteDisaster(), site);
+  EXPECT_NE(line.find("site"), std::string::npos);
+  EXPECT_NE(line.find("remote vaulting"), std::string::npos);
+  EXPECT_NE(line.find("recovery time"), std::string::npos);
+
+  // Unrecoverable rendering.
+  const StorageDesign mirror = cs::asyncBatchMirror(1);
+  const auto object = computeRecovery(mirror, cs::objectFailure());
+  EXPECT_NE(recoverySummaryLine(cs::objectFailure(), object)
+                .find("UNRECOVERABLE"),
+            std::string::npos);
+}
+
+TEST(Report, CostTableTotalsUp) {
+  const StorageDesign design = cs::baseline();
+  const auto cost =
+      computeCosts(design, computeRecovery(design, cs::arrayFailure()));
+  const std::string out = costTable(cost).render();
+  EXPECT_NE(out.find("outlay: foreground workload"), std::string::npos);
+  EXPECT_NE(out.find("data outage penalty"), std::string::npos);
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+}
+
+TEST(Report, TimelineTableShowsLegs) {
+  const StorageDesign design = cs::baseline();
+  const auto recovery = computeRecovery(design, cs::siteDisaster());
+  const std::string out = recoveryTimelineTable(recovery).render();
+  EXPECT_NE(out.find("air-shipment"), std::string::npos);
+  EXPECT_NE(out.find("tape-vault"), std::string::npos);
+}
+
+TEST(Report, RpRangeTableCoversLevels) {
+  const std::string out = rpRangeTable(cs::baseline()).render();
+  EXPECT_NE(out.find("split mirror"), std::string::npos);
+  EXPECT_NE(out.find("remote vaulting"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownRendering) {
+  TextTable table({"Name", "Value"});
+  table.align(1, Align::kRight);
+  table.title("Caption");
+  table.addRow({"pipe|cell", "1"});
+  table.addSeparator();
+  table.addRow({"b", "22"});
+  const std::string md = table.renderMarkdown();
+  EXPECT_NE(md.find("**Caption**"), std::string::npos);
+  EXPECT_NE(md.find("| Name | Value |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | ---: |"), std::string::npos);
+  EXPECT_NE(md.find("| pipe\\|cell | 1 |"), std::string::npos);
+  EXPECT_NE(md.find("| b | 22 |"), std::string::npos);
+  // Separator rows are dropped, not rendered.
+  EXPECT_EQ(md.find("+--"), std::string::npos);
+}
+
+TEST(Report, MarkdownReportAssemblesSections) {
+  const StorageDesign design = cs::baseline();
+  const auto result = evaluate(design, cs::siteDisaster());
+  const std::string md = markdownReport(design, cs::siteDisaster(), result);
+  EXPECT_EQ(md.find("# Dependability report: baseline"), 0u);
+  EXPECT_NE(md.find("## Summary"), std::string::npos);
+  EXPECT_NE(md.find("| Worst-case recovery time |"), std::string::npos);
+  EXPECT_NE(md.find("## Normal-mode utilization"), std::string::npos);
+  EXPECT_NE(md.find("## Recovery timeline"), std::string::npos);
+  EXPECT_NE(md.find("## Costs"), std::string::npos);
+  EXPECT_NE(md.find("> "), std::string::npos);  // provisioning notes
+
+  // Unrecoverable rendering.
+  const StorageDesign mirror = cs::asyncBatchMirror(1);
+  const auto object = evaluate(mirror, cs::objectFailure());
+  EXPECT_NE(markdownReport(mirror, cs::objectFailure(), object)
+                .find("UNRECOVERABLE"),
+            std::string::npos);
+}
+
+TEST(Report, FullReportAssemblesSections) {
+  const StorageDesign design = cs::baseline();
+  const auto result = evaluate(design, cs::siteDisaster());
+  const std::string out = fullReport(design, cs::siteDisaster(), result);
+  EXPECT_NE(out.find("=== Design: baseline ==="), std::string::npos);
+  EXPECT_NE(out.find("Normal-mode utilization"), std::string::npos);
+  EXPECT_NE(out.find("Retrieval point ranges"), std::string::npos);
+  EXPECT_NE(out.find("-- Recovery --"), std::string::npos);
+  EXPECT_NE(out.find("-- Costs --"), std::string::npos);
+  EXPECT_NE(out.find("recovery facility"), std::string::npos);  // note
+}
+
+}  // namespace
+}  // namespace stordep::report

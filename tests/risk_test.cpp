@@ -1,0 +1,99 @@
+// Tests for core/risk: frequency-weighted expected annual cost across a
+// failure-mode portfolio.
+#include "core/risk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "casestudy/casestudy.hpp"
+
+namespace stordep {
+namespace {
+
+namespace cs = casestudy;
+
+TEST(Risk, DefaultModesCoverTheCaseStudy) {
+  const auto modes = cs::defaultFailureModes();
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_DOUBLE_EQ(modes[0].annualFrequency, 12.0);
+  EXPECT_DOUBLE_EQ(modes[1].annualFrequency, 0.1);
+  EXPECT_DOUBLE_EQ(modes[2].annualFrequency, 0.02);
+}
+
+TEST(Risk, ExpectedCostCombinesOutlaysAndWeightedPenalties) {
+  const StorageDesign d = cs::baseline();
+  const RiskAssessment risk = assessRisk(d, cs::defaultFailureModes());
+  ASSERT_EQ(risk.modes.size(), 3u);
+  EXPECT_DOUBLE_EQ(risk.unrecoverableFrequency, 0.0);
+
+  // Per-event penalties match the direct evaluation.
+  const auto object = evaluate(d, cs::objectFailure());
+  EXPECT_NEAR(risk.modes[0].penaltyPerEvent.usd(),
+              object.cost.totalPenalties.usd(), 1.0);
+  EXPECT_NEAR(risk.modes[0].expectedAnnualPenalty.usd(),
+              12.0 * object.cost.totalPenalties.usd(), 1.0);
+
+  // Total = outlays + sum of expected penalties.
+  Money sum = risk.annualOutlays;
+  for (const auto& m : risk.modes) sum += m.expectedAnnualPenalty;
+  EXPECT_NEAR(risk.expectedAnnualCost.usd(), sum.usd(), 1.0);
+
+  // With these rates, the monthly corruptions dominate the expectation:
+  // 12 x $0.6M ~ $7.2M/yr vs 0.1 x $11M and 0.02 x $73M.
+  EXPECT_GT(risk.modes[0].expectedAnnualPenalty,
+            risk.modes[1].expectedAnnualPenalty);
+  EXPECT_GT(risk.modes[0].expectedAnnualPenalty,
+            risk.modes[2].expectedAnnualPenalty);
+}
+
+TEST(Risk, ExpectedDowntimeAccumulates) {
+  const StorageDesign d = cs::baseline();
+  const RiskAssessment risk = assessRisk(d, cs::defaultFailureModes());
+  // 12 x ~0 h + 0.1 x 2.4 h + 0.02 x 26.4 h ~ 0.77 h/yr.
+  EXPECT_NEAR(risk.expectedAnnualDowntimeHours, 0.77, 0.05);
+}
+
+TEST(Risk, UnrecoverableModePoisonsTheExpectation) {
+  // Mirror-only design cannot serve the rollback mode.
+  const StorageDesign d = cs::asyncBatchMirror(1);
+  const RiskAssessment risk = assessRisk(d, cs::defaultFailureModes());
+  EXPECT_DOUBLE_EQ(risk.unrecoverableFrequency, 12.0);
+  EXPECT_TRUE(std::isinf(risk.expectedAnnualCost.usd()));
+  EXPECT_FALSE(risk.modes[0].recoverable);
+  EXPECT_TRUE(risk.modes[1].recoverable);
+  // Outlays remain finite and reported.
+  EXPECT_TRUE(risk.annualOutlays.isFinite());
+}
+
+TEST(Risk, ZeroFrequencyModeContributesNothing) {
+  const StorageDesign d = cs::baseline();
+  std::vector<FailureMode> modes = cs::defaultFailureModes();
+  modes[2].annualFrequency = 0.0;
+  const RiskAssessment risk = assessRisk(d, modes);
+  EXPECT_DOUBLE_EQ(risk.modes[2].expectedAnnualPenalty.usd(), 0.0);
+}
+
+TEST(Risk, RejectsNegativeFrequencies) {
+  const StorageDesign d = cs::baseline();
+  std::vector<FailureMode> modes = cs::defaultFailureModes();
+  modes[0].annualFrequency = -1.0;
+  EXPECT_THROW((void)assessRisk(d, modes), DesignError);
+}
+
+TEST(Risk, RanksDesignsByExpectedCost) {
+  // Under frequency weighting, the daily-full design beats the baseline
+  // (cheaper array-failure penalties at slightly higher outlays) — and the
+  // mirror-only designs are disqualified by the corruption mode.
+  const RiskAssessment base =
+      assessRisk(cs::baseline(), cs::defaultFailureModes());
+  const RiskAssessment daily =
+      assessRisk(cs::weeklyVaultDailyFull(), cs::defaultFailureModes());
+  const RiskAssessment mirror =
+      assessRisk(cs::asyncBatchMirror(1), cs::defaultFailureModes());
+  EXPECT_LT(daily.expectedAnnualCost.usd(), base.expectedAnnualCost.usd());
+  EXPECT_TRUE(std::isinf(mirror.expectedAnnualCost.usd()));
+}
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,184 @@
+// Tests for the discrete-event simulation substrate: event queue ordering,
+// engine clock semantics, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace stordep::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBreaksByScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().action();
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, SizeAndClear) {
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_DOUBLE_EQ(queue.nextTime(), 1.0);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(Engine, ClockAdvancesWithEvents) {
+  Engine engine;
+  std::vector<double> times;
+  engine.scheduleAt(10.0, [&] { times.push_back(engine.now()); });
+  engine.scheduleAt(5.0, [&] {
+    times.push_back(engine.now());
+    engine.scheduleIn(2.0, [&] { times.push_back(engine.now()); });
+  });
+  engine.runAll();
+  EXPECT_EQ(times, (std::vector<double>{5.0, 7.0, 10.0}));
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+  EXPECT_EQ(engine.processedEvents(), 3u);
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsPending) {
+  Engine engine;
+  int fired = 0;
+  engine.scheduleAt(1.0, [&] { ++fired; });
+  engine.scheduleAt(100.0, [&] { ++fired; });
+  EXPECT_EQ(engine.run(50.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.hasPending());
+  EXPECT_DOUBLE_EQ(engine.now(), 50.0);
+  engine.runAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine engine;
+  engine.scheduleAt(10.0, [] {});
+  engine.run(20.0);
+  EXPECT_THROW(engine.scheduleAt(5.0, [] {}), SimulationError);
+  EXPECT_THROW(engine.scheduleIn(-1.0, [] {}), SimulationError);
+}
+
+TEST(Engine, ResetClearsEverything) {
+  Engine engine;
+  engine.scheduleAt(1.0, [] {});
+  engine.reset();
+  EXPECT_FALSE(engine.hasPending());
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Rng c(124);
+  EXPECT_NE(Rng(123).next(), c.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = rng.uniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 5000, 400);  // ~5 sigma
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(17);
+  const int n = 20'000;
+  int rank0 = 0, topDecile = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto k = rng.zipf(1000, 1.0);
+    ASSERT_LT(k, 1000u);
+    if (k == 0) ++rank0;
+    if (k < 100) ++topDecile;
+  }
+  // Under Zipf(1.0, 1000): P(0) ~ 1/H(1000) ~ 13%, P(k<100) ~ 62%.
+  EXPECT_GT(rank0, n / 20);
+  EXPECT_GT(topDecile, n / 2);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniform) {
+  Rng rng(19);
+  const int n = 30'000;
+  int low = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(100, 0.0) < 50) ++low;
+  }
+  EXPECT_NEAR(low, n / 2, n / 20);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng a(29);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace stordep::sim

@@ -1,0 +1,167 @@
+// Tests for core/utilization: per-device and global normal-mode utilization
+// (paper Sec 3.3.1), validated against Table 5.
+#include "core/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+#include "core/techniques/backup.hpp"
+#include "core/techniques/split_mirror.hpp"
+#include "devices/catalog.hpp"
+
+namespace stordep {
+namespace {
+
+TEST(Utilization, BaselineMatchesTable5) {
+  const UtilizationResult u = computeUtilization(casestudy::baseline());
+  ASSERT_TRUE(u.feasible());
+
+  const DeviceUtilization* array = u.find(casestudy::kPrimaryArrayName);
+  ASSERT_NE(array, nullptr);
+  // Table 5 disk-array rows.
+  ASSERT_EQ(array->shares.size(), 3u);
+  EXPECT_EQ(array->shares[0].technique, "foreground workload");
+  EXPECT_NEAR(array->shares[0].bwUtil, 0.002, 0.0003);
+  EXPECT_NEAR(array->shares[0].capUtil, 0.146, 0.001);
+  EXPECT_EQ(array->shares[1].technique, "split mirror");
+  EXPECT_NEAR(array->shares[1].bwUtil, 0.006, 0.0005);
+  EXPECT_NEAR(array->shares[1].capUtil, 0.728, 0.001);
+  EXPECT_EQ(array->shares[2].technique, "tape backup");
+  EXPECT_NEAR(array->shares[2].bwUtil, 0.016, 0.001);
+  EXPECT_NEAR(array->shares[2].capUtil, 0.0, 1e-12);
+  // Overall array row: 2.4% bandwidth (12.4 MB/s), 87.4% capacity (~8 TB).
+  EXPECT_NEAR(array->bwUtil, 0.024, 0.001);
+  EXPECT_NEAR(array->bwDemand.mbPerSec(), 12.4, 0.3);
+  EXPECT_NEAR(array->capUtil, 0.874, 0.001);
+  EXPECT_NEAR(array->capDemand.terabytes(), 8.0, 0.05);
+
+  const DeviceUtilization* lib = u.find("tape-library");
+  ASSERT_NE(lib, nullptr);
+  // Table 5 tape-library row: 3.4% bandwidth (8.1 MB/s), 3.4% capacity.
+  EXPECT_NEAR(lib->bwUtil, 0.034, 0.001);
+  EXPECT_NEAR(lib->bwDemand.mbPerSec(), 8.1, 0.1);
+  EXPECT_NEAR(lib->capUtil, 0.034, 0.001);
+  EXPECT_NEAR(lib->capDemand.terabytes(), 6.6, 0.05);
+
+  const DeviceUtilization* vault = u.find("tape-vault");
+  ASSERT_NE(vault, nullptr);
+  // Table 5 vault row: 2.6% capacity (51.8 TB), no bandwidth.
+  EXPECT_NEAR(vault->capUtil, 0.026, 0.001);
+  EXPECT_NEAR(vault->capDemand.terabytes(), 51.8, 0.1);
+  EXPECT_DOUBLE_EQ(vault->bwUtil, 0.0);
+
+  // Global: capacity pinned by the array, bandwidth by the tape library.
+  EXPECT_EQ(u.maxCapDevice, casestudy::kPrimaryArrayName);
+  EXPECT_NEAR(u.overallCapUtil, 0.874, 0.001);
+  EXPECT_EQ(u.maxBwDevice, "tape-library");
+  EXPECT_NEAR(u.overallBwUtil, 0.034, 0.001);
+}
+
+TEST(Utilization, SnapshotVariantFreesArrayCapacity) {
+  const UtilizationResult base =
+      computeUtilization(casestudy::weeklyVaultDailyFull());
+  const UtilizationResult snap =
+      computeUtilization(casestudy::weeklyVaultDailyFullSnapshot());
+  const auto* arrayBase = base.find(casestudy::kPrimaryArrayName);
+  const auto* arraySnap = snap.find(casestudy::kPrimaryArrayName);
+  ASSERT_NE(arrayBase, nullptr);
+  ASSERT_NE(arraySnap, nullptr);
+  // Snapshots store deltas, not five full copies.
+  EXPECT_LT(arraySnap->capUtil, 0.25);
+  EXPECT_GT(arrayBase->capUtil, 0.85);
+}
+
+TEST(Utilization, OverloadedCapacityIsFlagged) {
+  // 30 retained split mirrors cannot fit on the array.
+  auto array = catalog::midrangeDiskArray("a", Location::at("s"));
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(array));
+  levels.push_back(std::make_shared<SplitMirror>(
+      "sm", array,
+      ProtectionPolicy(WindowSpec{.accW = hours(12)}, 30, weeks(2))));
+  const StorageDesign d("overloaded", casestudy::celloWorkload(),
+                        caseStudyRequirements(), std::move(levels));
+  const UtilizationResult u = computeUtilization(d);
+  EXPECT_FALSE(u.feasible());
+  ASSERT_EQ(u.errors.size(), 1u);
+  EXPECT_NE(u.errors[0].find("capacity overloaded"), std::string::npos);
+  EXPECT_GT(u.overallCapUtil, 1.0);
+}
+
+TEST(Utilization, OverloadedBandwidthIsFlagged) {
+  // A 1360 GB full backup forced through a 15-minute window needs
+  // ~1.5 GB/s from a 240 MB/s library.
+  auto array = catalog::midrangeDiskArray("a", Location::at("s"));
+  auto lib = catalog::enterpriseTapeLibrary("l", Location::at("s"));
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(array));
+  levels.push_back(std::make_shared<Backup>(
+      "b", BackupStyle::kFullOnly, array, lib,
+      ProtectionPolicy(WindowSpec{.accW = hours(24), .propW = minutes(15)}, 2,
+                       days(2))));
+  const StorageDesign d("hot", casestudy::celloWorkload(),
+                        caseStudyRequirements(), std::move(levels));
+  const UtilizationResult u = computeUtilization(d);
+  EXPECT_FALSE(u.feasible());
+  bool bwError = false;
+  for (const auto& e : u.errors) {
+    if (e.find("bandwidth overloaded") != std::string::npos) bwError = true;
+  }
+  EXPECT_TRUE(bwError);
+}
+
+TEST(Utilization, SharesSumToDeviceTotals) {
+  const UtilizationResult u = computeUtilization(casestudy::baseline());
+  for (const auto& dev : u.devices) {
+    double bw = 0.0, cap = 0.0;
+    for (const auto& s : dev.shares) {
+      bw += s.bwUtil;
+      cap += s.capUtil;
+    }
+    EXPECT_NEAR(bw, dev.bwUtil, 1e-9) << dev.device;
+    EXPECT_NEAR(cap, dev.capUtil, 1e-9) << dev.device;
+  }
+}
+
+TEST(Utilization, TransportsNeverReportCapacityUtilization) {
+  const UtilizationResult u =
+      computeUtilization(casestudy::asyncBatchMirror(1));
+  const auto* links = u.find("wan-links");
+  ASSERT_NE(links, nullptr);
+  EXPECT_DOUBLE_EQ(links->capUtil, 0.0);
+  // 727 KB/s of batch updates on a 19.375 MB/s link: ~3.7%.
+  EXPECT_NEAR(links->bwUtil, 0.0384, 0.002);
+}
+
+TEST(Utilization, FindReturnsNullForUnknownDevice) {
+  const UtilizationResult u = computeUtilization(casestudy::baseline());
+  EXPECT_EQ(u.find("nonexistent"), nullptr);
+}
+
+// Property: scaling the retained mirror count scales the array capacity
+// utilization linearly (plus the fixed foreground share).
+class MirrorCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MirrorCountSweep, CapacityScalesWithRetention) {
+  const int retCnt = GetParam();
+  auto array = catalog::midrangeDiskArray("a", Location::at("s"));
+  std::vector<TechniquePtr> levels;
+  levels.push_back(std::make_shared<PrimaryCopy>(array));
+  levels.push_back(std::make_shared<SplitMirror>(
+      "sm", array,
+      ProtectionPolicy(WindowSpec{.accW = hours(12)}, retCnt,
+                       hours(12.0 * retCnt))));
+  const StorageDesign d("sweep", casestudy::celloWorkload(),
+                        caseStudyRequirements(), std::move(levels));
+  const UtilizationResult u = computeUtilization(d);
+  const auto* a = u.find("a");
+  ASSERT_NE(a, nullptr);
+  const double expected = (1.0 + retCnt + 1.0) * 1360.0 / 9344.0;
+  EXPECT_NEAR(a->capUtil, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Retentions, MirrorCountSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace stordep

@@ -1,0 +1,147 @@
+// Tests for core/workload: the batch-update-rate curve, its interpolation,
+// uniqueBytes monotonicity, and specification validation.
+#include "core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudy/casestudy.hpp"
+
+namespace stordep {
+namespace {
+
+WorkloadSpec cello() { return casestudy::celloWorkload(); }
+
+TEST(WorkloadSpec, CelloBasics) {
+  const WorkloadSpec w = cello();
+  EXPECT_DOUBLE_EQ(w.dataCap().gigabytes(), 1360.0);
+  EXPECT_NEAR(w.avgAccessRate().mbPerSec(), 1.004, 0.001);
+  EXPECT_NEAR(w.avgUpdateRate().kbPerSec(), 799.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w.burstMultiplier(), 10.0);
+  EXPECT_NEAR(w.peakUpdateRate().kbPerSec(), 7990.0, 1e-9);
+}
+
+TEST(WorkloadSpec, BatchRateAtMeasuredPoints) {
+  const WorkloadSpec w = cello();
+  EXPECT_NEAR(w.batchUpdateRate(minutes(1)).kbPerSec(), 727.0, 1e-9);
+  EXPECT_NEAR(w.batchUpdateRate(hours(12)).kbPerSec(), 350.0, 1e-9);
+  EXPECT_NEAR(w.batchUpdateRate(hours(24)).kbPerSec(), 317.0, 1e-9);
+  EXPECT_NEAR(w.batchUpdateRate(hours(48)).kbPerSec(), 317.0, 1e-9);
+  EXPECT_NEAR(w.batchUpdateRate(weeks(1)).kbPerSec(), 317.0, 1e-9);
+}
+
+TEST(WorkloadSpec, BatchRateClampsOutsideCurve) {
+  const WorkloadSpec w = cello();
+  // Below the first point: the first point's rate (capped by avgUpdateR).
+  EXPECT_NEAR(w.batchUpdateRate(seconds(1)).kbPerSec(), 727.0, 1e-9);
+  // Above the last point: the saturated rate.
+  EXPECT_NEAR(w.batchUpdateRate(weeks(40)).kbPerSec(), 317.0, 1e-9);
+  // Degenerate window: everything is unique.
+  EXPECT_NEAR(w.batchUpdateRate(Duration::zero()).kbPerSec(), 799.0, 1e-9);
+}
+
+TEST(WorkloadSpec, BatchRateInterpolatesMonotonically) {
+  const WorkloadSpec w = cello();
+  Bandwidth prev = w.batchUpdateRate(minutes(1));
+  for (double h = 0.1; h <= 200.0; h *= 1.3) {
+    const Bandwidth cur = w.batchUpdateRate(hours(h));
+    EXPECT_LE(cur.bytesPerSec(), prev.bytesPerSec() * (1 + 1e-12))
+        << "window " << h << " hr";
+    prev = cur;
+  }
+}
+
+TEST(WorkloadSpec, UniqueBytesIsMonotoneNonDecreasing) {
+  const WorkloadSpec w = cello();
+  Bytes prev{0};
+  for (double h = 0.01; h <= 2000.0; h *= 1.5) {
+    const Bytes cur = w.uniqueBytes(hours(h));
+    EXPECT_GE(cur.bytes(), prev.bytes() * (1 - 1e-12)) << "window " << h;
+    prev = cur;
+  }
+}
+
+TEST(WorkloadSpec, UniqueBytesCappedAtDataCap) {
+  const WorkloadSpec w = cello();
+  // 317 KB/s for ten years would exceed 1360 GB many times over.
+  EXPECT_EQ(w.uniqueBytes(years(10)), w.dataCap());
+  EXPECT_EQ(w.uniqueBytes(Duration::infinite()), w.dataCap());
+}
+
+TEST(WorkloadSpec, SplitMirrorResilverWindowMatchesPaper) {
+  // Table 5 needs batchUpdR(60 hr) ~ 317 KB/s so that resilver bandwidth is
+  // 2 x 5 x 317 KB/s ~ 3.17 MB/s.
+  const WorkloadSpec w = cello();
+  const Bandwidth resilver = 2.0 * (w.uniqueBytes(hours(60)) / hours(12));
+  EXPECT_NEAR(resilver.mbPerSec(), 3.17 * (5.0 / 5.0), 0.1);
+}
+
+TEST(WorkloadSpec, EmptyCurveFallsBackToAverageRate) {
+  const WorkloadSpec w("flat", gigabytes(10), kbPerSec(100), kbPerSec(50), 2.0,
+                       {});
+  EXPECT_EQ(w.batchUpdateRate(hours(1)), kbPerSec(50));
+  EXPECT_EQ(w.uniqueBytes(hours(2)), kbPerSec(50) * hours(2));
+}
+
+TEST(WorkloadSpec, ValidationRejectsBadSpecs) {
+  const std::vector<BatchUpdatePoint> curve{{hours(1), kbPerSec(50)}};
+  // Non-positive capacity.
+  EXPECT_THROW(WorkloadSpec("w", Bytes{0}, kbPerSec(1), kbPerSec(1), 1, {}),
+               WorkloadError);
+  // Update rate above access rate.
+  EXPECT_THROW(
+      WorkloadSpec("w", gigabytes(1), kbPerSec(10), kbPerSec(20), 1, {}),
+      WorkloadError);
+  // Burst multiplier below 1.
+  EXPECT_THROW(
+      WorkloadSpec("w", gigabytes(1), kbPerSec(10), kbPerSec(5), 0.5, {}),
+      WorkloadError);
+  // Batch rate above the average update rate.
+  EXPECT_THROW(WorkloadSpec("w", gigabytes(1), kbPerSec(100), kbPerSec(10), 1,
+                            {{hours(1), kbPerSec(20)}}),
+               WorkloadError);
+  // Windows must strictly increase.
+  EXPECT_THROW(WorkloadSpec("w", gigabytes(1), kbPerSec(100), kbPerSec(50), 1,
+                            {{hours(2), kbPerSec(40)}, {hours(1), kbPerSec(30)}}),
+               WorkloadError);
+  // Rates must be non-increasing.
+  EXPECT_THROW(WorkloadSpec("w", gigabytes(1), kbPerSec(100), kbPerSec(50), 1,
+                            {{hours(1), kbPerSec(30)}, {hours(2), kbPerSec(40)}}),
+               WorkloadError);
+  // Non-positive window.
+  EXPECT_THROW(WorkloadSpec("w", gigabytes(1), kbPerSec(100), kbPerSec(50), 1,
+                            {{Duration::zero(), kbPerSec(30)}}),
+               WorkloadError);
+  // A valid one for contrast.
+  EXPECT_NO_THROW(
+      WorkloadSpec("w", gigabytes(1), kbPerSec(100), kbPerSec(50), 1, curve));
+}
+
+// Property sweep: interpolation stays within the bracketing points for a
+// variety of synthetic curves.
+class WorkloadInterpolationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WorkloadInterpolationSweep, InterpolationIsBracketed) {
+  const double decay = GetParam();
+  std::vector<BatchUpdatePoint> curve;
+  double rate = 500.0;
+  for (double h = 1; h <= 256; h *= 4) {
+    curve.push_back({hours(h), kbPerSec(rate)});
+    rate *= decay;
+  }
+  const WorkloadSpec w("sweep", terabytes(1), kbPerSec(1000), kbPerSec(500),
+                       3.0, curve);
+  for (size_t i = 0; i + 1 < curve.size(); ++i) {
+    const Duration mid = hours((curve[i].window.hrs() +
+                                curve[i + 1].window.hrs()) /
+                               2.0);
+    const Bandwidth r = w.batchUpdateRate(mid);
+    EXPECT_LE(r.bytesPerSec(), curve[i].rate.bytesPerSec() + 1e-9);
+    EXPECT_GE(r.bytesPerSec(), curve[i + 1].rate.bytesPerSec() - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DecayRates, WorkloadInterpolationSweep,
+                         ::testing::Values(0.95, 0.8, 0.6, 0.4, 1.0));
+
+}  // namespace
+}  // namespace stordep

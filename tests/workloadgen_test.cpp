@@ -1,0 +1,215 @@
+// Tests for the workload-generation substrate: trace invariants, generator
+// statistics, the analyzer's measurements, and the cello round trip
+// (generate -> analyze -> fit a WorkloadSpec with the published shape).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workloadgen/analyzer.hpp"
+#include "workloadgen/cello.hpp"
+#include "workloadgen/generator.hpp"
+
+namespace stordep::workloadgen {
+namespace {
+
+TEST(UpdateTrace, EnforcesInvariants) {
+  UpdateTrace trace(megabytes(1), kilobytes(4));
+  EXPECT_EQ(trace.blockCount(), 256u);
+  trace.append({.time = 1.0, .block = 0, .length = 4});
+  EXPECT_THROW(trace.append({.time = 0.5, .block = 0, .length = 1}),
+               TraceError);  // time goes backward
+  EXPECT_THROW(trace.append({.time = 2.0, .block = 255, .length = 2}),
+               TraceError);  // past the end
+  EXPECT_THROW(trace.append({.time = 2.0, .block = 0, .length = 0}),
+               TraceError);  // empty update
+  trace.append({.time = 2.0, .block = 252, .length = 4});
+  EXPECT_EQ(trace.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.totalBytes().kilobytes(), 32.0);
+  EXPECT_DOUBLE_EQ(trace.duration(), 2.0);
+}
+
+TEST(UpdateTrace, RejectsBadGeometry) {
+  EXPECT_THROW(UpdateTrace(Bytes{0}, kilobytes(4)), TraceError);
+  EXPECT_THROW(UpdateTrace(kilobytes(4), megabytes(1)), TraceError);
+}
+
+TEST(TraceGenerator, HitsTargetAverageRate) {
+  GeneratorConfig config;
+  config.objectSize = megabytes(64);
+  config.avgUpdateRate = kbPerSec(500);
+  config.seed = 7;
+  TraceGenerator gen(config);
+  const UpdateTrace trace = gen.generate(hours(2));
+  const TraceAnalyzer analyzer(trace);
+  EXPECT_NEAR(analyzer.averageUpdateRate().kbPerSec(), 500.0, 50.0);
+}
+
+TEST(TraceGenerator, Deterministic) {
+  GeneratorConfig config;
+  config.seed = 11;
+  config.objectSize = megabytes(32);
+  const UpdateTrace a = TraceGenerator(config).generate(minutes(30));
+  const UpdateTrace b = TraceGenerator(config).generate(minutes(30));
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); i += 97) {
+    EXPECT_DOUBLE_EQ(a.records()[i].time, b.records()[i].time);
+    EXPECT_EQ(a.records()[i].block, b.records()[i].block);
+  }
+  config.seed = 12;
+  const UpdateTrace c = TraceGenerator(config).generate(minutes(30));
+  EXPECT_NE(a.records().size(), c.records().size());
+}
+
+TEST(TraceGenerator, BurstinessShowsUpInFineBins) {
+  GeneratorConfig config;
+  config.objectSize = megabytes(64);
+  config.burstMultiplier = 10.0;
+  config.meanBurstLength = seconds(10);
+  config.seed = 13;
+  const UpdateTrace trace = TraceGenerator(config).generate(hours(1));
+  const TraceAnalyzer analyzer(trace);
+  // Peak/average over 1 s bins should be clearly bursty (several-fold),
+  // while hour-scale bins smooth out.
+  EXPECT_GT(analyzer.burstMultiplier(seconds(1)), 3.0);
+  EXPECT_LT(analyzer.burstMultiplier(minutes(20)), 2.0);
+}
+
+TEST(TraceGenerator, Validation) {
+  GeneratorConfig config;
+  config.burstMultiplier = 0.5;
+  EXPECT_THROW(TraceGenerator{config}, TraceError);
+  config = {};
+  config.workingSetFraction = 0.0;
+  EXPECT_THROW(TraceGenerator{config}, TraceError);
+  config = {};
+  config.updateLengthBlocks = 0;
+  EXPECT_THROW(TraceGenerator{config}, TraceError);
+}
+
+TEST(TraceAnalyzer, UniqueBytesSaturateWithWindow) {
+  GeneratorConfig config;
+  config.objectSize = megabytes(64);
+  config.workingSetFraction = 0.1;
+  config.zipfSkew = 0.9;
+  config.seed = 17;
+  const UpdateTrace trace = TraceGenerator(config).generate(hours(4));
+  const TraceAnalyzer analyzer(trace);
+
+  // batchUpdR(win) declines with the window (overwrites coalesce)...
+  const Bandwidth r1 = analyzer.batchUpdateRate(minutes(1));
+  const Bandwidth r2 = analyzer.batchUpdateRate(minutes(30));
+  const Bandwidth r3 = analyzer.batchUpdateRate(hours(2));
+  EXPECT_GT(r1.bytesPerSec(), r2.bytesPerSec());
+  EXPECT_GT(r2.bytesPerSec(), r3.bytesPerSec());
+  // ...and unique bytes never exceed the working set.
+  EXPECT_LE(analyzer.uniqueBytesPerWindow(hours(2)).bytes(),
+            megabytes(64).bytes() * 0.1 * 1.05);
+}
+
+TEST(TraceAnalyzer, WindowLongerThanTraceThrows) {
+  GeneratorConfig config;
+  config.objectSize = megabytes(16);
+  const UpdateTrace trace = TraceGenerator(config).generate(minutes(10));
+  const TraceAnalyzer analyzer(trace);
+  EXPECT_THROW((void)analyzer.uniqueBytesPerWindow(hours(1)), TraceError);
+  EXPECT_THROW((void)analyzer.burstMultiplier(Duration::zero()), TraceError);
+}
+
+TEST(TraceAnalyzer, FitProducesAValidWorkloadSpec) {
+  GeneratorConfig config;
+  config.objectSize = megabytes(128);
+  config.seed = 19;
+  const UpdateTrace trace = TraceGenerator(config).generate(hours(3));
+  const TraceAnalyzer analyzer(trace);
+  const WorkloadSpec fitted = analyzer.fitWorkload(
+      "fitted", {minutes(1), minutes(10), hours(1)}, seconds(1),
+      /*accessToUpdateRatio=*/1.29);
+  EXPECT_EQ(fitted.dataCap(), megabytes(128));
+  EXPECT_GT(fitted.burstMultiplier(), 1.0);
+  EXPECT_GT(fitted.avgAccessRate().bytesPerSec(),
+            fitted.avgUpdateRate().bytesPerSec());
+  ASSERT_EQ(fitted.batchCurve().size(), 3u);
+  // The fitted curve obeys the WorkloadSpec invariants by construction
+  // (monotone, below avgUpdateR) — constructing it didn't throw.
+  EXPECT_THROW((void)analyzer.fitWorkload("bad", {minutes(1)}, seconds(1), 0.5),
+               TraceError);
+}
+
+TEST(CelloSubstitute, ReproducesPublishedCurveShape) {
+  // Generate a scaled-down cello-like trace and verify the analyzer
+  // recovers the *shape* of Table 2: ~800 KB/s updates, strong burstiness,
+  // a unique-update rate around 90% at 1-minute windows that decays to
+  // roughly 40-50% at long windows.
+  const GeneratorConfig config =
+      cello::generatorConfig(megabytes(512), /*seed=*/23);
+  const UpdateTrace trace = TraceGenerator(config).generate(hours(6));
+  const TraceAnalyzer analyzer(trace);
+
+  const double avg = analyzer.averageUpdateRate().kbPerSec();
+  EXPECT_NEAR(avg, 799.0, 80.0);
+
+  const double oneMinFrac =
+      analyzer.batchUpdateRate(minutes(1)).kbPerSec() / avg;
+  const double longFrac =
+      analyzer.batchUpdateRate(hours(3)).kbPerSec() / avg;
+  // Published: 727/799 = 0.91 at 1 min; 317/799 = 0.40 saturated. The
+  // scaled-down object saturates faster, so we only pin the shape.
+  EXPECT_GT(oneMinFrac, 0.55);
+  EXPECT_LT(longFrac, 0.5);
+  EXPECT_GT(oneMinFrac, longFrac * 1.5);
+
+  EXPECT_GT(analyzer.burstMultiplier(seconds(1)), 3.0);
+}
+
+TEST(UpdateTrace, FileRoundTrip) {
+  GeneratorConfig config;
+  config.objectSize = megabytes(32);
+  config.seed = 31;
+  const UpdateTrace original = TraceGenerator(config).generate(minutes(15));
+  const std::string path = "/tmp/stordep_trace_test.txt";
+  original.saveFile(path);
+  const UpdateTrace reloaded = UpdateTrace::loadFile(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(reloaded.objectSize(), original.objectSize());
+  EXPECT_EQ(reloaded.blockSize(), original.blockSize());
+  ASSERT_EQ(reloaded.records().size(), original.records().size());
+  for (size_t i = 0; i < original.records().size(); i += 37) {
+    EXPECT_NEAR(reloaded.records()[i].time, original.records()[i].time, 1e-6);
+    EXPECT_EQ(reloaded.records()[i].block, original.records()[i].block);
+    EXPECT_EQ(reloaded.records()[i].length, original.records()[i].length);
+  }
+  // The analyzer agrees on both.
+  const TraceAnalyzer a(original);
+  const TraceAnalyzer b(reloaded);
+  EXPECT_NEAR(a.averageUpdateRate().kbPerSec(),
+              b.averageUpdateRate().kbPerSec(), 0.5);
+}
+
+TEST(UpdateTrace, LoadRejectsGarbage) {
+  std::istringstream notATrace("hello world");
+  EXPECT_THROW((void)UpdateTrace::load(notATrace), TraceError);
+  std::istringstream badHeader("# stordep-trace v9 object=1 block=1\n");
+  EXPECT_THROW((void)UpdateTrace::load(badHeader), TraceError);
+  std::istringstream badField("# stordep-trace v1 objekt=1 block=1\n");
+  EXPECT_THROW((void)UpdateTrace::load(badField), TraceError);
+  std::istringstream empty("");
+  EXPECT_THROW((void)UpdateTrace::load(empty), TraceError);
+  EXPECT_THROW((void)UpdateTrace::loadFile("/nonexistent/trace.txt"),
+               TraceError);
+  // Records violating trace invariants are rejected on load too.
+  std::istringstream outOfRange(
+      "# stordep-trace v1 object=4096 block=4096\n0.5 7 1\n");
+  EXPECT_THROW((void)UpdateTrace::load(outOfRange), TraceError);
+}
+
+TEST(CelloSubstitute, PublishedWorkloadMatchesCaseStudy) {
+  const WorkloadSpec published = cello::publishedWorkload();
+  EXPECT_DOUBLE_EQ(published.dataCap().gigabytes(), 1360.0);
+  EXPECT_DOUBLE_EQ(published.batchUpdateRate(hours(12)).kbPerSec(), 350.0);
+  EXPECT_EQ(cello::publishedWindows().size(), 5u);
+}
+
+}  // namespace
+}  // namespace stordep::workloadgen
