@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_d2d.dir/bench_ablation_d2d.cpp.o"
+  "CMakeFiles/bench_ablation_d2d.dir/bench_ablation_d2d.cpp.o.d"
+  "bench_ablation_d2d"
+  "bench_ablation_d2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_d2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_d2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scheduling.dir/bench_ablation_scheduling.cpp.o"
+  "CMakeFiles/bench_ablation_scheduling.dir/bench_ablation_scheduling.cpp.o.d"
+  "bench_ablation_scheduling"
+  "bench_ablation_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

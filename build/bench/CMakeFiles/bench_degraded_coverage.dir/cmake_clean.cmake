@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degraded_coverage.dir/bench_degraded_coverage.cpp.o"
+  "CMakeFiles/bench_degraded_coverage.dir/bench_degraded_coverage.cpp.o.d"
+  "bench_degraded_coverage"
+  "bench_degraded_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degraded_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_expected_vs_worst.cpp" "bench/CMakeFiles/bench_expected_vs_worst.dir/bench_expected_vs_worst.cpp.o" "gcc" "bench/CMakeFiles/bench_expected_vs_worst.dir/bench_expected_vs_worst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stordep_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stordep_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stordep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stordep_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expected_vs_worst.dir/bench_expected_vs_worst.cpp.o"
+  "CMakeFiles/bench_expected_vs_worst.dir/bench_expected_vs_worst.cpp.o.d"
+  "bench_expected_vs_worst"
+  "bench_expected_vs_worst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expected_vs_worst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

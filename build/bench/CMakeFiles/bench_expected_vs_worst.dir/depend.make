@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_expected_vs_worst.
+# This may be replaced when dependencies are built.

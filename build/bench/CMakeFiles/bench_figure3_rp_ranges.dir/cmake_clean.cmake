@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_rp_ranges.dir/bench_figure3_rp_ranges.cpp.o"
+  "CMakeFiles/bench_figure3_rp_ranges.dir/bench_figure3_rp_ranges.cpp.o.d"
+  "bench_figure3_rp_ranges"
+  "bench_figure3_rp_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_rp_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_recovery_timeline.dir/bench_figure4_recovery_timeline.cpp.o"
+  "CMakeFiles/bench_figure4_recovery_timeline.dir/bench_figure4_recovery_timeline.cpp.o.d"
+  "bench_figure4_recovery_timeline"
+  "bench_figure4_recovery_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_recovery_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_costs.dir/bench_figure5_costs.cpp.o"
+  "CMakeFiles/bench_figure5_costs.dir/bench_figure5_costs.cpp.o.d"
+  "bench_figure5_costs"
+  "bench_figure5_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

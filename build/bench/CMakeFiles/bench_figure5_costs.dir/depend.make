@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure5_costs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_links.dir/bench_sensitivity_links.cpp.o"
+  "CMakeFiles/bench_sensitivity_links.dir/bench_sensitivity_links.cpp.o.d"
+  "bench_sensitivity_links"
+  "bench_sensitivity_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

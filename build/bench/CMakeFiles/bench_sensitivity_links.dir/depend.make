@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sensitivity_links.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_penalty.dir/bench_sensitivity_penalty.cpp.o"
+  "CMakeFiles/bench_sensitivity_penalty.dir/bench_sensitivity_penalty.cpp.o.d"
+  "bench_sensitivity_penalty"
+  "bench_sensitivity_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_utilization.dir/bench_table5_utilization.cpp.o"
+  "CMakeFiles/bench_table5_utilization.dir/bench_table5_utilization.cpp.o.d"
+  "bench_table5_utilization"
+  "bench_table5_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_recovery.dir/bench_table6_recovery.cpp.o"
+  "CMakeFiles/bench_table6_recovery.dir/bench_table6_recovery.cpp.o.d"
+  "bench_table6_recovery"
+  "bench_table6_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_whatif.dir/bench_table7_whatif.cpp.o"
+  "CMakeFiles/bench_table7_whatif.dir/bench_table7_whatif.cpp.o.d"
+  "bench_table7_whatif"
+  "bench_table7_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_sim.dir/bench_validation_sim.cpp.o"
+  "CMakeFiles/bench_validation_sim.dir/bench_validation_sim.cpp.o.d"
+  "bench_validation_sim"
+  "bench_validation_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_object.dir/multi_object.cpp.o"
+  "CMakeFiles/multi_object.dir/multi_object.cpp.o.d"
+  "multi_object"
+  "multi_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

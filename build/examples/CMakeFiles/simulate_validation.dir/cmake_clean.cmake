@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_validation.dir/simulate_validation.cpp.o"
+  "CMakeFiles/simulate_validation.dir/simulate_validation.cpp.o.d"
+  "simulate_validation"
+  "simulate_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stordep_eval.dir/stordep_eval.cpp.o"
+  "CMakeFiles/stordep_eval.dir/stordep_eval.cpp.o.d"
+  "stordep_eval"
+  "stordep_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stordep_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

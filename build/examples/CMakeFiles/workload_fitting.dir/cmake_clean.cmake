@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_fitting.dir/workload_fitting.cpp.o"
+  "CMakeFiles/workload_fitting.dir/workload_fitting.cpp.o.d"
+  "workload_fitting"
+  "workload_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stordep_casestudy.dir/casestudy/casestudy.cpp.o"
+  "CMakeFiles/stordep_casestudy.dir/casestudy/casestudy.cpp.o.d"
+  "libstordep_casestudy.a"
+  "libstordep_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stordep_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stordep_config.dir/config/design_io.cpp.o"
+  "CMakeFiles/stordep_config.dir/config/design_io.cpp.o.d"
+  "CMakeFiles/stordep_config.dir/config/json.cpp.o"
+  "CMakeFiles/stordep_config.dir/config/json.cpp.o.d"
+  "libstordep_config.a"
+  "libstordep_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stordep_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/business.cpp" "src/CMakeFiles/stordep_core.dir/core/business.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/business.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/stordep_core.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/data_loss.cpp" "src/CMakeFiles/stordep_core.dir/core/data_loss.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/data_loss.cpp.o.d"
+  "/root/repo/src/core/degraded.cpp" "src/CMakeFiles/stordep_core.dir/core/degraded.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/degraded.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/stordep_core.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/failure.cpp" "src/CMakeFiles/stordep_core.dir/core/failure.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/failure.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/CMakeFiles/stordep_core.dir/core/hierarchy.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/hierarchy.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/stordep_core.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/propagation.cpp" "src/CMakeFiles/stordep_core.dir/core/propagation.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/propagation.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/stordep_core.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/core/risk.cpp" "src/CMakeFiles/stordep_core.dir/core/risk.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/risk.cpp.o.d"
+  "/root/repo/src/core/technique.cpp" "src/CMakeFiles/stordep_core.dir/core/technique.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/technique.cpp.o.d"
+  "/root/repo/src/core/techniques/backup.cpp" "src/CMakeFiles/stordep_core.dir/core/techniques/backup.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/techniques/backup.cpp.o.d"
+  "/root/repo/src/core/techniques/foreground.cpp" "src/CMakeFiles/stordep_core.dir/core/techniques/foreground.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/techniques/foreground.cpp.o.d"
+  "/root/repo/src/core/techniques/remote_mirror.cpp" "src/CMakeFiles/stordep_core.dir/core/techniques/remote_mirror.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/techniques/remote_mirror.cpp.o.d"
+  "/root/repo/src/core/techniques/snapshot.cpp" "src/CMakeFiles/stordep_core.dir/core/techniques/snapshot.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/techniques/snapshot.cpp.o.d"
+  "/root/repo/src/core/techniques/split_mirror.cpp" "src/CMakeFiles/stordep_core.dir/core/techniques/split_mirror.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/techniques/split_mirror.cpp.o.d"
+  "/root/repo/src/core/techniques/vaulting.cpp" "src/CMakeFiles/stordep_core.dir/core/techniques/vaulting.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/techniques/vaulting.cpp.o.d"
+  "/root/repo/src/core/units.cpp" "src/CMakeFiles/stordep_core.dir/core/units.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/units.cpp.o.d"
+  "/root/repo/src/core/utilization.cpp" "src/CMakeFiles/stordep_core.dir/core/utilization.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/utilization.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/CMakeFiles/stordep_core.dir/core/workload.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/core/workload.cpp.o.d"
+  "/root/repo/src/devices/catalog.cpp" "src/CMakeFiles/stordep_core.dir/devices/catalog.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/devices/catalog.cpp.o.d"
+  "/root/repo/src/devices/device.cpp" "src/CMakeFiles/stordep_core.dir/devices/device.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/devices/device.cpp.o.d"
+  "/root/repo/src/devices/disk_array.cpp" "src/CMakeFiles/stordep_core.dir/devices/disk_array.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/devices/disk_array.cpp.o.d"
+  "/root/repo/src/devices/interconnect.cpp" "src/CMakeFiles/stordep_core.dir/devices/interconnect.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/devices/interconnect.cpp.o.d"
+  "/root/repo/src/devices/spares.cpp" "src/CMakeFiles/stordep_core.dir/devices/spares.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/devices/spares.cpp.o.d"
+  "/root/repo/src/devices/tape_library.cpp" "src/CMakeFiles/stordep_core.dir/devices/tape_library.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/devices/tape_library.cpp.o.d"
+  "/root/repo/src/devices/vault.cpp" "src/CMakeFiles/stordep_core.dir/devices/vault.cpp.o" "gcc" "src/CMakeFiles/stordep_core.dir/devices/vault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

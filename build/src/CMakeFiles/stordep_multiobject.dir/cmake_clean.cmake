@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stordep_multiobject.dir/multiobject/portfolio.cpp.o"
+  "CMakeFiles/stordep_multiobject.dir/multiobject/portfolio.cpp.o.d"
+  "libstordep_multiobject.a"
+  "libstordep_multiobject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stordep_multiobject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

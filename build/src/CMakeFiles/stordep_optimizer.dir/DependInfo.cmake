@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/design_space.cpp" "src/CMakeFiles/stordep_optimizer.dir/optimizer/design_space.cpp.o" "gcc" "src/CMakeFiles/stordep_optimizer.dir/optimizer/design_space.cpp.o.d"
+  "/root/repo/src/optimizer/refine.cpp" "src/CMakeFiles/stordep_optimizer.dir/optimizer/refine.cpp.o" "gcc" "src/CMakeFiles/stordep_optimizer.dir/optimizer/refine.cpp.o.d"
+  "/root/repo/src/optimizer/search.cpp" "src/CMakeFiles/stordep_optimizer.dir/optimizer/search.cpp.o" "gcc" "src/CMakeFiles/stordep_optimizer.dir/optimizer/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stordep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stordep_casestudy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

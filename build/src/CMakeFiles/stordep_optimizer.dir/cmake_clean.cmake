@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stordep_optimizer.dir/optimizer/design_space.cpp.o"
+  "CMakeFiles/stordep_optimizer.dir/optimizer/design_space.cpp.o.d"
+  "CMakeFiles/stordep_optimizer.dir/optimizer/refine.cpp.o"
+  "CMakeFiles/stordep_optimizer.dir/optimizer/refine.cpp.o.d"
+  "CMakeFiles/stordep_optimizer.dir/optimizer/search.cpp.o"
+  "CMakeFiles/stordep_optimizer.dir/optimizer/search.cpp.o.d"
+  "libstordep_optimizer.a"
+  "libstordep_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stordep_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

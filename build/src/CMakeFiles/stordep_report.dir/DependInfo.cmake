@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/csv.cpp" "src/CMakeFiles/stordep_report.dir/report/csv.cpp.o" "gcc" "src/CMakeFiles/stordep_report.dir/report/csv.cpp.o.d"
+  "/root/repo/src/report/report.cpp" "src/CMakeFiles/stordep_report.dir/report/report.cpp.o" "gcc" "src/CMakeFiles/stordep_report.dir/report/report.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/stordep_report.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/stordep_report.dir/report/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stordep_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

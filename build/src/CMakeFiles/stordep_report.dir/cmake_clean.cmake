@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stordep_report.dir/report/csv.cpp.o"
+  "CMakeFiles/stordep_report.dir/report/csv.cpp.o.d"
+  "CMakeFiles/stordep_report.dir/report/report.cpp.o"
+  "CMakeFiles/stordep_report.dir/report/report.cpp.o.d"
+  "CMakeFiles/stordep_report.dir/report/table.cpp.o"
+  "CMakeFiles/stordep_report.dir/report/table.cpp.o.d"
+  "libstordep_report.a"
+  "libstordep_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stordep_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

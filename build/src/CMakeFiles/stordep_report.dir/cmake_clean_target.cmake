@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstordep_report.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bandwidth_probe.cpp" "src/CMakeFiles/stordep_sim.dir/sim/bandwidth_probe.cpp.o" "gcc" "src/CMakeFiles/stordep_sim.dir/sim/bandwidth_probe.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/stordep_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/stordep_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/stordep_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/stordep_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/failure_injector.cpp" "src/CMakeFiles/stordep_sim.dir/sim/failure_injector.cpp.o" "gcc" "src/CMakeFiles/stordep_sim.dir/sim/failure_injector.cpp.o.d"
+  "/root/repo/src/sim/recovery_simulator.cpp" "src/CMakeFiles/stordep_sim.dir/sim/recovery_simulator.cpp.o" "gcc" "src/CMakeFiles/stordep_sim.dir/sim/recovery_simulator.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/stordep_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/stordep_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/rp_simulator.cpp" "src/CMakeFiles/stordep_sim.dir/sim/rp_simulator.cpp.o" "gcc" "src/CMakeFiles/stordep_sim.dir/sim/rp_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stordep_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

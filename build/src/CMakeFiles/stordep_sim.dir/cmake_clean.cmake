@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stordep_sim.dir/sim/bandwidth_probe.cpp.o"
+  "CMakeFiles/stordep_sim.dir/sim/bandwidth_probe.cpp.o.d"
+  "CMakeFiles/stordep_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/stordep_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/stordep_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/stordep_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/stordep_sim.dir/sim/failure_injector.cpp.o"
+  "CMakeFiles/stordep_sim.dir/sim/failure_injector.cpp.o.d"
+  "CMakeFiles/stordep_sim.dir/sim/recovery_simulator.cpp.o"
+  "CMakeFiles/stordep_sim.dir/sim/recovery_simulator.cpp.o.d"
+  "CMakeFiles/stordep_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/stordep_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/stordep_sim.dir/sim/rp_simulator.cpp.o"
+  "CMakeFiles/stordep_sim.dir/sim/rp_simulator.cpp.o.d"
+  "libstordep_sim.a"
+  "libstordep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stordep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

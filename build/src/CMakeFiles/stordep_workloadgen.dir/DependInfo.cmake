@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloadgen/analyzer.cpp" "src/CMakeFiles/stordep_workloadgen.dir/workloadgen/analyzer.cpp.o" "gcc" "src/CMakeFiles/stordep_workloadgen.dir/workloadgen/analyzer.cpp.o.d"
+  "/root/repo/src/workloadgen/cello.cpp" "src/CMakeFiles/stordep_workloadgen.dir/workloadgen/cello.cpp.o" "gcc" "src/CMakeFiles/stordep_workloadgen.dir/workloadgen/cello.cpp.o.d"
+  "/root/repo/src/workloadgen/generator.cpp" "src/CMakeFiles/stordep_workloadgen.dir/workloadgen/generator.cpp.o" "gcc" "src/CMakeFiles/stordep_workloadgen.dir/workloadgen/generator.cpp.o.d"
+  "/root/repo/src/workloadgen/trace.cpp" "src/CMakeFiles/stordep_workloadgen.dir/workloadgen/trace.cpp.o" "gcc" "src/CMakeFiles/stordep_workloadgen.dir/workloadgen/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stordep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stordep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

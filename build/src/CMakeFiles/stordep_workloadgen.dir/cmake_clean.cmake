@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stordep_workloadgen.dir/workloadgen/analyzer.cpp.o"
+  "CMakeFiles/stordep_workloadgen.dir/workloadgen/analyzer.cpp.o.d"
+  "CMakeFiles/stordep_workloadgen.dir/workloadgen/cello.cpp.o"
+  "CMakeFiles/stordep_workloadgen.dir/workloadgen/cello.cpp.o.d"
+  "CMakeFiles/stordep_workloadgen.dir/workloadgen/generator.cpp.o"
+  "CMakeFiles/stordep_workloadgen.dir/workloadgen/generator.cpp.o.d"
+  "CMakeFiles/stordep_workloadgen.dir/workloadgen/trace.cpp.o"
+  "CMakeFiles/stordep_workloadgen.dir/workloadgen/trace.cpp.o.d"
+  "libstordep_workloadgen.a"
+  "libstordep_workloadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stordep_workloadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

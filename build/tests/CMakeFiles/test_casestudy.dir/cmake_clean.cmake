@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_casestudy.dir/casestudy_test.cpp.o"
+  "CMakeFiles/test_casestudy.dir/casestudy_test.cpp.o.d"
+  "test_casestudy"
+  "test_casestudy.pdb"
+  "test_casestudy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

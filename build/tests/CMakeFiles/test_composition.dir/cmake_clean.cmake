@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composition.dir/composition_test.cpp.o"
+  "CMakeFiles/test_composition.dir/composition_test.cpp.o.d"
+  "test_composition"
+  "test_composition.pdb"
+  "test_composition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

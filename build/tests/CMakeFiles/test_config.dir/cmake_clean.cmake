@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config.dir/design_io_test.cpp.o"
+  "CMakeFiles/test_config.dir/design_io_test.cpp.o.d"
+  "CMakeFiles/test_config.dir/json_test.cpp.o"
+  "CMakeFiles/test_config.dir/json_test.cpp.o.d"
+  "test_config"
+  "test_config.pdb"
+  "test_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_loss.dir/data_loss_test.cpp.o"
+  "CMakeFiles/test_data_loss.dir/data_loss_test.cpp.o.d"
+  "test_data_loss"
+  "test_data_loss.pdb"
+  "test_data_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

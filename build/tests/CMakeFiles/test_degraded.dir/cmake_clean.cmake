@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degraded.dir/degraded_test.cpp.o"
+  "CMakeFiles/test_degraded.dir/degraded_test.cpp.o.d"
+  "test_degraded"
+  "test_degraded.pdb"
+  "test_degraded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_devices.dir/devices_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices_test.cpp.o.d"
+  "test_devices"
+  "test_devices.pdb"
+  "test_devices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

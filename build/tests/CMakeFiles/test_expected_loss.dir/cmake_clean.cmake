@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expected_loss.dir/expected_loss_test.cpp.o"
+  "CMakeFiles/test_expected_loss.dir/expected_loss_test.cpp.o.d"
+  "test_expected_loss"
+  "test_expected_loss.pdb"
+  "test_expected_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expected_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiobject.dir/portfolio_test.cpp.o"
+  "CMakeFiles/test_multiobject.dir/portfolio_test.cpp.o.d"
+  "test_multiobject"
+  "test_multiobject.pdb"
+  "test_multiobject[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiobject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

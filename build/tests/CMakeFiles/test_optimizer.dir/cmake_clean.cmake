@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizer.dir/optimizer_test.cpp.o"
+  "CMakeFiles/test_optimizer.dir/optimizer_test.cpp.o.d"
+  "test_optimizer"
+  "test_optimizer.pdb"
+  "test_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

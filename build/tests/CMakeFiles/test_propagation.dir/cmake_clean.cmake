@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propagation.dir/propagation_test.cpp.o"
+  "CMakeFiles/test_propagation.dir/propagation_test.cpp.o.d"
+  "test_propagation"
+  "test_propagation.pdb"
+  "test_propagation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_risk.dir/risk_test.cpp.o"
+  "CMakeFiles/test_risk.dir/risk_test.cpp.o.d"
+  "test_risk"
+  "test_risk.pdb"
+  "test_risk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bandwidth_probe_test.cpp" "tests/CMakeFiles/test_sim.dir/bandwidth_probe_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/bandwidth_probe_test.cpp.o.d"
+  "/root/repo/tests/recovery_simulator_test.cpp" "tests/CMakeFiles/test_sim.dir/recovery_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/recovery_simulator_test.cpp.o.d"
+  "/root/repo/tests/rp_simulator_test.cpp" "tests/CMakeFiles/test_sim.dir/rp_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/rp_simulator_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/test_sim.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stordep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stordep_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stordep_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units.dir/units_test.cpp.o"
+  "CMakeFiles/test_units.dir/units_test.cpp.o.d"
+  "test_units"
+  "test_units.pdb"
+  "test_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utilization.dir/utilization_test.cpp.o"
+  "CMakeFiles/test_utilization.dir/utilization_test.cpp.o.d"
+  "test_utilization"
+  "test_utilization.pdb"
+  "test_utilization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

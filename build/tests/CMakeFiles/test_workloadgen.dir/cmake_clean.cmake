@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloadgen.dir/workloadgen_test.cpp.o"
+  "CMakeFiles/test_workloadgen.dir/workloadgen_test.cpp.o.d"
+  "test_workloadgen"
+  "test_workloadgen.pdb"
+  "test_workloadgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
