@@ -1,0 +1,152 @@
+// bench_parallel_search — throughput of the batch-evaluation engine.
+//
+// Runs the same ~500-candidate design-space sweep (the paper's automated
+// optimization loop, on a grid denser than the default) three ways:
+//
+//  * the serial reference path (pre-engine: one thread, no cache);
+//  * engine-backed at 1/2/4/8 threads, cold cache (parallel speedup);
+//  * the same engine again, warm cache (memoization hit rate).
+//
+// Emits a JSON document on stdout so the perf trajectory can be tracked
+// across PRs, and exits non-zero if the engine's results diverge from the
+// serial reference (determinism is part of the contract being benchmarked)
+// or if a warm re-sweep falls under a 90% cache hit rate.
+//
+// Speedup expectations are hardware-relative: the container this repo is
+// grown in may expose a single core (reported as hardwareThreads), in which
+// case thread counts above it add scheduling overhead instead of speedup.
+// On >= 8 real cores the 8-thread sweep is expected to clear 3x serial.
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "casestudy/casestudy.hpp"
+#include "config/json.hpp"
+#include "engine/batch.hpp"
+#include "optimizer/search.hpp"
+
+namespace {
+
+namespace cs = stordep::casestudy;
+namespace opt = stordep::optimizer;
+using stordep::config::Json;
+using stordep::config::JsonArray;
+using stordep::config::JsonObject;
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+/// A denser grid than the default ~200-candidate space: >= 500 structurally
+/// valid candidates.
+std::vector<opt::CandidateSpec> denseCandidates() {
+  opt::DesignSpaceOptions options;
+  options.pitAccWs = {stordep::hours(6), stordep::hours(12),
+                      stordep::hours(24), stordep::hours(48)};
+  options.pitRetentionCounts = {2, 4};
+  options.backupAccWs = {stordep::hours(24), stordep::weeks(1),
+                         stordep::weeks(2)};
+  options.mirrorLinkCounts = {1, 2, 4, 10};
+  return opt::enumerateDesignSpace(options);
+}
+
+bool sameRanking(const opt::SearchResult& a, const opt::SearchResult& b) {
+  if (a.ranked.size() != b.ranked.size() ||
+      a.rejected.size() != b.rejected.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    if (a.ranked[i].label != b.ranked[i].label ||
+        a.ranked[i].totalCost.raw() != b.ranked[i].totalCost.raw() ||
+        a.ranked[i].worstRecoveryTime.raw() !=
+            b.ranked[i].worstRecoveryTime.raw() ||
+        a.ranked[i].worstDataLoss.raw() != b.ranked[i].worstDataLoss.raw()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<opt::CandidateSpec> candidates = denseCandidates();
+  const std::vector<opt::ScenarioCase> scenarios = opt::caseStudyScenarios();
+  const stordep::WorkloadSpec workload = cs::celloWorkload();
+  const stordep::BusinessRequirements business = cs::requirements();
+
+  const auto serialStart = std::chrono::steady_clock::now();
+  const opt::SearchResult serial =
+      opt::searchDesignSpaceSerial(candidates, workload, business, scenarios);
+  const double serialSeconds = secondsSince(serialStart);
+
+  Json doc{JsonObject{}};
+  doc.set("bench", Json("parallel_search"));
+  doc.set("candidates", Json(static_cast<std::int64_t>(candidates.size())));
+  doc.set("scenarios", Json(static_cast<std::int64_t>(scenarios.size())));
+  doc.set("hardwareThreads",
+          Json(static_cast<std::int64_t>(
+              std::thread::hardware_concurrency())));
+  doc.set("serialSeconds", Json(serialSeconds));
+  doc.set("serialEvalsPerSec",
+          Json(static_cast<double>(candidates.size() * scenarios.size()) /
+               serialSeconds));
+
+  bool ok = true;
+  JsonArray runs;
+  for (const int threads : {1, 2, 4, 8}) {
+    stordep::engine::Engine engine(
+        stordep::engine::EngineOptions{.threads = threads});
+
+    const auto coldStart = std::chrono::steady_clock::now();
+    const opt::SearchResult cold = opt::searchDesignSpace(
+        candidates, workload, business, scenarios, &engine);
+    const double coldSeconds = secondsSince(coldStart);
+    const auto afterCold = engine.cache().stats();
+
+    const auto warmStart = std::chrono::steady_clock::now();
+    const opt::SearchResult warm = opt::searchDesignSpace(
+        candidates, workload, business, scenarios, &engine);
+    const double warmSeconds = secondsSince(warmStart);
+    const auto stats = engine.cache().stats();
+
+    const double warmHits = static_cast<double>(stats.hits - afterCold.hits);
+    const double warmLookups =
+        static_cast<double>((stats.hits + stats.misses) -
+                            (afterCold.hits + afterCold.misses));
+    const double warmHitRate =
+        warmLookups > 0.0 ? warmHits / warmLookups : 0.0;
+
+    if (!sameRanking(serial, cold) || !sameRanking(serial, warm)) {
+      std::cerr << "FAIL: engine-backed ranking diverged from serial at "
+                << threads << " threads\n";
+      ok = false;
+    }
+    if (warmHitRate < 0.9) {
+      std::cerr << "FAIL: warm re-sweep hit rate " << warmHitRate
+                << " < 0.9 at " << threads << " threads\n";
+      ok = false;
+    }
+
+    Json run{JsonObject{}};
+    run.set("threads", Json(threads));
+    run.set("coldSeconds", Json(coldSeconds));
+    run.set("coldSpeedupVsSerial", Json(serialSeconds / coldSeconds));
+    run.set("coldEvalsPerSec",
+            Json(static_cast<double>(candidates.size() * scenarios.size()) /
+                 coldSeconds));
+    run.set("warmSeconds", Json(warmSeconds));
+    run.set("warmSpeedupVsSerial", Json(serialSeconds / warmSeconds));
+    run.set("warmCacheHitRate", Json(warmHitRate));
+    run.set("cacheEntries", Json(static_cast<std::int64_t>(stats.entries)));
+    runs.push_back(std::move(run));
+  }
+  doc.set("runs", Json(std::move(runs)));
+  doc.set("ok", Json(ok));
+
+  std::cout << doc.pretty() << "\n";
+  return ok ? 0 : 1;
+}

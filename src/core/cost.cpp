@@ -82,8 +82,14 @@ std::vector<TechniqueOutlay> computeOutlays(
 
 CostResult computeCosts(const StorageDesign& design,
                         const RecoveryResult& recovery) {
+  return computeCosts(design, recovery, computeOutlays(design.allDemands()));
+}
+
+CostResult computeCosts(const StorageDesign& design,
+                        const RecoveryResult& recovery,
+                        std::vector<TechniqueOutlay> outlays) {
   CostResult result;
-  result.outlays = computeOutlays(design.allDemands());
+  result.outlays = std::move(outlays);
   for (const auto& o : result.outlays) result.totalOutlays += o.total();
 
   const auto& business = design.business();

@@ -1,0 +1,118 @@
+#include "engine/batch.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+namespace stordep::engine {
+
+namespace {
+int resolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      threads_(resolveThreads(options.threads)),
+      cache_(options.cacheCapacity, options.cacheShards) {
+  if (threads_ > 1) {
+    // The calling thread participates in parallelFor, so threads_ - 1
+    // workers give exactly threads_ concurrent executors.
+    pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  }
+}
+
+EvaluationResult Engine::evaluate(const StorageDesign& design,
+                                  const FailureScenario& scenario) {
+  std::optional<DesignPrecomputation> precomputed;
+  return evaluateKeyed(design, scenario,
+                       fingerprintEvaluation(design, scenario), precomputed);
+}
+
+EvaluationResult Engine::evaluateKeyed(
+    const StorageDesign& design, const FailureScenario& scenario,
+    const Fingerprint& pairKey,
+    std::optional<DesignPrecomputation>& precomputed) {
+  if (!options_.useCache) {
+    if (!precomputed) precomputed = precomputeDesign(design);
+    return stordep::evaluate(design, scenario, *precomputed);
+  }
+  if (std::optional<EvaluationResult> hit = cache_.lookup(pairKey)) {
+    return std::move(*hit);
+  }
+  if (!precomputed) precomputed = precomputeDesign(design);
+  EvaluationResult result = stordep::evaluate(design, scenario, *precomputed);
+  cache_.insert(pairKey, result);
+  return result;
+}
+
+BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests) {
+  const auto start = std::chrono::steady_clock::now();
+
+  BatchResult out;
+  out.results.resize(requests.size());
+  out.stats.threadsUsed = threads_;
+  out.stats.requests = requests.size();
+
+  // Fingerprint each distinct design once (batches typically pair a few
+  // designs with many scenarios).
+  std::unordered_map<const StorageDesign*, Fingerprint> designFps;
+  for (const EvalRequest& request : requests) {
+    designFps.emplace(request.design.get(), Fingerprint{});
+  }
+  std::vector<const StorageDesign*> uniqueDesigns;
+  uniqueDesigns.reserve(designFps.size());
+  for (const auto& [design, fp] : designFps) uniqueDesigns.push_back(design);
+  parallelFor(uniqueDesigns.size(), [&](std::size_t i) {
+    designFps[uniqueDesigns[i]] = fingerprintDesign(*uniqueDesigns[i]);
+  });
+
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> computed{0};
+  parallelFor(requests.size(), [&](std::size_t i) {
+    const EvalRequest& request = requests[i];
+    const Fingerprint key = combine(designFps.at(request.design.get()),
+                                    fingerprintScenario(request.scenario));
+    if (options_.useCache) {
+      if (std::optional<EvaluationResult> hit = cache_.lookup(key)) {
+        out.results[i] = std::move(*hit);
+        hits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    out.results[i] = stordep::evaluate(*request.design, request.scenario);
+    computed.fetch_add(1, std::memory_order_relaxed);
+    if (options_.useCache) cache_.insert(key, out.results[i]);
+  });
+
+  out.stats.cacheHits = hits.load();
+  out.stats.evaluations = computed.load();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  out.stats.wallSeconds = elapsed.count();
+  out.stats.evalsPerSec =
+      out.stats.wallSeconds > 0.0
+          ? static_cast<double>(out.stats.requests) / out.stats.wallSeconds
+          : 0.0;
+  return out;
+}
+
+void Engine::parallelFor(std::size_t count,
+                         const std::function<void(std::size_t)>& body) {
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool_->parallelFor(count, body);
+}
+
+Engine& Engine::shared() {
+  static Engine engine;
+  return engine;
+}
+
+}  // namespace stordep::engine

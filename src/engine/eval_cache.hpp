@@ -1,0 +1,109 @@
+// eval_cache.hpp — sharded, LRU-bounded memoization of evaluation results.
+//
+// evaluate() is a pure function, so its results can be memoized by the
+// canonical fingerprint of (design, scenario). Design-space search, local
+// refinement and portfolio sweeps re-evaluate the same pairs constantly
+// (refinement revisits the grid winner's neighborhood; repeated what-if
+// sweeps re-ask identical questions), so a bounded cache turns those
+// re-evaluations into lookups.
+//
+// Concurrency: the table is striped into N shards (N rounded up to a power
+// of two), each an independent mutex + LRU list + hash index, selected by
+// fingerprint bits. Worker threads evaluating different pairs contend only
+// when they land on the same shard. Statistics (hits/misses/inserts/
+// evictions) are aggregated across shards on demand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "engine/fingerprint.hpp"
+
+namespace stordep::engine {
+
+class EvalCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+
+    [[nodiscard]] double hitRate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// `capacity` bounds the total entry count (split evenly across shards,
+  /// at least one entry per shard); `shards` is rounded up to a power of
+  /// two.
+  explicit EvalCache(std::size_t capacity = kDefaultCapacity,
+                     std::size_t shards = kDefaultShards);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Returns the cached result and refreshes its LRU position, or nullopt.
+  [[nodiscard]] std::optional<EvaluationResult> lookup(const Fingerprint& key);
+
+  /// Inserts (or refreshes) `result` under `key`, evicting the shard's
+  /// least-recently-used entry when full.
+  void insert(const Fingerprint& key, const EvaluationResult& result);
+
+  /// lookup(), falling back to `compute()` + insert() on a miss.
+  [[nodiscard]] EvaluationResult getOrCompute(
+      const Fingerprint& key,
+      const std::function<EvaluationResult()>& compute);
+
+  void clear();
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return perShardCapacity_ * shards_.size();
+  }
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return shards_.size();
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  static constexpr std::size_t kDefaultShards = 16;
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    EvaluationResult result;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Fingerprint, std::list<Entry>::iterator,
+                       FingerprintHash>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shardFor(const Fingerprint& key) {
+    return *shards_[key.hi & (shards_.size() - 1)];
+  }
+
+  std::size_t perShardCapacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace stordep::engine

@@ -1,0 +1,77 @@
+#include "engine/fingerprint.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "config/design_io.hpp"
+
+namespace stordep::engine {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ull;
+/// Second, independent seed for the high word (an arbitrary odd constant;
+/// any fixed value distinct from the offset basis works).
+constexpr std::uint64_t kAltBasis = 0x6C62272E07BB0142ull;
+
+std::uint64_t mixWord(std::uint64_t hash, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xFFu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+}  // namespace
+
+std::string Fingerprint::toHex() const {
+  std::array<char, 33> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf.data());
+}
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+Fingerprint fingerprintBytes(std::string_view bytes) {
+  return Fingerprint{fnv1a64(bytes, kAltBasis), fnv1a64(bytes, kOffsetBasis)};
+}
+
+std::string canonicalSerialization(const StorageDesign& design) {
+  return config::designToJson(design).dump();
+}
+
+std::string canonicalSerialization(const FailureScenario& scenario) {
+  return config::scenarioToJson(scenario).dump();
+}
+
+Fingerprint fingerprintDesign(const StorageDesign& design) {
+  return fingerprintBytes(canonicalSerialization(design));
+}
+
+Fingerprint fingerprintScenario(const FailureScenario& scenario) {
+  return fingerprintBytes(canonicalSerialization(scenario));
+}
+
+Fingerprint combine(const Fingerprint& a, const Fingerprint& b) {
+  // Continue each FNV stream through the other fingerprint's words; the
+  // byte-wise feed keeps the combination order-sensitive.
+  Fingerprint out;
+  out.lo = mixWord(mixWord(mixWord(mixWord(a.lo, a.hi), b.lo), b.hi), 1);
+  out.hi = mixWord(mixWord(mixWord(mixWord(a.hi, a.lo), b.hi), b.lo), 2);
+  return out;
+}
+
+Fingerprint fingerprintEvaluation(const StorageDesign& design,
+                                  const FailureScenario& scenario) {
+  return combine(fingerprintDesign(design), fingerprintScenario(scenario));
+}
+
+}  // namespace stordep::engine

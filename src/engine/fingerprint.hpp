@@ -1,0 +1,71 @@
+// fingerprint.hpp — canonical identity of an evaluation request.
+//
+// The memoizing cache needs a deterministic key for a (StorageDesign,
+// FailureScenario) pair. Hashing in-memory object graphs directly would be
+// fragile (pointer identity, padding, float bit patterns for -0.0/NaN), so
+// the key is defined over a *canonical serialization* instead: the design-
+// document JSON from config::designToJson / scenarioToJson, dumped compactly.
+// That serialization writes every quantity as a number in base units at full
+// round-trip precision (%.17g), and its field order is fixed by the writer,
+// so two pairs serialize identically iff the models would evaluate
+// identically. A 128-bit fingerprint is computed as two independently seeded
+// FNV-1a passes over those bytes, which makes accidental collisions
+// (a cache silently returning the wrong result) a non-concern at any
+// realistic sweep size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/failure.hpp"
+#include "core/hierarchy.hpp"
+
+namespace stordep::engine {
+
+/// 128-bit content fingerprint; value-comparable and hashable.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex digits, hi word first (for logs and tests).
+  [[nodiscard]] std::string toHex() const;
+};
+
+struct FingerprintHash {
+  [[nodiscard]] std::size_t operator()(const Fingerprint& fp) const noexcept {
+    // The words are already uniform; fold them.
+    return static_cast<std::size_t>(fp.lo ^ (fp.hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// FNV-1a over `bytes`, starting from `seed` (defaults to the standard
+/// 64-bit offset basis).
+[[nodiscard]] std::uint64_t fnv1a64(
+    std::string_view bytes, std::uint64_t seed = 0xCBF29CE484222325ull);
+
+/// Fingerprint of an arbitrary byte string (two seeded FNV-1a passes).
+[[nodiscard]] Fingerprint fingerprintBytes(std::string_view bytes);
+
+/// The canonical byte strings the fingerprints are defined over (exposed for
+/// tests and debugging).
+[[nodiscard]] std::string canonicalSerialization(const StorageDesign& design);
+[[nodiscard]] std::string canonicalSerialization(
+    const FailureScenario& scenario);
+
+[[nodiscard]] Fingerprint fingerprintDesign(const StorageDesign& design);
+[[nodiscard]] Fingerprint fingerprintScenario(const FailureScenario& scenario);
+
+/// Order-sensitive combination of two fingerprints (design ⊕ scenario). Lets
+/// callers fingerprint a design once and pair it with many scenarios without
+/// re-serializing the design.
+[[nodiscard]] Fingerprint combine(const Fingerprint& a, const Fingerprint& b);
+
+/// Fingerprint of one evaluation request:
+/// combine(fingerprintDesign(d), fingerprintScenario(s)).
+[[nodiscard]] Fingerprint fingerprintEvaluation(const StorageDesign& design,
+                                                const FailureScenario& scenario);
+
+}  // namespace stordep::engine

@@ -1,0 +1,172 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace stordep::engine {
+
+namespace {
+/// Set inside workerLoop so submissions from a worker land on its own deque
+/// (LIFO reuse of a warm cache) instead of round-robining.
+thread_local std::size_t tlsWorkerIndex = static_cast<std::size_t>(-1);
+thread_local const ThreadPool* tlsWorkerPool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  queues_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this, i]() { workerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleepMu_);
+    stop_ = true;
+  }
+  sleepCv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  std::size_t target;
+  if (tlsWorkerPool == this) {
+    target = tlsWorkerIndex;  // keep a worker's own spawns local
+  } else {
+    target = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    if (tlsWorkerPool == this) {
+      queues_[target]->tasks.push_front(std::move(task));
+    } else {
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleepMu_);
+    ++pending_;
+  }
+  sleepCv_.notify_one();
+}
+
+bool ThreadPool::tryPop(std::size_t self, std::function<void()>& task) {
+  // Own queue first (front = most recently pushed by this worker).
+  {
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of a sibling's queue (its oldest work).
+  for (std::size_t step = 1; step < queues_.size(); ++step) {
+    Queue& victim = *queues_[(self + step) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  tlsWorkerIndex = self;
+  tlsWorkerPool = this;
+  for (;;) {
+    std::function<void()> task;
+    if (tryPop(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(sleepMu_);
+        --pending_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleepMu_);
+    sleepCv_.wait(lock, [this]() { return pending_ > 0 || stop_; });
+    if (stop_ && pending_ == 0) return;
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  if (count == 0) return;
+  const auto threads = static_cast<std::size_t>(threadCount());
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, count / (threads * 4));
+  }
+
+  struct ForState {
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<int> inflight{0};
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;  // first exception, guarded by mu
+  };
+  auto state = std::make_shared<ForState>();
+
+  auto runner = [state, count, grain, &body]() {
+    state->inflight.fetch_add(1, std::memory_order_acq_rel);
+    for (;;) {
+      const std::size_t begin =
+          state->cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + grain, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+        // Poison the cursor so remaining chunks are abandoned.
+        state->cursor.store(count, std::memory_order_relaxed);
+      }
+    }
+    if (state->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done.notify_all();
+    }
+  };
+
+  // Recruit at most one helper per worker; the caller runs the loop too, so
+  // progress never depends on a worker being free.
+  const std::size_t chunks = (count + grain - 1) / grain;
+  const std::size_t helpers = std::min(threads, chunks > 0 ? chunks - 1 : 0);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    // The helper's copy of `runner` captures `body` by reference; that is
+    // safe because this function does not return before inflight drains and
+    // the cursor is exhausted.
+    enqueue(runner);
+  }
+  runner();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&]() {
+    return state->inflight.load(std::memory_order_acquire) == 0 &&
+           state->cursor.load(std::memory_order_relaxed) >= count;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace stordep::engine

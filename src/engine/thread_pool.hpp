@@ -1,0 +1,90 @@
+// thread_pool.hpp — work-stealing thread pool for the evaluation engine.
+//
+// The analytic models are pure functions of (design, scenario), so a design-
+// space sweep is embarrassingly parallel; what it needs from the runtime is
+// cheap fan-out and load balancing when per-candidate work is uneven (some
+// candidates bail out at the first infeasible scenario, others evaluate the
+// full set). Each worker owns a deque: it pushes and pops its own work LIFO
+// for locality and steals FIFO from the back of a sibling's deque when it
+// runs dry. External submissions are distributed round-robin.
+//
+// Two entry points:
+//  * submit(f) -> std::future<R>: one task, exceptions captured in the future;
+//  * parallelFor(n, body): index-space fan-out over [0, n). The calling
+//    thread participates in the loop (so a pool of size 1 — or a nested call
+//    from a worker — cannot deadlock), chunks are handed out through an
+//    atomic cursor, and the first exception thrown by any chunk is rethrown
+//    on the caller after all in-flight chunks drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace stordep::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; values < 1 (including the 0 that
+  /// std::thread::hardware_concurrency() may report) mean "one per
+  /// hardware thread, at least one".
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threadCount() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Schedules `f()` on the pool; the future carries its result or exception.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(i) for every i in [0, count). Blocks until every call has
+  /// returned; the calling thread executes chunks alongside the workers.
+  /// If any call throws, the first captured exception is rethrown here
+  /// (after all running chunks finish). `grain` is the number of indices
+  /// handed out per grab; 0 picks a grain that yields ~4 chunks per thread.
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 0);
+
+  /// A process-wide pool sized to the hardware, for callers that do not
+  /// manage their own. Constructed on first use.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  void workerLoop(std::size_t self);
+  bool tryPop(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleepMu_;
+  std::condition_variable sleepCv_;
+  std::size_t pending_ = 0;  // guarded by sleepMu_
+  bool stop_ = false;        // guarded by sleepMu_
+  std::atomic<std::size_t> nextQueue_{0};
+};
+
+}  // namespace stordep::engine

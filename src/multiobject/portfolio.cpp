@@ -104,6 +104,50 @@ Money Portfolio::aggregateOutlays() const {
 
 PortfolioRecoveryResult Portfolio::recover(
     const FailureScenario& scenario) const {
+  return recoverImpl(scenario,
+                     [](const StorageDesign& design,
+                        const FailureScenario& sc) {
+                       return computeRecovery(design, sc);
+                     });
+}
+
+std::vector<PortfolioRecoveryResult> Portfolio::recoverBatch(
+    const std::vector<FailureScenario>& scenarios,
+    engine::Engine* eng) const {
+  engine::Engine& resolved = eng != nullptr ? *eng : engine::Engine::shared();
+
+  // Canonical design fingerprints, hoisted: each object's design is paired
+  // with every scenario.
+  std::map<const StorageDesign*, engine::Fingerprint> designFps;
+  for (const ObjectSpec& object : objects_) {
+    designFps.emplace(&object.design,
+                      engine::fingerprintDesign(object.design));
+  }
+
+  std::vector<PortfolioRecoveryResult> results(scenarios.size());
+  resolved.parallelFor(scenarios.size(), [&](size_t i) {
+    const engine::Fingerprint scenarioFp =
+        engine::fingerprintScenario(scenarios[i]);
+    results[i] = recoverImpl(
+        scenarios[i], [&](const StorageDesign& design,
+                          const FailureScenario& sc) {
+          std::optional<DesignPrecomputation> precomputed;
+          return resolved
+              .evaluateKeyed(design, sc,
+                             engine::combine(designFps.at(&design),
+                                             scenarioFp),
+                             precomputed)
+              .recovery;
+        });
+  });
+  return results;
+}
+
+PortfolioRecoveryResult Portfolio::recoverImpl(
+    const FailureScenario& scenario,
+    const std::function<RecoveryResult(const StorageDesign&,
+                                       const FailureScenario&)>& recoveryOf)
+    const {
   PortfolioRecoveryResult result;
   result.objects.resize(objects_.size());
   result.allRecoverable = true;
@@ -120,7 +164,7 @@ PortfolioRecoveryResult Portfolio::recover(
     ObjectRecovery& out = result.objects[i];
     out.object = object.name;
 
-    const RecoveryResult own = computeRecovery(object.design, scenario);
+    const RecoveryResult own = recoveryOf(object.design, scenario);
     out.recoverable = own.recoverable;
     out.dataLoss = own.dataLoss;
     out.ownDuration = own.recoveryTime;

@@ -16,12 +16,14 @@
 //    parallel, and the portfolio recovery time is the last completion.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/cost.hpp"
 #include "core/evaluator.hpp"
+#include "engine/batch.hpp"
 
 namespace stordep::multiobject {
 
@@ -90,12 +92,30 @@ class Portfolio {
   [[nodiscard]] PortfolioRecoveryResult recover(
       const FailureScenario& scenario) const;
 
+  /// recover() for a whole scenario set at once: scenarios fan out across
+  /// the engine's thread pool (each scenario's schedule is independent) and
+  /// per-object recovery results come from the engine's memoizing cache
+  /// (null = Engine::shared()), so repeated what-if sweeps over the same
+  /// portfolio are mostly cache hits. results[i] answers scenarios[i] and
+  /// is identical to recover(scenarios[i]).
+  [[nodiscard]] std::vector<PortfolioRecoveryResult> recoverBatch(
+      const std::vector<FailureScenario>& scenarios,
+      engine::Engine* eng = nullptr) const;
+
   /// Objects in a valid dependency order (computed at construction).
   [[nodiscard]] const std::vector<size_t>& topologicalOrder() const noexcept {
     return topoOrder_;
   }
 
  private:
+  /// The dependency/device-queueing schedule, parameterized over how one
+  /// object's own recovery is obtained (directly, or through the engine).
+  [[nodiscard]] PortfolioRecoveryResult recoverImpl(
+      const FailureScenario& scenario,
+      const std::function<RecoveryResult(const StorageDesign&,
+                                         const FailureScenario&)>& recoveryOf)
+      const;
+
   std::vector<ObjectSpec> objects_;
   std::vector<size_t> topoOrder_;
 };

@@ -54,9 +54,13 @@ RefineResult refineCandidate(const CandidateSpec& start,
                              const WorkloadSpec& workload,
                              const BusinessRequirements& business,
                              const std::vector<ScenarioCase>& scenarios,
-                             const RefineOptions& options) {
+                             const RefineOptions& options,
+                             engine::Engine* eng) {
+  engine::Engine& resolved = eng != nullptr ? *eng : engine::Engine::shared();
+
   RefineResult result;
-  result.best = evaluateCandidate(start, workload, business, scenarios);
+  result.best = evaluateCandidate(start, workload, business, scenarios,
+                                  &resolved);
   ++result.evaluations;
   const Money startCost = result.best.totalCost;
   if (!result.best.feasible) {
@@ -65,22 +69,28 @@ RefineResult refineCandidate(const CandidateSpec& start,
   }
 
   for (int step = 0; step < options.maxSteps; ++step) {
+    const std::vector<CandidateSpec> moves =
+        neighbors(result.best.spec, options);
+    // Evaluate the whole neighborhood in parallel, then pick the accepted
+    // move serially in neighbor order (first-wins on cost ties), exactly
+    // like the serial climb.
+    std::vector<EvaluatedCandidate> evaluated(moves.size());
+    resolved.parallelFor(moves.size(), [&](std::size_t i) {
+      evaluated[i] = evaluateCandidate(moves[i], workload, business,
+                                       scenarios, &resolved);
+    });
+    result.evaluations += static_cast<int>(moves.size());
+
     const EvaluatedCandidate* accepted = nullptr;
-    EvaluatedCandidate bestNeighbor;
-    for (const CandidateSpec& next : neighbors(result.best.spec, options)) {
-      EvaluatedCandidate evaluated =
-          evaluateCandidate(next, workload, business, scenarios);
-      ++result.evaluations;
-      if (!evaluated.feasible || !evaluated.meetsObjectives) continue;
-      if (evaluated.totalCost < result.best.totalCost &&
-          (accepted == nullptr ||
-           evaluated.totalCost < bestNeighbor.totalCost)) {
-        bestNeighbor = std::move(evaluated);
-        accepted = &bestNeighbor;
+    for (const EvaluatedCandidate& candidate : evaluated) {
+      if (!candidate.feasible || !candidate.meetsObjectives) continue;
+      if (candidate.totalCost < result.best.totalCost &&
+          (accepted == nullptr || candidate.totalCost < accepted->totalCost)) {
+        accepted = &candidate;
       }
     }
     if (accepted == nullptr) break;  // local optimum
-    result.best = std::move(bestNeighbor);
+    result.best = *accepted;
     ++result.steps;
   }
   result.improvement = startCost - result.best.totalCost;

@@ -34,10 +34,15 @@ struct RefineResult {
 /// Hill-climbs from `start` until no neighbor improves the total cost.
 /// Infeasible or objective-missing neighbors are never accepted; if the
 /// start itself is infeasible the result simply reports it unrefined.
+/// Each step's neighborhood is evaluated in parallel on the engine
+/// (null = Engine::shared()); the accepted move is selected serially in
+/// neighbor order, so results match a serial climb exactly. Refinement is
+/// where the engine's memoization shines: a climb that follows a search
+/// re-evaluates many pairs the sweep already cached.
 [[nodiscard]] RefineResult refineCandidate(
     const CandidateSpec& start, const WorkloadSpec& workload,
     const BusinessRequirements& business,
     const std::vector<ScenarioCase>& scenarios,
-    const RefineOptions& options = {});
+    const RefineOptions& options = {}, engine::Engine* eng = nullptr);
 
 }  // namespace stordep::optimizer

@@ -6,10 +6,55 @@
 
 namespace stordep::optimizer {
 
-EvaluatedCandidate evaluateCandidate(
+namespace {
+
+/// Shared scenario-set preparation: fingerprints hoisted out of the
+/// candidate loop (the same scenarios are paired with every candidate).
+std::vector<engine::Fingerprint> fingerprintScenarios(
+    const std::vector<ScenarioCase>& scenarios) {
+  std::vector<engine::Fingerprint> fps;
+  fps.reserve(scenarios.size());
+  for (const ScenarioCase& sc : scenarios) {
+    fps.push_back(engine::fingerprintScenario(sc.scenario));
+  }
+  return fps;
+}
+
+/// Folds one scenario evaluation into the candidate summary. Returns false
+/// when the candidate is infeasible and the scenario loop should stop (the
+/// same early-out the serial reference takes).
+bool foldScenario(EvaluatedCandidate& out, const EvaluationResult& result,
+                  const ScenarioCase& sc, bool& outlaysRecorded) {
+  if (!result.utilization.feasible()) {
+    out.feasible = false;
+    out.rejectionReason = "over-utilized: " + result.utilization.errors[0];
+    return false;
+  }
+  if (!result.recovery.recoverable) {
+    out.feasible = false;
+    out.rejectionReason = "unrecoverable under scenario '" + sc.name + "'";
+    return false;
+  }
+  if (!result.meetsObjectives) {
+    out.meetsObjectives = false;
+    out.rejectionReason = "misses RTO/RPO under scenario '" + sc.name + "'";
+  }
+  if (!outlaysRecorded) {
+    out.outlays = result.cost.totalOutlays;  // scenario-independent
+    outlaysRecorded = true;
+  }
+  out.weightedPenalties += result.cost.totalPenalties * sc.weight;
+  out.worstRecoveryTime =
+      std::max(out.worstRecoveryTime, result.recovery.recoveryTime);
+  out.worstDataLoss = std::max(out.worstDataLoss, result.recovery.dataLoss);
+  return true;
+}
+
+EvaluatedCandidate evaluateCandidateImpl(
     const CandidateSpec& spec, const WorkloadSpec& workload,
     const BusinessRequirements& business,
-    const std::vector<ScenarioCase>& scenarios) {
+    const std::vector<ScenarioCase>& scenarios, engine::Engine& eng,
+    const std::vector<engine::Fingerprint>& scenarioFps) {
   EvaluatedCandidate out;
   out.spec = spec;
   out.label = spec.label();
@@ -17,50 +62,33 @@ EvaluatedCandidate evaluateCandidate(
   out.meetsObjectives = true;
 
   const StorageDesign design = spec.build(workload, business);
+  const engine::Fingerprint designFp = engine::fingerprintDesign(design);
+  // Scenario-independent sub-models (utilization, outlays, warnings) are
+  // computed at most once per candidate, and only if some scenario misses
+  // the cache.
+  std::optional<DesignPrecomputation> precomputed;
   bool outlaysRecorded = false;
 
-  for (const ScenarioCase& sc : scenarios) {
-    const EvaluationResult result = evaluate(design, sc.scenario);
-    if (!result.utilization.feasible()) {
-      out.feasible = false;
-      out.rejectionReason = "over-utilized: " + result.utilization.errors[0];
-      break;
-    }
-    if (!result.recovery.recoverable) {
-      out.feasible = false;
-      out.rejectionReason = "unrecoverable under scenario '" + sc.name + "'";
-      break;
-    }
-    if (!result.meetsObjectives) {
-      out.meetsObjectives = false;
-      out.rejectionReason = "misses RTO/RPO under scenario '" + sc.name + "'";
-    }
-    if (!outlaysRecorded) {
-      out.outlays = result.cost.totalOutlays;  // scenario-independent
-      outlaysRecorded = true;
-    }
-    out.weightedPenalties += result.cost.totalPenalties * sc.weight;
-    out.worstRecoveryTime =
-        std::max(out.worstRecoveryTime, result.recovery.recoveryTime);
-    out.worstDataLoss = std::max(out.worstDataLoss, result.recovery.dataLoss);
+  for (std::size_t j = 0; j < scenarios.size(); ++j) {
+    const EvaluationResult result =
+        eng.evaluateKeyed(design, scenarios[j].scenario,
+                          engine::combine(designFp, scenarioFps[j]),
+                          precomputed);
+    if (!foldScenario(out, result, scenarios[j], outlaysRecorded)) break;
   }
   out.totalCost = out.outlays + out.weightedPenalties;
   return out;
 }
 
-SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
-                               const WorkloadSpec& workload,
-                               const BusinessRequirements& business,
-                               const std::vector<ScenarioCase>& scenarios) {
-  SearchResult result;
-  for (const CandidateSpec& spec : candidates) {
-    EvaluatedCandidate evaluated =
-        evaluateCandidate(spec, workload, business, scenarios);
+/// Deterministic ranking shared by all search paths.
+void rankCandidates(SearchResult& result,
+                    std::vector<EvaluatedCandidate> evaluated) {
+  for (EvaluatedCandidate& candidate : evaluated) {
     ++result.evaluated;
-    if (evaluated.feasible && evaluated.meetsObjectives) {
-      result.ranked.push_back(std::move(evaluated));
+    if (candidate.feasible && candidate.meetsObjectives) {
+      result.ranked.push_back(std::move(candidate));
     } else {
-      result.rejected.push_back(std::move(evaluated));
+      result.rejected.push_back(std::move(candidate));
     }
   }
   std::sort(result.ranked.begin(), result.ranked.end(),
@@ -68,6 +96,66 @@ SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
               if (a.totalCost != b.totalCost) return a.totalCost < b.totalCost;
               return a.label < b.label;  // deterministic tie-break
             });
+}
+
+}  // namespace
+
+EvaluatedCandidate evaluateCandidate(
+    const CandidateSpec& spec, const WorkloadSpec& workload,
+    const BusinessRequirements& business,
+    const std::vector<ScenarioCase>& scenarios, engine::Engine* eng) {
+  engine::Engine& resolved = eng != nullptr ? *eng : engine::Engine::shared();
+  return evaluateCandidateImpl(spec, workload, business, scenarios, resolved,
+                               fingerprintScenarios(scenarios));
+}
+
+SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
+                               const WorkloadSpec& workload,
+                               const BusinessRequirements& business,
+                               const std::vector<ScenarioCase>& scenarios,
+                               engine::Engine* eng) {
+  engine::Engine& resolved = eng != nullptr ? *eng : engine::Engine::shared();
+  const std::vector<engine::Fingerprint> scenarioFps =
+      fingerprintScenarios(scenarios);
+
+  // Fan out at candidate granularity; every result lands in its own slot,
+  // so the ranking below sees exactly the serial order.
+  std::vector<EvaluatedCandidate> evaluated(candidates.size());
+  resolved.parallelFor(candidates.size(), [&](std::size_t i) {
+    evaluated[i] = evaluateCandidateImpl(candidates[i], workload, business,
+                                         scenarios, resolved, scenarioFps);
+  });
+
+  SearchResult result;
+  rankCandidates(result, std::move(evaluated));
+  return result;
+}
+
+SearchResult searchDesignSpaceSerial(
+    const std::vector<CandidateSpec>& candidates, const WorkloadSpec& workload,
+    const BusinessRequirements& business,
+    const std::vector<ScenarioCase>& scenarios) {
+  std::vector<EvaluatedCandidate> evaluated;
+  evaluated.reserve(candidates.size());
+  for (const CandidateSpec& spec : candidates) {
+    EvaluatedCandidate out;
+    out.spec = spec;
+    out.label = spec.label();
+    out.feasible = true;
+    out.meetsObjectives = true;
+
+    const StorageDesign design = spec.build(workload, business);
+    bool outlaysRecorded = false;
+    for (const ScenarioCase& sc : scenarios) {
+      const EvaluationResult result = evaluate(design, sc.scenario);
+      if (!foldScenario(out, result, sc, outlaysRecorded)) break;
+    }
+    out.totalCost = out.outlays + out.weightedPenalties;
+    evaluated.push_back(std::move(out));
+  }
+
+  SearchResult result;
+  rankCandidates(result, std::move(evaluated));
   return result;
 }
 

@@ -6,6 +6,14 @@
 // survivors by scenario-weighted total cost. This is the paper's "automated
 // optimization loop" realized over the analytic models — fast enough to
 // evaluate hundreds of candidates in milliseconds.
+//
+// Evaluation goes through an engine::Engine (src/engine/): candidates fan
+// out across the engine's thread pool and every (design, scenario) pair is
+// memoized in its result cache, so repeated sweeps (refinement, what-if
+// re-runs) mostly hit the cache. The engine-backed path is bit-identical to
+// the serial reference (`searchDesignSpaceSerial`): candidates are written
+// to indexed slots and ranked by the same deterministic comparison, and
+// evaluate() itself is a pure function.
 #pragma once
 
 #include <optional>
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "engine/batch.hpp"
 #include "optimizer/design_space.hpp"
 
 namespace stordep::optimizer {
@@ -51,14 +60,26 @@ struct SearchResult {
   }
 };
 
-/// Evaluates one candidate against the scenario set.
+/// Evaluates one candidate against the scenario set, through `eng`'s cache
+/// (null = the process-wide Engine::shared()).
 [[nodiscard]] EvaluatedCandidate evaluateCandidate(
     const CandidateSpec& spec, const WorkloadSpec& workload,
     const BusinessRequirements& business,
-    const std::vector<ScenarioCase>& scenarios);
+    const std::vector<ScenarioCase>& scenarios,
+    engine::Engine* eng = nullptr);
 
-/// Evaluates all candidates and ranks them.
+/// Evaluates all candidates and ranks them. Candidates fan out across the
+/// engine's thread pool; results are identical to the serial reference.
 [[nodiscard]] SearchResult searchDesignSpace(
+    const std::vector<CandidateSpec>& candidates, const WorkloadSpec& workload,
+    const BusinessRequirements& business,
+    const std::vector<ScenarioCase>& scenarios,
+    engine::Engine* eng = nullptr);
+
+/// The pre-engine reference implementation: one thread, no cache, direct
+/// evaluate() calls. Kept as the determinism baseline for tests and the
+/// parallel-speedup benchmark.
+[[nodiscard]] SearchResult searchDesignSpaceSerial(
     const std::vector<CandidateSpec>& candidates, const WorkloadSpec& workload,
     const BusinessRequirements& business,
     const std::vector<ScenarioCase>& scenarios);
