@@ -9,13 +9,23 @@
 //   $ ./design_advisor                  # unconstrained: rank by total cost
 //   $ ./design_advisor 48 12            # RTO 48 h, RPO 12 h
 //
+// Long sweeps can be bounded and made restartable:
+//   --deadline=SECONDS    stop handing out candidates once the wall-clock
+//                         budget elapses (the partial ranking is printed)
+//   --checkpoint=PATH     journal completed candidates to PATH; re-running
+//                         with the same arguments resumes where it stopped
+//                         and produces the exact uninterrupted ranking
+//   --retries=N           retry transient evaluation failures up to N times
+//
 // Note that the scenario set includes a 24-hour-rollback object failure, so
 // very tight RPOs (e.g. 1 h) are unsatisfiable by construction: a level that
 // retains a day-old version cannot also be one hour fresh unless it keeps
 // sub-hour RPs for a day — outside the default grid. The advisor then lists
 // the nearest misses and why they were rejected.
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "casestudy/casestudy.hpp"
 #include "optimizer/refine.hpp"
@@ -30,8 +40,28 @@ int main(int argc, char** argv) {
   using stordep::report::fixed;
 
   stordep::BusinessRequirements business = cs::requirements();
-  if (argc >= 2) business.rto = stordep::hours(std::atof(argv[1]));
-  if (argc >= 3) business.rpo = stordep::hours(std::atof(argv[2]));
+  opt::SearchOptions searchOptions;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--checkpoint=", 0) == 0) {
+      searchOptions.checkpointPath = arg.substr(13);
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      searchOptions.deadline = std::chrono::milliseconds(
+          static_cast<long long>(std::atof(arg.c_str() + 11) * 1000.0));
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      searchOptions.maxRetries = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    } else if (positional == 0) {
+      business.rto = stordep::hours(std::atof(arg.c_str()));
+      ++positional;
+    } else {
+      business.rpo = stordep::hours(std::atof(arg.c_str()));
+      ++positional;
+    }
+  }
 
   std::cout << "Designing for: cello workload (1.33 TB), penalties $50k/hr";
   if (business.rto) {
@@ -43,12 +73,31 @@ int main(int argc, char** argv) {
   std::cout << "\n\n";
 
   const auto candidates = opt::enumerateDesignSpace();
-  const opt::SearchResult result = opt::searchDesignSpace(
-      candidates, cs::celloWorkload(), business, opt::caseStudyScenarios());
+  const opt::SearchResult result =
+      opt::searchDesignSpace(candidates, cs::celloWorkload(), business,
+                             opt::caseStudyScenarios(), searchOptions);
 
   std::cout << "evaluated " << result.evaluated << " candidate designs ("
             << result.ranked.size() << " feasible and objective-meeting, "
-            << result.rejected.size() << " rejected)\n\n";
+            << result.rejected.size() << " rejected)\n";
+  if (result.skipped > 0) {
+    std::cout << "resumed " << result.skipped
+              << " candidates from checkpoint "
+              << searchOptions.checkpointPath << "\n";
+  }
+  if (result.failed > 0) {
+    std::cout << result.failed << " candidates failed to evaluate\n";
+  }
+  if (result.cancelled) {
+    std::cout << "sweep stopped at the deadline with "
+              << (candidates.size() - static_cast<size_t>(result.evaluated))
+              << " candidates un-evaluated";
+    if (!searchOptions.checkpointPath.empty()) {
+      std::cout << "; re-run with the same arguments to resume";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
 
   TextTable table({"#", "Design", "Outlays/yr", "Worst RT", "Worst DL",
                    "Total cost"});

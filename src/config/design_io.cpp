@@ -23,6 +23,22 @@ namespace {
   throw DesignIoError(message);
 }
 
+/// Runs `fn` with a JSON-pointer-ish location prefix ("/devices/2") folded
+/// into any failure, and guarantees the failure surfaces as DesignIoError:
+/// the loaders below lean on std accessors (std::stod, Json::at, ...) whose
+/// raw out_of_range / invalid_argument say nothing about *which* part of
+/// the document was bad, and must not leak to callers.
+template <typename Fn>
+auto withContext(const std::string& where, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const DesignIoError& e) {
+    throw DesignIoError(where + ": " + e.what());
+  } catch (const std::exception& e) {
+    throw DesignIoError(where + ": " + e.what());
+  }
+}
+
 Json durationJson(Duration d) { return Json(d.secs()); }
 Json bytesJson(Bytes b) { return Json(b.bytes()); }
 Json bandwidthJson(Bandwidth bw) { return Json(bw.bytesPerSec()); }
@@ -554,55 +570,86 @@ Json designToJson(const StorageDesign& design) {
 }
 
 StorageDesign designFromJson(const Json& value) {
-  const std::string name = value.at("name").asString();
-  WorkloadSpec workload = workloadFromJson(value.at("workload"));
+  const std::string name =
+      withContext("/name", [&] { return value.at("name").asString(); });
+  WorkloadSpec workload = withContext(
+      "/workload", [&] { return workloadFromJson(value.at("workload")); });
 
-  BusinessRequirements business;
-  const Json& businessJson = value.at("business");
-  business.unavailabilityPenaltyRate =
-      dollarsPerHour(businessJson.at("unavailPenRatePerHour").asNumber());
-  business.lossPenaltyRate =
-      dollarsPerHour(businessJson.at("lossPenRatePerHour").asNumber());
-  if (const Json* rto = businessJson.find("rto")) {
-    business.rto = jsonToDuration(*rto);
-  }
-  if (const Json* rpo = businessJson.find("rpo")) {
-    business.rpo = jsonToDuration(*rpo);
-  }
+  BusinessRequirements business = withContext("/business", [&] {
+    BusinessRequirements out;
+    const Json& businessJson = value.at("business");
+    out.unavailabilityPenaltyRate =
+        dollarsPerHour(businessJson.at("unavailPenRatePerHour").asNumber());
+    out.lossPenaltyRate =
+        dollarsPerHour(businessJson.at("lossPenRatePerHour").asNumber());
+    if (const Json* rto = businessJson.find("rto")) {
+      out.rto = jsonToDuration(*rto);
+    }
+    if (const Json* rpo = businessJson.find("rpo")) {
+      out.rpo = jsonToDuration(*rpo);
+    }
+    return out;
+  });
 
   std::map<std::string, DevicePtr> devices;
-  for (const Json& deviceJson : value.at("devices").asArray()) {
-    DevicePtr device = deviceFromJson(deviceJson);
-    if (!devices.emplace(device->name(), device).second) {
-      fail("duplicate device name '" + device->name() + "'");
-    }
+  const JsonArray& deviceArray = withContext(
+      "/devices", [&]() -> const JsonArray& {
+        return value.at("devices").asArray();
+      });
+  for (std::size_t i = 0; i < deviceArray.size(); ++i) {
+    withContext("/devices/" + std::to_string(i), [&] {
+      DevicePtr device = deviceFromJson(deviceArray[i]);
+      if (!devices.emplace(device->name(), device).second) {
+        fail("duplicate device name '" + device->name() + "'");
+      }
+    });
   }
 
   std::vector<TechniquePtr> levels;
   Duration previousRetW = Duration::zero();
-  for (const Json& levelJson : value.at("levels").asArray()) {
-    TechniquePtr level = levelFromJson(levelJson, devices, previousRetW);
-    if (level->policy() != nullptr) {
-      previousRetW = level->policy()->retentionWindow();
-    }
-    levels.push_back(std::move(level));
+  const JsonArray& levelArray = withContext(
+      "/levels", [&]() -> const JsonArray& {
+        return value.at("levels").asArray();
+      });
+  for (std::size_t i = 0; i < levelArray.size(); ++i) {
+    withContext("/levels/" + std::to_string(i), [&] {
+      TechniquePtr level = levelFromJson(levelArray[i], devices, previousRetW);
+      if (level->policy() != nullptr) {
+        previousRetW = level->policy()->retentionWindow();
+      }
+      levels.push_back(std::move(level));
+    });
   }
 
   std::optional<RecoveryFacilitySpec> facility;
   if (const Json* facilityJson = value.find("recoveryFacility")) {
-    facility = RecoveryFacilitySpec{
-        .location = locationFromJson(facilityJson->at("location")),
-        .provisioningTime =
-            jsonToDuration(facilityJson->at("provisioningTime")),
-        .costDiscount = facilityJson->at("costDiscount").asNumber(),
-    };
+    facility = withContext("/recoveryFacility", [&] {
+      return RecoveryFacilitySpec{
+          .location = locationFromJson(facilityJson->at("location")),
+          .provisioningTime =
+              jsonToDuration(facilityJson->at("provisioningTime")),
+          .costDiscount = facilityJson->at("costDiscount").asNumber(),
+      };
+    });
   }
-  return StorageDesign(name, std::move(workload), business, std::move(levels),
-                       std::move(facility));
+  // StorageDesign's constructor validates the composition (levels reference
+  // their predecessors etc.); its failures need the same wrapping.
+  return withContext("design", [&] {
+    return StorageDesign(name, std::move(workload), business,
+                         std::move(levels), std::move(facility));
+  });
 }
 
 StorageDesign loadDesign(const std::string& jsonText) {
-  return designFromJson(Json::parse(jsonText));
+  // Never leaks raw std::exceptions: JSON syntax errors and any stray
+  // accessor failure surface as DesignIoError.
+  try {
+    return designFromJson(Json::parse(jsonText));
+  } catch (const DesignIoError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw DesignIoError(std::string("invalid design document: ") + e.what());
+  }
 }
 
 std::string saveDesign(const StorageDesign& design) {
@@ -614,7 +661,11 @@ StorageDesign loadDesignFile(const std::string& path) {
   if (!in) throw DesignIoError("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return loadDesign(buffer.str());
+  try {
+    return loadDesign(buffer.str());
+  } catch (const DesignIoError& e) {
+    throw DesignIoError(path + ": " + e.what());
+  }
 }
 
 void saveDesignFile(const StorageDesign& design, const std::string& path) {

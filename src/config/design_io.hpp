@@ -36,6 +36,11 @@
 
 namespace stordep::config {
 
+/// The single error type this module throws. loadDesign / loadDesignFile /
+/// designFromJson never leak raw std::invalid_argument / std::out_of_range
+/// from the parsing layers underneath: every failure is wrapped with a
+/// JSON-pointer-ish location ("/devices/2: unknown RAID level 'RAID-7'")
+/// and, for file loads, the file path.
 class DesignIoError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;

@@ -160,6 +160,11 @@ class Parser {
   }
 
  private:
+  /// Deepest container nesting accepted. Generous for real design documents
+  /// (a handful of levels) while keeping worst-case parser stack use small
+  /// enough for sanitizer builds and constrained threads.
+  static constexpr int kMaxDepth = 256;
+
   [[noreturn]] void fail(const std::string& message) const {
     throw JsonError(message, line_, pos_ - lineStart_ + 1);
   }
@@ -207,9 +212,15 @@ class Parser {
     skipWhitespace();
     switch (peek()) {
       case '{':
-        return parseObject();
-      case '[':
-        return parseArray();
+      case '[': {
+        // Recursive descent: bound the nesting depth so hostile documents
+        // ("[[[[...") fail with a JsonError instead of smashing the stack.
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        ++depth_;
+        Json value = peek() == '{' ? parseObject() : parseArray();
+        --depth_;
+        return value;
+      }
       case '"':
         return Json(parseString());
       case 't':
@@ -373,6 +384,7 @@ class Parser {
   size_t pos_ = 0;
   size_t line_ = 1;
   size_t lineStart_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,9 +1,11 @@
 #include "engine/batch.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 namespace stordep::engine {
 
@@ -12,6 +14,17 @@ int resolveThreads(int requested) {
   if (requested >= 1) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Backoff before retry `attempt` (0-based): base * 2^attempt, capped.
+std::chrono::milliseconds backoffFor(const BatchOptions& options,
+                                     int attempt) {
+  if (options.retryBackoff.count() <= 0) return std::chrono::milliseconds{0};
+  std::chrono::milliseconds delay = options.retryBackoff;
+  for (int i = 0; i < attempt && delay < BatchOptions::kMaxRetryBackoff; ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, BatchOptions::kMaxRetryBackoff);
 }
 }  // namespace
 
@@ -26,6 +39,11 @@ Engine::Engine(EngineOptions options)
   }
 }
 
+void Engine::setFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = injector;
+  cache_.setFaultInjector(std::move(injector));
+}
+
 EvaluationResult Engine::evaluate(const StorageDesign& design,
                                   const FailureScenario& scenario) {
   std::optional<DesignPrecomputation> precomputed;
@@ -33,64 +51,178 @@ EvaluationResult Engine::evaluate(const StorageDesign& design,
                        fingerprintEvaluation(design, scenario), precomputed);
 }
 
+EvalOutcome Engine::tryEvaluate(const StorageDesign& design,
+                                const FailureScenario& scenario,
+                                const BatchOptions& options) {
+  try {
+    std::optional<DesignPrecomputation> precomputed;
+    return tryEvaluateKeyed(design, scenario,
+                            fingerprintEvaluation(design, scenario),
+                            precomputed, options);
+  } catch (...) {
+    // Fingerprinting itself rejected the design (unserializable).
+    return errorFromCurrentException();
+  }
+}
+
 EvaluationResult Engine::evaluateKeyed(
     const StorageDesign& design, const FailureScenario& scenario,
     const Fingerprint& pairKey,
     std::optional<DesignPrecomputation>& precomputed) {
-  if (!options_.useCache) {
-    if (!precomputed) precomputed = precomputeDesign(design);
-    return stordep::evaluate(design, scenario, *precomputed);
+  if (options_.useCache) {
+    // May throw an injected kCacheLookup fault; a lookup that cannot be
+    // trusted must not silently serve a result.
+    if (std::optional<EvaluationResult> hit = cache_.lookup(pairKey)) {
+      return std::move(*hit);
+    }
   }
-  if (std::optional<EvaluationResult> hit = cache_.lookup(pairKey)) {
-    return std::move(*hit);
-  }
+  if (injector_) injector_->maybeInject(FaultSite::kEvaluate, pairKey);
   if (!precomputed) precomputed = precomputeDesign(design);
   EvaluationResult result = stordep::evaluate(design, scenario, *precomputed);
-  cache_.insert(pairKey, result);
+  if (options_.useCache) {
+    try {
+      cache_.insert(pairKey, result);
+    } catch (...) {
+      // Losing a cache write (injected kCacheInsert fault, allocation
+      // failure) never fails a request that already has its result.
+    }
+  }
   return result;
 }
 
-BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests) {
+EvalOutcome Engine::tryEvaluateKeyed(
+    const StorageDesign& design, const FailureScenario& scenario,
+    const Fingerprint& pairKey,
+    std::optional<DesignPrecomputation>& precomputed,
+    const BatchOptions& options, std::uint64_t* retriesOut) {
+  const int maxRetries = std::max(0, options.maxRetries);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return EvalOutcome(
+          evaluateKeyed(design, scenario, pairKey, precomputed));
+    } catch (...) {
+      EvalError error = errorFromCurrentException();
+      error.attempts = attempt + 1;
+      if (!isRetryable(error) || attempt >= maxRetries) return error;
+      if (retriesOut != nullptr) ++*retriesOut;
+      const std::chrono::milliseconds delay = backoffFor(options, attempt);
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    }
+  }
+}
+
+BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests,
+                                  const BatchOptions& options) {
   const auto start = std::chrono::steady_clock::now();
 
   BatchResult out;
+  // Default-constructed slots read "not evaluated"; every request below
+  // overwrites its own slot exactly once.
   out.results.resize(requests.size());
   out.stats.threadsUsed = threads_;
   out.stats.requests = requests.size();
 
+  CancellationToken token = options.token;
+  if (options.deadline.count() > 0) {
+    token = token.withDeadline(options.deadline);
+  }
+  const bool cancellable = token.cancellable();
+
   // Fingerprint each distinct design once (batches typically pair a few
-  // designs with many scenarios).
-  std::unordered_map<const StorageDesign*, Fingerprint> designFps;
+  // designs with many scenarios). A design that cannot be fingerprinted is
+  // itself invalid; the error is attached to each of its requests rather
+  // than aborting the batch.
+  struct DesignEntry {
+    Fingerprint fp;
+    std::optional<EvalError> error;
+  };
+  std::unordered_map<const StorageDesign*, DesignEntry> designFps;
   for (const EvalRequest& request : requests) {
-    designFps.emplace(request.design.get(), Fingerprint{});
+    if (request.design != nullptr) {
+      designFps.emplace(request.design.get(), DesignEntry{});
+    }
   }
   std::vector<const StorageDesign*> uniqueDesigns;
   uniqueDesigns.reserve(designFps.size());
-  for (const auto& [design, fp] : designFps) uniqueDesigns.push_back(design);
+  for (const auto& [design, entry] : designFps) {
+    uniqueDesigns.push_back(design);
+  }
   parallelFor(uniqueDesigns.size(), [&](std::size_t i) {
-    designFps[uniqueDesigns[i]] = fingerprintDesign(*uniqueDesigns[i]);
+    DesignEntry& entry = designFps[uniqueDesigns[i]];
+    try {
+      entry.fp = fingerprintDesign(*uniqueDesigns[i]);
+    } catch (...) {
+      entry.error = errorFromCurrentException();
+    }
   });
 
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> computed{0};
-  parallelFor(requests.size(), [&](std::size_t i) {
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> retries{0};
+
+  auto evaluateOne = [&](std::size_t i) -> EvalOutcome {
     const EvalRequest& request = requests[i];
-    const Fingerprint key = combine(designFps.at(request.design.get()),
-                                    fingerprintScenario(request.scenario));
-    if (options_.useCache) {
-      if (std::optional<EvaluationResult> hit = cache_.lookup(key)) {
-        out.results[i] = std::move(*hit);
+    if (request.design == nullptr) {
+      return EvalError{EvalErrorCode::kInvalidDesign,
+                       "request " + std::to_string(i) + " has a null design",
+                       /*transient=*/false, /*attempts=*/0};
+    }
+    const DesignEntry& entry = designFps.at(request.design.get());
+    if (entry.error) return *entry.error;
+    // Cancellation/deadline is polled before a request starts, never mid-
+    // evaluation: finished work stays valid, un-started work is skipped.
+    if (cancellable && token.cancelled()) return token.toError();
+
+    const Fingerprint key =
+        combine(entry.fp, fingerprintScenario(request.scenario));
+    // The pool site stands in for dispatch-layer faults; it is not retried.
+    if (injector_) injector_->maybeInject(FaultSite::kPool, key);
+
+    const std::uint64_t misses0 = cache_.stats().misses;
+    std::optional<DesignPrecomputation> precomputed;
+    std::uint64_t localRetries = 0;
+    EvalOutcome outcome = tryEvaluateKeyed(*request.design, request.scenario,
+                                           key, precomputed, options,
+                                           &localRetries);
+    retries.fetch_add(localRetries, std::memory_order_relaxed);
+    if (outcome.ok()) {
+      // Computed iff the retried lookup path missed; hit otherwise. The
+      // per-shard miss counter is exact even under concurrency because the
+      // same key cannot be in flight twice within one batch slot.
+      if (options_.useCache && cache_.stats().misses == misses0) {
         hits.fetch_add(1, std::memory_order_relaxed);
-        return;
+      } else {
+        computed.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    out.results[i] = stordep::evaluate(*request.design, request.scenario);
-    computed.fetch_add(1, std::memory_order_relaxed);
-    if (options_.useCache) cache_.insert(key, out.results[i]);
+    return outcome;
+  };
+
+  parallelFor(requests.size(), [&](std::size_t i) {
+    EvalOutcome outcome;
+    try {
+      outcome = evaluateOne(i);
+    } catch (...) {
+      outcome = errorFromCurrentException();
+    }
+    if (const EvalError* error = outcome.errorIf()) {
+      if (error->code == EvalErrorCode::kCancelled ||
+          error->code == EvalErrorCode::kDeadlineExceeded) {
+        cancelled.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    out.results[i] = std::move(outcome);
   });
 
   out.stats.cacheHits = hits.load();
   out.stats.evaluations = computed.load();
+  out.stats.failed = failed.load();
+  out.stats.cancelled = cancelled.load();
+  out.stats.retries = retries.load();
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   out.stats.wallSeconds = elapsed.count();
@@ -108,6 +240,20 @@ void Engine::parallelFor(std::size_t count,
     return;
   }
   pool_->parallelFor(count, body);
+}
+
+bool Engine::parallelForCancellable(
+    std::size_t count, const std::function<void(std::size_t)>& body,
+    const CancellationToken& token) {
+  if (pool_ == nullptr) {
+    const bool cancellable = token.cancellable();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancellable && token.cancelled()) return false;
+      body(i);
+    }
+    return true;
+  }
+  return pool_->parallelForCancellable(count, body, token);
 }
 
 Engine& Engine::shared() {

@@ -8,15 +8,28 @@
 //
 //  * evaluate(design, scenario) — one cached evaluation;
 //  * evaluateBatch(requests)    — a vector of (design, scenario) pairs fanned
-//    out across cores, returning results in request order plus EngineStats
-//    (throughput, cache hit rate, threads used);
+//    out across cores, returning one Expected<EvaluationResult> per request
+//    in request order plus EngineStats (throughput, cache hit rate, failed/
+//    cancelled counts, threads used);
 //  * parallelFor(n, body)       — the raw fan-out primitive, used by the
 //    optimizer to parallelize at candidate granularity.
+//
+// Failure semantics: evaluateBatch never throws for a bad request — each
+// slot independently carries its result or a structured EvalError (see
+// errors.hpp), so one poisoned candidate cannot abort a sweep. Cancellation
+// tokens and per-batch deadlines are polled per request: work already
+// finished stays valid, un-started requests come back kCancelled /
+// kDeadlineExceeded. Transient failures (kResourceExhausted, transient
+// kInjected) are retried up to BatchOptions::maxRetries with bounded
+// exponential backoff. A FaultInjector installed via setFaultInjector()
+// exercises all of these paths deterministically.
 //
 // Determinism contract: evaluate() is a pure function and every parallel
 // path writes results into per-request slots, so engine-backed sweeps return
 // results bit-identical to a serial loop — same Money/Duration values, same
-// ranking. Caching never changes a value, only who computed it.
+// ranking. Caching never changes a value, only who computed it, and an
+// injected failure in one request leaves every other slot bit-identical to
+// a clean run.
 //
 // An Engine with threads == 1 runs everything on the calling thread (no pool
 // is created); threads == 0 sizes the pool to the hardware. The process-wide
@@ -24,13 +37,17 @@
 // bench calls, which is where repeated sweeps win their ≥90% hit rates.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "engine/cancellation.hpp"
+#include "engine/errors.hpp"
 #include "engine/eval_cache.hpp"
+#include "engine/fault_injection.hpp"
 #include "engine/fingerprint.hpp"
 #include "engine/thread_pool.hpp"
 
@@ -53,9 +70,12 @@ struct EvalRequest {
 
 struct EngineStats {
   int threadsUsed = 1;
-  std::uint64_t requests = 0;     ///< results delivered
+  std::uint64_t requests = 0;     ///< outcome slots delivered
   std::uint64_t cacheHits = 0;    ///< delivered from the cache
   std::uint64_t evaluations = 0;  ///< actually computed (misses)
+  std::uint64_t failed = 0;       ///< error outcomes other than cancellation
+  std::uint64_t cancelled = 0;    ///< kCancelled / kDeadlineExceeded outcomes
+  std::uint64_t retries = 0;      ///< transient-failure re-attempts consumed
   double wallSeconds = 0.0;
   double evalsPerSec = 0.0;  ///< requests / wallSeconds
   [[nodiscard]] double cacheHitRate() const noexcept {
@@ -66,10 +86,38 @@ struct EngineStats {
   }
 };
 
+/// Per-request outcome: the evaluation result or a structured error.
+using EvalOutcome = Expected<EvaluationResult>;
+
+/// Knobs for one evaluateBatch call (all default to "off").
+struct BatchOptions {
+  /// Cooperative cancellation; polled before each request is started.
+  CancellationToken token;
+  /// Per-batch wall-clock budget (0 = none); composed with the token's own
+  /// deadline, whichever is earlier. Requests not started before it elapses
+  /// come back kDeadlineExceeded.
+  std::chrono::milliseconds deadline{0};
+  /// Bounded retries for transient errors (kResourceExhausted, transient
+  /// kInjected). 0 = fail fast.
+  int maxRetries = 0;
+  /// Base backoff between retries, doubled each attempt and capped at
+  /// kMaxRetryBackoff. 0 = retry immediately (tests).
+  std::chrono::milliseconds retryBackoff{1};
+
+  static constexpr std::chrono::milliseconds kMaxRetryBackoff{100};
+};
+
 struct BatchResult {
-  /// results[i] answers requests[i].
-  std::vector<EvaluationResult> results;
+  /// results[i] answers requests[i]: an EvaluationResult or an EvalError.
+  std::vector<EvalOutcome> results;
   EngineStats stats;
+
+  [[nodiscard]] bool allOk() const noexcept {
+    for (const EvalOutcome& outcome : results) {
+      if (!outcome.ok()) return false;
+    }
+    return true;
+  }
 };
 
 class Engine {
@@ -87,9 +135,15 @@ class Engine {
   [[nodiscard]] EvalCache& cache() noexcept { return cache_; }
   [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
 
-  /// One evaluation through the cache.
+  /// One evaluation through the cache; throws on failure (legacy contract).
   [[nodiscard]] EvaluationResult evaluate(const StorageDesign& design,
                                           const FailureScenario& scenario);
+
+  /// One evaluation with the structured-error contract: never throws for
+  /// model/injection failures, honors retries for transient errors.
+  [[nodiscard]] EvalOutcome tryEvaluate(const StorageDesign& design,
+                                        const FailureScenario& scenario,
+                                        const BatchOptions& options = {});
 
   /// Cached evaluation where the caller already holds the pair key (e.g.
   /// combine(designFp, scenarioFp) with both fingerprints hoisted out of its
@@ -101,15 +155,44 @@ class Engine {
       const Fingerprint& pairKey,
       std::optional<DesignPrecomputation>& precomputed);
 
+  /// evaluateKeyed with the structured-error contract and bounded retries
+  /// for transient failures. `retriesOut`, when non-null, accumulates the
+  /// number of re-attempts consumed (for stats).
+  [[nodiscard]] EvalOutcome tryEvaluateKeyed(
+      const StorageDesign& design, const FailureScenario& scenario,
+      const Fingerprint& pairKey,
+      std::optional<DesignPrecomputation>& precomputed,
+      const BatchOptions& options, std::uint64_t* retriesOut = nullptr);
+
   /// Evaluates all requests (in request order in the result vector), fanned
   /// out across the pool, with cache-hit accounting and throughput stats.
+  /// Never throws for a bad request: each slot carries its own result or
+  /// structured error, and cancellation/deadline expiry marks only the
+  /// requests that had not started.
   [[nodiscard]] BatchResult evaluateBatch(
-      const std::vector<EvalRequest>& requests);
+      const std::vector<EvalRequest>& requests,
+      const BatchOptions& options = {});
+
+  /// Installs a deterministic fault injector on the evaluate path and this
+  /// engine's cache (nullptr uninstalls). Set while quiescent — not
+  /// thread-safe against an in-flight batch.
+  void setFaultInjector(std::shared_ptr<FaultInjector> injector);
+  [[nodiscard]] const std::shared_ptr<FaultInjector>& faultInjector()
+      const noexcept {
+    return injector_;
+  }
 
   /// Index-space fan-out on this engine's pool; serial when threads() == 1.
   /// Blocks until done; rethrows the first exception.
   void parallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& body);
+
+  /// parallelFor that stops handing out work once `token` fires (polled per
+  /// chunk on the pool, per index when serial). Returns true when every
+  /// index ran. Exceptions rethrow as in parallelFor.
+  bool parallelForCancellable(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              const CancellationToken& token);
 
   /// Process-wide engine (hardware-sized, default cache). Its cache persists
   /// across optimizer / portfolio / bench calls within the process.
@@ -120,6 +203,7 @@ class Engine {
   int threads_;
   EvalCache cache_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
+  std::shared_ptr<FaultInjector> injector_;  // null = no injection
 };
 
 }  // namespace stordep::engine

@@ -1,0 +1,16 @@
+#include "engine/cancellation.hpp"
+
+namespace stordep::engine {
+
+EvalError CancellationToken::toError() const {
+  const EvalErrorCode code = reason();
+  return EvalError{
+      code,
+      code == EvalErrorCode::kCancelled ? "cancelled before evaluation"
+                                        : "deadline exceeded before evaluation",
+      /*transient=*/false,
+      /*attempts=*/0,
+  };
+}
+
+}  // namespace stordep::engine

@@ -1,0 +1,99 @@
+// cancellation.hpp — cooperative cancellation and deadlines for sweeps.
+//
+// A CancellationSource owns a flag; the CancellationTokens it hands out are
+// cheap copyable views of that flag, optionally tightened with a wall-clock
+// deadline. Long-running loops (parallelFor chunk dispatch, the optimizer's
+// candidate loop, batch evaluation) poll token.cancelled() at natural
+// checkpoints — nothing is interrupted mid-evaluation, so results already
+// computed stay valid and un-started work is skipped with a structured
+// kCancelled / kDeadlineExceeded error.
+//
+// A default-constructed token is "never cancelled" and costs one branch to
+// poll, so APIs can take tokens unconditionally.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "engine/errors.hpp"
+
+namespace stordep::engine {
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never cancelled, no deadline.
+  CancellationToken() = default;
+
+  /// True when cancellation was requested or the deadline has passed.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (flag_ && flag_->load(std::memory_order_acquire)) return true;
+    return deadline_ && Clock::now() >= *deadline_;
+  }
+
+  /// Why cancelled() is true (call only when it is): an explicit cancel()
+  /// wins over an elapsed deadline.
+  [[nodiscard]] EvalErrorCode reason() const noexcept {
+    if (flag_ && flag_->load(std::memory_order_acquire)) {
+      return EvalErrorCode::kCancelled;
+    }
+    return EvalErrorCode::kDeadlineExceeded;
+  }
+
+  /// A structured error describing the current cancellation state.
+  [[nodiscard]] EvalError toError() const;
+
+  /// A token sharing this token's flag whose deadline is the earlier of
+  /// this token's and now + budget.
+  [[nodiscard]] CancellationToken withDeadline(
+      std::chrono::nanoseconds budget) const {
+    CancellationToken out = *this;
+    const Clock::time_point candidate = Clock::now() + budget;
+    if (!out.deadline_ || candidate < *out.deadline_) {
+      out.deadline_ = candidate;
+    }
+    return out;
+  }
+
+  /// True when this token can ever fire (has a flag or a deadline).
+  [[nodiscard]] bool cancellable() const noexcept {
+    return flag_ != nullptr || deadline_.has_value();
+  }
+
+  [[nodiscard]] std::optional<Clock::time_point> deadline() const noexcept {
+    return deadline_;
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(
+      std::shared_ptr<const std::atomic<bool>> flag) noexcept
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  std::optional<Clock::time_point> deadline_;
+};
+
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; idempotent, thread-safe, never blocks.
+  void cancel() noexcept { flag_->store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelRequested() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] CancellationToken token() const noexcept {
+    return CancellationToken(flag_);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace stordep::engine

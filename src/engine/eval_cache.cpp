@@ -26,6 +26,7 @@ EvalCache::EvalCache(std::size_t capacity, std::size_t shards) {
 }
 
 std::optional<EvaluationResult> EvalCache::lookup(const Fingerprint& key) {
+  if (injector_) injector_->maybeInject(FaultSite::kCacheLookup, key);
   Shard& shard = shardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
@@ -40,6 +41,7 @@ std::optional<EvaluationResult> EvalCache::lookup(const Fingerprint& key) {
 
 void EvalCache::insert(const Fingerprint& key,
                        const EvaluationResult& result) {
+  if (injector_) injector_->maybeInject(FaultSite::kCacheInsert, key);
   Shard& shard = shardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);

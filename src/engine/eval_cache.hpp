@@ -12,6 +12,12 @@
 // fingerprint bits. Worker threads evaluating different pairs contend only
 // when they land on the same shard. Statistics (hits/misses/inserts/
 // evictions) are aggregated across shards on demand.
+//
+// Fault injection: an installed FaultInjector is consulted at the top of
+// lookup() (site kCacheLookup) and insert() (site kCacheInsert), outside
+// the shard lock, so cache-layer failures are exercised exactly where a
+// real storage-backed cache would fail. A throwing probe leaves the shard
+// untouched.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "engine/fault_injection.hpp"
 #include "engine/fingerprint.hpp"
 
 namespace stordep::engine {
@@ -68,6 +75,18 @@ class EvalCache {
       const Fingerprint& key,
       const std::function<EvaluationResult()>& compute);
 
+  /// Installs (or clears, with nullptr) the fault injector consulted by
+  /// lookup()/insert(). Not thread-safe against in-flight operations: set
+  /// it while the cache is quiescent (the Engine does this for its own
+  /// cache before a batch starts).
+  void setFaultInjector(std::shared_ptr<FaultInjector> injector) noexcept {
+    injector_ = std::move(injector);
+  }
+  [[nodiscard]] const std::shared_ptr<FaultInjector>& faultInjector()
+      const noexcept {
+    return injector_;
+  }
+
   void clear();
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
@@ -104,6 +123,7 @@ class EvalCache {
 
   std::size_t perShardCapacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<FaultInjector> injector_;  // null = no injection
 };
 
 }  // namespace stordep::engine

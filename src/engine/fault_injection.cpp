@@ -1,0 +1,82 @@
+#include "engine/fault_injection.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/rng.hpp"
+
+namespace stordep::engine {
+
+const char* toString(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kEvaluate:
+      return "evaluate";
+    case FaultSite::kCacheLookup:
+      return "cache-lookup";
+    case FaultSite::kCacheInsert:
+      return "cache-insert";
+    case FaultSite::kPool:
+      return "pool";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const Fingerprint& target : plan_.targets) {
+    budgets_.emplace(target, plan_.failuresPerTarget);
+  }
+}
+
+bool FaultInjector::probabilityHit(FaultSite site,
+                                   const Fingerprint& key) const {
+  if (plan_.probability <= 0.0) return false;
+  // One decision per (seed, site, key): seed a deterministic stream from
+  // the triple and draw once. Order-independent, so the same requests fail
+  // at any thread count or chunking.
+  std::uint64_t mix = plan_.seed;
+  mix = fnv1a64(std::string_view(reinterpret_cast<const char*>(&key.hi),
+                                 sizeof(key.hi)),
+                mix ^ (static_cast<std::uint64_t>(site) + 1));
+  mix = fnv1a64(std::string_view(reinterpret_cast<const char*>(&key.lo),
+                                 sizeof(key.lo)),
+                mix);
+  sim::Rng rng(mix);
+  return rng.uniform() < plan_.probability;
+}
+
+bool FaultInjector::wouldFail(FaultSite site, const Fingerprint& key) const {
+  if ((plan_.sites & faultSiteBit(site)) == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = budgets_.find(key);
+    if (it != budgets_.end() && (it->second != 0)) return true;
+  }
+  return probabilityHit(site, key);
+}
+
+void FaultInjector::maybeInject(FaultSite site, const Fingerprint& key) {
+  if ((plan_.sites & faultSiteBit(site)) == 0) return;
+  visits_.fetch_add(1, std::memory_order_relaxed);
+  if (plan_.latency.count() > 0) {
+    std::this_thread::sleep_for(plan_.latency);
+  }
+
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = budgets_.find(key);
+    if (it != budgets_.end() && it->second != 0) {
+      fire = true;
+      if (it->second > 0) --it->second;  // consume one targeted failure
+    }
+  }
+  if (!fire) fire = probabilityHit(site, key);
+  if (!fire) return;
+
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  throw InjectedFault(site, plan_.transient,
+                      std::string("injected fault at ") + toString(site) +
+                          " for " + key.toHex());
+}
+
+}  // namespace stordep::engine

@@ -31,6 +31,28 @@ std::string Fingerprint::toHex() const {
   return std::string(buf.data());
 }
 
+std::optional<Fingerprint> Fingerprint::fromHex(std::string_view hex) noexcept {
+  if (hex.size() != 32) return std::nullopt;
+  std::uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(w * 16 + i)];
+      std::uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint64_t>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+      words[w] = (words[w] << 4) | digit;
+    }
+  }
+  return Fingerprint{words[0], words[1]};
+}
+
 std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
   std::uint64_t hash = seed;
   for (const char c : bytes) {

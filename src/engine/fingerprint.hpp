@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -32,6 +33,11 @@ struct Fingerprint {
 
   /// 32 lowercase hex digits, hi word first (for logs and tests).
   [[nodiscard]] std::string toHex() const;
+
+  /// Parses the toHex() form; nullopt unless exactly 32 hex digits. Used by
+  /// the checkpoint journal to round-trip keys through text.
+  [[nodiscard]] static std::optional<Fingerprint> fromHex(
+      std::string_view hex) noexcept;
 };
 
 struct FingerprintHash {

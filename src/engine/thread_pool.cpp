@@ -107,7 +107,13 @@ void ThreadPool::workerLoop(std::size_t self) {
 void ThreadPool::parallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& body,
                              std::size_t grain) {
-  if (count == 0) return;
+  (void)parallelForCancellable(count, body, CancellationToken{}, grain);
+}
+
+bool ThreadPool::parallelForCancellable(
+    std::size_t count, const std::function<void(std::size_t)>& body,
+    const CancellationToken& token, std::size_t grain) {
+  if (count == 0) return true;
   const auto threads = static_cast<std::size_t>(threadCount());
   if (grain == 0) {
     grain = std::max<std::size_t>(1, count / (threads * 4));
@@ -116,25 +122,48 @@ void ThreadPool::parallelFor(std::size_t count,
   struct ForState {
     std::atomic<std::size_t> cursor{0};
     std::atomic<int> inflight{0};
+    // Set on the first exception or cancellation. Runners poll it before
+    // every body call, so a poisoned loop abandons even the chunks it has
+    // already grabbed: post-failure work is bounded by the body calls that
+    // were mid-execution, not by the chunk size.
+    std::atomic<bool> stop{false};
     std::mutex mu;
     std::condition_variable done;
     std::exception_ptr error;  // first exception, guarded by mu
   };
   auto state = std::make_shared<ForState>();
+  const bool cancellable = token.cancellable();
 
-  auto runner = [state, count, grain, &body]() {
+  auto runner = [state, count, grain, cancellable, &token, &body]() {
     state->inflight.fetch_add(1, std::memory_order_acq_rel);
-    for (;;) {
+    while (!state->stop.load(std::memory_order_acquire)) {
       const std::size_t begin =
           state->cursor.fetch_add(grain, std::memory_order_relaxed);
+      // The cursor check must precede any touch of `body`/`token` (captured
+      // by reference): a helper that starts after the call returned sees an
+      // exhausted cursor and bails before dereferencing them.
       if (begin >= count) break;
+      // The token is polled once per chunk grab (a deadline poll reads the
+      // clock); the stop flag relays the verdict to every other runner.
+      if (cancellable && token.cancelled()) {
+        state->stop.store(true, std::memory_order_release);
+        state->cursor.store(count, std::memory_order_relaxed);
+        break;
+      }
       const std::size_t end = std::min(begin + grain, count);
       try {
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (state->stop.load(std::memory_order_acquire)) break;
+          body(i);
+        }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        if (!state->error) state->error = std::current_exception();
-        // Poison the cursor so remaining chunks are abandoned.
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->error) state->error = std::current_exception();
+        }
+        // Poison the loop: no new chunks, and in-flight chunks abandon
+        // their remaining indices at the next per-index stop check.
+        state->stop.store(true, std::memory_order_release);
         state->cursor.store(count, std::memory_order_relaxed);
       }
     }
@@ -149,9 +178,11 @@ void ThreadPool::parallelFor(std::size_t count,
   const std::size_t chunks = (count + grain - 1) / grain;
   const std::size_t helpers = std::min(threads, chunks > 0 ? chunks - 1 : 0);
   for (std::size_t i = 0; i < helpers; ++i) {
-    // The helper's copy of `runner` captures `body` by reference; that is
-    // safe because this function does not return before inflight drains and
-    // the cursor is exhausted.
+    // The helper's copy of `runner` captures `body` (and `token`) by
+    // reference; that is safe because this function does not return before
+    // inflight drains and the cursor is exhausted — a helper that starts
+    // later sees cursor >= count (or stop) and returns without touching
+    // them.
     enqueue(runner);
   }
   runner();
@@ -162,6 +193,7 @@ void ThreadPool::parallelFor(std::size_t count,
            state->cursor.load(std::memory_order_relaxed) >= count;
   });
   if (state->error) std::rethrow_exception(state->error);
+  return !state->stop.load(std::memory_order_acquire);
 }
 
 ThreadPool& ThreadPool::shared() {

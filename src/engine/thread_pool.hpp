@@ -14,7 +14,16 @@
 //    thread participates in the loop (so a pool of size 1 — or a nested call
 //    from a worker — cannot deadlock), chunks are handed out through an
 //    atomic cursor, and the first exception thrown by any chunk is rethrown
-//    on the caller after all in-flight chunks drain.
+//    on the caller after the loop drains.
+//
+// Failure drain contract: the first exception poisons the loop — the cursor
+// stops handing out chunks AND every runner re-checks a shared stop flag
+// before each body call, so in-flight chunks abandon their remaining
+// indices. Post-failure work is bounded by the number of body calls already
+// executing (≤ runners), independent of chunk size or count.
+// parallelForCancellable() applies the same mechanism to a
+// CancellationToken: once the token fires, un-started indices are skipped
+// and the call reports incompletion instead of throwing.
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +36,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "engine/cancellation.hpp"
 
 namespace stordep::engine {
 
@@ -55,14 +66,28 @@ class ThreadPool {
     return future;
   }
 
-  /// Runs body(i) for every i in [0, count). Blocks until every call has
-  /// returned; the calling thread executes chunks alongside the workers.
-  /// If any call throws, the first captured exception is rethrown here
-  /// (after all running chunks finish). `grain` is the number of indices
-  /// handed out per grab; 0 picks a grain that yields ~4 chunks per thread.
+  /// Runs body(i) for every i in [0, count). Blocks until the loop drains;
+  /// the calling thread executes chunks alongside the workers. If any call
+  /// throws, the first captured exception is rethrown here; remaining
+  /// indices — including the rest of already-grabbed chunks — are skipped
+  /// (see the failure drain contract above). `grain` is the number of
+  /// indices handed out per grab; 0 picks a grain that yields ~4 chunks per
+  /// thread.
   void parallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& body,
                    std::size_t grain = 0);
+
+  /// parallelFor that additionally polls `token` at each chunk grab (and
+  /// stops in-flight chunks via the shared stop flag once it fires).
+  /// Returns true when every index ran; false when cancellation skipped
+  /// some. Callers that need per-index accounting of skipped work should
+  /// also poll the token inside `body` — the pool only guarantees prompt
+  /// draining, not which indices were reached. Exceptions rethrow as in
+  /// parallelFor.
+  bool parallelForCancellable(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              const CancellationToken& token,
+                              std::size_t grain = 0);
 
   /// A process-wide pool sized to the hardware, for callers that do not
   /// manage their own. Constructed on first use.

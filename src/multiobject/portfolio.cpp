@@ -143,6 +143,51 @@ std::vector<PortfolioRecoveryResult> Portfolio::recoverBatch(
   return results;
 }
 
+std::vector<engine::Expected<PortfolioRecoveryResult>>
+Portfolio::recoverBatchOutcomes(const std::vector<FailureScenario>& scenarios,
+                                const engine::CancellationToken& token,
+                                engine::Engine* eng) const {
+  engine::Engine& resolved = eng != nullptr ? *eng : engine::Engine::shared();
+
+  std::map<const StorageDesign*, engine::Fingerprint> designFps;
+  for (const ObjectSpec& object : objects_) {
+    designFps.emplace(&object.design,
+                      engine::fingerprintDesign(object.design));
+  }
+
+  std::vector<engine::Expected<PortfolioRecoveryResult>> results(
+      scenarios.size());
+  std::vector<char> completed(scenarios.size(), 0);
+  resolved.parallelForCancellable(
+      scenarios.size(),
+      [&](size_t i) {
+        try {
+          const engine::Fingerprint scenarioFp =
+              engine::fingerprintScenario(scenarios[i]);
+          results[i] = recoverImpl(
+              scenarios[i], [&](const StorageDesign& design,
+                                const FailureScenario& sc) {
+                std::optional<DesignPrecomputation> precomputed;
+                return resolved
+                    .evaluateKeyed(design, sc,
+                                   engine::combine(designFps.at(&design),
+                                                   scenarioFp),
+                                   precomputed)
+                    .recovery;
+              });
+        } catch (...) {
+          results[i] = engine::errorFromCurrentException();
+        }
+        completed[i] = 1;
+      },
+      token);
+  // Scenarios the cancelled fan-out never started get the token's error.
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    if (completed[i] == 0) results[i] = token.toError();
+  }
+  return results;
+}
+
 PortfolioRecoveryResult Portfolio::recoverImpl(
     const FailureScenario& scenario,
     const std::function<RecoveryResult(const StorageDesign&,

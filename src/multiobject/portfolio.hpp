@@ -102,6 +102,17 @@ class Portfolio {
       const std::vector<FailureScenario>& scenarios,
       engine::Engine* eng = nullptr) const;
 
+  /// recoverBatch with the engine's structured-error contract: one
+  /// scenario whose recovery model fails (or is fault-injected) yields an
+  /// engine::EvalError in its own slot instead of aborting the sweep, and
+  /// `token` cancels the remaining scenarios (their slots come back
+  /// kCancelled / kDeadlineExceeded). Successful slots are bit-identical
+  /// to recoverBatch's.
+  [[nodiscard]] std::vector<engine::Expected<PortfolioRecoveryResult>>
+  recoverBatchOutcomes(const std::vector<FailureScenario>& scenarios,
+                       const engine::CancellationToken& token = {},
+                       engine::Engine* eng = nullptr) const;
+
   /// Objects in a valid dependency order (computed at construction).
   [[nodiscard]] const std::vector<size_t>& topologicalOrder() const noexcept {
     return topoOrder_;

@@ -68,7 +68,14 @@ RefineResult refineCandidate(const CandidateSpec& start,
     return result;
   }
 
+  const bool cancellable = options.token.cancellable();
   for (int step = 0; step < options.maxSteps; ++step) {
+    // Poll between steps: the climb stops cleanly at the last accepted
+    // move instead of abandoning a half-evaluated neighborhood.
+    if (cancellable && options.token.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     const std::vector<CandidateSpec> moves =
         neighbors(result.best.spec, options);
     // Evaluate the whole neighborhood in parallel, then pick the accepted

@@ -18,6 +18,9 @@ struct RefineOptions {
   int maxSteps = 64;
   /// Neighbor scale factors for window knobs.
   std::vector<double> windowFactors{0.5, 2.0};
+  /// Cooperative cancellation, polled between climb steps: the climb stops
+  /// at the last accepted move (which is always a valid, evaluated design).
+  engine::CancellationToken token;
 };
 
 struct RefineResult {
@@ -25,6 +28,9 @@ struct RefineResult {
   int steps = 0;        ///< accepted moves
   int evaluations = 0;  ///< candidate evaluations spent
   Money improvement;    ///< starting total cost minus final total cost
+  /// True when the climb stopped on cancellation rather than convergence;
+  /// `best` still holds the best design found so far.
+  bool cancelled = false;
 };
 
 /// All structurally valid one-knob neighbors of `spec` (exposed for tests).

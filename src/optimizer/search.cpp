@@ -1,8 +1,10 @@
 #include "optimizer/search.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "casestudy/casestudy.hpp"
+#include "optimizer/checkpoint.hpp"
 
 namespace stordep::optimizer {
 
@@ -50,31 +52,51 @@ bool foldScenario(EvaluatedCandidate& out, const EvaluationResult& result,
   return true;
 }
 
+/// Evaluates one candidate against the scenario set. Never throws: a build
+/// or evaluation failure (past the retry budget in `evalOptions`) is
+/// captured as EvaluatedCandidate::error, isolating the failure to this
+/// candidate.
 EvaluatedCandidate evaluateCandidateImpl(
     const CandidateSpec& spec, const WorkloadSpec& workload,
     const BusinessRequirements& business,
     const std::vector<ScenarioCase>& scenarios, engine::Engine& eng,
-    const std::vector<engine::Fingerprint>& scenarioFps) {
+    const std::vector<engine::Fingerprint>& scenarioFps,
+    const engine::BatchOptions& evalOptions) {
   EvaluatedCandidate out;
   out.spec = spec;
   out.label = spec.label();
   out.feasible = true;
   out.meetsObjectives = true;
 
-  const StorageDesign design = spec.build(workload, business);
-  const engine::Fingerprint designFp = engine::fingerprintDesign(design);
-  // Scenario-independent sub-models (utilization, outlays, warnings) are
-  // computed at most once per candidate, and only if some scenario misses
-  // the cache.
-  std::optional<DesignPrecomputation> precomputed;
-  bool outlaysRecorded = false;
+  try {
+    const StorageDesign design = spec.build(workload, business);
+    const engine::Fingerprint designFp = engine::fingerprintDesign(design);
+    // Scenario-independent sub-models (utilization, outlays, warnings) are
+    // computed at most once per candidate, and only if some scenario misses
+    // the cache.
+    std::optional<DesignPrecomputation> precomputed;
+    bool outlaysRecorded = false;
 
-  for (std::size_t j = 0; j < scenarios.size(); ++j) {
-    const EvaluationResult result =
-        eng.evaluateKeyed(design, scenarios[j].scenario,
-                          engine::combine(designFp, scenarioFps[j]),
-                          precomputed);
-    if (!foldScenario(out, result, scenarios[j], outlaysRecorded)) break;
+    for (std::size_t j = 0; j < scenarios.size(); ++j) {
+      engine::EvalOutcome outcome = eng.tryEvaluateKeyed(
+          design, scenarios[j].scenario,
+          engine::combine(designFp, scenarioFps[j]), precomputed, evalOptions);
+      if (!outcome.ok()) {
+        out.error = outcome.error();
+        break;
+      }
+      if (!foldScenario(out, outcome.value(), scenarios[j], outlaysRecorded)) {
+        break;
+      }
+    }
+  } catch (...) {
+    // build() or fingerprinting rejected the candidate.
+    out.error = engine::errorFromCurrentException();
+  }
+
+  if (out.error) {
+    out.feasible = false;
+    out.rejectionReason = "evaluation failed: " + out.error->describe();
   }
   out.totalCost = out.outlays + out.weightedPenalties;
   return out;
@@ -85,6 +107,7 @@ void rankCandidates(SearchResult& result,
                     std::vector<EvaluatedCandidate> evaluated) {
   for (EvaluatedCandidate& candidate : evaluated) {
     ++result.evaluated;
+    if (candidate.error) ++result.failed;
     if (candidate.feasible && candidate.meetsObjectives) {
       result.ranked.push_back(std::move(candidate));
     } else {
@@ -106,7 +129,8 @@ EvaluatedCandidate evaluateCandidate(
     const std::vector<ScenarioCase>& scenarios, engine::Engine* eng) {
   engine::Engine& resolved = eng != nullptr ? *eng : engine::Engine::shared();
   return evaluateCandidateImpl(spec, workload, business, scenarios, resolved,
-                               fingerprintScenarios(scenarios));
+                               fingerprintScenarios(scenarios),
+                               engine::BatchOptions{});
 }
 
 SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
@@ -114,20 +138,96 @@ SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
                                const BusinessRequirements& business,
                                const std::vector<ScenarioCase>& scenarios,
                                engine::Engine* eng) {
-  engine::Engine& resolved = eng != nullptr ? *eng : engine::Engine::shared();
+  SearchOptions options;
+  options.eng = eng;
+  options.maxRetries = 0;
+  return searchDesignSpace(candidates, workload, business, scenarios, options);
+}
+
+SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
+                               const WorkloadSpec& workload,
+                               const BusinessRequirements& business,
+                               const std::vector<ScenarioCase>& scenarios,
+                               const SearchOptions& options) {
+  engine::Engine& resolved =
+      options.eng != nullptr ? *options.eng : engine::Engine::shared();
   const std::vector<engine::Fingerprint> scenarioFps =
       fingerprintScenarios(scenarios);
 
-  // Fan out at candidate granularity; every result lands in its own slot,
-  // so the ranking below sees exactly the serial order.
-  std::vector<EvaluatedCandidate> evaluated(candidates.size());
-  resolved.parallelFor(candidates.size(), [&](std::size_t i) {
-    evaluated[i] = evaluateCandidateImpl(candidates[i], workload, business,
-                                         scenarios, resolved, scenarioFps);
-  });
+  engine::BatchOptions evalOptions;
+  evalOptions.maxRetries = options.maxRetries;
+  evalOptions.retryBackoff = options.retryBackoff;
+
+  engine::CancellationToken token = options.token;
+  if (options.deadline.count() > 0) {
+    token = token.withDeadline(options.deadline);
+  }
+  const bool cancellable = token.cancellable();
+
+  // Resume: restore journaled candidates before fanning out, so the sweep
+  // spends its budget only on un-finished work.
+  std::unique_ptr<CheckpointJournal> journal;
+  std::vector<engine::Fingerprint> keys;
+  if (!options.checkpointPath.empty()) {
+    journal = std::make_unique<CheckpointJournal>(
+        options.checkpointPath,
+        fingerprintSearchContext(workload, business, scenarios),
+        options.checkpointEvery);
+    keys.reserve(candidates.size());
+    for (const CandidateSpec& spec : candidates) {
+      keys.push_back(fingerprintCandidate(spec));
+    }
+  }
 
   SearchResult result;
-  rankCandidates(result, std::move(evaluated));
+
+  // Fan out at candidate granularity; every result lands in its own slot,
+  // so the ranking below sees exactly the serial order. `completed` marks
+  // the slots that hold a finished evaluation when the sweep is cancelled
+  // part-way (vector<char>: written concurrently per index).
+  std::vector<EvaluatedCandidate> evaluated(candidates.size());
+  std::vector<char> completed(candidates.size(), 0);
+  if (journal) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (const EvaluatedCandidate* record = journal->find(keys[i])) {
+        evaluated[i] = *record;
+        evaluated[i].spec = candidates[i];  // journal stores metrics only
+        completed[i] = 1;
+        ++result.skipped;
+      }
+    }
+  }
+
+  const bool ranAll = resolved.parallelForCancellable(
+      candidates.size(),
+      [&](std::size_t i) {
+        if (completed[i] != 0) return;  // restored from the journal
+        if (cancellable && token.cancelled()) return;
+        evaluated[i] =
+            evaluateCandidateImpl(candidates[i], workload, business, scenarios,
+                                  resolved, scenarioFps, evalOptions);
+        completed[i] = 1;
+        // Only clean evaluations are journaled: a transiently-failed
+        // candidate should be re-attempted on resume, not pinned.
+        if (journal && !evaluated[i].error) {
+          journal->record(keys[i], evaluated[i]);
+        }
+      },
+      token);
+  if (journal) journal->flush();
+
+  std::vector<EvaluatedCandidate> finished;
+  finished.reserve(candidates.size());
+  bool anyIncomplete = false;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (completed[i] != 0) {
+      finished.push_back(std::move(evaluated[i]));
+    } else {
+      anyIncomplete = true;
+    }
+  }
+  result.cancelled = !ranAll || anyIncomplete;
+  rankCandidates(result, std::move(finished));
   return result;
 }
 

@@ -14,8 +14,17 @@
 // the serial reference (`searchDesignSpaceSerial`): candidates are written
 // to indexed slots and ranked by the same deterministic comparison, and
 // evaluate() itself is a pure function.
+// Robustness: candidate evaluation is isolated — a candidate whose build or
+// evaluation fails carries a structured engine::EvalError instead of
+// aborting the sweep — and the SearchOptions overload adds cooperative
+// cancellation, a wall-clock deadline, transient-failure retries and
+// crash-safe checkpoint/resume (optimizer/checkpoint.hpp): completed
+// candidates are journaled, and a resumed sweep skips them while producing
+// the exact ranking of an uninterrupted run.
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +55,10 @@ struct EvaluatedCandidate {
   Duration worstRecoveryTime;    ///< max across scenarios
   Duration worstDataLoss;        ///< max across scenarios
   std::string rejectionReason;   ///< set when infeasible / objective-missed
+  /// Set when the candidate could not be evaluated at all (its build threw,
+  /// or an evaluation failed past the retry budget). Errored candidates are
+  /// never feasible and land in SearchResult::rejected.
+  std::optional<engine::EvalError> error;
 };
 
 struct SearchResult {
@@ -54,10 +67,41 @@ struct SearchResult {
   /// Everything else, with reasons.
   std::vector<EvaluatedCandidate> rejected;
   int evaluated = 0;
+  /// Candidates restored from a checkpoint journal instead of re-evaluated.
+  int skipped = 0;
+  /// Candidates whose evaluation errored (they appear in `rejected` with
+  /// EvaluatedCandidate::error set).
+  int failed = 0;
+  /// True when the sweep stopped early (cancellation or deadline); ranked/
+  /// rejected then cover only the candidates that completed — with a
+  /// checkpoint journal, a later run resumes the rest.
+  bool cancelled = false;
 
   [[nodiscard]] const EvaluatedCandidate* best() const noexcept {
     return ranked.empty() ? nullptr : &ranked.front();
   }
+};
+
+/// Knobs for the fault-tolerant search overload (all default to "off").
+struct SearchOptions {
+  /// Engine to evaluate through (null = Engine::shared()).
+  engine::Engine* eng = nullptr;
+  /// Cooperative cancellation; polled per candidate.
+  engine::CancellationToken token;
+  /// Wall-clock budget for the whole sweep (0 = none); candidates not
+  /// started before it elapses are left un-evaluated and the result is
+  /// marked cancelled.
+  std::chrono::milliseconds deadline{0};
+  /// Bounded retries for transient evaluation failures.
+  int maxRetries = 2;
+  std::chrono::milliseconds retryBackoff{1};
+  /// Journal file for checkpoint/resume (empty = no journaling). A journal
+  /// written by a previous run over the same workload/business/scenarios is
+  /// resumed: journaled candidates are skipped, the final ranking is
+  /// identical to an uninterrupted sweep.
+  std::string checkpointPath;
+  /// Journal flush cadence (records per flush).
+  std::size_t checkpointEvery = 16;
 };
 
 /// Evaluates one candidate against the scenario set, through `eng`'s cache
@@ -75,6 +119,15 @@ struct SearchResult {
     const BusinessRequirements& business,
     const std::vector<ScenarioCase>& scenarios,
     engine::Engine* eng = nullptr);
+
+/// The fault-tolerant sweep: per-candidate error isolation, cooperative
+/// cancellation and deadline, transient-failure retries, and checkpoint/
+/// resume through an append-only journal. With default options it produces
+/// exactly the same result as the overload above.
+[[nodiscard]] SearchResult searchDesignSpace(
+    const std::vector<CandidateSpec>& candidates, const WorkloadSpec& workload,
+    const BusinessRequirements& business,
+    const std::vector<ScenarioCase>& scenarios, const SearchOptions& options);
 
 /// The pre-engine reference implementation: one thread, no cache, direct
 /// evaluate() calls. Kept as the determinism baseline for tests and the

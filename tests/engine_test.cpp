@@ -257,15 +257,17 @@ TEST(Determinism, BatchMatchesSerialOnCaseStudyDesigns) {
   ASSERT_EQ(cold.results.size(), serial.size());
   EXPECT_EQ(cold.stats.requests, serial.size());
   EXPECT_EQ(cold.stats.threadsUsed, 4);
+  ASSERT_TRUE(cold.allOk());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    expectBitIdentical(cold.results[i], serial[i]);
+    expectBitIdentical(cold.results[i].value(), serial[i]);
   }
 
   const BatchResult warm = engine.evaluateBatch(requests);
   EXPECT_EQ(warm.stats.cacheHits, warm.stats.requests);  // fully memoized
   EXPECT_EQ(warm.stats.evaluations, 0u);
+  ASSERT_TRUE(warm.allOk());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    expectBitIdentical(warm.results[i], serial[i]);
+    expectBitIdentical(warm.results[i].value(), serial[i]);
   }
 }
 
