@@ -1,0 +1,77 @@
+// bench_verify_fuzz — microbenchmarks of the property-based verification
+// subsystem. The fuzzer's value scales with throughput (cases checked per
+// CPU-second in the nightly budget), so generation, the metamorphic sweep,
+// and shrinking are each measured in isolation.
+#include <benchmark/benchmark.h>
+
+#include "verify/gen.hpp"
+#include "verify/harness.hpp"
+#include "verify/metamorphic.hpp"
+
+namespace {
+
+using namespace stordep;
+
+void BM_GenerateCase(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::caseForSeed(42, i++));
+  }
+}
+BENCHMARK(BM_GenerateCase);
+
+void BM_RelationSweepPerCase(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const verify::CaseSpec spec = verify::caseForSeed(42, i++);
+    benchmark::DoNotOptimize(verify::checkRelations(spec));
+  }
+}
+BENCHMARK(BM_RelationSweepPerCase);
+
+void BM_RoundTripOracle(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::roundTripOracle(verify::caseForSeed(42, i++)));
+  }
+}
+BENCHMARK(BM_RoundTripOracle);
+
+void BM_SimBoundOracle(benchmark::State& state) {
+  // A fixed case keeps the simulated horizon comparable across iterations.
+  const verify::CaseSpec spec;  // case-study-shaped default
+  const verify::OracleOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::simBoundOracle(spec, options));
+  }
+}
+BENCHMARK(BM_SimBoundOracle);
+
+void BM_ShrinkAlwaysFailing(benchmark::State& state) {
+  // Upper bound on shrinking cost: every simplification is accepted, so the
+  // pass walks the whole move table down to the all-defaults origin.
+  const verify::CaseSpec complex = verify::caseForSeed(7, 123);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::shrinkCase(complex, [](const verify::CaseSpec&) {
+          return true;
+        }));
+  }
+}
+BENCHMARK(BM_ShrinkAlwaysFailing);
+
+void BM_FuzzHundredCases(benchmark::State& state) {
+  verify::FuzzOptions options;
+  options.cases = 100;
+  options.simEvery = 0;  // relation + IO oracles only: the steady-state mix
+  options.searchEvery = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::runFuzz(options));
+  }
+  state.SetItemsProcessed(state.iterations() * options.cases);
+}
+BENCHMARK(BM_FuzzHundredCases)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// verify_fuzz — property-based fuzzing driver for the dependability models.
+//
+// Runs seeded generative cases through every metamorphic relation and the
+// differential oracles (src/verify), shrinks any failure to a minimal
+// counterexample, and prints replay instructions. Exit status 1 when any
+// check failed — CI runs this nightly under ASan/UBSan.
+//
+// Usage:
+//   verify_fuzz [--seed N] [--cases N] [--no-minimize] [--max-failures N]
+//               [--sim-every N] [--search-every N] [--io-every N]
+//               [--replay INDEX] [--out FILE] [--list-relations]
+//
+// Replaying a failure: a report names (seed, index); re-run just that case
+// with `verify_fuzz --seed N --replay INDEX`.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "verify/harness.hpp"
+
+namespace {
+
+void usage() {
+  std::cout
+      << "usage: verify_fuzz [options]\n"
+         "  --seed N          run seed (default 42)\n"
+         "  --cases N         number of generated cases (default 1000)\n"
+         "  --replay INDEX    re-run a single case of this seed, all oracles\n"
+         "  --no-minimize     skip shrinking failures\n"
+         "  --minimize        shrink failures to minimal cases (default)\n"
+         "  --max-failures N  stop after N failures (default 5, 0 = all)\n"
+         "  --sim-every N     simulation oracle cadence (default 20, 0 = off)\n"
+         "  --search-every N  search-parity oracle cadence (default 200)\n"
+         "  --io-every N      round-trip/mutation oracle cadence (default 1)\n"
+         "  --out FILE        write the JSON report to FILE\n"
+         "  --list-relations  print every metamorphic relation and exit\n";
+}
+
+long long parseIntArg(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) {
+    std::cerr << "verify_fuzz: " << flag << " needs a value\n";
+    std::exit(2);
+  }
+  try {
+    return std::stoll(argv[++i]);
+  } catch (const std::exception&) {
+    std::cerr << "verify_fuzz: bad value for " << flag << ": " << argv[i]
+              << "\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stordep;
+
+  verify::FuzzOptions options;
+  std::optional<std::uint64_t> replayIndex;
+  std::string outPath;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(
+          parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--cases") {
+      options.cases = static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--replay") {
+      replayIndex = static_cast<std::uint64_t>(
+          parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--no-minimize") {
+      options.minimize = false;
+    } else if (arg == "--minimize") {
+      options.minimize = true;
+    } else if (arg == "--max-failures") {
+      options.maxFailures = static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--sim-every") {
+      options.simEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--search-every") {
+      options.searchEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--io-every") {
+      options.ioEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::cerr << "verify_fuzz: --out needs a value\n";
+        return 2;
+      }
+      outPath = argv[++i];
+    } else if (arg == "--list-relations") {
+      for (const verify::RelationInfo& info : verify::listRelations()) {
+        std::cout << info.name << "  [" << info.citation << "]\n    "
+                  << info.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "verify_fuzz: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  const verify::FuzzReport report =
+      replayIndex ? verify::replayCase(options.seed, *replayIndex, options)
+                  : verify::runFuzz(options);
+
+  std::cout << "seed " << report.seed << ": " << report.cases << " cases, "
+            << report.relationChecks << " relation checks ("
+            << report.relationSkips << " n/a), " << report.oracleChecks
+            << " oracle checks (" << report.oracleSkips << " n/a)\n";
+
+  for (const verify::FuzzFailure& failure : report.failures) {
+    std::cout << "\nFAIL " << failure.check << " (case " << failure.index
+              << ")\n  " << failure.detail << "\n  replay: verify_fuzz --seed "
+              << failure.seed << " --replay " << failure.index
+              << "\n  original: " << verify::describeCase(failure.original)
+              << "\n  shrunk (" << failure.shrunkParams
+              << " params off default): "
+              << verify::describeCase(failure.shrunk) << "\n";
+  }
+
+  if (!outPath.empty()) {
+    std::ofstream out(outPath);
+    if (!out) {
+      std::cerr << "verify_fuzz: cannot write " << outPath << "\n";
+      return 2;
+    }
+    out << verify::reportToJson(report).pretty() << "\n";
+  }
+
+  if (report.allPassed()) {
+    std::cout << "all checks passed\n";
+    return 0;
+  }
+  std::cout << "\n" << report.failures.size() << " failing check(s)"
+            << (report.stoppedEarly ? " (stopped early)" : "") << "\n";
+  return 1;
+}

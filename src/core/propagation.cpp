@@ -1,6 +1,44 @@
 #include "core/propagation.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace stordep {
+
+namespace {
+
+/// True when `value` sits on the integer grid spaced `grid` (within a
+/// relative tolerance); infinite windows never align.
+bool onGrid(Duration value, Duration grid) {
+  if (!(grid.secs() > 0)) return true;
+  if (!value.isFinite() || !grid.isFinite()) return false;
+  const double q = value.secs() / grid.secs();
+  return std::abs(q - std::round(q)) * grid.secs() <=
+         1e-9 * std::max(value.secs(), grid.secs());
+}
+
+}  // namespace
+
+Duration rpCaptureSlack(const StorageDesign& design, int level) {
+  Duration slack = Duration::zero();
+  for (int i = 2; i <= level && i < design.levelCount(); ++i) {
+    const ProtectionPolicy& pol = *design.level(i).policy();
+    const ProtectionPolicy& feed = *design.level(i - 1).policy();
+    // Continuous mirrors track the primary; a capture is never stale.
+    if (feed.effectiveAccW() == Duration::zero()) continue;
+    // Upstream fulls arrive every cyclePer_{i-1}; the capture instants of
+    // level i stay on that arrival grid exactly when every creation offset
+    // (k*cyclePer_i, plus m*accW_incr for cyclic schedules) is an integer
+    // multiple of it.
+    const Duration grid = feed.cyclePeriod();
+    bool aligned = onGrid(pol.cyclePeriod(), grid);
+    if (aligned && pol.isCyclic()) {
+      aligned = onGrid(pol.secondaryWindows()->accW, grid);
+    }
+    if (!aligned) slack += feed.worstArrivalGap();
+  }
+  return slack;
+}
 
 Duration rpTransitTime(const StorageDesign& design, int level) {
   if (level < 0 || level >= design.levelCount()) {
@@ -42,7 +80,8 @@ Duration rpTimeLagConservative(const StorageDesign& design, int level) {
   }
   const Duration lastPropW = pol.isCyclic() ? pol.secondaryWindows()->propW
                                             : pol.primaryWindows().propW;
-  return transit + pol.holdW() + lastPropW + pol.worstArrivalGap();
+  return transit + pol.holdW() + lastPropW + pol.worstArrivalGap() +
+         rpCaptureSlack(design, level);
 }
 
 Duration rpExpectedTimeLag(const StorageDesign& design, int level) {

@@ -58,14 +58,31 @@ struct RpRange {
 [[nodiscard]] Duration rpExpectedTimeLag(const StorageDesign& design,
                                          int level);
 
+/// Extra staleness picked up at capture time when a level's creation grid
+/// does not stay on the arrival grid of the level below. The paper's lag
+/// formula implicitly assumes each level captures a *just-arrived* upstream
+/// image, which holds only when every creation offset of level i is an
+/// integer multiple of cyclePer_{i-1} (the case study satisfies this:
+/// weekly backups over a 12 h mirror cycle, 4-weekly vaults over weekly
+/// backups). When the windows are incommensurable — e.g. a 161 h backup
+/// window over a 12 h mirror cycle — the capture instants drift through the
+/// upstream cycle and the captured image can be up to one upstream arrival
+/// gap stale. Returns the summed worst-case capture staleness over the
+/// boundaries feeding `level`; zero for grid-conforming designs.
+/// Property-based fuzzing against the RP-lifecycle simulator surfaced this
+/// term (see DESIGN.md "Verification").
+[[nodiscard]] Duration rpCaptureSlack(const StorageDesign& design, int level);
+
 /// A *sound* worst-case staleness bound for cyclic policies. The paper's
 /// formula (rpTimeLag) charges one incremental window of exposure, but
 /// simulation shows the end-of-cycle arrival gap ("weekend gap") makes the
 /// true worst case larger — e.g. 85 h instead of 73 h for the case study's
 /// F+I policy (EXPERIMENTS.md). This variant replaces the paper's
 /// accW + worstPropW terms at the target level with the last-arriving
-/// representation's propW plus the worst arrival gap, and coincides with
-/// rpTimeLag for simple (non-cyclic) policies.
+/// representation's propW plus the worst arrival gap, adds the capture
+/// misalignment slack (rpCaptureSlack) for incommensurable window grids,
+/// and coincides with rpTimeLag for simple (non-cyclic), grid-conforming
+/// policies.
 [[nodiscard]] Duration rpTimeLagConservative(const StorageDesign& design,
                                              int level);
 

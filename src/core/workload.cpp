@@ -82,8 +82,34 @@ Bandwidth WorkloadSpec::batchUpdateRate(Duration win) const {
 
 Bytes WorkloadSpec::uniqueBytes(Duration win) const {
   if (win.isInfinite()) return dataCap_;
-  const Bytes raw = batchUpdateRate(win) * win;
-  return std::min(raw, dataCap_);
+  if (!(win.secs() > 0)) return Bytes{0};
+  // The raw product batchUpdateRate(win) * win is NOT monotone in win: on a
+  // segment where the interpolated rate r(w) = a + b*ln(w) falls steeply
+  // (b < 0), the product f(w) = r(w)*w has derivative r(w) + b, which goes
+  // negative once r(w) < -b — f peaks at w* = exp(-1 - a/b) and then dips
+  // below values already reached at smaller windows. A longer window cannot
+  // dirty fewer bytes, so return the running maximum of f over (0, win]:
+  // the raw product at win, every knot product at or below win, and each
+  // covered segment's interior peak.
+  double best = (batchUpdateRate(win) * win).bytes();
+  for (size_t i = 0; i + 1 < curve_.size(); ++i) {
+    const double w0 = curve_[i].window.secs();
+    if (w0 >= win.secs()) break;
+    const double w1 = curve_[i + 1].window.secs();
+    const double r0 = curve_[i].rate.bytesPerSec();
+    const double r1 = curve_[i + 1].rate.bytesPerSec();
+    best = std::max(best, r0 * w0);
+    const double b = (r1 - r0) / std::log(w1 / w0);
+    if (b < 0.0) {
+      const double a = r0 - b * std::log(w0);
+      const double wStar = std::exp(-1.0 - a / b);
+      const double hi = std::min(w1, win.secs());
+      if (wStar > w0 && wStar < hi) {
+        best = std::max(best, (a + b * std::log(wStar)) * wStar);
+      }
+    }
+  }
+  return std::min(Bytes{best}, dataCap_);
 }
 
 }  // namespace stordep

@@ -72,9 +72,12 @@ class WorkloadSpec {
   ///    saturated).
   [[nodiscard]] Bandwidth batchUpdateRate(Duration win) const;
 
-  /// Total unique bytes written in a window: batchUpdateRate(win) * win.
-  /// Monotonically non-decreasing in win and capped at dataCap (a window
-  /// cannot dirty more data than exists).
+  /// Total unique bytes written in a window: the running maximum of
+  /// batchUpdateRate(w) * w over w in (0, win]. Monotonically non-decreasing
+  /// in win and capped at dataCap (a window cannot dirty more data than
+  /// exists). The running maximum matters: the raw product can dip right
+  /// after a curve knot where the interpolated rate falls steeply, and a
+  /// longer window cannot dirty fewer bytes than a shorter one.
   [[nodiscard]] Bytes uniqueBytes(Duration win) const;
 
  private:

@@ -50,6 +50,8 @@ struct CandidateSpec {
   /// Materializes the candidate over the case-study device catalog.
   [[nodiscard]] StorageDesign build(const WorkloadSpec& workload,
                                     const BusinessRequirements& business) const;
+
+  friend bool operator==(const CandidateSpec&, const CandidateSpec&) = default;
 };
 
 /// Grids to enumerate; defaults give a ~200-candidate space.

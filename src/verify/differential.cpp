@@ -1,0 +1,313 @@
+#include "verify/differential.hpp"
+
+#include <cmath>
+#include <exception>
+#include <sstream>
+#include <vector>
+
+#include "config/design_io.hpp"
+#include "core/data_loss.hpp"
+#include "core/evaluator.hpp"
+#include "core/propagation.hpp"
+#include "engine/batch.hpp"
+#include "optimizer/search.hpp"
+#include "sim/failure_injector.hpp"
+#include "sim/recovery_simulator.hpp"
+#include "sim/rp_simulator.hpp"
+
+namespace stordep::verify {
+
+namespace opt = stordep::optimizer;
+
+namespace {
+
+OracleResult pass(const std::string& name) {
+  return OracleResult{name, true, true, ""};
+}
+OracleResult notApplicable(const std::string& name) {
+  return OracleResult{name, false, true, ""};
+}
+OracleResult fail(const std::string& name, std::string detail) {
+  return OracleResult{name, true, false, std::move(detail)};
+}
+
+std::string num(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+bool bitSame(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+/// The slowest accumulation window in the case's hierarchy; the simulator's
+/// default horizon must cover several of its cycles to reach steady state.
+Duration slowestCycle(const CaseSpec& spec) {
+  Duration slowest = Duration::zero();
+  if (spec.candidate.pit != opt::PitChoice::kNone) {
+    slowest = std::max(slowest, spec.candidate.pitAccW);
+  }
+  if (spec.candidate.backup != opt::BackupChoice::kNone) {
+    slowest = std::max(slowest, spec.candidate.backupAccW);
+  }
+  if (spec.candidate.vault) {
+    slowest = std::max(slowest, spec.candidate.vaultAccW);
+  }
+  return slowest;
+}
+
+}  // namespace
+
+OracleResult simBoundOracle(const CaseSpec& spec,
+                            const OracleOptions& options) {
+  const char* kName = "sim-bound";
+  if (spec.scope != FailureScope::kArray && spec.scope != FailureScope::kSite) {
+    return notApplicable(kName);
+  }
+  StorageDesign design = makeDesign(spec);
+  // The aligned-schedule bound is a theorem only for convention-conforming
+  // designs (accW_i >= cyclePer_{i-1} etc.); non-conforming ones can
+  // legitimately exceed the analytic worst case.
+  if (!design.validate().empty()) return notApplicable(kName);
+  // Steady-state retention of the slowest level must fit the horizon with
+  // several cycles to spare.
+  if (slowestCycle(spec) > days(7)) return notApplicable(kName);
+
+  const FailureScenario scenario = makeScenario(spec);
+  try {
+    sim::RpLifecycleSimulator simulator(std::move(design), sim::RpSimOptions{});
+    simulator.run();
+
+    sim::FailureInjector injector(simulator,
+                                  sim::Rng(mixSeed(spec.auxSeed, 1)));
+    const sim::ValidationStats stats =
+        injector.validateDataLoss(scenario, options.simSamples);
+    if (stats.samples > stats.unrecoverable) {
+      if (!stats.analyticWorstCase.isFinite()) {
+        return fail(kName,
+                    "simulator recovered data where the analytic model calls "
+                    "the scenario unrecoverable");
+      }
+      // The paper's bound assumes grid-conforming windows; when a level's
+      // accW is incommensurable with the upstream cycle, charge the capture
+      // staleness (rpCaptureSlack) the aligned simulator legitimately sees.
+      Duration slack = Duration::zero();
+      const auto source = chooseRecoverySource(simulator.design(), scenario);
+      if (source) slack = rpCaptureSlack(simulator.design(), source->level);
+      const double bound = (stats.analyticWorstCase + slack).secs();
+      const double eps = 1e-6 * std::max(1.0, bound);
+      if (stats.maxObserved.secs() > bound + eps) {
+        return fail(kName,
+                    "simulated data loss exceeds the analytic worst case: "
+                    "observed max " +
+                        num(stats.maxObserved.raw()) + " s > bound " +
+                        num(stats.analyticWorstCase.raw()) +
+                        " s + capture slack " + num(slack.raw()) + " s");
+      }
+    }
+
+    sim::RecoverySimulator recovery(simulator);
+    const sim::RecoveryDistribution dist = recovery.distribution(
+        scenario, options.simSamples, sim::Rng(mixSeed(spec.auxSeed, 2)));
+    if (dist.samples > dist.unrecoverable && !dist.rtBoundHolds) {
+      return fail(kName,
+                  "simulated recovery time exceeds the analytic worst case: "
+                  "observed max " +
+                      num(dist.maxRt.raw()) + " s > bound " +
+                      num(dist.analyticWorstRt.raw()) + " s");
+    }
+  } catch (const std::exception& e) {
+    return fail(kName, std::string("simulation threw: ") + e.what());
+  }
+  return pass(kName);
+}
+
+OracleResult searchParityOracle(const CaseSpec& spec,
+                                const OracleOptions& options) {
+  const char* kName = "search-parity";
+  // A small candidate set around this case: its own candidate plus random
+  // neighbors drawn deterministically from the aux stream.
+  std::vector<opt::CandidateSpec> candidates{spec.candidate};
+  sim::Rng rng(mixSeed(spec.auxSeed, 3));
+  while (static_cast<int>(candidates.size()) < options.searchCandidates) {
+    const CaseSpec neighbor = generateCase(rng);
+    candidates.push_back(neighbor.candidate);
+  }
+
+  const WorkloadSpec workload = makeWorkload(spec);
+  const BusinessRequirements business = makeBusiness(spec);
+  std::vector<opt::ScenarioCase> scenarios;
+  scenarios.push_back({"generated", makeScenario(spec), 1.0});
+  if (spec.scope != FailureScope::kSite) {
+    CaseSpec site = spec;
+    site.scope = FailureScope::kSite;
+    site.targetAgeHours = 0.0;
+    site.recoverySizeMB = 1.0;
+    scenarios.push_back({"site", makeScenario(site), 1.0});
+  }
+
+  try {
+    const opt::SearchResult serial =
+        opt::searchDesignSpaceSerial(candidates, workload, business, scenarios);
+    engine::Engine eng(engine::EngineOptions{.threads = options.searchThreads});
+    const opt::SearchResult parallel =
+        opt::searchDesignSpace(candidates, workload, business, scenarios, &eng);
+
+    const auto compare = [&](const std::vector<opt::EvaluatedCandidate>& a,
+                             const std::vector<opt::EvaluatedCandidate>& b,
+                             const char* bucket) -> std::string {
+      if (a.size() != b.size()) {
+        return std::string(bucket) + " sizes differ: " +
+               std::to_string(a.size()) + " vs " + std::to_string(b.size());
+      }
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].label != b[i].label) {
+          return std::string(bucket) + "[" + std::to_string(i) +
+                 "] labels differ: '" + a[i].label + "' vs '" + b[i].label +
+                 "'";
+        }
+        if (!bitSame(a[i].totalCost.raw(), b[i].totalCost.raw()) ||
+            !bitSame(a[i].worstRecoveryTime.raw(),
+                     b[i].worstRecoveryTime.raw()) ||
+            !bitSame(a[i].worstDataLoss.raw(), b[i].worstDataLoss.raw()) ||
+            a[i].feasible != b[i].feasible ||
+            a[i].rejectionReason != b[i].rejectionReason) {
+          return std::string(bucket) + "[" + std::to_string(i) + "] ('" +
+                 a[i].label + "') metrics differ: cost " +
+                 num(a[i].totalCost.raw()) + " vs " +
+                 num(b[i].totalCost.raw());
+        }
+      }
+      return "";
+    };
+    std::string diff = compare(serial.ranked, parallel.ranked, "ranked");
+    if (diff.empty()) {
+      diff = compare(serial.rejected, parallel.rejected, "rejected");
+    }
+    if (!diff.empty()) {
+      return fail(kName, "serial vs parallel search disagree: " + diff);
+    }
+  } catch (const std::exception& e) {
+    return fail(kName, std::string("search threw: ") + e.what());
+  }
+  return pass(kName);
+}
+
+OracleResult roundTripOracle(const CaseSpec& spec) {
+  const char* kName = "round-trip";
+  try {
+    const StorageDesign design = makeDesign(spec);
+    const std::string once = config::saveDesign(design);
+    const StorageDesign reloaded = config::loadDesign(once);
+    const std::string twice = config::saveDesign(reloaded);
+    if (once != twice) {
+      return fail(kName,
+                  "saveDesign(loadDesign(s)) is not a fixpoint; first "
+                  "divergence at byte " +
+                      std::to_string(std::mismatch(once.begin(), once.end(),
+                                                   twice.begin(), twice.end())
+                                         .first -
+                                     once.begin()));
+    }
+    const FailureScenario scenario = makeScenario(spec);
+    const EvaluationResult a = evaluate(design, scenario);
+    const EvaluationResult b = evaluate(reloaded, scenario);
+    if (!bitSame(a.recovery.recoveryTime.raw(), b.recovery.recoveryTime.raw()) ||
+        !bitSame(a.recovery.dataLoss.raw(), b.recovery.dataLoss.raw()) ||
+        !bitSame(a.cost.totalCost.raw(), b.cost.totalCost.raw())) {
+      return fail(kName,
+                  "reloaded design evaluates differently: RT " +
+                      num(a.recovery.recoveryTime.raw()) + " vs " +
+                      num(b.recovery.recoveryTime.raw()) + ", cost " +
+                      num(a.cost.totalCost.raw()) + " vs " +
+                      num(b.cost.totalCost.raw()));
+    }
+  } catch (const std::exception& e) {
+    return fail(kName, std::string("round-trip threw: ") + e.what());
+  }
+  return pass(kName);
+}
+
+namespace {
+
+/// Collects pointers to every node in the document (pre-order).
+void collectNodes(config::Json& node, std::vector<config::Json*>& out) {
+  out.push_back(&node);
+  if (node.isArray()) {
+    for (config::Json& child : node.asArray()) collectNodes(child, out);
+  } else if (node.isObject()) {
+    for (auto& [key, child] : node.asObject()) collectNodes(child, out);
+  }
+}
+
+/// Applies one random structural mutation in place.
+void mutateOnce(config::Json& doc, sim::Rng& rng) {
+  std::vector<config::Json*> nodes;
+  collectNodes(doc, nodes);
+  config::Json& victim = *nodes[rng.uniformInt(nodes.size())];
+  switch (rng.uniformInt(6)) {
+    case 0:  // retype to null
+      victim = config::Json(nullptr);
+      break;
+    case 1:  // retype to a garbage string (also corrupts quantity strings)
+      victim = config::Json("12 parsecs");
+      break;
+    case 2:  // negative / absurd number
+      victim = config::Json(rng.uniform() < 0.5 ? -1.0 : 1e308);
+      break;
+    case 3:  // drop a member, if an object with members
+      if (victim.isObject() && !victim.asObject().empty()) {
+        config::JsonObject& members = victim.asObject();
+        members.erase(members.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          rng.uniformInt(members.size())));
+      } else {
+        victim = config::Json(true);
+      }
+      break;
+    case 4:  // duplicate-ish junk member
+      if (victim.isObject()) {
+        victim.set("fuzz", config::Json(-3.5));
+      } else {
+        victim = config::Json(config::JsonObject{});
+      }
+      break;
+    default:  // swallow into an array
+      victim = config::Json(config::JsonArray{config::Json(1.0)});
+      break;
+  }
+}
+
+}  // namespace
+
+OracleResult mutationOracle(const CaseSpec& spec,
+                            const OracleOptions& options) {
+  const char* kName = "mutation";
+  config::Json base;
+  try {
+    base = config::designToJson(makeDesign(spec));
+  } catch (const std::exception& e) {
+    return fail(kName, std::string("serializing the design threw: ") + e.what());
+  }
+  sim::Rng rng(mixSeed(spec.auxSeed, 4));
+  for (int i = 0; i < options.mutations; ++i) {
+    config::Json mutated = base;
+    const int edits = 1 + static_cast<int>(rng.uniformInt(3));
+    for (int e = 0; e < edits; ++e) mutateOnce(mutated, rng);
+    const std::string text = mutated.dump();
+    try {
+      (void)config::loadDesign(text);
+    } catch (const config::DesignIoError&) {
+      // expected failure mode
+    } catch (const std::exception& e) {
+      return fail(kName,
+                  std::string("mutated design leaked a non-DesignIoError (") +
+                      e.what() + "); document: " + text.substr(0, 400));
+    }
+  }
+  return pass(kName);
+}
+
+}  // namespace stordep::verify

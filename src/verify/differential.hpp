@@ -1,0 +1,76 @@
+// differential.hpp — cross-implementation oracles for generated cases.
+//
+// The repo computes the same dependability answers three independent ways:
+// the analytic evaluator (src/core), the discrete-event RP-lifecycle
+// simulator (src/sim), and the parallel batch engine (src/engine) behind
+// optimizer::searchDesignSpace. Each oracle here runs one generated case
+// through two of them and checks agreement:
+//
+//   sim-bound       analytic worst-case DL/RT bound every simulated failure
+//                   instant (paper's "validate the models via simulation"
+//                   future work; requires a convention-conforming design,
+//                   where the aligned-schedule bound is a theorem)
+//   search-parity   searchDesignSpaceSerial vs the engine-backed parallel
+//                   search, bit-identical rankings
+//   round-trip      saveDesign -> loadDesign -> saveDesign reaches a fixpoint
+//                   and the reloaded design evaluates bit-identically
+//   mutation        random structural mutations of the design JSON either
+//                   load successfully or fail with DesignIoError — never any
+//                   other exception, never a crash
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/gen.hpp"
+
+namespace stordep::verify {
+
+/// Outcome of one differential oracle on one case (same shape as
+/// RelationResult; kept separate so reports can distinguish the families).
+struct OracleResult {
+  std::string oracle;
+  bool applicable = true;
+  bool holds = true;
+  std::string detail;
+};
+
+struct OracleOptions {
+  /// Monte-Carlo samples per simulator validation.
+  int simSamples = 64;
+  /// Candidates per search-parity check (drawn deterministically from the
+  /// case's auxSeed).
+  int searchCandidates = 6;
+  /// Random JSON mutations per mutation-robustness check.
+  int mutations = 4;
+  /// Threads for the parallel side of search parity.
+  int searchThreads = 4;
+};
+
+/// Analytic evaluator vs discrete-event simulation: the analytic worst-case
+/// data loss bounds every simulated failure instant, and the analytic
+/// worst-case recovery time bounds the simulated recovery-time distribution.
+/// Applicable only to convention-conforming designs (validate() empty) with
+/// a simulation-affordable slowest cycle, and to array/site scenarios (the
+/// simulator's failure model).
+[[nodiscard]] OracleResult simBoundOracle(const CaseSpec& spec,
+                                          const OracleOptions& options = {});
+
+/// Serial reference search vs the engine-backed parallel search over a small
+/// candidate set including this case's candidate: rankings, labels, costs
+/// and rejection reasons must match bit-identically.
+[[nodiscard]] OracleResult searchParityOracle(const CaseSpec& spec,
+                                              const OracleOptions& options = {});
+
+/// saveDesign -> loadDesign -> saveDesign fixpoint, plus bit-identical
+/// evaluation of the reloaded design.
+[[nodiscard]] OracleResult roundTripOracle(const CaseSpec& spec);
+
+/// Structured-JSON fuzzing of config/design_io: deterministic random
+/// mutations (drop a key, retype a value, corrupt a quantity string, nest
+/// garbage) of the serialized design must produce either a successful load
+/// or a DesignIoError — nothing else escapes.
+[[nodiscard]] OracleResult mutationOracle(const CaseSpec& spec,
+                                          const OracleOptions& options = {});
+
+}  // namespace stordep::verify

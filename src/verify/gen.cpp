@@ -1,0 +1,524 @@
+#include "verify/gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "casestudy/casestudy.hpp"
+
+namespace stordep::verify {
+
+namespace opt = stordep::optimizer;
+namespace cs = stordep::casestudy;
+
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t index) {
+  // splitmix64 finalizer over the run seed advanced by the case index.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+double logUniform(sim::Rng& rng, double lo, double hi) {
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+/// Rounds to 3 significant digits so generated and shrunk values stay
+/// readable and shrinking midpoints terminate.
+double round3(double v) {
+  if (v == 0.0 || !std::isfinite(v)) return v;
+  const double mag = std::pow(10.0, std::floor(std::log10(std::fabs(v))) - 2);
+  return std::round(v / mag) * mag;
+}
+
+const CaseSpec& defaults() {
+  static const CaseSpec spec{};
+  return spec;
+}
+
+}  // namespace
+
+CaseSpec generateCase(sim::Rng& rng) {
+  CaseSpec spec;
+  spec.dataCapGB = round3(logUniform(rng, 10.0, 10'000.0));
+  spec.accessKBps = round3(logUniform(rng, 50.0, 100'000.0));
+  spec.updateKBps = round3(spec.accessKBps * rng.uniform(0.05, 1.0));
+  spec.burstM = round3(rng.uniform(1.0, 20.0));
+  spec.curvePoints = static_cast<int>(rng.uniformInt(6));  // 0..5
+  spec.curveDecay =
+      spec.curvePoints == 0 ? 1.0 : round3(rng.uniform(0.05, 1.0));
+
+  spec.outagePenaltyPerHour =
+      rng.uniform() < 0.1 ? 0.0 : round3(logUniform(rng, 1.0, 1e6));
+  spec.lossPenaltyPerHour =
+      rng.uniform() < 0.1 ? 0.0 : round3(logUniform(rng, 1.0, 1e6));
+  spec.rtoHours =
+      rng.uniform() < 0.3 ? round3(logUniform(rng, 0.1, 1000.0)) : 0.0;
+  spec.rpoHours =
+      rng.uniform() < 0.3 ? round3(logUniform(rng, 0.1, 1000.0)) : 0.0;
+
+  // Composed protection hierarchy. Structural constraints (backup needs a
+  // PiT source image, vault needs backup, F+I needs a >= 48 h cycle, vault
+  // cadence >= backup cadence) are enforced by construction so every
+  // generated candidate is valid().
+  opt::CandidateSpec& cand = spec.candidate;
+  switch (rng.uniformInt(3)) {
+    case 0:
+      cand.pit = opt::PitChoice::kNone;
+      break;
+    case 1:
+      cand.pit = opt::PitChoice::kSnapshot;
+      break;
+    default:
+      cand.pit = opt::PitChoice::kSplitMirror;
+      break;
+  }
+  if (cand.pit != opt::PitChoice::kNone) {
+    cand.pitAccW = hours(round3(logUniform(rng, 1.0, 48.0)));
+    cand.pitRetentionCount = 1 + static_cast<int>(rng.uniformInt(12));
+  }
+  if (cand.pit != opt::PitChoice::kNone && rng.uniform() < 0.5) {
+    cand.backup = rng.uniform() < 0.5
+                      ? opt::BackupChoice::kFullOnly
+                      : opt::BackupChoice::kFullPlusIncremental;
+    const double minH =
+        cand.backup == opt::BackupChoice::kFullPlusIncremental ? 48.0 : 24.0;
+    cand.backupAccW = hours(round3(logUniform(rng, minH, 24.0 * 14)));
+    if (rng.uniform() < 0.5) {
+      cand.vault = true;
+      cand.vaultAccW =
+          cand.backupAccW * static_cast<double>(1 + rng.uniformInt(8));
+    }
+  }
+  if (rng.uniform() < 0.25) {
+    switch (rng.uniformInt(3)) {
+      case 0:
+        cand.mirror = opt::MirrorChoice::kSync;
+        break;
+      case 1:
+        cand.mirror = opt::MirrorChoice::kAsync;
+        break;
+      default:
+        cand.mirror = opt::MirrorChoice::kAsyncBatch;
+        break;
+    }
+    cand.mirrorLinkCount = 1 + static_cast<int>(rng.uniformInt(10));
+  }
+  if (cand.pit == opt::PitChoice::kNone &&
+      cand.mirror == opt::MirrorChoice::kNone) {
+    cand.pit = opt::PitChoice::kSplitMirror;  // at least one secondary copy
+  }
+
+  switch (rng.uniformInt(5)) {
+    case 0:
+      spec.scope = FailureScope::kDataObject;
+      spec.targetAgeHours = round3(rng.uniform(0.0, 72.0));
+      spec.recoverySizeMB = round3(
+          logUniform(rng, 0.1, std::min(10'240.0, spec.dataCapGB * 1024.0)));
+      break;
+    case 1:
+      spec.scope = FailureScope::kArray;
+      break;
+    case 2:
+      spec.scope = FailureScope::kBuilding;
+      break;
+    case 3:
+      spec.scope = FailureScope::kSite;
+      break;
+    default:
+      spec.scope = FailureScope::kRegion;
+      break;
+  }
+
+  spec.auxSeed = rng.next();
+  return spec;
+}
+
+CaseSpec caseForSeed(std::uint64_t seed, std::uint64_t index) {
+  sim::Rng rng(mixSeed(seed, index));
+  return generateCase(rng);
+}
+
+bool caseIsValid(const CaseSpec& spec) {
+  if (!(spec.dataCapGB > 0) || !(spec.accessKBps >= 0)) return false;
+  if (spec.updateKBps < 0 || spec.updateKBps > spec.accessKBps) return false;
+  if (spec.burstM < 1.0) return false;
+  if (spec.curvePoints < 0 || spec.curvePoints > 5) return false;
+  if (!(spec.curveDecay > 0.0) || spec.curveDecay > 1.0) return false;
+  if (spec.outagePenaltyPerHour < 0 || spec.lossPenaltyPerHour < 0) {
+    return false;
+  }
+  if (spec.targetAgeHours < 0 || !(spec.recoverySizeMB > 0)) return false;
+  if (spec.scope != FailureScope::kDataObject &&
+      spec.targetAgeHours != 0.0) {
+    return false;  // rollback targets are an object-failure concept
+  }
+  return spec.candidate.valid();
+}
+
+WorkloadSpec makeWorkload(const CaseSpec& spec) {
+  const Bandwidth update = kbPerSec(spec.updateKBps);
+  std::vector<BatchUpdatePoint> curve;
+  const int n = spec.curvePoints;
+  // Measured unique-update-rate points, log-spaced from 1 minute to 1 week,
+  // decaying geometrically to curveDecay x avgUpdateR at the last point.
+  for (int i = 0; i < n; ++i) {
+    const double t = n == 1 ? 1.0 : static_cast<double>(i + 1) / n;
+    const double w =
+        n == 1 ? Duration::kHour * 12
+               : std::exp(std::log(60.0) +
+                          static_cast<double>(i) / (n - 1) *
+                              (std::log(Duration::kWeek) - std::log(60.0)));
+    curve.push_back(BatchUpdatePoint{seconds(w),
+                                     update * std::pow(spec.curveDecay, t)});
+  }
+  return WorkloadSpec("generated", gigabytes(spec.dataCapGB),
+                      kbPerSec(spec.accessKBps), update, spec.burstM,
+                      std::move(curve));
+}
+
+BusinessRequirements makeBusiness(const CaseSpec& spec) {
+  BusinessRequirements business;
+  business.unavailabilityPenaltyRate =
+      dollarsPerHour(spec.outagePenaltyPerHour);
+  business.lossPenaltyRate = dollarsPerHour(spec.lossPenaltyPerHour);
+  if (spec.rtoHours > 0) business.rto = hours(spec.rtoHours);
+  if (spec.rpoHours > 0) business.rpo = hours(spec.rpoHours);
+  return business;
+}
+
+FailureScenario makeScenario(const CaseSpec& spec) {
+  switch (spec.scope) {
+    case FailureScope::kDataObject:
+      return FailureScenario::objectFailure(hours(spec.targetAgeHours),
+                                            megabytes(spec.recoverySizeMB));
+    case FailureScope::kArray:
+      return FailureScenario::arrayFailure(cs::kPrimaryArrayName);
+    case FailureScope::kBuilding:
+      return FailureScenario::buildingFailure(cs::kPrimarySite);
+    case FailureScope::kSite:
+      return FailureScenario::siteDisaster(cs::kPrimarySite);
+    case FailureScope::kRegion:
+      return FailureScenario::regionDisaster(cs::kPrimarySite);
+  }
+  return FailureScenario::arrayFailure(cs::kPrimaryArrayName);
+}
+
+StorageDesign makeDesign(const CaseSpec& spec) {
+  return spec.candidate.build(makeWorkload(spec), makeBusiness(spec));
+}
+
+config::Json caseToJson(const CaseSpec& spec) {
+  using config::Json;
+  using config::JsonObject;
+  JsonObject o;
+  o.emplace_back("dataCapGB", Json(spec.dataCapGB));
+  o.emplace_back("accessKBps", Json(spec.accessKBps));
+  o.emplace_back("updateKBps", Json(spec.updateKBps));
+  o.emplace_back("burstM", Json(spec.burstM));
+  o.emplace_back("curvePoints", Json(spec.curvePoints));
+  o.emplace_back("curveDecay", Json(spec.curveDecay));
+  o.emplace_back("outagePenaltyPerHour", Json(spec.outagePenaltyPerHour));
+  o.emplace_back("lossPenaltyPerHour", Json(spec.lossPenaltyPerHour));
+  o.emplace_back("rtoHours", Json(spec.rtoHours));
+  o.emplace_back("rpoHours", Json(spec.rpoHours));
+  o.emplace_back("candidate", Json(spec.candidate.label()));
+  o.emplace_back("pitAccWHours", Json(spec.candidate.pitAccW.hrs()));
+  o.emplace_back("pitRetentionCount", Json(spec.candidate.pitRetentionCount));
+  o.emplace_back("backupAccWHours", Json(spec.candidate.backupAccW.hrs()));
+  o.emplace_back("vaultAccWHours", Json(spec.candidate.vaultAccW.hrs()));
+  o.emplace_back("mirrorLinkCount", Json(spec.candidate.mirrorLinkCount));
+  o.emplace_back("scope", Json(toString(spec.scope)));
+  o.emplace_back("targetAgeHours", Json(spec.targetAgeHours));
+  o.emplace_back("recoverySizeMB", Json(spec.recoverySizeMB));
+  return Json(std::move(o));
+}
+
+std::string describeCase(const CaseSpec& spec) {
+  return caseToJson(spec).dump();
+}
+
+// ---- Shrinking -------------------------------------------------------------
+
+int paramsFromDefault(const CaseSpec& spec) {
+  const CaseSpec& d = defaults();
+  int n = 0;
+  const auto count = [&n](bool differs) { n += differs ? 1 : 0; };
+  count(spec.dataCapGB != d.dataCapGB);
+  count(spec.accessKBps != d.accessKBps);
+  count(spec.updateKBps != d.updateKBps);
+  count(spec.burstM != d.burstM);
+  count(spec.curvePoints != d.curvePoints);
+  count(spec.curveDecay != d.curveDecay);
+  count(spec.outagePenaltyPerHour != d.outagePenaltyPerHour);
+  count(spec.lossPenaltyPerHour != d.lossPenaltyPerHour);
+  count(spec.rtoHours != d.rtoHours);
+  count(spec.rpoHours != d.rpoHours);
+  count(spec.candidate.pit != d.candidate.pit);
+  count(spec.candidate.pitAccW != d.candidate.pitAccW);
+  count(spec.candidate.pitRetentionCount != d.candidate.pitRetentionCount);
+  count(spec.candidate.backup != d.candidate.backup);
+  count(spec.candidate.backupAccW != d.candidate.backupAccW);
+  count(spec.candidate.vault != d.candidate.vault);
+  count(spec.candidate.vaultAccW != d.candidate.vaultAccW);
+  count(spec.candidate.mirror != d.candidate.mirror);
+  count(spec.candidate.mirrorLinkCount != d.candidate.mirrorLinkCount);
+  count(spec.scope != d.scope);
+  count(spec.targetAgeHours != d.targetAgeHours);
+  count(spec.recoverySizeMB != d.recoverySizeMB);
+  return n;
+}
+
+namespace {
+
+/// Candidate simplifications for one double field: the default outright,
+/// then a rounded midpoint toward it (offered only while meaningfully far).
+void numericMoves(double current, double def, std::vector<double>& out) {
+  if (current == def) return;
+  out.push_back(def);
+  const double mid = round3(current + (def - current) / 2);
+  const double scale = std::max({std::fabs(current), std::fabs(def), 1.0});
+  if (mid != current && mid != def &&
+      std::fabs(current - def) > 1e-3 * scale) {
+    out.push_back(mid);
+  }
+}
+
+void intMoves(int current, int def, std::vector<int>& out) {
+  if (current == def) return;
+  out.push_back(def);
+  const int mid = current + (def - current) / 2;
+  if (mid != current && mid != def) out.push_back(mid);
+}
+
+/// One shrinkable dimension: emits progressively simpler whole-spec
+/// variants (most aggressive first).
+using Move = std::function<std::vector<CaseSpec>(const CaseSpec&)>;
+
+std::vector<Move> shrinkMoves() {
+  const CaseSpec& d = defaults();
+  std::vector<Move> moves;
+
+  // Structural removals first: dropping a whole technique or scenario
+  // dimension eliminates several parameters at once.
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<CaseSpec> out;
+    if (s.candidate.mirror != opt::MirrorChoice::kNone) {
+      CaseSpec v = s;
+      v.candidate.mirror = d.candidate.mirror;
+      v.candidate.mirrorLinkCount = d.candidate.mirrorLinkCount;
+      out.push_back(v);
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<CaseSpec> out;
+    if (s.candidate.vault) {
+      CaseSpec v = s;
+      v.candidate.vault = false;
+      v.candidate.vaultAccW = d.candidate.vaultAccW;
+      out.push_back(v);
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<CaseSpec> out;
+    if (s.candidate.backup != opt::BackupChoice::kNone) {
+      CaseSpec v = s;
+      v.candidate.backup = d.candidate.backup;
+      v.candidate.backupAccW = d.candidate.backupAccW;
+      v.candidate.vault = false;
+      v.candidate.vaultAccW = d.candidate.vaultAccW;
+      out.push_back(v);
+      if (s.candidate.backup == opt::BackupChoice::kFullPlusIncremental) {
+        CaseSpec w = s;
+        w.candidate.backup = opt::BackupChoice::kFullOnly;
+        out.push_back(w);
+      }
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<CaseSpec> out;
+    if (s.candidate.pit != d.candidate.pit) {
+      CaseSpec v = s;
+      v.candidate.pit = d.candidate.pit;
+      out.push_back(v);
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<CaseSpec> out;
+    if (s.scope != d.scope) {
+      CaseSpec v = s;
+      v.scope = d.scope;
+      v.targetAgeHours = d.targetAgeHours;
+      v.recoverySizeMB = d.recoverySizeMB;
+      out.push_back(v);
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<CaseSpec> out;
+    if (s.curvePoints != d.curvePoints || s.curveDecay != d.curveDecay) {
+      CaseSpec v = s;
+      v.curvePoints = d.curvePoints;
+      v.curveDecay = d.curveDecay;
+      out.push_back(v);
+    }
+    if (s.curvePoints > 1) {
+      CaseSpec v = s;
+      v.curvePoints = s.curvePoints - 1;
+      out.push_back(v);
+    }
+    return out;
+  });
+
+  // Field-by-field numeric simplification toward the defaults.
+  const auto doubleField = [&moves](double CaseSpec::* field, double def) {
+    moves.push_back([field, def](const CaseSpec& s) {
+      std::vector<double> values;
+      numericMoves(s.*field, def, values);
+      std::vector<CaseSpec> out;
+      for (double value : values) {
+        CaseSpec v = s;
+        v.*field = value;
+        out.push_back(v);
+      }
+      return out;
+    });
+  };
+  doubleField(&CaseSpec::dataCapGB, d.dataCapGB);
+  doubleField(&CaseSpec::accessKBps, d.accessKBps);
+  doubleField(&CaseSpec::updateKBps, d.updateKBps);
+  doubleField(&CaseSpec::burstM, d.burstM);
+  doubleField(&CaseSpec::curveDecay, d.curveDecay);
+  doubleField(&CaseSpec::outagePenaltyPerHour, d.outagePenaltyPerHour);
+  doubleField(&CaseSpec::lossPenaltyPerHour, d.lossPenaltyPerHour);
+  doubleField(&CaseSpec::rtoHours, d.rtoHours);
+  doubleField(&CaseSpec::rpoHours, d.rpoHours);
+  doubleField(&CaseSpec::targetAgeHours, d.targetAgeHours);
+  doubleField(&CaseSpec::recoverySizeMB, d.recoverySizeMB);
+
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<double> values;
+    numericMoves(s.candidate.pitAccW.hrs(), d.candidate.pitAccW.hrs(),
+                 values);
+    std::vector<CaseSpec> out;
+    for (double value : values) {
+      CaseSpec v = s;
+      v.candidate.pitAccW = hours(value);
+      out.push_back(v);
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<int> values;
+    intMoves(s.candidate.pitRetentionCount, d.candidate.pitRetentionCount,
+             values);
+    std::vector<CaseSpec> out;
+    for (int value : values) {
+      CaseSpec v = s;
+      v.candidate.pitRetentionCount = value;
+      out.push_back(v);
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<double> values;
+    numericMoves(s.candidate.backupAccW.hrs(), d.candidate.backupAccW.hrs(),
+                 values);
+    std::vector<CaseSpec> out;
+    for (double value : values) {
+      CaseSpec v = s;
+      v.candidate.backupAccW = hours(value);
+      out.push_back(v);
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<double> values;
+    numericMoves(s.candidate.vaultAccW.wks(), d.candidate.vaultAccW.wks(),
+                 values);
+    std::vector<CaseSpec> out;
+    for (double value : values) {
+      CaseSpec v = s;
+      v.candidate.vaultAccW = weeks(value);
+      out.push_back(v);
+    }
+    return out;
+  });
+  moves.push_back([d](const CaseSpec& s) {
+    std::vector<int> values;
+    intMoves(s.candidate.mirrorLinkCount, d.candidate.mirrorLinkCount,
+             values);
+    std::vector<CaseSpec> out;
+    for (int value : values) {
+      CaseSpec v = s;
+      v.candidate.mirrorLinkCount = value;
+      out.push_back(v);
+    }
+    return out;
+  });
+  return moves;
+}
+
+}  // namespace
+
+ShrinkResult shrinkCase(const CaseSpec& failing,
+                        const CasePredicate& stillFails) {
+  ShrinkResult result;
+  result.spec = failing;
+  const std::vector<Move> moves = shrinkMoves();
+  // Greedy passes until no move is accepted. Every accepted move replaces
+  // at least one field with a strictly simpler value, so the loop
+  // terminates; the pass cap is a safety valve only.
+  for (int pass = 0; pass < 64; ++pass) {
+    bool accepted = false;
+    for (const Move& move : moves) {
+      for (const CaseSpec& variant : move(result.spec)) {
+        if (variant == result.spec || !caseIsValid(variant)) continue;
+        ++result.stepsTried;
+        if (stillFails(variant)) {
+          result.spec = variant;
+          ++result.stepsAccepted;
+          accepted = true;
+          break;  // re-query this move against the simplified spec
+        }
+      }
+    }
+    if (!accepted) break;
+  }
+  return result;
+}
+
+// ---- Extreme quantities ----------------------------------------------------
+
+namespace {
+double extremeMagnitude(sim::Rng& rng) {
+  switch (rng.uniformInt(6)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return rng.uniform(1e-9, 1e-3);  // far sub-unit
+    case 2:
+      return rng.uniform(0.5, 1000.0);  // ordinary
+    case 3:
+      return std::exp(rng.uniform(std::log(1e16), std::log(1e24)));  // >PB
+    case 4:
+      return std::numeric_limits<double>::infinity();
+    default:
+      return -std::exp(rng.uniform(0.0, std::log(1e12)));  // negative
+  }
+}
+}  // namespace
+
+Bytes extremeBytes(sim::Rng& rng) { return Bytes{extremeMagnitude(rng)}; }
+Duration extremeDuration(sim::Rng& rng) {
+  return Duration{extremeMagnitude(rng)};
+}
+Money extremeMoney(sim::Rng& rng) { return Money{extremeMagnitude(rng)}; }
+
+}  // namespace stordep::verify

@@ -1,0 +1,133 @@
+// gen.hpp — seeded, shrinking generation of random-but-valid model inputs.
+//
+// The property-based verification layer (metamorphic.hpp, differential.hpp)
+// needs arbitrary points of the framework's input space, not just the
+// case-study fixtures: workloads spanning the paper's Table 1-2 parameter
+// ranges, business requirements with and without hard objectives, composed
+// protection hierarchies over the case-study device catalog, and failure
+// scenarios at every scope. A generated test case is a flat CaseSpec of
+// scalar parameters; every field has a *default* (the case-study-shaped
+// simplest value) so a failing case can be greedily shrunk toward the
+// minimal counterexample — the handful of parameters that actually matter.
+//
+// Seed protocol: a fuzzing run is identified by one 64-bit seed; case i of
+// run s is generated from Rng(mixSeed(s, i)) (splitmix64 over s and i), so
+// any failure replays from (seed, index) alone, on any platform — the RNG
+// is the repo's own xoshiro256**, not the standard library's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <functional>
+#include <vector>
+
+#include "config/json.hpp"
+#include "core/business.hpp"
+#include "core/failure.hpp"
+#include "core/hierarchy.hpp"
+#include "core/workload.hpp"
+#include "optimizer/design_space.hpp"
+#include "sim/rng.hpp"
+
+namespace stordep::verify {
+
+/// Deterministic per-case seed derivation (splitmix64 finalizer over the
+/// run seed and the case index).
+[[nodiscard]] std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t index);
+
+/// One generated verification case: a workload, business requirements, a
+/// composed protection design (as an optimizer::CandidateSpec over the
+/// case-study catalog) and one failure scenario. Default-constructed fields
+/// are the shrinking targets — together they describe the case-study-shaped
+/// "simplest" case (split mirror only, array failure, no objectives).
+struct CaseSpec {
+  // -- workload (paper Table 1/2 ranges) -----------------------------------
+  double dataCapGB = 1360.0;    ///< [10, 10000], log-uniform
+  double accessKBps = 1028.0;   ///< [50, 100000], log-uniform
+  double updateKBps = 799.0;    ///< <= accessKBps
+  double burstM = 10.0;         ///< [1, 20]
+  int curvePoints = 0;          ///< 0..5 measured batch-curve points (0=none)
+  double curveDecay = 1.0;      ///< unique-rate fraction left at 1 wk (0,1]
+
+  // -- business requirements (paper Sec 3.1.2) -----------------------------
+  double outagePenaltyPerHour = 50'000.0;  ///< [0, 1e6] $/hr
+  double lossPenaltyPerHour = 50'000.0;    ///< [0, 1e6] $/hr
+  double rtoHours = 0.0;  ///< <= 0 means "no RTO objective"
+  double rpoHours = 0.0;  ///< <= 0 means "no RPO objective"
+
+  // -- protection hierarchy (composed policies, paper Sec 3.2) -------------
+  optimizer::CandidateSpec candidate{
+      .pit = optimizer::PitChoice::kSplitMirror};  // simplest valid design
+
+  // -- failure scenario (paper Sec 3.1.3) ----------------------------------
+  FailureScope scope = FailureScope::kArray;
+  double targetAgeHours = 0.0;   ///< rollback age; used by kDataObject only
+  double recoverySizeMB = 1.0;   ///< restore size for kDataObject
+
+  /// Auxiliary stream for per-case randomized oracles (JSON mutations).
+  /// Not a model parameter: shrinking holds it fixed and it never counts
+  /// toward paramsFromDefault().
+  std::uint64_t auxSeed = 0;
+
+  friend bool operator==(const CaseSpec&, const CaseSpec&) = default;
+};
+
+/// Draws a case uniformly from the generator's parameter ranges. Every
+/// returned case satisfies caseIsValid().
+[[nodiscard]] CaseSpec generateCase(sim::Rng& rng);
+
+/// Case `index` of run `seed` under the seed protocol.
+[[nodiscard]] CaseSpec caseForSeed(std::uint64_t seed, std::uint64_t index);
+
+/// Structural validity: the candidate builds, the workload constructor's
+/// invariants hold, scenario parameters are in range. Shrinking uses this to
+/// discard meaningless intermediate specs.
+[[nodiscard]] bool caseIsValid(const CaseSpec& spec);
+
+// ---- Materialization -------------------------------------------------------
+
+[[nodiscard]] WorkloadSpec makeWorkload(const CaseSpec& spec);
+[[nodiscard]] BusinessRequirements makeBusiness(const CaseSpec& spec);
+[[nodiscard]] FailureScenario makeScenario(const CaseSpec& spec);
+/// candidate.build() over the case-study catalog with this case's workload
+/// and business requirements.
+[[nodiscard]] StorageDesign makeDesign(const CaseSpec& spec);
+
+/// Reproducer rendering (stable JSON; field names match CaseSpec members).
+[[nodiscard]] config::Json caseToJson(const CaseSpec& spec);
+[[nodiscard]] std::string describeCase(const CaseSpec& spec);
+
+// ---- Shrinking -------------------------------------------------------------
+
+/// Number of CaseSpec parameters that differ from their defaults — the
+/// "size" of a counterexample (auxSeed excluded).
+[[nodiscard]] int paramsFromDefault(const CaseSpec& spec);
+
+/// Predicate deciding whether a candidate spec still reproduces the failure
+/// being minimized. Must be deterministic.
+using CasePredicate = std::function<bool(const CaseSpec&)>;
+
+struct ShrinkResult {
+  CaseSpec spec;            ///< the minimized case (== input if nothing shrank)
+  int stepsTried = 0;       ///< predicate evaluations spent
+  int stepsAccepted = 0;    ///< simplifications that kept the failure alive
+};
+
+/// Greedy shrinking: repeatedly tries to move each parameter to its default
+/// (and numeric parameters halfway toward it), keeping any change under
+/// which `stillFails` returns true, until a fixpoint. The result is
+/// 1-minimal in the sense that no single tried simplification preserves the
+/// failure.
+[[nodiscard]] ShrinkResult shrinkCase(const CaseSpec& failing,
+                                      const CasePredicate& stillFails);
+
+// ---- Extreme quantities ----------------------------------------------------
+// Adversarial magnitudes for the formatting/reporting layers: non-finite,
+// negative, sub-unit, and far-beyond-petabyte values that real evaluations
+// (unrecoverable scenarios, inf data loss) do emit.
+
+[[nodiscard]] Bytes extremeBytes(sim::Rng& rng);
+[[nodiscard]] Duration extremeDuration(sim::Rng& rng);
+[[nodiscard]] Money extremeMoney(sim::Rng& rng);
+
+}  // namespace stordep::verify

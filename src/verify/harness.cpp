@@ -1,0 +1,179 @@
+#include "verify/harness.hpp"
+
+#include <utility>
+
+namespace stordep::verify {
+
+namespace {
+
+/// Uniform view over relation and oracle checks so shrinking can re-run
+/// exactly the check that failed.
+struct CheckOutcome {
+  bool applicable = true;
+  bool holds = true;
+  std::string detail;
+};
+
+CheckOutcome runNamedCheck(const std::string& name, const CaseSpec& spec,
+                           const FuzzOptions& options) {
+  if (name == "sim-bound") {
+    const OracleResult r = simBoundOracle(spec, options.oracle);
+    return {r.applicable, r.holds, r.detail};
+  }
+  if (name == "search-parity") {
+    const OracleResult r = searchParityOracle(spec, options.oracle);
+    return {r.applicable, r.holds, r.detail};
+  }
+  if (name == "round-trip") {
+    const OracleResult r = roundTripOracle(spec);
+    return {r.applicable, r.holds, r.detail};
+  }
+  if (name == "mutation") {
+    const OracleResult r = mutationOracle(spec, options.oracle);
+    return {r.applicable, r.holds, r.detail};
+  }
+  const RelationResult r = checkRelation(name, spec, options.ctx);
+  return {r.applicable, r.holds, r.detail};
+}
+
+void recordFailure(FuzzReport& report, const FuzzOptions& options,
+                   std::uint64_t index, const std::string& check,
+                   const std::string& detail, const CaseSpec& spec) {
+  FuzzFailure failure;
+  failure.seed = options.seed;
+  failure.index = index;
+  failure.check = check;
+  failure.detail = detail;
+  failure.original = spec;
+  failure.shrunk = spec;
+  if (options.minimize) {
+    const ShrinkResult shrunk =
+        shrinkCase(spec, [&](const CaseSpec& candidate) {
+          const CheckOutcome outcome =
+              runNamedCheck(check, candidate, options);
+          return outcome.applicable && !outcome.holds;
+        });
+    failure.shrunk = shrunk.spec;
+    failure.shrinkStepsTried = shrunk.stepsTried;
+    // Report the *minimized* case's violation message.
+    const CheckOutcome outcome =
+        runNamedCheck(check, failure.shrunk, options);
+    if (!outcome.holds && !outcome.detail.empty()) {
+      failure.detail = outcome.detail;
+    }
+  }
+  failure.shrunkParams = paramsFromDefault(failure.shrunk);
+  report.failures.push_back(std::move(failure));
+}
+
+/// Returns false when the failure budget is exhausted.
+bool checkCase(FuzzReport& report, const FuzzOptions& options,
+               std::uint64_t index, const CaseSpec& spec, bool runSim,
+               bool runSearch, bool runIo) {
+  for (const RelationResult& r : checkRelations(spec, options.ctx)) {
+    if (!r.applicable) {
+      ++report.relationSkips;
+      continue;
+    }
+    ++report.relationChecks;
+    if (!r.holds) {
+      recordFailure(report, options, index, r.relation, r.detail, spec);
+      if (options.maxFailures > 0 &&
+          static_cast<int>(report.failures.size()) >= options.maxFailures) {
+        return false;
+      }
+    }
+  }
+
+  std::vector<OracleResult> oracles;
+  if (runIo) {
+    oracles.push_back(roundTripOracle(spec));
+    oracles.push_back(mutationOracle(spec, options.oracle));
+  }
+  if (runSim) oracles.push_back(simBoundOracle(spec, options.oracle));
+  if (runSearch) oracles.push_back(searchParityOracle(spec, options.oracle));
+  for (const OracleResult& r : oracles) {
+    if (!r.applicable) {
+      ++report.oracleSkips;
+      continue;
+    }
+    ++report.oracleChecks;
+    if (!r.holds) {
+      recordFailure(report, options, index, r.oracle, r.detail, spec);
+      if (options.maxFailures > 0 &&
+          static_cast<int>(report.failures.size()) >= options.maxFailures) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool everyNth(int cadence, int index) {
+  return cadence > 0 && index % cadence == 0;
+}
+
+}  // namespace
+
+FuzzReport runFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  report.seed = options.seed;
+  for (int i = 0; i < options.cases; ++i) {
+    const CaseSpec spec =
+        caseForSeed(options.seed, static_cast<std::uint64_t>(i));
+    ++report.cases;
+    if (!checkCase(report, options, static_cast<std::uint64_t>(i), spec,
+                   everyNth(options.simEvery, i),
+                   everyNth(options.searchEvery, i),
+                   everyNth(options.ioEvery, i))) {
+      report.stoppedEarly = true;
+      break;
+    }
+  }
+  return report;
+}
+
+FuzzReport replayCase(std::uint64_t seed, std::uint64_t index,
+                      const FuzzOptions& options) {
+  FuzzOptions replay = options;
+  replay.seed = seed;
+  FuzzReport report;
+  report.seed = seed;
+  report.cases = 1;
+  const CaseSpec spec = caseForSeed(seed, index);
+  (void)checkCase(report, replay, index, spec, /*runSim=*/true,
+                  /*runSearch=*/true, /*runIo=*/true);
+  return report;
+}
+
+config::Json reportToJson(const FuzzReport& report) {
+  using config::Json;
+  using config::JsonArray;
+  using config::JsonObject;
+  JsonObject o;
+  o.emplace_back("seed", Json(static_cast<double>(report.seed)));
+  o.emplace_back("cases", Json(report.cases));
+  o.emplace_back("relationChecks", Json(report.relationChecks));
+  o.emplace_back("relationSkips", Json(report.relationSkips));
+  o.emplace_back("oracleChecks", Json(report.oracleChecks));
+  o.emplace_back("oracleSkips", Json(report.oracleSkips));
+  o.emplace_back("stoppedEarly", Json(report.stoppedEarly));
+  o.emplace_back("allPassed", Json(report.allPassed()));
+  JsonArray failures;
+  for (const FuzzFailure& f : report.failures) {
+    JsonObject fo;
+    fo.emplace_back("seed", Json(static_cast<double>(f.seed)));
+    fo.emplace_back("index", Json(static_cast<double>(f.index)));
+    fo.emplace_back("check", Json(f.check));
+    fo.emplace_back("detail", Json(f.detail));
+    fo.emplace_back("original", caseToJson(f.original));
+    fo.emplace_back("shrunk", caseToJson(f.shrunk));
+    fo.emplace_back("shrunkParams", Json(f.shrunkParams));
+    fo.emplace_back("shrinkStepsTried", Json(f.shrinkStepsTried));
+    failures.push_back(Json(std::move(fo)));
+  }
+  o.emplace_back("failures", Json(std::move(failures)));
+  return Json(std::move(o));
+}
+
+}  // namespace stordep::verify

@@ -1,0 +1,80 @@
+// harness.hpp — the fuzzing loop tying generator, relations and oracles
+// together.
+//
+// One run is identified by a 64-bit seed: case i is generated from
+// mixSeed(seed, i), every metamorphic relation is checked against it, and
+// the differential oracles run on a configurable cadence (the simulator and
+// the search comparison are orders of magnitude more expensive than an
+// analytic evaluation). Failures carry the (seed, index) pair for exact
+// replay plus — when minimization is on — the greedily shrunk CaseSpec and
+// its distance from the all-defaults case. The verify_fuzz CLI (examples/)
+// is a thin wrapper over runFuzz().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/json.hpp"
+#include "verify/differential.hpp"
+#include "verify/gen.hpp"
+#include "verify/metamorphic.hpp"
+
+namespace stordep::verify {
+
+struct FuzzOptions {
+  std::uint64_t seed = 42;
+  int cases = 1000;
+  /// Shrink failing cases to minimal counterexamples.
+  bool minimize = true;
+  /// Stop after this many failures (0 = collect all).
+  int maxFailures = 5;
+  /// Run the simulation oracle on every Nth case (0 = never).
+  int simEvery = 20;
+  /// Run the search-parity oracle on every Nth case (0 = never).
+  int searchEvery = 200;
+  /// Run the round-trip and mutation oracles on every Nth case (0 = never).
+  int ioEvery = 1;
+  OracleOptions oracle;
+  /// Evaluation hook for the metamorphic relations (tests inject bugs here;
+  /// the differential oracles always use the real implementations).
+  MetamorphicContext ctx;
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;   ///< replay with caseForSeed(seed, index)
+  std::string check;         ///< relation or oracle name
+  std::string detail;
+  CaseSpec original;
+  CaseSpec shrunk;           ///< == original when minimization found nothing
+  int shrunkParams = 0;      ///< paramsFromDefault(shrunk)
+  int shrinkStepsTried = 0;
+};
+
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  int cases = 0;
+  int relationChecks = 0;
+  int relationSkips = 0;  ///< relation inapplicable to the drawn case
+  int oracleChecks = 0;
+  int oracleSkips = 0;
+  std::vector<FuzzFailure> failures;
+  /// True when the case budget was cut short by maxFailures.
+  bool stoppedEarly = false;
+
+  [[nodiscard]] bool allPassed() const noexcept { return failures.empty(); }
+};
+
+/// Runs the full fuzzing loop.
+[[nodiscard]] FuzzReport runFuzz(const FuzzOptions& options = {});
+
+/// Re-runs every check against one specific case (seed replay). All oracles
+/// run regardless of cadence settings.
+[[nodiscard]] FuzzReport replayCase(std::uint64_t seed, std::uint64_t index,
+                                    const FuzzOptions& options = {});
+
+/// Machine-readable report (the CLI's --out format; CI uploads this).
+[[nodiscard]] config::Json reportToJson(const FuzzReport& report);
+
+}  // namespace stordep::verify

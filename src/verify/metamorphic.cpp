@@ -1,0 +1,549 @@
+#include "verify/metamorphic.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/propagation.hpp"
+
+namespace stordep::verify {
+
+namespace opt = stordep::optimizer;
+
+namespace {
+
+// ---- Comparison helpers ----------------------------------------------------
+// Worst-case metrics are routinely infinite (unrecoverable scenario) and
+// penalties can be NaN by design (zero rate x infinite time). approxEqual
+// alone mis-handles both (inf - inf and NaN comparisons), so every relation
+// compares through these.
+
+bool bothNaN(double a, double b) { return std::isnan(a) && std::isnan(b); }
+
+template <typename Q>
+bool sameQ(Q a, Q b, double tol = 1e-9) {
+  if (bothNaN(a.raw(), b.raw())) return true;
+  if (std::isinf(a.raw()) || std::isinf(b.raw())) return a.raw() == b.raw();
+  return approxEqual(a, b, tol);
+}
+
+/// a <= b, within relative tolerance, NaN-hostile, inf-aware.
+template <typename Q>
+bool leqQ(Q a, Q b, double tol = 1e-9) {
+  if (std::isnan(a.raw()) || std::isnan(b.raw())) return false;
+  if (a.raw() <= b.raw()) return true;
+  return approxEqual(a, b, tol);
+}
+
+std::string num(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+RelationResult pass(const std::string& name) {
+  return RelationResult{name, true, true, ""};
+}
+RelationResult notApplicable(const std::string& name) {
+  return RelationResult{name, false, true, ""};
+}
+RelationResult fail(const std::string& name, std::string detail) {
+  return RelationResult{name, true, false, std::move(detail)};
+}
+
+EvaluationResult runEval(const EvalFn& fn, const CaseSpec& spec) {
+  return fn(makeDesign(spec), makeScenario(spec));
+}
+
+// ---- The relations ---------------------------------------------------------
+
+RelationResult relDeterminism(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "determinism";
+  const EvaluationResult a = runEval(fn, spec);
+  const EvaluationResult b = runEval(fn, spec);
+  const auto bit = [](double x, double y) {
+    return x == y || bothNaN(x, y);
+  };
+  if (!bit(a.recovery.recoveryTime.raw(), b.recovery.recoveryTime.raw()) ||
+      !bit(a.recovery.dataLoss.raw(), b.recovery.dataLoss.raw()) ||
+      !bit(a.cost.totalCost.raw(), b.cost.totalCost.raw()) ||
+      a.meetsObjectives != b.meetsObjectives) {
+    return fail(kName, "two evaluations of the same case disagree: RT " +
+                           num(a.recovery.recoveryTime.raw()) + " vs " +
+                           num(b.recovery.recoveryTime.raw()) + ", cost " +
+                           num(a.cost.totalCost.raw()) + " vs " +
+                           num(b.cost.totalCost.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relCostAdditivity(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "cost-additivity";
+  const EvaluationResult r = runEval(fn, spec);
+  Money outlaySum;
+  for (const TechniqueOutlay& o : r.cost.outlays) outlaySum += o.total();
+  if (!sameQ(outlaySum, r.cost.totalOutlays)) {
+    return fail(kName, "sum of per-technique outlays " + num(outlaySum.raw()) +
+                           " != totalOutlays " +
+                           num(r.cost.totalOutlays.raw()));
+  }
+  if (!sameQ(r.cost.outagePenalty + r.cost.lossPenalty,
+             r.cost.totalPenalties)) {
+    return fail(kName, "outage + loss penalties != totalPenalties " +
+                           num(r.cost.totalPenalties.raw()));
+  }
+  if (!sameQ(r.cost.totalOutlays + r.cost.totalPenalties, r.cost.totalCost)) {
+    return fail(kName, "outlays " + num(r.cost.totalOutlays.raw()) +
+                           " + penalties " + num(r.cost.totalPenalties.raw()) +
+                           " != totalCost " + num(r.cost.totalCost.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relPenaltyConsistency(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "penalty-consistency";
+  const EvaluationResult r = runEval(fn, spec);
+  const BusinessRequirements business = makeBusiness(spec);
+  const Money expectedOutage = business.outagePenalty(r.recovery.recoveryTime);
+  const Money expectedLoss = business.lossPenalty(r.recovery.dataLoss);
+  if (!sameQ(r.cost.outagePenalty, expectedOutage)) {
+    return fail(kName, "outagePenalty " + num(r.cost.outagePenalty.raw()) +
+                           " != rate x RT = " + num(expectedOutage.raw()));
+  }
+  if (!sameQ(r.cost.lossPenalty, expectedLoss)) {
+    return fail(kName, "lossPenalty " + num(r.cost.lossPenalty.raw()) +
+                           " != rate x DL = " + num(expectedLoss.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relPenaltyLinearity(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "penalty-linearity";
+  constexpr double kScale = 3.0;
+  CaseSpec scaled = spec;
+  scaled.outagePenaltyPerHour *= kScale;
+  scaled.lossPenaltyPerHour *= kScale;
+  if (!caseIsValid(scaled)) return notApplicable(kName);
+  const EvaluationResult base = runEval(fn, spec);
+  const EvaluationResult more = runEval(fn, scaled);
+  if (!sameQ(more.recovery.recoveryTime, base.recovery.recoveryTime) ||
+      !sameQ(more.recovery.dataLoss, base.recovery.dataLoss)) {
+    return fail(kName, "penalty rates changed RT/DL (they must not)");
+  }
+  if (!sameQ(more.cost.totalOutlays, base.cost.totalOutlays)) {
+    return fail(kName, "penalty rates changed outlays: " +
+                           num(base.cost.totalOutlays.raw()) + " -> " +
+                           num(more.cost.totalOutlays.raw()));
+  }
+  if (!sameQ(more.cost.outagePenalty, base.cost.outagePenalty * kScale) ||
+      !sameQ(more.cost.lossPenalty, base.cost.lossPenalty * kScale)) {
+    return fail(kName,
+                "3x penalty rates did not scale penalties 3x: outage " +
+                    num(base.cost.outagePenalty.raw()) + " -> " +
+                    num(more.cost.outagePenalty.raw()) + ", loss " +
+                    num(base.cost.lossPenalty.raw()) + " -> " +
+                    num(more.cost.lossPenalty.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relZeroPenaltyRates(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "zero-penalty-rates";
+  CaseSpec zeroed = spec;
+  zeroed.outagePenaltyPerHour = 0.0;
+  zeroed.lossPenaltyPerHour = 0.0;
+  const EvaluationResult r = runEval(fn, zeroed);
+  if (!r.recovery.recoveryTime.isFinite() ||
+      !r.recovery.dataLoss.isFinite()) {
+    return notApplicable(kName);  // 0 x inf is NaN by design
+  }
+  if (!sameQ(r.cost.outagePenalty, Money{0}) ||
+      !sameQ(r.cost.lossPenalty, Money{0})) {
+    return fail(kName, "zero penalty rates but penalties outage=" +
+                           num(r.cost.outagePenalty.raw()) + " loss=" +
+                           num(r.cost.lossPenalty.raw()));
+  }
+  if (!sameQ(r.cost.totalCost, r.cost.totalOutlays)) {
+    return fail(kName, "zero penalty rates but totalCost != totalOutlays");
+  }
+  return pass(kName);
+}
+
+RelationResult relTechniqueAddition(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "technique-addition-dominance";
+  // Appending a level at the tail of the hierarchy leaves every existing
+  // level's windows and transit untouched, so worst-case data loss — the
+  // best over levels — cannot get worse. (Inserting *before* other levels
+  // changes their upstream lag; that transformation is deliberately not
+  // used here.)
+  CaseSpec extended = spec;
+  if (spec.candidate.backup != opt::BackupChoice::kNone &&
+      !spec.candidate.vault) {
+    extended.candidate.vault = true;
+    extended.candidate.vaultAccW = spec.candidate.backupAccW;
+  } else if (spec.candidate.pit != opt::PitChoice::kNone &&
+             spec.candidate.backup == opt::BackupChoice::kNone) {
+    extended.candidate.backup = opt::BackupChoice::kFullOnly;
+    extended.candidate.backupAccW = weeks(1);
+  } else {
+    return notApplicable(kName);
+  }
+  if (!caseIsValid(extended)) return notApplicable(kName);
+  const EvaluationResult base = runEval(fn, spec);
+  const EvaluationResult more = runEval(fn, extended);
+  // Deliberately no claim about recovery time or the recoverable flag: the
+  // added technique's normal-mode demands share devices with the restore
+  // path (a vault's on-site copy stream can saturate the tape library), so
+  // RT can worsen or even become infinite. The dominance theorem is about
+  // information retention — worst-case data loss.
+  if (!leqQ(more.recovery.dataLoss, base.recovery.dataLoss)) {
+    return fail(kName, "adding a technique worsened worst-case data loss: " +
+                           num(base.recovery.dataLoss.raw()) + " -> " +
+                           num(more.recovery.dataLoss.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relBandwidthMonotoneRt(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "bandwidth-monotone-rt";
+  if (spec.candidate.mirror == opt::MirrorChoice::kNone) {
+    return notApplicable(kName);
+  }
+  CaseSpec wider = spec;
+  wider.candidate.mirrorLinkCount = spec.candidate.mirrorLinkCount * 2;
+  if (!caseIsValid(wider)) return notApplicable(kName);
+  const EvaluationResult base = runEval(fn, spec);
+  const EvaluationResult more = runEval(fn, wider);
+  if (!leqQ(more.recovery.recoveryTime, base.recovery.recoveryTime)) {
+    return fail(kName, "doubling mirror links increased recovery time: " +
+                           num(base.recovery.recoveryTime.raw()) + " -> " +
+                           num(more.recovery.recoveryTime.raw()));
+  }
+  if (!leqQ(more.recovery.dataLoss, base.recovery.dataLoss)) {
+    return fail(kName, "doubling mirror links increased data loss: " +
+                           num(base.recovery.dataLoss.raw()) + " -> " +
+                           num(more.recovery.dataLoss.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relCycleMonotoneLoss(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "cycle-monotone-loss";
+  // Restricted to full-only backups: the F+I loss formula has weekend-gap
+  // terms that make halving the cycle non-monotone in corner cases.
+  if (spec.candidate.backup != opt::BackupChoice::kFullOnly) {
+    return notApplicable(kName);
+  }
+  // Restricted to recent-loss scenarios: against a rollback target age the
+  // loss is the distance from the target to the covering RP on the
+  // retention grid, and refining the grid can land the covering RP
+  // *farther* past the target (grid alignment, not a model bug).
+  if (spec.scope == FailureScope::kDataObject && spec.targetAgeHours != 0.0) {
+    return notApplicable(kName);
+  }
+  CaseSpec faster = spec;
+  faster.candidate.backupAccW = spec.candidate.backupAccW / 2;
+  if (!caseIsValid(faster)) return notApplicable(kName);
+  const EvaluationResult base = runEval(fn, spec);
+  const EvaluationResult more = runEval(fn, faster);
+  if (!leqQ(more.recovery.dataLoss, base.recovery.dataLoss)) {
+    return fail(kName, "halving the backup cycle worsened data loss: " +
+                           num(base.recovery.dataLoss.raw()) + " -> " +
+                           num(more.recovery.dataLoss.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relScopeWideningLoss(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "scope-widening-loss";
+  if (spec.scope != FailureScope::kArray) return notApplicable(kName);
+  CaseSpec wide = spec;
+  wide.scope = FailureScope::kSite;
+  const EvaluationResult narrow = runEval(fn, spec);
+  const EvaluationResult disaster = runEval(fn, wide);
+  if (disaster.recovery.recoverable && !narrow.recovery.recoverable) {
+    return fail(kName,
+                "site disaster recoverable but array failure is not");
+  }
+  if (!leqQ(narrow.recovery.dataLoss, disaster.recovery.dataLoss)) {
+    return fail(kName, "widening array -> site shrank worst-case loss: " +
+                           num(narrow.recovery.dataLoss.raw()) + " -> " +
+                           num(disaster.recovery.dataLoss.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relOutlayScenarioIndependence(const CaseSpec& spec,
+                                             const EvalFn& fn) {
+  const char* kName = "outlay-scenario-independence";
+  CaseSpec other = spec;
+  other.scope = spec.scope == FailureScope::kSite ? FailureScope::kArray
+                                                  : FailureScope::kSite;
+  other.targetAgeHours = 0.0;
+  other.recoverySizeMB = 1.0;
+  if (!caseIsValid(other)) return notApplicable(kName);
+  const EvaluationResult a = runEval(fn, spec);
+  const EvaluationResult b = runEval(fn, other);
+  if (a.cost.totalOutlays.raw() != b.cost.totalOutlays.raw() ||
+      a.cost.outlays.size() != b.cost.outlays.size()) {
+    return fail(kName, "outlays depend on the failure scenario: " +
+                           num(a.cost.totalOutlays.raw()) + " vs " +
+                           num(b.cost.totalOutlays.raw()));
+  }
+  for (std::size_t i = 0; i < a.cost.outlays.size(); ++i) {
+    if (a.cost.outlays[i].total().raw() != b.cost.outlays[i].total().raw()) {
+      return fail(kName, "per-technique outlay '" +
+                             a.cost.outlays[i].technique +
+                             "' depends on the failure scenario");
+    }
+  }
+  return pass(kName);
+}
+
+RelationResult relRetentionMonotone(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "retention-monotone";
+  if (spec.candidate.pit == opt::PitChoice::kNone) return notApplicable(kName);
+  CaseSpec longer = spec;
+  longer.candidate.pitRetentionCount = spec.candidate.pitRetentionCount * 2;
+  if (!caseIsValid(longer)) return notApplicable(kName);
+  // Level 1 is the PiT level (level 0 is the primary copy).
+  const StorageDesign baseDesign = makeDesign(spec);
+  const StorageDesign longerDesign = makeDesign(longer);
+  const RpRange baseRange = guaranteedRange(baseDesign, 1);
+  const RpRange longerRange = guaranteedRange(longerDesign, 1);
+  if (!leqQ(baseRange.oldestAge, longerRange.oldestAge)) {
+    return fail(kName, "doubling PiT retention shrank the retained range: " +
+                           num(baseRange.oldestAge.raw()) + " -> " +
+                           num(longerRange.oldestAge.raw()));
+  }
+  const EvaluationResult base = runEval(fn, spec);
+  const EvaluationResult more = runEval(fn, longer);
+  if (!leqQ(base.cost.totalOutlays, more.cost.totalOutlays)) {
+    return fail(kName, "doubling PiT retention reduced outlays: " +
+                           num(base.cost.totalOutlays.raw()) + " -> " +
+                           num(more.cost.totalOutlays.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relWorkloadScaling(const CaseSpec& spec, const EvalFn& fn) {
+  const char* kName = "workload-scaling";
+  // Full restores only: a partial-object restore replays incremental data
+  // in proportion to baseSize/dataCap (see Backup::restorePayload), so
+  // growing the data set legitimately *shrinks* a fixed-size object's
+  // restore payload and time.
+  if (spec.scope == FailureScope::kDataObject) return notApplicable(kName);
+  CaseSpec bigger = spec;
+  bigger.dataCapGB = spec.dataCapGB * 2;
+  if (!caseIsValid(bigger)) return notApplicable(kName);
+  const EvaluationResult base = runEval(fn, spec);
+  const EvaluationResult more = runEval(fn, bigger);
+  if (!leqQ(base.recovery.payload, more.recovery.payload)) {
+    return fail(kName, "doubling data capacity shrank the restore payload: " +
+                           num(base.recovery.payload.raw()) + " -> " +
+                           num(more.recovery.payload.raw()));
+  }
+  // RT is compared only when both restores achieve the same per-step
+  // transfer rates: tape bandwidth steps up a whole drive when the payload
+  // crosses a cartridge boundary (slotBW * ceil(payload/slotCap)), so a
+  // larger restore can legitimately finish sooner.
+  bool ratesMatch =
+      base.recovery.sourceLevel == more.recovery.sourceLevel &&
+      base.recovery.timeline.size() == more.recovery.timeline.size();
+  for (std::size_t i = 0; ratesMatch && i < base.recovery.timeline.size();
+       ++i) {
+    ratesMatch = base.recovery.timeline[i].rate.raw() ==
+                 more.recovery.timeline[i].rate.raw();
+  }
+  if (ratesMatch &&
+      !leqQ(base.recovery.recoveryTime, more.recovery.recoveryTime)) {
+    return fail(kName, "doubling data capacity sped up recovery: " +
+                           num(base.recovery.recoveryTime.raw()) + " -> " +
+                           num(more.recovery.recoveryTime.raw()));
+  }
+  if (!leqQ(base.cost.totalOutlays, more.cost.totalOutlays)) {
+    return fail(kName, "doubling data capacity reduced outlays: " +
+                           num(base.cost.totalOutlays.raw()) + " -> " +
+                           num(more.cost.totalOutlays.raw()));
+  }
+  return pass(kName);
+}
+
+RelationResult relUniqueBytesMonotone(const CaseSpec& spec, const EvalFn&) {
+  const char* kName = "unique-bytes-monotone";
+  const WorkloadSpec workload = makeWorkload(spec);
+  // Windows to probe: a log grid over the batch curve's full range, plus
+  // each knot and its immediate neighborhood — log-space interpolation of
+  // the *rate* makes the rate x window product easiest to break right after
+  // a knot where the rate falls steeply.
+  std::vector<Duration> probes;
+  for (double w = 30.0; w <= Duration::kWeek * 2; w *= 1.5) {
+    probes.push_back(seconds(w));
+  }
+  for (const BatchUpdatePoint& p : workload.batchCurve()) {
+    probes.push_back(p.window * 0.99);
+    probes.push_back(p.window);
+    probes.push_back(p.window * 1.01);
+    probes.push_back(p.window * 1.5);
+  }
+  std::sort(probes.begin(), probes.end());
+  Bytes prev = Bytes{0};
+  Duration prevWin = Duration::zero();
+  for (const Duration& win : probes) {
+    const Bytes unique = workload.uniqueBytes(win);
+    if (!leqQ(unique, workload.dataCap())) {
+      return fail(kName, "uniqueBytes(" + num(win.raw()) +
+                             " s) exceeds dataCap");
+    }
+    if (!leqQ(prev, unique, 1e-9)) {
+      return fail(kName, "uniqueBytes not monotone: window " +
+                             num(prevWin.raw()) + " s -> " + num(prev.raw()) +
+                             " B but window " + num(win.raw()) + " s -> " +
+                             num(unique.raw()) + " B");
+    }
+    prev = unique;
+    prevWin = win;
+  }
+  return pass(kName);
+}
+
+RelationResult relMeetsObjectivesConsistency(const CaseSpec& spec,
+                                             const EvalFn& fn) {
+  const char* kName = "meets-objectives-consistency";
+  const EvaluationResult r = runEval(fn, spec);
+  const BusinessRequirements business = makeBusiness(spec);
+  const bool expected = business.meetsObjectives(r.recovery.recoveryTime,
+                                                 r.recovery.dataLoss);
+  if (r.meetsObjectives != expected) {
+    return fail(kName,
+                std::string("meetsObjectives flag disagrees with "
+                            "business.meetsObjectives(RT, DL): got ") +
+                    (r.meetsObjectives ? "true" : "false"));
+  }
+  return pass(kName);
+}
+
+struct RelationEntry {
+  RelationInfo info;
+  RelationResult (*check)(const CaseSpec&, const EvalFn&);
+};
+
+const std::vector<RelationEntry>& relationTable() {
+  static const std::vector<RelationEntry> kTable = {
+      {{"determinism",
+        "evaluate() is a pure function: re-evaluating a case is bit-identical",
+        "Sec 3.3 (analytic models)"},
+       relDeterminism},
+      {{"cost-additivity",
+        "totalOutlays = sum of per-technique outlays; totalCost = outlays + "
+        "penalties",
+        "Sec 3.3.5, Fig 5"},
+       relCostAdditivity},
+      {{"penalty-consistency",
+        "outage/loss penalties equal the penalty rate times worst-case "
+        "RT/DL",
+        "Sec 3.3.5"},
+       relPenaltyConsistency},
+      {{"penalty-linearity",
+        "scaling both penalty rates by k scales both penalties by k and "
+        "leaves RT, DL and outlays unchanged",
+        "Sec 3.3.5"},
+       relPenaltyLinearity},
+      {{"zero-penalty-rates",
+        "zero penalty rates mean zero penalties and totalCost = outlays",
+        "Sec 3.3.5"},
+       relZeroPenaltyRates},
+      {{"technique-addition-dominance",
+        "appending a protection technique never worsens worst-case data "
+        "loss",
+        "Sec 3.2, Sec 4.2"},
+       relTechniqueAddition},
+      {{"bandwidth-monotone-rt",
+        "doubling mirror interconnect links never increases recovery time "
+        "or data loss",
+        "Sec 3.3.4"},
+       relBandwidthMonotoneRt},
+      {{"cycle-monotone-loss",
+        "halving a full-only backup cycle never worsens worst-case recent "
+        "data loss",
+        "Sec 3.3.3, Fig 3"},
+       relCycleMonotoneLoss},
+      {{"scope-widening-loss",
+        "widening the failure scope (array -> site) never shrinks "
+        "worst-case data loss",
+        "Sec 3.1.3, Sec 4.2"},
+       relScopeWideningLoss},
+      {{"outlay-scenario-independence",
+        "outlays depend only on the design, never on the failure scenario",
+        "Sec 3.3.5"},
+       relOutlayScenarioIndependence},
+      {{"retention-monotone",
+        "doubling PiT retention never shrinks the guaranteed RP range nor "
+        "reduces outlays",
+        "Sec 3.2.1, Sec 3.3.2"},
+       relRetentionMonotone},
+      {{"workload-scaling",
+        "doubling data capacity never shrinks the restore payload, reduces "
+        "outlays, nor (at equal transfer rates) speeds up recovery",
+        "Sec 3.3.4"},
+       relWorkloadScaling},
+      {{"unique-bytes-monotone",
+        "uniqueBytes(w) is monotone non-decreasing in w and capped at "
+        "dataCap, across batch-curve knots",
+        "Sec 3.1.1, Table 1"},
+       relUniqueBytesMonotone},
+      {{"meets-objectives-consistency",
+        "the meetsObjectives flag equals "
+        "business.meetsObjectives(worst RT, worst DL)",
+        "Sec 3.1.2"},
+       relMeetsObjectivesConsistency},
+  };
+  return kTable;
+}
+
+EvalFn resolveEval(const MetamorphicContext& ctx) {
+  if (ctx.eval) return ctx.eval;
+  return [](const StorageDesign& design, const FailureScenario& scenario) {
+    return evaluate(design, scenario);
+  };
+}
+
+RelationResult guarded(const RelationEntry& entry, const CaseSpec& spec,
+                       const EvalFn& fn) {
+  try {
+    return entry.check(spec, fn);
+  } catch (const std::exception& e) {
+    return fail(entry.info.name,
+                std::string("relation check threw: ") + e.what());
+  }
+}
+
+}  // namespace
+
+std::vector<RelationInfo> listRelations() {
+  std::vector<RelationInfo> out;
+  for (const RelationEntry& entry : relationTable()) out.push_back(entry.info);
+  return out;
+}
+
+std::vector<RelationResult> checkRelations(const CaseSpec& spec,
+                                           const MetamorphicContext& ctx) {
+  const EvalFn fn = resolveEval(ctx);
+  std::vector<RelationResult> out;
+  for (const RelationEntry& entry : relationTable()) {
+    out.push_back(guarded(entry, spec, fn));
+  }
+  return out;
+}
+
+RelationResult checkRelation(const std::string& name, const CaseSpec& spec,
+                             const MetamorphicContext& ctx) {
+  const EvalFn fn = resolveEval(ctx);
+  for (const RelationEntry& entry : relationTable()) {
+    if (entry.info.name == name) return guarded(entry, spec, fn);
+  }
+  throw std::invalid_argument("unknown metamorphic relation: " + name);
+}
+
+}  // namespace stordep::verify

@@ -1,0 +1,68 @@
+// metamorphic.hpp — paper-derived metamorphic relations over the evaluator.
+//
+// A metamorphic relation states how the model's outputs must move when an
+// input is transformed in a known way — "adding a protection technique never
+// worsens worst-case data loss", "penalties scale linearly in the penalty
+// rates" — without knowing the correct absolute value for either point.
+// Each relation here cites the paper statement (Keeton & Merchant, DSN'04)
+// it is derived from; see DESIGN.md "Verification" for the full list with
+// the derivations and soundness caveats (some relations are theorems only
+// under side conditions, which the checker encodes as applicability guards).
+//
+// Relations are pure predicates over a generated CaseSpec plus an evaluation
+// hook; tests swap the hook for a deliberately broken evaluator to prove the
+// checker catches (and the shrinker minimizes) real model bugs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "verify/gen.hpp"
+
+namespace stordep::verify {
+
+/// Evaluation hook. Defaults to the analytic stordep::evaluate; tests
+/// substitute fault-injected variants.
+using EvalFn = std::function<EvaluationResult(const StorageDesign&,
+                                              const FailureScenario&)>;
+
+struct MetamorphicContext {
+  /// Null means the real analytic evaluator.
+  EvalFn eval;
+};
+
+/// Outcome of checking one relation against one case.
+struct RelationResult {
+  std::string relation;
+  /// False when the case does not satisfy the relation's side conditions
+  /// (e.g., cycle monotonicity needs a full-only backup level to perturb).
+  bool applicable = true;
+  bool holds = true;
+  /// Human-readable violation description (empty when holds).
+  std::string detail;
+};
+
+/// Static description of one relation, for docs/reports.
+struct RelationInfo {
+  std::string name;
+  std::string summary;
+  std::string citation;  ///< paper section the relation is derived from
+};
+
+/// All relations the checker knows, in check order.
+[[nodiscard]] std::vector<RelationInfo> listRelations();
+
+/// Checks every relation against `spec`. Inapplicable relations are
+/// reported with applicable=false, holds=true.
+[[nodiscard]] std::vector<RelationResult> checkRelations(
+    const CaseSpec& spec, const MetamorphicContext& ctx = {});
+
+/// Checks a single relation by name (the shrinking predicate re-runs just
+/// the relation that failed). Throws std::invalid_argument on unknown names.
+[[nodiscard]] RelationResult checkRelation(const std::string& name,
+                                           const CaseSpec& spec,
+                                           const MetamorphicContext& ctx = {});
+
+}  // namespace stordep::verify

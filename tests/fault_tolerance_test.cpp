@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -596,6 +597,65 @@ TEST(CheckpointResume, PrefixJournalReproducesTheExactRanking) {
   EXPECT_EQ(resumed.evaluated, static_cast<int>(candidates.size()));
   EXPECT_FALSE(resumed.cancelled);
   expectSameSearch(resumed, serial);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointResume, RandomInterruptPointsAlwaysResumeToTheSameRanking) {
+  const std::vector<opt::CandidateSpec> candidates = smallSpace();
+  const WorkloadSpec workload = cs::celloWorkload();
+  const BusinessRequirements business = cs::requirements();
+  const std::vector<opt::ScenarioCase> scenarios = opt::caseStudyScenarios();
+  const opt::SearchResult serial =
+      opt::searchDesignSpaceSerial(candidates, workload, business, scenarios);
+
+  // One full journaled sweep provides the record stream to interrupt.
+  const std::string path = tempPath("stordep_journal_random_cut.jsonl");
+  {
+    eng::Engine engine(eng::EngineOptions{.threads = 4});
+    opt::SearchOptions options;
+    options.eng = &engine;
+    options.checkpointPath = path;
+    options.checkpointEvery = 1;
+    (void)opt::searchDesignSpace(candidates, workload, business, scenarios,
+                                 options);
+  }
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), candidates.size() + 1);  // header + one per spec
+
+  // Property: whatever prefix a crash leaves behind — any number of complete
+  // records, optionally followed by a torn partial append — the resumed
+  // sweep reproduces the serial ranking bit for bit.
+  std::mt19937 rng(20260806u);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t keep =
+        std::uniform_int_distribution<std::size_t>(0, lines.size())(rng);
+    {
+      std::ofstream out(path, std::ios::trunc);
+      for (std::size_t i = 0; i < keep; ++i) out << lines[i] << "\n";
+      if (trial % 2 == 0 && keep < lines.size()) {
+        const std::string& next = lines[keep];
+        out << next.substr(0, std::uniform_int_distribution<std::size_t>(
+                                  1, next.size())(rng));
+      }
+    }
+    eng::Engine engine(eng::EngineOptions{.threads = 4});
+    opt::SearchOptions options;
+    options.eng = &engine;
+    options.checkpointPath = path;
+    options.checkpointEvery = 1;
+    const opt::SearchResult resumed = opt::searchDesignSpace(
+        candidates, workload, business, scenarios, options);
+    EXPECT_FALSE(resumed.cancelled) << "trial " << trial;
+    EXPECT_EQ(resumed.evaluated, static_cast<int>(candidates.size()))
+        << "trial " << trial;
+    EXPECT_LE(resumed.skipped, static_cast<int>(keep)) << "trial " << trial;
+    expectSameSearch(resumed, serial);
+  }
   std::filesystem::remove(path);
 }
 

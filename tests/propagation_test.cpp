@@ -93,6 +93,21 @@ TEST(Propagation, ConservativeLagMatchesPaperForSimplePolicies) {
   }
 }
 
+TEST(Propagation, CaptureSlackIsZeroForGridConformingDesigns) {
+  // Every case-study hierarchy keeps each level's creation grid on the
+  // upstream arrival grid (weekly backups over 12 h mirror cycles, 4-weekly
+  // vaults over weekly backups), so no capture staleness is charged and the
+  // conservative bound is unchanged by the slack term.
+  for (const StorageDesign& d :
+       {casestudy::baseline(), casestudy::weeklyVault(),
+        casestudy::weeklyVaultFullPlusIncremental(),
+        casestudy::weeklyVaultDailyFull()}) {
+    for (int level = 0; level < d.levelCount(); ++level) {
+      EXPECT_EQ(rpCaptureSlack(d, level), Duration::zero()) << level;
+    }
+  }
+}
+
 TEST(Propagation, ConservativeLagCoversTheCyclicDeadZone) {
   const StorageDesign d = casestudy::weeklyVaultFullPlusIncremental();
   // Paper-style lag: 1 + 48 + 24 = 73 h. The true worst case includes the

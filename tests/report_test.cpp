@@ -2,10 +2,14 @@
 // paper-style evaluation report sections.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "casestudy/casestudy.hpp"
 #include "report/csv.hpp"
 #include "report/report.hpp"
 #include "report/table.hpp"
+#include "sim/rng.hpp"
+#include "verify/gen.hpp"
 
 namespace stordep::report {
 namespace {
@@ -158,6 +162,122 @@ TEST(Report, MarkdownReportAssemblesSections) {
   EXPECT_NE(markdownReport(mirror, cs::objectFailure(), object)
                 .find("UNRECOVERABLE"),
             std::string::npos);
+}
+
+// ---- Formatting under generator-produced extreme quantities ---------------
+// The verification layer's extreme generators (verify/gen.hpp) produce the
+// magnitudes real evaluations emit in corner cases: infinities (unrecoverable
+// scenarios), NaN penalties (0 rate x inf loss), negative deltas, sub-unit
+// and far-beyond-petabyte values. The formatting layers must stay structural:
+// parseable CSV, well-formed markdown, no empty or multi-line cells.
+
+/// Minimal RFC-4180 reader: splits one CSV document into rows of fields,
+/// honoring quoted fields with doubled quotes and embedded separators.
+std::vector<std::vector<std::string>> parseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < text.size() && text[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  return rows;
+}
+
+TEST(Csv, StructuralRoundTripUnderExtremeQuantities) {
+  sim::Rng rng(2026);
+  CsvWriter csv({"bytes", "duration", "money"});
+  std::vector<std::vector<std::string>> expected;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<std::string> cells{toString(verify::extremeBytes(rng)),
+                                   toString(verify::extremeDuration(rng)),
+                                   toString(verify::extremeMoney(rng))};
+    for (const std::string& cell : cells) {
+      EXPECT_FALSE(cell.empty());
+      EXPECT_EQ(cell.find('\n'), std::string::npos) << cell;
+    }
+    expected.push_back(cells);
+    csv.addRow(std::move(cells));
+  }
+  const std::vector<std::vector<std::string>> parsed = parseCsv(csv.render());
+  ASSERT_EQ(parsed.size(), expected.size() + 1);  // header row
+  for (size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(parsed[r + 1].size(), 3u) << "row " << r;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(parsed[r + 1][c], expected[r][c]) << "row " << r;
+    }
+  }
+}
+
+TEST(TextTable, ExtremeQuantitiesKeepTablesWellFormed) {
+  sim::Rng rng(4242);
+  TextTable table({"quantity", "rendered"});
+  table.align(1, Align::kRight);
+  for (int i = 0; i < 32; ++i) {
+    table.addRow({"duration", toString(verify::extremeDuration(rng))});
+    table.addRow({"money", toString(verify::extremeMoney(rng))});
+  }
+  const std::string out = table.render();
+  // Every non-rule line is one table row: starts and ends with a pipe.
+  std::istringstream lines(out);
+  std::string line;
+  size_t body = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.front() == '+') continue;  // rule
+    EXPECT_EQ(line.front(), '|') << line;
+    EXPECT_EQ(line.back(), '|') << line;
+    ++body;
+  }
+  EXPECT_EQ(body, 1u + 64u);  // header + rows
+
+  const std::string md = table.renderMarkdown();
+  std::istringstream mdLines(md);
+  size_t mdRows = 0;
+  while (std::getline(mdLines, line)) {
+    if (!line.empty() && line.front() == '|') {
+      // GFM rows must balance their pipes: unescaped count is columns + 1.
+      size_t pipes = 0;
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '|' && (i == 0 || line[i - 1] != '\\')) ++pipes;
+      }
+      EXPECT_EQ(pipes, 3u) << line;
+      ++mdRows;
+    }
+  }
+  EXPECT_EQ(mdRows, 2u + 64u);  // header + alignment row + rows
+}
+
+TEST(Report, NonFiniteQuantitiesRenderReadably) {
+  // The exact strings the formatting layer prints for the values extreme
+  // generators produce; reports embed these in tables and CSV exports.
+  EXPECT_FALSE(toString(Duration::infinite()).empty());
+  EXPECT_FALSE(toString(Bytes{1e24}).empty());      // ~gigapetabyte scale
+  EXPECT_FALSE(toString(Bytes{1e-3}).empty());      // sub-byte
+  EXPECT_FALSE(toString(dollars(-123.45)).empty());  // negative delta
+  EXPECT_EQ(toString(Duration::infinite()).find(','), std::string::npos);
 }
 
 TEST(Report, FullReportAssemblesSections) {

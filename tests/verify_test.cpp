@@ -1,0 +1,203 @@
+// Tests for the property-based verification subsystem (src/verify): seeded
+// generation, greedy shrinking, metamorphic relations, differential oracles,
+// and — the subsystem's reason to exist — proof that a deliberately injected
+// model bug is caught and minimized to a small reproducer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "core/propagation.hpp"
+#include "verify/differential.hpp"
+#include "verify/gen.hpp"
+#include "verify/harness.hpp"
+#include "verify/metamorphic.hpp"
+
+namespace stordep::verify {
+namespace {
+
+TEST(Gen, SeedProtocolIsDeterministicAndSensitive) {
+  EXPECT_EQ(mixSeed(42, 7), mixSeed(42, 7));
+  EXPECT_NE(mixSeed(42, 7), mixSeed(42, 8));
+  EXPECT_NE(mixSeed(42, 7), mixSeed(43, 7));
+
+  const CaseSpec a = caseForSeed(42, 7);
+  const CaseSpec b = caseForSeed(42, 7);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == caseForSeed(42, 8));
+}
+
+TEST(Gen, GeneratedCasesAreValidAndMaterialize) {
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const CaseSpec spec = caseForSeed(1, i);
+    ASSERT_TRUE(caseIsValid(spec)) << describeCase(spec);
+    // Materialization must never throw for a generator-produced case.
+    const StorageDesign design = makeDesign(spec);
+    EXPECT_GE(design.levelCount(), 2) << describeCase(spec);
+    (void)makeWorkload(spec);
+    (void)makeBusiness(spec);
+    (void)makeScenario(spec);
+  }
+}
+
+TEST(Gen, DefaultCaseIsTheShrinkingOrigin) {
+  const CaseSpec origin;
+  EXPECT_EQ(paramsFromDefault(origin), 0);
+  EXPECT_TRUE(caseIsValid(origin));
+}
+
+TEST(Gen, JsonReproducerNamesEveryNonDefaultParameter) {
+  CaseSpec spec;
+  spec.dataCapGB = 9999.0;
+  spec.rtoHours = 4.0;
+  const std::string text = describeCase(spec);
+  EXPECT_NE(text.find("dataCapGB"), std::string::npos);
+  EXPECT_NE(text.find("rtoHours"), std::string::npos);
+}
+
+TEST(Relations, ListIsUniqueAndCheckableByName) {
+  const CaseSpec spec;  // case-study-shaped default
+  std::set<std::string> names;
+  for (const RelationInfo& info : listRelations()) {
+    EXPECT_TRUE(names.insert(info.name).second) << info.name;
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+    EXPECT_FALSE(info.citation.empty()) << info.name;
+    const RelationResult r = checkRelation(info.name, spec);
+    EXPECT_TRUE(r.holds) << info.name << ": " << r.detail;
+  }
+  EXPECT_THROW((void)checkRelation("no-such-relation", spec),
+               std::invalid_argument);
+}
+
+TEST(Relations, SmokeRunOfTwoHundredCasesPasses) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.cases = 200;
+  options.minimize = false;
+  const FuzzReport report = runFuzz(options);
+  EXPECT_TRUE(report.allPassed()) << report.failures.size() << " failures; "
+                                  << (report.failures.empty()
+                                          ? ""
+                                          : report.failures.front().detail);
+  EXPECT_GT(report.relationChecks, 1000);
+  EXPECT_GT(report.oracleChecks, 200);
+}
+
+TEST(Shrink, AlwaysFailingPredicateShrinksToTheOrigin) {
+  const CaseSpec complex = caseForSeed(7, 123);
+  const ShrinkResult shrunk =
+      shrinkCase(complex, [](const CaseSpec&) { return true; });
+  EXPECT_EQ(paramsFromDefault(shrunk.spec), 0);
+  EXPECT_GT(shrunk.stepsTried, 0);
+}
+
+TEST(Shrink, ResultStillSatisfiesThePredicate) {
+  CaseSpec start = caseForSeed(7, 321);
+  start.dataCapGB = 9000.0;
+  const auto bigCapacity = [](const CaseSpec& s) {
+    return s.dataCapGB > 5000.0;
+  };
+  const ShrinkResult shrunk = shrinkCase(start, bigCapacity);
+  EXPECT_TRUE(bigCapacity(shrunk.spec));
+  // Everything except the load-bearing capacity parameter went to default.
+  EXPECT_LE(paramsFromDefault(shrunk.spec), 1);
+}
+
+// The acceptance demonstration: flip the sign of the loss-penalty accrual —
+// the classic "credit instead of charge" model bug — and show the checker
+// catches it and the shrinker reduces it to a near-default reproducer.
+TEST(Shrink, InjectedPenaltySignFlipIsCaughtAndMinimized) {
+  FuzzOptions options;
+  options.seed = 9001;
+  options.cases = 40;
+  options.maxFailures = 1;
+  options.simEvery = 0;  // differential oracles use the real evaluator
+  options.searchEvery = 0;
+  options.ioEvery = 0;
+  options.ctx.eval = [](const StorageDesign& design,
+                        const FailureScenario& scenario) {
+    EvaluationResult result = evaluate(design, scenario);
+    result.cost.lossPenalty = result.cost.lossPenalty * -1.0;
+    result.cost.totalPenalties =
+        result.cost.outagePenalty + result.cost.lossPenalty;
+    result.cost.totalCost =
+        result.cost.totalOutlays + result.cost.totalPenalties;
+    return result;
+  };
+
+  const FuzzReport report = runFuzz(options);
+  ASSERT_FALSE(report.allPassed());
+  const FuzzFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.check, "penalty-consistency") << failure.detail;
+  // Minimized to a handful of parameters off the case-study default.
+  EXPECT_LE(failure.shrunkParams, 5) << describeCase(failure.shrunk);
+  // The shrunk case replays: the same check still fails on it.
+  const RelationResult replay =
+      checkRelation(failure.check, failure.shrunk, options.ctx);
+  EXPECT_TRUE(replay.applicable);
+  EXPECT_FALSE(replay.holds);
+}
+
+TEST(Oracles, AllPassOnTheCaseStudyShapedDefault) {
+  const CaseSpec spec;
+  const OracleOptions options;
+  for (const OracleResult& r :
+       {simBoundOracle(spec, options), searchParityOracle(spec, options),
+        roundTripOracle(spec), mutationOracle(spec, options)}) {
+    EXPECT_TRUE(r.holds) << r.oracle << ": " << r.detail;
+  }
+}
+
+// Regression for the bound violation the fuzzer surfaced (seed 42, case
+// 760): a 161 h full-backup window over a 12 h split-mirror cycle drifts
+// through the upstream arrival grid, so aligned-schedule captures see images
+// up to one mirror cycle stale. The conservative lag bound now charges that
+// slack and the simulator must stay within it.
+TEST(Oracles, MisalignedBackupWindowStaysWithinTheSlackedBound) {
+  CaseSpec spec;
+  spec.candidate.backup = optimizer::BackupChoice::kFullOnly;
+  spec.candidate.backupAccW = hours(161);
+  ASSERT_TRUE(caseIsValid(spec));
+
+  const StorageDesign design = makeDesign(spec);
+  EXPECT_EQ(rpCaptureSlack(design, 2), hours(12));
+  EXPECT_EQ(rpTimeLagConservative(design, 2) - rpTimeLag(design, 2),
+            hours(12));
+
+  const OracleResult r = simBoundOracle(spec, OracleOptions{});
+  EXPECT_TRUE(r.applicable);
+  EXPECT_TRUE(r.holds) << r.detail;
+}
+
+TEST(Oracles, RoundTripSurvivesEveryGeneratedDesign) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const OracleResult r = roundTripOracle(caseForSeed(3, i));
+    EXPECT_TRUE(r.holds) << "case " << i << ": " << r.detail;
+  }
+}
+
+TEST(Harness, ReplayReproducesASpecificCase) {
+  const FuzzReport report = replayCase(42, 760);
+  EXPECT_EQ(report.cases, 1);
+  EXPECT_TRUE(report.allPassed())
+      << (report.failures.empty() ? "" : report.failures.front().detail);
+}
+
+TEST(Harness, ReportJsonCarriesTheReplayCoordinates) {
+  FuzzOptions options;
+  options.seed = 5;
+  options.cases = 3;
+  options.ioEvery = 0;
+  options.simEvery = 0;
+  options.searchEvery = 0;
+  const FuzzReport report = runFuzz(options);
+  const config::Json json = reportToJson(report);
+  const std::string text = json.pretty();
+  EXPECT_NE(text.find("\"seed\""), std::string::npos);
+  EXPECT_NE(text.find("\"allPassed\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stordep::verify
