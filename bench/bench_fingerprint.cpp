@@ -1,0 +1,169 @@
+// bench_fingerprint — structural vs JSON-serialization fingerprint cost.
+//
+// The evaluation hot path keys its caches on 128-bit fingerprints of
+// (design, scenario) pairs. The original implementation materialized the
+// canonical design-document JSON and hashed the bytes; the structural path
+// hashes the model fields directly into the same dual-FNV streams with zero
+// allocation. This bench measures both families over a representative
+// population — every valid candidate of the default design-space grid plus
+// the case-study scenario set — and checks two contracts:
+//
+//  * equivalence: the two families induce the same partition (equal JSON
+//    fingerprints iff equal structural fingerprints) over the population;
+//  * speed: the structural path is at least 5x faster per fingerprint.
+//
+// Emits BENCH_fingerprint.json (stdout and a file next to the binary's
+// working directory) so the perf trajectory can be tracked across PRs, and
+// exits non-zero if either contract fails.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "casestudy/casestudy.hpp"
+#include "config/json.hpp"
+#include "engine/fingerprint.hpp"
+#include "optimizer/design_space.hpp"
+#include "optimizer/search.hpp"
+
+namespace {
+
+namespace cs = stordep::casestudy;
+namespace eng = stordep::engine;
+namespace opt = stordep::optimizer;
+using stordep::config::Json;
+using stordep::config::JsonObject;
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+/// Maps each distinct fingerprint to the index of its first bearer, so two
+/// populations can be compared as partitions (same groups, not same bits).
+std::vector<std::size_t> partitionOf(const std::vector<eng::Fingerprint>& fps) {
+  std::unordered_map<eng::Fingerprint, std::size_t, eng::FingerprintHash>
+      first;
+  std::vector<std::size_t> classes(fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    classes[i] = first.emplace(fps[i], i).first->second;
+  }
+  return classes;
+}
+
+}  // namespace
+
+int main() {
+  const stordep::WorkloadSpec workload = cs::celloWorkload();
+  const stordep::BusinessRequirements business = cs::requirements();
+
+  // Population: every valid candidate of the default grid, materialized as
+  // full StorageDesigns, plus the case-study scenario set.
+  const std::vector<opt::CandidateSpec> specs = opt::enumerateDesignSpace();
+  std::vector<stordep::StorageDesign> designs;
+  designs.reserve(specs.size());
+  for (const opt::CandidateSpec& spec : specs) {
+    designs.push_back(spec.build(workload, business));
+  }
+  std::vector<stordep::FailureScenario> scenarios;
+  for (const opt::ScenarioCase& sc : opt::caseStudyScenarios()) {
+    scenarios.push_back(sc.scenario);
+  }
+
+  // Equivalence: the JSON and structural families must induce the same
+  // partition over the population (and, sanity-wise, distinguish designs the
+  // canonical serialization distinguishes).
+  std::vector<eng::Fingerprint> jsonFps;
+  std::vector<eng::Fingerprint> structFps;
+  jsonFps.reserve(designs.size() + scenarios.size());
+  structFps.reserve(designs.size() + scenarios.size());
+  for (const stordep::StorageDesign& design : designs) {
+    jsonFps.push_back(eng::fingerprintDesignJson(design));
+    structFps.push_back(eng::fingerprintDesign(design));
+  }
+  for (const stordep::FailureScenario& scenario : scenarios) {
+    jsonFps.push_back(eng::fingerprintScenarioJson(scenario));
+    structFps.push_back(eng::fingerprintScenario(scenario));
+  }
+  const bool samePartition = partitionOf(jsonFps) == partitionOf(structFps);
+
+  // Repetitions sized so each timed section runs long enough to measure the
+  // structural path (~sub-microsecond per op) against a steady clock.
+  const std::size_t opsPerRep = designs.size() + scenarios.size();
+  const std::size_t reps = 200;
+  std::uint64_t checksum = 0;  // defeat dead-code elimination
+
+  const auto jsonStart = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (const stordep::StorageDesign& design : designs) {
+      const eng::Fingerprint fp = eng::fingerprintDesignJson(design);
+      checksum ^= fp.hi ^ fp.lo;
+    }
+    for (const stordep::FailureScenario& scenario : scenarios) {
+      const eng::Fingerprint fp = eng::fingerprintScenarioJson(scenario);
+      checksum ^= fp.hi ^ fp.lo;
+    }
+  }
+  const double jsonSeconds = secondsSince(jsonStart);
+  const double jsonNsPerOp =
+      jsonSeconds * 1e9 / static_cast<double>(reps * opsPerRep);
+
+  eng::setFingerprintTiming(true);
+  eng::resetFingerprintCounters();
+  const auto structStart = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (const stordep::StorageDesign& design : designs) {
+      const eng::Fingerprint fp = eng::fingerprintDesign(design);
+      checksum ^= fp.hi ^ fp.lo;
+    }
+    for (const stordep::FailureScenario& scenario : scenarios) {
+      const eng::Fingerprint fp = eng::fingerprintScenario(scenario);
+      checksum ^= fp.hi ^ fp.lo;
+    }
+  }
+  const double structSeconds = secondsSince(structStart);
+  eng::setFingerprintTiming(false);
+  const eng::FingerprintCounters counters = eng::fingerprintCounters();
+  const double structNsPerOp =
+      structSeconds * 1e9 / static_cast<double>(reps * opsPerRep);
+  const double speedup =
+      structNsPerOp > 0.0 ? jsonNsPerOp / structNsPerOp : 0.0;
+
+  bool ok = true;
+  if (!samePartition) {
+    std::cerr << "FAIL: structural and JSON fingerprints partition the "
+                 "population differently\n";
+    ok = false;
+  }
+  if (speedup < 5.0) {
+    std::cerr << "FAIL: structural fingerprint speedup " << speedup
+              << "x < 5x over the JSON path\n";
+    ok = false;
+  }
+
+  Json doc{JsonObject{}};
+  doc.set("bench", Json("fingerprint"));
+  doc.set("designs", Json(static_cast<std::int64_t>(designs.size())));
+  doc.set("scenarios", Json(static_cast<std::int64_t>(scenarios.size())));
+  doc.set("repetitions", Json(static_cast<std::int64_t>(reps)));
+  doc.set("jsonNsPerOp", Json(jsonNsPerOp));
+  doc.set("structuralNsPerOp", Json(structNsPerOp));
+  doc.set("speedup", Json(speedup));
+  doc.set("counterNsPerOp", Json(counters.nanosPerFingerprint()));
+  doc.set("bytesHashedPerOp",
+          Json(static_cast<double>(counters.bytesHashed) /
+               static_cast<double>(counters.designFingerprints +
+                                   counters.scenarioFingerprints)));
+  doc.set("samePartition", Json(samePartition));
+  doc.set("checksum", Json(static_cast<std::int64_t>(checksum & 0x7FFFFFFF)));
+  doc.set("ok", Json(ok));
+
+  const std::string out = doc.pretty();
+  std::cout << out << "\n";
+  std::ofstream file("BENCH_fingerprint.json");
+  file << out << "\n";
+  return ok ? 0 : 1;
+}

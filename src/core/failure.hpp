@@ -54,6 +54,11 @@ struct FailureScenario {
   /// restores a single 1 MB object). Unset means the entire data object.
   std::optional<Bytes> recoverySize;
 
+  /// Field-wise equality; lets batch evaluation dedup adjacent identical
+  /// scenarios when hoisting fingerprints out of the per-slot loop.
+  friend bool operator==(const FailureScenario&,
+                         const FailureScenario&) = default;
+
   /// True if a device at `loc` named `deviceName` is destroyed.
   [[nodiscard]] bool destroys(const std::string& deviceName,
                               const Location& loc) const;

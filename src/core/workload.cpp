@@ -52,6 +52,32 @@ WorkloadSpec::WorkloadSpec(std::string name, Bytes dataCap,
       }
     }
   }
+
+  // Flatten the interpolation constants out of the query path. Every
+  // expression here is written exactly as the queries used to evaluate it
+  // per call, so table-driven queries return bit-identical values.
+  logWindows_.reserve(curve_.size());
+  for (const BatchUpdatePoint& point : curve_) {
+    logWindows_.push_back(std::log(point.window.secs()));
+  }
+  if (curve_.size() >= 2) {
+    segments_.reserve(curve_.size() - 1);
+    for (size_t i = 0; i + 1 < curve_.size(); ++i) {
+      CurveSegment seg;
+      seg.w0 = curve_[i].window.secs();
+      seg.w1 = curve_[i + 1].window.secs();
+      seg.r0 = curve_[i].rate.bytesPerSec();
+      seg.r1 = curve_[i + 1].rate.bytesPerSec();
+      seg.knotBytes0 = seg.r0 * seg.w0;
+      seg.b = (seg.r1 - seg.r0) / std::log(seg.w1 / seg.w0);
+      if (seg.b < 0.0) {
+        const double a = seg.r0 - seg.b * std::log(seg.w0);
+        seg.wStar = std::exp(-1.0 - a / seg.b);
+        seg.peakBytes = (a + seg.b * std::log(seg.wStar)) * seg.wStar;
+      }
+      segments_.push_back(seg);
+    }
+  }
 }
 
 Bandwidth WorkloadSpec::batchUpdateRate(Duration win) const {
@@ -65,13 +91,15 @@ Bandwidth WorkloadSpec::batchUpdateRate(Duration win) const {
   }
   if (win >= curve_.back().window) return curve_.back().rate;
 
-  // log-space linear interpolation between the bracketing points.
+  // log-space linear interpolation between the bracketing points; the knot
+  // logs come from the table built at construction.
   const auto upper = std::lower_bound(
       curve_.begin(), curve_.end(), win,
       [](const BatchUpdatePoint& p, Duration w) { return p.window < w; });
   const auto lower = upper - 1;
-  const double x0 = std::log(lower->window.secs());
-  const double x1 = std::log(upper->window.secs());
+  const auto k = static_cast<size_t>(upper - curve_.begin());
+  const double x0 = logWindows_[k - 1];
+  const double x1 = logWindows_[k];
   const double x = std::log(win.secs());
   const double t = (x - x0) / (x1 - x0);
   const double rate =
@@ -92,20 +120,13 @@ Bytes WorkloadSpec::uniqueBytes(Duration win) const {
   // the raw product at win, every knot product at or below win, and each
   // covered segment's interior peak.
   double best = (batchUpdateRate(win) * win).bytes();
-  for (size_t i = 0; i + 1 < curve_.size(); ++i) {
-    const double w0 = curve_[i].window.secs();
-    if (w0 >= win.secs()) break;
-    const double w1 = curve_[i + 1].window.secs();
-    const double r0 = curve_[i].rate.bytesPerSec();
-    const double r1 = curve_[i + 1].rate.bytesPerSec();
-    best = std::max(best, r0 * w0);
-    const double b = (r1 - r0) / std::log(w1 / w0);
-    if (b < 0.0) {
-      const double a = r0 - b * std::log(w0);
-      const double wStar = std::exp(-1.0 - a / b);
-      const double hi = std::min(w1, win.secs());
-      if (wStar > w0 && wStar < hi) {
-        best = std::max(best, (a + b * std::log(wStar)) * wStar);
+  for (const CurveSegment& seg : segments_) {
+    if (seg.w0 >= win.secs()) break;
+    best = std::max(best, seg.knotBytes0);
+    if (seg.b < 0.0) {
+      const double hi = std::min(seg.w1, win.secs());
+      if (seg.wStar > seg.w0 && seg.wStar < hi) {
+        best = std::max(best, seg.peakBytes);
       }
     }
   }

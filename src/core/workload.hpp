@@ -81,12 +81,27 @@ class WorkloadSpec {
   [[nodiscard]] Bytes uniqueBytes(Duration win) const;
 
  private:
+  /// Per-segment constants of the log-space interpolation, flattened out of
+  /// the query path (windows are immutable, so every std::log/std::exp the
+  /// queries need is computable once here — with the same expressions, so
+  /// query results are bit-identical to the on-the-fly form).
+  struct CurveSegment {
+    double w0 = 0.0, w1 = 0.0;  ///< window bounds, seconds
+    double r0 = 0.0, r1 = 0.0;  ///< rates at the bounds, bytes/sec
+    double b = 0.0;             ///< log-space slope (r1-r0)/log(w1/w0)
+    double wStar = 0.0;         ///< interior peak window of r(w)*w (b<0 only)
+    double peakBytes = 0.0;     ///< r(wStar)*wStar (b<0 only)
+    double knotBytes0 = 0.0;    ///< r0*w0
+  };
+
   std::string name_;
   Bytes dataCap_;
   Bandwidth avgAccessR_;
   Bandwidth avgUpdateR_;
   double burstM_;
   std::vector<BatchUpdatePoint> curve_;
+  std::vector<double> logWindows_;       ///< log(curve_[i].window.secs())
+  std::vector<CurveSegment> segments_;  ///< curve_.size()-1 entries (or 0)
 };
 
 }  // namespace stordep

@@ -68,7 +68,8 @@ EvalOutcome Engine::tryEvaluate(const StorageDesign& design,
 EvaluationResult Engine::evaluateKeyed(
     const StorageDesign& design, const FailureScenario& scenario,
     const Fingerprint& pairKey,
-    std::optional<DesignPrecomputation>& precomputed) {
+    std::optional<DesignPrecomputation>& precomputed,
+    const DesignFingerprints* parts) {
   if (options_.useCache) {
     // May throw an injected kCacheLookup fault; a lookup that cannot be
     // trusted must not silently serve a result.
@@ -77,7 +78,11 @@ EvaluationResult Engine::evaluateKeyed(
     }
   }
   if (injector_) injector_->maybeInject(FaultSite::kEvaluate, pairKey);
-  if (!precomputed) precomputed = precomputeDesign(design);
+  if (!precomputed) {
+    precomputed = parts != nullptr
+                      ? precomputeDesignCached(design, *parts, demandCache_)
+                      : precomputeDesign(design);
+  }
   EvaluationResult result = stordep::evaluate(design, scenario, *precomputed);
   if (options_.useCache) {
     try {
@@ -94,12 +99,13 @@ EvalOutcome Engine::tryEvaluateKeyed(
     const StorageDesign& design, const FailureScenario& scenario,
     const Fingerprint& pairKey,
     std::optional<DesignPrecomputation>& precomputed,
-    const BatchOptions& options, std::uint64_t* retriesOut) {
+    const BatchOptions& options, std::uint64_t* retriesOut,
+    const DesignFingerprints* parts) {
   const int maxRetries = std::max(0, options.maxRetries);
   for (int attempt = 0;; ++attempt) {
     try {
       return EvalOutcome(
-          evaluateKeyed(design, scenario, pairKey, precomputed));
+          evaluateKeyed(design, scenario, pairKey, precomputed, parts));
     } catch (...) {
       EvalError error = errorFromCurrentException();
       error.attempts = attempt + 1;
@@ -133,7 +139,7 @@ BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests,
   // itself invalid; the error is attached to each of its requests rather
   // than aborting the batch.
   struct DesignEntry {
-    Fingerprint fp;
+    DesignFingerprints parts;
     std::optional<EvalError> error;
   };
   std::unordered_map<const StorageDesign*, DesignEntry> designFps;
@@ -150,11 +156,24 @@ BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests,
   parallelFor(uniqueDesigns.size(), [&](std::size_t i) {
     DesignEntry& entry = designFps[uniqueDesigns[i]];
     try {
-      entry.fp = fingerprintDesign(*uniqueDesigns[i]);
+      entry.parts = fingerprintDesignParts(*uniqueDesigns[i]);
     } catch (...) {
       entry.error = errorFromCurrentException();
     }
   });
+
+  // Scenario fingerprints hoisted out of the per-slot loop: each is computed
+  // once per batch rather than once per (design, scenario) pair. Batches are
+  // typically grouped by scenario, so adjacent duplicates collapse to one
+  // hash each.
+  std::vector<Fingerprint> scenarioFps(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i > 0 && requests[i].scenario == requests[i - 1].scenario) {
+      scenarioFps[i] = scenarioFps[i - 1];
+    } else {
+      scenarioFps[i] = fingerprintScenario(requests[i].scenario);
+    }
+  }
 
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> computed{0};
@@ -175,8 +194,7 @@ BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests,
     // evaluation: finished work stays valid, un-started work is skipped.
     if (cancellable && token.cancelled()) return token.toError();
 
-    const Fingerprint key =
-        combine(entry.fp, fingerprintScenario(request.scenario));
+    const Fingerprint key = combine(entry.parts.design, scenarioFps[i]);
     // The pool site stands in for dispatch-layer faults; it is not retried.
     if (injector_) injector_->maybeInject(FaultSite::kPool, key);
 
@@ -185,7 +203,7 @@ BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests,
     std::uint64_t localRetries = 0;
     EvalOutcome outcome = tryEvaluateKeyed(*request.design, request.scenario,
                                            key, precomputed, options,
-                                           &localRetries);
+                                           &localRetries, &entry.parts);
     retries.fetch_add(localRetries, std::memory_order_relaxed);
     if (outcome.ok()) {
       // Computed iff the retried lookup path missed; hit otherwise. The

@@ -49,6 +49,7 @@
 #include "engine/eval_cache.hpp"
 #include "engine/fault_injection.hpp"
 #include "engine/fingerprint.hpp"
+#include "engine/precompute.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace stordep::engine {
@@ -134,6 +135,11 @@ class Engine {
   }
   [[nodiscard]] EvalCache& cache() noexcept { return cache_; }
   [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
+  /// Per-level demand memo shared by every sweep through this engine.
+  [[nodiscard]] DemandCache& demandCache() noexcept { return demandCache_; }
+  [[nodiscard]] const DemandCache& demandCache() const noexcept {
+    return demandCache_;
+  }
 
   /// One evaluation through the cache; throws on failure (legacy contract).
   [[nodiscard]] EvaluationResult evaluate(const StorageDesign& design,
@@ -150,10 +156,14 @@ class Engine {
   /// loops) and a lazily-filled precomputation slot: on the first miss for a
   /// design, the scenario-independent sub-models are computed once into
   /// `precomputed` and reused by every later miss for the same design.
+  /// When `parts` is non-null (fingerprintDesignParts of the same design),
+  /// that first precomputation goes through the engine's per-level demand
+  /// cache, so candidates sharing protection levels share the work.
   [[nodiscard]] EvaluationResult evaluateKeyed(
       const StorageDesign& design, const FailureScenario& scenario,
       const Fingerprint& pairKey,
-      std::optional<DesignPrecomputation>& precomputed);
+      std::optional<DesignPrecomputation>& precomputed,
+      const DesignFingerprints* parts = nullptr);
 
   /// evaluateKeyed with the structured-error contract and bounded retries
   /// for transient failures. `retriesOut`, when non-null, accumulates the
@@ -162,7 +172,8 @@ class Engine {
       const StorageDesign& design, const FailureScenario& scenario,
       const Fingerprint& pairKey,
       std::optional<DesignPrecomputation>& precomputed,
-      const BatchOptions& options, std::uint64_t* retriesOut = nullptr);
+      const BatchOptions& options, std::uint64_t* retriesOut = nullptr,
+      const DesignFingerprints* parts = nullptr);
 
   /// Evaluates all requests (in request order in the result vector), fanned
   /// out across the pool, with cache-hit accounting and throughput stats.
@@ -202,6 +213,7 @@ class Engine {
   EngineOptions options_;
   int threads_;
   EvalCache cache_;
+  DemandCache demandCache_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
   std::shared_ptr<FaultInjector> injector_;  // null = no injection
 };

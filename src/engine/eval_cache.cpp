@@ -91,6 +91,7 @@ EvalCache::Stats EvalCache::stats() const {
     out.evictions += shard->evictions;
     out.entries += shard->lru.size();
   }
+  out.probes = out.hits + out.misses;
   return out;
 }
 

@@ -41,6 +41,7 @@ class EvalCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t probes = 0;  ///< hits + misses (lookup traffic)
     std::uint64_t inserts = 0;
     std::uint64_t evictions = 0;
     std::size_t entries = 0;

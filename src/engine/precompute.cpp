@@ -1,0 +1,126 @@
+#include "engine/precompute.hpp"
+
+#include <utility>
+
+#include "core/technique.hpp"
+#include "core/utilization.hpp"
+
+namespace stordep::engine {
+
+namespace {
+std::size_t roundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+DemandCache::DemandCache(std::size_t capacity, std::size_t shards) {
+  const std::size_t count = roundUpPow2(shards == 0 ? 1 : shards);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  perShardCapacity_ = (capacity == 0 ? 1 : (capacity + count - 1) / count);
+}
+
+DemandCache::Entry DemandCache::lookup(const Fingerprint& key) {
+  Shard& shard = shardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.probes;
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  ++shard.hits;
+  return it->second;
+}
+
+void DemandCache::insert(const Fingerprint& key, Entry value) {
+  Shard& shard = shardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= perShardCapacity_) return;
+  if (shard.map.emplace(key, std::move(value)).second) ++shard.inserts;
+}
+
+DemandCache::Stats DemandCache::stats() const {
+  Stats out;
+  out.capacity = perShardCapacity_ * shards_.size();
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    out.probes += shard->probes;
+    out.hits += shard->hits;
+    out.inserts += shard->inserts;
+    out.entries += shard->map.size();
+  }
+  return out;
+}
+
+void DemandCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->probes = 0;
+    shard->hits = 0;
+    shard->inserts = 0;
+  }
+}
+
+DesignPrecomputation precomputeDesignCached(const StorageDesign& design,
+                                            const DesignFingerprints& parts,
+                                            DemandCache& cache) {
+  const int levels = design.levelCount();
+  if (parts.levelKeys.size() != static_cast<std::size_t>(levels)) {
+    return precomputeDesign(design);  // stale parts; never guess
+  }
+
+  // Name -> device map for rebinding cached demands. A duplicate name would
+  // make the rebinding ambiguous, so bail to the direct path (the validator
+  // flags such designs anyway).
+  std::unordered_map<std::string, DevicePtr> byName;
+  const std::vector<DevicePtr> devices = design.devices();
+  byName.reserve(devices.size());
+  for (const DevicePtr& device : devices) {
+    if (!byName.emplace(device->name(), device).second) {
+      return precomputeDesign(design);
+    }
+  }
+
+  // Assemble the demand vector level by level, in the exact order
+  // StorageDesign::allDemands() would produce it.
+  std::vector<PlacedDemand> demands;
+  for (int i = 0; i < levels; ++i) {
+    const Fingerprint key = combine(parts.levelKeys[i], parts.workload);
+    if (const DemandCache::Entry hit = cache.lookup(key)) {
+      bool rebound = true;
+      const std::size_t base = demands.size();
+      demands.reserve(base + hit->size());
+      for (const CachedDemand& cached : *hit) {
+        const auto it = byName.find(cached.device);
+        if (it == byName.end()) {
+          rebound = false;  // level key collided across device sets
+          break;
+        }
+        demands.push_back(PlacedDemand{it->second, cached.demand});
+      }
+      if (rebound) continue;
+      demands.resize(base);
+    }
+    std::vector<PlacedDemand> fresh =
+        design.level(i).normalModeDemands(design.workload());
+    auto entry = std::make_shared<std::vector<CachedDemand>>();
+    entry->reserve(fresh.size());
+    for (const PlacedDemand& placed : fresh) {
+      entry->push_back(CachedDemand{placed.device->name(), placed.demand});
+    }
+    cache.insert(key, std::move(entry));
+    demands.insert(demands.end(), std::make_move_iterator(fresh.begin()),
+                   std::make_move_iterator(fresh.end()));
+  }
+
+  DesignPrecomputation out;
+  out.utilization = computeUtilization(demands);
+  out.outlays = computeOutlays(demands);
+  out.warnings = design.validate();
+  return out;
+}
+
+}  // namespace stordep::engine

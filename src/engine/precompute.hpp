@@ -1,0 +1,104 @@
+// precompute.hpp — partial-result reuse across a design-space sweep.
+//
+// The grid the optimizer sweeps varies one axis at a time, so consecutive
+// candidates share almost every protection level: a candidate that differs
+// only in its mirror link count has byte-identical snapshot and backup
+// levels. The scenario-independent half of an evaluation (utilization,
+// outlays) is a pure function of the per-level normal-mode demand sets, and
+// each level's demands depend only on that level's technique configuration
+// (policy, referenced devices) and the workload. DemandCache memoizes those
+// per-level demand sets under combine(levelKey, workloadFp) — the level
+// sub-fingerprints DesignFingerprints exposes — so a candidate differing in
+// one grid axis recomputes only that axis's level before reassembling the
+// demand vector and running the (cheap, deterministic) utilization/outlay
+// folds over it. Results are bit-identical to precomputeDesign() because
+// computeUtilization(design) / computeOutlays(design.allDemands()) are
+// themselves defined over the same level-order demand vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "devices/device.hpp"
+#include "engine/fingerprint.hpp"
+
+namespace stordep::engine {
+
+/// One memoized demand: the device is stored *by name* and rebound to the
+/// candidate's own DevicePtr at reuse time, so entries cached from one
+/// materialized design apply to every later design with an equal level.
+struct CachedDemand {
+  std::string device;
+  DeviceDemand demand;
+};
+
+/// Sharded, bounded memo table for per-level demand sets. Insert-only up to
+/// capacity (no LRU: a sweep's working set is the handful of distinct levels
+/// in the grid, orders of magnitude below capacity; when full, new entries
+/// are simply not cached, which is always correct).
+class DemandCache {
+ public:
+  using Entry = std::shared_ptr<const std::vector<CachedDemand>>;
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::size_t kDefaultShards = 8;
+
+  explicit DemandCache(std::size_t capacity = kDefaultCapacity,
+                       std::size_t shards = kDefaultShards);
+
+  /// nullptr on miss. Counts a probe either way.
+  [[nodiscard]] Entry lookup(const Fingerprint& key);
+
+  /// No-op when the shard is at capacity or the key is already present.
+  void insert(const Fingerprint& key, Entry value);
+
+  struct Stats {
+    std::uint64_t probes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t capacity = 0;
+
+    [[nodiscard]] double hitRate() const noexcept {
+      return probes == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(probes);
+    }
+  };
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Fingerprint, Entry, FingerprintHash> map;
+    std::uint64_t probes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  [[nodiscard]] Shard& shardFor(const Fingerprint& key) noexcept {
+    return *shards_[key.hi & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t perShardCapacity_;
+};
+
+/// precomputeDesign() with per-level demand memoization through `cache`.
+/// `parts` must be fingerprintDesignParts(design). Falls back to the direct
+/// computation whenever reuse would be ambiguous (duplicate device names,
+/// stale part count); the result is bit-identical to precomputeDesign(design)
+/// in every case.
+[[nodiscard]] DesignPrecomputation precomputeDesignCached(
+    const StorageDesign& design, const DesignFingerprints& parts,
+    DemandCache& cache);
+
+}  // namespace stordep::engine

@@ -208,56 +208,153 @@ StorageDesign CandidateSpec::build(const WorkloadSpec& workload,
                        cs::recoveryFacility());
 }
 
-std::vector<CandidateSpec> enumerateDesignSpace(
-    const DesignSpaceOptions& options) {
-  std::vector<CandidateSpec> out;
+std::uint64_t gridCardinality(const DesignSpaceOptions& options) {
+  // The same axis collapsing the enumeration applies: a kNone choice
+  // collapses its dependent axes to a single point.
+  std::uint64_t total = 0;
   for (PitChoice pit : options.pitChoices) {
-    const auto pitAccWs = pit == PitChoice::kNone
-                              ? std::vector<Duration>{hours(12)}
-                              : options.pitAccWs;
-    const auto pitRets = pit == PitChoice::kNone
-                             ? std::vector<int>{1}
-                             : options.pitRetentionCounts;
-    for (Duration pitAccW : pitAccWs) {
-      for (int pitRet : pitRets) {
-        for (BackupChoice backup : options.backupChoices) {
-          const auto backupAccWs = backup == BackupChoice::kNone
-                                       ? std::vector<Duration>{weeks(1)}
-                                       : options.backupAccWs;
-          for (Duration backupAccW : backupAccWs) {
-            const std::vector<bool> vaultChoices =
-                backup == BackupChoice::kNone ? std::vector<bool>{false}
-                                              : std::vector<bool>{false, true};
-            for (bool vault : vaultChoices) {
-              const auto vaultAccWs = vault ? options.vaultAccWs
-                                            : std::vector<Duration>{weeks(4)};
-              for (Duration vaultAccW : vaultAccWs) {
-                for (MirrorChoice mirror : options.mirrorChoices) {
-                  const auto linkCounts =
-                      mirror == MirrorChoice::kNone
-                          ? std::vector<int>{1}
-                          : options.mirrorLinkCounts;
-                  for (int links : linkCounts) {
-                    CandidateSpec spec;
-                    spec.pit = pit;
-                    spec.pitAccW = pitAccW;
-                    spec.pitRetentionCount = pitRet;
-                    spec.backup = backup;
-                    spec.backupAccW = backupAccW;
-                    spec.vault = vault;
-                    spec.vaultAccW = vaultAccW;
-                    spec.mirror = mirror;
-                    spec.mirrorLinkCount = links;
-                    if (spec.valid()) out.push_back(spec);
-                  }
-                }
-              }
-            }
-          }
-        }
+    const std::uint64_t pitN =
+        pit == PitChoice::kNone
+            ? 1
+            : static_cast<std::uint64_t>(options.pitAccWs.size()) *
+                  options.pitRetentionCounts.size();
+    for (BackupChoice backup : options.backupChoices) {
+      const std::uint64_t backupN =
+          backup == BackupChoice::kNone ? 1 : options.backupAccWs.size();
+      const std::uint64_t vaultN =
+          backup == BackupChoice::kNone ? 1 : 1 + options.vaultAccWs.size();
+      for (MirrorChoice mirror : options.mirrorChoices) {
+        const std::uint64_t mirrorN = mirror == MirrorChoice::kNone
+                                          ? 1
+                                          : options.mirrorLinkCounts.size();
+        total += pitN * backupN * vaultN * mirrorN;
       }
     }
   }
+  return total;
+}
+
+DesignSpaceCursor::DesignSpaceCursor(DesignSpaceOptions options)
+    : options_(std::move(options)) {}
+
+std::size_t DesignSpaceCursor::extent(int digit) const {
+  // Digit order (outer to inner) mirrors the nested enumeration loops;
+  // collapsed axes have extent 1, their value pinned by specAt().
+  switch (digit) {
+    case 0:
+      return options_.pitChoices.size();
+    case 1:
+      return options_.pitChoices[idx_[0]] == PitChoice::kNone
+                 ? 1
+                 : options_.pitAccWs.size();
+    case 2:
+      return options_.pitChoices[idx_[0]] == PitChoice::kNone
+                 ? 1
+                 : options_.pitRetentionCounts.size();
+    case 3:
+      return options_.backupChoices.size();
+    case 4:
+      return options_.backupChoices[idx_[3]] == BackupChoice::kNone
+                 ? 1
+                 : options_.backupAccWs.size();
+    case 5:  // vault: {false} or {false, true}
+      return options_.backupChoices[idx_[3]] == BackupChoice::kNone ? 1 : 2;
+    case 6:
+      return idx_[5] == 1 ? options_.vaultAccWs.size() : 1;
+    case 7:
+      return options_.mirrorChoices.size();
+    default:
+      return options_.mirrorChoices[idx_[7]] == MirrorChoice::kNone
+                 ? 1
+                 : options_.mirrorLinkCounts.size();
+  }
+}
+
+CandidateSpec DesignSpaceCursor::specAt() const {
+  CandidateSpec spec;
+  spec.pit = options_.pitChoices[idx_[0]];
+  const bool hasPit = spec.pit != PitChoice::kNone;
+  spec.pitAccW = hasPit ? options_.pitAccWs[idx_[1]] : hours(12);
+  spec.pitRetentionCount = hasPit ? options_.pitRetentionCounts[idx_[2]] : 1;
+  spec.backup = options_.backupChoices[idx_[3]];
+  const bool hasBackup = spec.backup != BackupChoice::kNone;
+  spec.backupAccW = hasBackup ? options_.backupAccWs[idx_[4]] : weeks(1);
+  spec.vault = hasBackup && idx_[5] == 1;
+  spec.vaultAccW = spec.vault ? options_.vaultAccWs[idx_[6]] : weeks(4);
+  spec.mirror = options_.mirrorChoices[idx_[7]];
+  spec.mirrorLinkCount = spec.mirror == MirrorChoice::kNone
+                             ? 1
+                             : options_.mirrorLinkCounts[idx_[8]];
+  return spec;
+}
+
+bool DesignSpaceCursor::positionFrom(int from) {
+  // Iterative (not recursive): an empty inner axis under a long run of
+  // outer values must not deepen the stack per skipped prefix.
+  int digit = from;
+  while (digit < kDepth) {
+    if (extent(digit) > 0) {
+      idx_[static_cast<std::size_t>(digit)] = 0;
+      ++digit;
+      continue;
+    }
+    // No point exists under the current prefix: advance the nearest outer
+    // digit that can still move and restart positioning below it.
+    int outer = digit - 1;
+    while (outer >= 0 &&
+           idx_[static_cast<std::size_t>(outer)] + 1 >= extent(outer)) {
+      --outer;
+    }
+    if (outer < 0) {
+      exhausted_ = true;
+      return false;
+    }
+    ++idx_[static_cast<std::size_t>(outer)];
+    digit = outer + 1;
+  }
+  return true;
+}
+
+bool DesignSpaceCursor::advance() {
+  int digit = kDepth - 1;
+  while (digit >= 0 &&
+         idx_[static_cast<std::size_t>(digit)] + 1 >= extent(digit)) {
+    --digit;
+  }
+  if (digit < 0) {
+    exhausted_ = true;
+    return false;
+  }
+  ++idx_[static_cast<std::size_t>(digit)];
+  return positionFrom(digit + 1);
+}
+
+bool DesignSpaceCursor::next(CandidateSpec& out) {
+  while (!exhausted_) {
+    if (!started_) {
+      started_ = true;
+      if (!positionFrom(0)) return false;
+    } else if (!advance()) {
+      return false;
+    }
+    ++enumerated_;
+    CandidateSpec spec = specAt();
+    if (spec.valid()) {
+      ++produced_;
+      out = spec;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<CandidateSpec> enumerateDesignSpace(
+    const DesignSpaceOptions& options) {
+  std::vector<CandidateSpec> out;
+  out.reserve(gridCardinality(options));
+  DesignSpaceCursor cursor(options);
+  CandidateSpec spec;
+  while (cursor.next(spec)) out.push_back(spec);
   return out;
 }
 

@@ -8,6 +8,8 @@
 // it as a StorageDesign ready for evaluate().
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +70,53 @@ struct DesignSpaceOptions {
   std::vector<MirrorChoice> mirrorChoices{MirrorChoice::kNone,
                                           MirrorChoice::kAsyncBatch};
   std::vector<int> mirrorLinkCounts{1, 4, 10};
+};
+
+/// Exact number of grid points the options span (valid and invalid alike):
+/// the cardinality product with the same axis collapsing the enumeration
+/// applies (e.g. the PiT axes contribute one point, not |accWs| x |rets|,
+/// when pit == kNone). enumerateDesignSpace pre-reserves from this.
+[[nodiscard]] std::uint64_t gridCardinality(const DesignSpaceOptions& options);
+
+/// Streaming enumeration of the same space, in the same order, without
+/// materializing it: next() yields structurally valid candidates one at a
+/// time, so searchDesignSpace can pipeline a million-point grid into the
+/// thread pool in bounded memory. The sequence of specs produced is exactly
+/// the vector enumerateDesignSpace returns.
+class DesignSpaceCursor {
+ public:
+  explicit DesignSpaceCursor(DesignSpaceOptions options = {});
+
+  /// Writes the next valid candidate into `out`; false when exhausted.
+  [[nodiscard]] bool next(CandidateSpec& out);
+
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+  /// Grid points visited so far (including invalid combinations skipped).
+  [[nodiscard]] std::uint64_t enumerated() const noexcept {
+    return enumerated_;
+  }
+  /// Valid candidates handed out so far.
+  [[nodiscard]] std::uint64_t produced() const noexcept { return produced_; }
+  [[nodiscard]] const DesignSpaceOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  static constexpr int kDepth = 9;
+
+  [[nodiscard]] std::size_t extent(int digit) const;
+  [[nodiscard]] CandidateSpec specAt() const;
+  /// Zero-fills digits [from, kDepth), advancing outer digits past any
+  /// empty inner axis; false when the whole grid is exhausted.
+  bool positionFrom(int from);
+  bool advance();
+
+  DesignSpaceOptions options_;
+  std::array<std::size_t, kDepth> idx_{};
+  bool started_ = false;
+  bool exhausted_ = false;
+  std::uint64_t enumerated_ = 0;
+  std::uint64_t produced_ = 0;
 };
 
 /// Enumerates every structurally valid candidate in the grid.

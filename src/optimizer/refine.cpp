@@ -5,6 +5,9 @@ namespace stordep::optimizer {
 std::vector<CandidateSpec> neighbors(const CandidateSpec& spec,
                                      const RefineOptions& options) {
   std::vector<CandidateSpec> out;
+  // Upper bound on the neighborhood: window-factor moves on up to three
+  // axes plus the retention and link-count tweaks.
+  out.reserve(3 * options.windowFactors.size() + 5);
   auto push = [&](CandidateSpec next) {
     if (next.valid()) out.push_back(std::move(next));
   };
@@ -88,16 +91,18 @@ RefineResult refineCandidate(const CandidateSpec& start,
     });
     result.evaluations += static_cast<int>(moves.size());
 
-    const EvaluatedCandidate* accepted = nullptr;
-    for (const EvaluatedCandidate& candidate : evaluated) {
+    std::size_t accepted = evaluated.size();
+    for (std::size_t i = 0; i < evaluated.size(); ++i) {
+      const EvaluatedCandidate& candidate = evaluated[i];
       if (!candidate.feasible || !candidate.meetsObjectives) continue;
       if (candidate.totalCost < result.best.totalCost &&
-          (accepted == nullptr || candidate.totalCost < accepted->totalCost)) {
-        accepted = &candidate;
+          (accepted == evaluated.size() ||
+           candidate.totalCost < evaluated[accepted].totalCost)) {
+        accepted = i;
       }
     }
-    if (accepted == nullptr) break;  // local optimum
-    result.best = *accepted;
+    if (accepted == evaluated.size()) break;  // local optimum
+    result.best = std::move(evaluated[accepted]);
     ++result.steps;
   }
   result.improvement = startCost - result.best.totalCost;

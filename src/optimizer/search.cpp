@@ -1,6 +1,7 @@
 #include "optimizer/search.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "casestudy/casestudy.hpp"
@@ -70,7 +71,10 @@ EvaluatedCandidate evaluateCandidateImpl(
 
   try {
     const StorageDesign design = spec.build(workload, business);
-    const engine::Fingerprint designFp = engine::fingerprintDesign(design);
+    // One structural pass yields the cache key and the per-level sub-keys
+    // the engine's demand cache shares across candidates.
+    const engine::DesignFingerprints parts =
+        engine::fingerprintDesignParts(design);
     // Scenario-independent sub-models (utilization, outlays, warnings) are
     // computed at most once per candidate, and only if some scenario misses
     // the cache.
@@ -80,7 +84,8 @@ EvaluatedCandidate evaluateCandidateImpl(
     for (std::size_t j = 0; j < scenarios.size(); ++j) {
       engine::EvalOutcome outcome = eng.tryEvaluateKeyed(
           design, scenarios[j].scenario,
-          engine::combine(designFp, scenarioFps[j]), precomputed, evalOptions);
+          engine::combine(parts.design, scenarioFps[j]), precomputed,
+          evalOptions, nullptr, &parts);
       if (!outcome.ok()) {
         out.error = outcome.error();
         break;
@@ -121,6 +126,19 @@ void rankCandidates(SearchResult& result,
             });
 }
 
+/// Fills the throughput fields every search path reports (evaluated counts
+/// both computed and journal-restored candidates).
+void finalizeThroughput(SearchResult& result,
+                        std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.wallSeconds = elapsed.count();
+  result.candidatesPerSec =
+      result.wallSeconds > 0.0
+          ? static_cast<double>(result.evaluated) / result.wallSeconds
+          : 0.0;
+}
+
 }  // namespace
 
 EvaluatedCandidate evaluateCandidate(
@@ -149,6 +167,7 @@ SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
                                const BusinessRequirements& business,
                                const std::vector<ScenarioCase>& scenarios,
                                const SearchOptions& options) {
+  const auto startTime = std::chrono::steady_clock::now();
   engine::Engine& resolved =
       options.eng != nullptr ? *options.eng : engine::Engine::shared();
   const std::vector<engine::Fingerprint> scenarioFps =
@@ -228,6 +247,109 @@ SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
   }
   result.cancelled = !ranAll || anyIncomplete;
   rankCandidates(result, std::move(finished));
+  finalizeThroughput(result, startTime);
+  return result;
+}
+
+SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
+                                        const WorkloadSpec& workload,
+                                        const BusinessRequirements& business,
+                                        const std::vector<ScenarioCase>& scenarios,
+                                        const SearchOptions& options) {
+  const auto startTime = std::chrono::steady_clock::now();
+  engine::Engine& resolved =
+      options.eng != nullptr ? *options.eng : engine::Engine::shared();
+  const std::vector<engine::Fingerprint> scenarioFps =
+      fingerprintScenarios(scenarios);
+
+  engine::BatchOptions evalOptions;
+  evalOptions.maxRetries = options.maxRetries;
+  evalOptions.retryBackoff = options.retryBackoff;
+
+  engine::CancellationToken token = options.token;
+  if (options.deadline.count() > 0) {
+    token = token.withDeadline(options.deadline);
+  }
+  const bool cancellable = token.cancellable();
+
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!options.checkpointPath.empty()) {
+    journal = std::make_unique<CheckpointJournal>(
+        options.checkpointPath,
+        fingerprintSearchContext(workload, business, scenarios),
+        options.checkpointEvery);
+  }
+
+  SearchResult result;
+  std::vector<EvaluatedCandidate> finished;
+
+  // Wave buffers, reused across chunks: peak memory is O(streamChunk)
+  // materialized candidates regardless of grid size.
+  const std::size_t chunkSize = std::max<std::size_t>(1, options.streamChunk);
+  std::vector<CandidateSpec> chunk;
+  chunk.reserve(chunkSize);
+  std::vector<engine::Fingerprint> keys;
+  std::vector<EvaluatedCandidate> evaluated;
+  std::vector<char> completed;
+
+  bool stopped = false;
+  CandidateSpec spec;
+  while (!stopped) {
+    chunk.clear();
+    while (chunk.size() < chunkSize && cursor.next(spec)) {
+      chunk.push_back(spec);
+    }
+    if (chunk.empty()) break;
+
+    if (journal) {
+      keys.clear();
+      keys.reserve(chunk.size());
+      for (const CandidateSpec& c : chunk) {
+        keys.push_back(fingerprintCandidate(c));
+      }
+    }
+    evaluated.assign(chunk.size(), EvaluatedCandidate{});
+    completed.assign(chunk.size(), 0);
+    if (journal) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        if (const EvaluatedCandidate* record = journal->find(keys[i])) {
+          evaluated[i] = *record;
+          evaluated[i].spec = chunk[i];  // journal stores metrics only
+          completed[i] = 1;
+          ++result.skipped;
+        }
+      }
+    }
+
+    const bool ranAll = resolved.parallelForCancellable(
+        chunk.size(),
+        [&](std::size_t i) {
+          if (completed[i] != 0) return;
+          if (cancellable && token.cancelled()) return;
+          evaluated[i] =
+              evaluateCandidateImpl(chunk[i], workload, business, scenarios,
+                                    resolved, scenarioFps, evalOptions);
+          completed[i] = 1;
+          if (journal && !evaluated[i].error) {
+            journal->record(keys[i], evaluated[i]);
+          }
+        },
+        token);
+
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      if (completed[i] != 0) {
+        finished.push_back(std::move(evaluated[i]));
+      } else {
+        stopped = true;  // cancellation left this slot un-evaluated
+      }
+    }
+    if (!ranAll) stopped = true;
+  }
+  if (journal) journal->flush();
+
+  result.cancelled = stopped;
+  rankCandidates(result, std::move(finished));
+  finalizeThroughput(result, startTime);
   return result;
 }
 
@@ -235,6 +357,7 @@ SearchResult searchDesignSpaceSerial(
     const std::vector<CandidateSpec>& candidates, const WorkloadSpec& workload,
     const BusinessRequirements& business,
     const std::vector<ScenarioCase>& scenarios) {
+  const auto startTime = std::chrono::steady_clock::now();
   std::vector<EvaluatedCandidate> evaluated;
   evaluated.reserve(candidates.size());
   for (const CandidateSpec& spec : candidates) {
@@ -256,6 +379,7 @@ SearchResult searchDesignSpaceSerial(
 
   SearchResult result;
   rankCandidates(result, std::move(evaluated));
+  finalizeThroughput(result, startTime);
   return result;
 }
 

@@ -76,6 +76,10 @@ struct SearchResult {
   /// rejected then cover only the candidates that completed — with a
   /// checkpoint journal, a later run resumes the rest.
   bool cancelled = false;
+  /// Sweep wall time and throughput (evaluated + skipped per second);
+  /// filled by every search path for the perf trajectory.
+  double wallSeconds = 0.0;
+  double candidatesPerSec = 0.0;
 
   [[nodiscard]] const EvaluatedCandidate* best() const noexcept {
     return ranked.empty() ? nullptr : &ranked.front();
@@ -102,6 +106,9 @@ struct SearchOptions {
   std::string checkpointPath;
   /// Journal flush cadence (records per flush).
   std::size_t checkpointEvery = 16;
+  /// Streaming sweep only: candidates drained from the cursor per fan-out
+  /// wave. Bounds peak memory at O(streamChunk) materialized candidates.
+  std::size_t streamChunk = 1024;
 };
 
 /// Evaluates one candidate against the scenario set, through `eng`'s cache
@@ -128,6 +135,17 @@ struct SearchOptions {
     const std::vector<CandidateSpec>& candidates, const WorkloadSpec& workload,
     const BusinessRequirements& business,
     const std::vector<ScenarioCase>& scenarios, const SearchOptions& options);
+
+/// Streaming sweep: drains `cursor` in SearchOptions::streamChunk-sized
+/// waves, fanning each wave across the engine's pool, so a million-point
+/// grid is searched in bounded memory (never materialized as a vector).
+/// Composes with checkpoint/resume exactly like the vector overload, and
+/// the result is identical to searchDesignSpace(enumerateDesignSpace(...)).
+[[nodiscard]] SearchResult searchDesignSpaceStreaming(
+    DesignSpaceCursor& cursor, const WorkloadSpec& workload,
+    const BusinessRequirements& business,
+    const std::vector<ScenarioCase>& scenarios,
+    const SearchOptions& options = {});
 
 /// The pre-engine reference implementation: one thread, no cache, direct
 /// evaluate() calls. Kept as the determinism baseline for tests and the
