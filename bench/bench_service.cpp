@@ -1,0 +1,170 @@
+// bench_service — closed-loop load generator for the evaluation service.
+//
+// Starts the embedded HTTP server in-process on a loopback ephemeral port,
+// warms the shared EvalCache with one pass over the case-study what-if
+// designs crossed with the three failure scenarios, then drives a fixed
+// number of closed-loop client threads (each posts /v1/evaluate, waits for
+// the response, posts again) for a measured interval and reports
+// throughput plus the client-observed latency distribution.
+//
+// The warm-cache configuration isolates service overhead — HTTP framing,
+// JSON decode/encode, batching, and the memo lookup — from model math, so
+// this number tracks the cost of putting the evaluator behind a socket.
+//
+// Emits BENCH_service.json (stdout and the working directory) so the perf
+// trajectory can be tracked across PRs, and exits non-zero if the sustained
+// throughput falls below the 1k RPS floor (4 closed-loop threads).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "casestudy/casestudy.hpp"
+#include "config/design_io.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+namespace cs = stordep::casestudy;
+namespace svc = stordep::service;
+using stordep::FailureScenario;
+using stordep::config::Json;
+using stordep::config::JsonObject;
+
+constexpr int kClientThreads = 4;
+constexpr double kMeasureSeconds = 3.0;
+constexpr double kMinRps = 1000.0;
+
+std::vector<std::string> makePayloads() {
+  std::vector<std::string> payloads;
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    for (const FailureScenario& scenario :
+         {cs::objectFailure(), cs::arrayFailure(), cs::siteDisaster()}) {
+      Json payload{JsonObject{}};
+      payload.set("design", stordep::config::designToJson(design));
+      payload.set("scenario", stordep::config::scenarioToJson(scenario));
+      payloads.push_back(payload.dump());
+    }
+  }
+  return payloads;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> payloads = makePayloads();
+
+  svc::ServerOptions options;
+  options.engineThreads = kClientThreads;
+  svc::Server server(options);
+  server.start();
+
+  // Warm pass: every payload evaluated once, so the measured loop hits the
+  // shared cache on every request.
+  {
+    svc::Client client("127.0.0.1", server.port());
+    for (const std::string& payload : payloads) {
+      const svc::HttpClientResponse response =
+          client.post("/v1/evaluate", payload);
+      if (response.status != 200) {
+        std::cerr << "FAIL: warmup request got HTTP " << response.status
+                  << ": " << response.body << "\n";
+        server.shutdown();
+        return 1;
+      }
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<double>> latenciesMs(kClientThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+
+  const auto begin = std::chrono::steady_clock::now();
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      svc::Client client("127.0.0.1", server.port());
+      std::vector<double>& samples = latenciesMs[static_cast<std::size_t>(t)];
+      samples.reserve(1 << 16);
+      std::size_t next = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& payload = payloads[next % payloads.size()];
+        next += 1;
+        const auto reqStart = std::chrono::steady_clock::now();
+        const svc::HttpClientResponse response =
+            client.post("/v1/evaluate", payload);
+        const std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - reqStart;
+        if (response.status == 200) {
+          samples.push_back(elapsed.count());
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kMeasureSeconds));
+  stop.store(true);
+  for (std::thread& thread : clients) thread.join();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - begin;
+  const int engineThreads = server.engine().threads();
+  server.shutdown();
+
+  std::vector<double> all;
+  for (const std::vector<double>& samples : latenciesMs) {
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double rps = static_cast<double>(all.size()) / wall.count();
+  const double p50 = percentile(all, 0.50);
+  const double p99 = percentile(all, 0.99);
+
+  bool ok = true;
+  if (errors.load() != 0) {
+    std::cerr << "FAIL: " << errors.load() << " non-200 responses\n";
+    ok = false;
+  }
+  if (rps < kMinRps) {
+    std::cerr << "FAIL: sustained " << rps << " RPS < " << kMinRps
+              << " RPS floor\n";
+    ok = false;
+  }
+
+  Json doc{JsonObject{}};
+  doc.set("bench", Json("service"));
+  doc.set("clientThreads", Json(static_cast<std::int64_t>(kClientThreads)));
+  doc.set("engineThreads", Json(static_cast<std::int64_t>(engineThreads)));
+  doc.set("distinctPayloads",
+          Json(static_cast<std::int64_t>(payloads.size())));
+  doc.set("measureSeconds", Json(wall.count()));
+  doc.set("requests", Json(static_cast<std::int64_t>(all.size())));
+  doc.set("errors", Json(static_cast<std::int64_t>(errors.load())));
+  doc.set("rps", Json(rps));
+  doc.set("p50Ms", Json(p50));
+  doc.set("p99Ms", Json(p99));
+  doc.set("maxMs", Json(all.empty() ? 0.0 : all.back()));
+  doc.set("ok", Json(ok));
+
+  const std::string out = doc.pretty();
+  std::cout << out << "\n";
+  std::ofstream file("BENCH_service.json");
+  file << out << "\n";
+  return ok ? 0 : 1;
+}

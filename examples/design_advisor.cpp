@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "casestudy/casestudy.hpp"
@@ -86,7 +87,22 @@ int main(int argc, char** argv) {
               << searchOptions.checkpointPath << "\n";
   }
   if (result.failed > 0) {
-    std::cout << result.failed << " candidates failed to evaluate\n";
+    // Break the failures down by the engine's error taxonomy so a partial
+    // sweep says *what* went wrong, not just how much.
+    std::map<std::string, int> byCode;
+    for (const auto& candidate : result.rejected) {
+      if (candidate.error) {
+        ++byCode[std::string(stordep::engine::toString(candidate.error->code))];
+      }
+    }
+    std::cout << result.failed << " candidates failed to evaluate (";
+    bool first = true;
+    for (const auto& [code, count] : byCode) {
+      if (!first) std::cout << ", ";
+      std::cout << count << " " << code;
+      first = false;
+    }
+    std::cout << ")\n";
   }
   if (result.cancelled) {
     std::cout << "sweep stopped at the deadline with "
@@ -152,5 +168,7 @@ int main(int argc, char** argv) {
                 << result.rejected[i].rejectionReason << "\n";
     }
   }
-  return 0;
+  // A sweep with errored candidates produced a ranking over an incomplete
+  // space: exit non-zero so scripted callers notice the partial failure.
+  return result.failed > 0 ? 1 : 0;
 }

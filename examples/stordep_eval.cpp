@@ -9,10 +9,18 @@
 //   $ ./stordep_eval design.json object 24h 1MB       # rollback 24 h, 1 MB
 //   $ ./stordep_eval design.json --risk               # expected annual cost
 //   $ ./stordep_eval design.json site --markdown      # GFM report
+//   $ ./stordep_eval design.json site --json          # service envelope
+//
+// --json prints exactly the document POST /v1/evaluate returns for the same
+// design and scenario (compactly dumped, no trailing newline), so offline
+// and served evaluations can be compared bit for bit.
 //
 // Scenario targets default to the first device / its site; pass a JSON
 // scenario file instead of a keyword for full control, e.g.
 //   {"scope": "site", "target": "primary-site"}
+//
+// Exit status: 0 success, 1 infeasible/unrecoverable, 2 usage/input error,
+// 3 evaluation failure (the engine's error taxonomy name is printed).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,7 +28,9 @@
 #include "casestudy/casestudy.hpp"
 #include "config/design_io.hpp"
 #include "core/risk.hpp"
+#include "engine/batch.hpp"
 #include "report/report.hpp"
+#include "service/json_api.hpp"
 
 namespace {
 
@@ -29,7 +39,7 @@ int usage() {
       << "usage:\n"
          "  stordep_eval --dump-baseline <out.json>\n"
          "  stordep_eval <design.json> (object [age] [size] | array [device]"
-         " | site [site] | <scenario.json>)\n"
+         " | site [site] | <scenario.json>) [--markdown|--json]\n"
          "  stordep_eval <design.json> --risk\n";
   return 2;
 }
@@ -93,10 +103,18 @@ int main(int argc, char** argv) {
       return risk.unrecoverableFrequency > 0 ? 1 : 0;
     }
 
-    // Trailing --markdown switches the output format.
+    // Trailing flags switch the output format.
     bool markdown = false;
-    if (argc >= 3 && std::string(argv[argc - 1]) == "--markdown") {
-      markdown = true;
+    bool json = false;
+    while (argc >= 3) {
+      const std::string last = argv[argc - 1];
+      if (last == "--markdown") {
+        markdown = true;
+      } else if (last == "--json") {
+        json = true;
+      } else {
+        break;
+      }
       --argc;
     }
 
@@ -122,11 +140,27 @@ int main(int argc, char** argv) {
       }
     }
 
-    const stordep::EvaluationResult result = evaluate(design, scenario);
-    std::cout << (markdown
-                      ? stordep::report::markdownReport(design, scenario,
-                                                        result)
-                      : stordep::report::fullReport(design, scenario, result));
+    // Evaluate under the structured-error contract so a model failure exits
+    // with the engine's taxonomy name instead of an opaque exception.
+    const stordep::engine::EvalOutcome outcome =
+        stordep::engine::Engine::shared().tryEvaluate(design, scenario);
+    if (!outcome.ok()) {
+      const stordep::engine::EvalError& error = outcome.error();
+      std::cerr << "error: " << stordep::engine::toString(error.code) << ": "
+                << error.message << "\n";
+      return 3;
+    }
+    const stordep::EvaluationResult& result = outcome.value();
+    if (json) {
+      // Byte-identical to the service's single-evaluate response body.
+      std::cout << stordep::service::evaluationToJson(design, scenario, result)
+                       .dump();
+    } else {
+      std::cout << (markdown ? stordep::report::markdownReport(design,
+                                                               scenario, result)
+                             : stordep::report::fullReport(design, scenario,
+                                                           result));
+    }
     return result.recovery.recoverable && result.utilization.feasible() ? 0
                                                                         : 1;
   } catch (const std::exception& e) {

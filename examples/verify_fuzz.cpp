@@ -9,6 +9,12 @@
 //   verify_fuzz [--seed N] [--cases N] [--no-minimize] [--max-failures N]
 //               [--sim-every N] [--search-every N] [--io-every N]
 //               [--replay INDEX] [--out FILE] [--list-relations]
+//               [--server N]
+//
+// --server N switches to the service oracle: N gen-seeded evaluate payloads
+// round-trip through a loopback HTTP server (POST /v1/evaluate) and each
+// response must be byte-identical to the in-process engine evaluating the
+// same round-tripped design — the served path may not change a single bit.
 //
 // Replaying a failure: a report names (seed, index); re-run just that case
 // with `verify_fuzz --seed N --replay INDEX`.
@@ -20,6 +26,12 @@
 #include <optional>
 #include <string>
 
+#include "config/design_io.hpp"
+#include "engine/batch.hpp"
+#include "service/client.hpp"
+#include "service/json_api.hpp"
+#include "service/server.hpp"
+#include "verify/gen.hpp"
 #include "verify/harness.hpp"
 
 namespace {
@@ -37,7 +49,9 @@ void usage() {
          "  --search-every N  search-parity oracle cadence (default 200)\n"
          "  --io-every N      round-trip/mutation oracle cadence (default 1)\n"
          "  --out FILE        write the JSON report to FILE\n"
-         "  --list-relations  print every metamorphic relation and exit\n";
+         "  --list-relations  print every metamorphic relation and exit\n"
+         "  --server N        round-trip N payloads through a loopback\n"
+         "                    evaluation server instead (byte-exact oracle)\n";
 }
 
 long long parseIntArg(int argc, char** argv, int& i, const std::string& flag) {
@@ -54,6 +68,70 @@ long long parseIntArg(int argc, char** argv, int& i, const std::string& flag) {
   }
 }
 
+/// The service oracle: round-trips `cases` gen-seeded evaluate payloads
+/// through a loopback server and demands byte-identical agreement with the
+/// in-process engine. Both sides evaluate the *round-tripped* design
+/// (designFromJson(designToJson(d))) — exactly what the server parses — so
+/// any mismatch is the service layer's fault, not serialization drift.
+int runServerFuzz(std::uint64_t seed, int cases) {
+  using namespace stordep;
+
+  service::ServerOptions serverOptions;
+  serverOptions.engineThreads = 2;
+  service::Server server(serverOptions);
+  server.start();
+
+  engine::Engine reference(engine::EngineOptions{.threads = 1});
+  service::Client client("127.0.0.1", server.port());
+
+  int failures = 0;
+  for (int index = 0; index < cases; ++index) {
+    const verify::CaseSpec spec =
+        verify::caseForSeed(seed, static_cast<std::uint64_t>(index));
+    const StorageDesign design = verify::makeDesign(spec);
+    const FailureScenario scenario = verify::makeScenario(spec);
+
+    config::Json payload{config::JsonObject{}};
+    payload.set("design", config::designToJson(design));
+    payload.set("scenario", config::scenarioToJson(scenario));
+    const service::HttpClientResponse response = client.post(
+        "/v1/evaluate", payload.dump(),
+        {{"Content-Type", "application/json"}});
+
+    const StorageDesign parsed =
+        config::designFromJson(config::designToJson(design));
+    const engine::EvalOutcome outcome =
+        reference.tryEvaluate(parsed, scenario);
+    std::string expectedBody;
+    int expectedStatus = 0;
+    if (outcome.ok()) {
+      expectedStatus = 200;
+      expectedBody =
+          service::evaluationToJson(parsed, scenario, outcome.value()).dump();
+    } else {
+      expectedStatus = service::httpStatusFor(outcome.error().code);
+      expectedBody = service::evalErrorToJson(outcome.error()).dump();
+    }
+
+    if (response.status != expectedStatus || response.body != expectedBody) {
+      ++failures;
+      std::cout << "FAIL service-round-trip (case " << index << ")\n"
+                << "  expected " << expectedStatus << ": " << expectedBody
+                << "\n  got      " << response.status << ": " << response.body
+                << "\n  replay: verify_fuzz --seed " << seed << " --server "
+                << (index + 1) << "\n  case: "
+                << verify::describeCase(spec) << "\n";
+    }
+  }
+
+  server.shutdown();
+  std::cout << "seed " << seed << ": " << cases
+            << " evaluate payloads round-tripped through the loopback "
+               "server, "
+            << failures << " mismatch(es)\n";
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +140,7 @@ int main(int argc, char** argv) {
   verify::FuzzOptions options;
   std::optional<std::uint64_t> replayIndex;
   std::string outPath;
+  int serverCases = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,6 +164,8 @@ int main(int argc, char** argv) {
       options.searchEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--io-every") {
       options.ioEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--server") {
+      serverCases = static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--out") {
       if (i + 1 >= argc) {
         std::cerr << "verify_fuzz: --out needs a value\n";
@@ -106,6 +187,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (serverCases > 0) return runServerFuzz(options.seed, serverCases);
 
   const verify::FuzzReport report =
       replayIndex ? verify::replayCase(options.seed, *replayIndex, options)

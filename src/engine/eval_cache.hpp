@@ -53,6 +53,27 @@ class EvalCache {
                         : static_cast<double>(hits) /
                               static_cast<double>(total);
     }
+
+    /// Snapshot diff: the traffic counters accumulated since `since` was
+    /// taken (monotone counters subtract; a counter that somehow went
+    /// backwards — e.g. `since` from before a clear() — clamps to 0 rather
+    /// than wrapping). `entries`/`capacity` stay at this snapshot's values:
+    /// they are gauges, not counters. This is what lets a periodic scraper
+    /// (/metrics) report per-interval hit rates instead of lifetime totals.
+    [[nodiscard]] Stats delta(const Stats& since) const noexcept {
+      const auto sub = [](std::uint64_t now, std::uint64_t then) {
+        return now >= then ? now - then : std::uint64_t{0};
+      };
+      Stats out;
+      out.hits = sub(hits, since.hits);
+      out.misses = sub(misses, since.misses);
+      out.probes = sub(probes, since.probes);
+      out.inserts = sub(inserts, since.inserts);
+      out.evictions = sub(evictions, since.evictions);
+      out.entries = entries;
+      out.capacity = capacity;
+      return out;
+    }
   };
 
   /// `capacity` bounds the total entry count (split evenly across shards,

@@ -565,6 +565,17 @@ void resetFingerprintCounters() noexcept {
   g_hashNanos.store(0, std::memory_order_relaxed);
 }
 
+FingerprintCounters fingerprintCountersReset() noexcept {
+  FingerprintCounters out;
+  out.designFingerprints =
+      g_designFingerprints.exchange(0, std::memory_order_relaxed);
+  out.scenarioFingerprints =
+      g_scenarioFingerprints.exchange(0, std::memory_order_relaxed);
+  out.bytesHashed = g_bytesHashed.exchange(0, std::memory_order_relaxed);
+  out.hashNanos = g_hashNanos.exchange(0, std::memory_order_relaxed);
+  return out;
+}
+
 void setFingerprintTiming(bool enabled) noexcept {
   g_timingEnabled.store(enabled, std::memory_order_relaxed);
 }

@@ -136,6 +136,12 @@ struct FingerprintCounters {
 
 [[nodiscard]] FingerprintCounters fingerprintCounters() noexcept;
 void resetFingerprintCounters() noexcept;
+/// Atomically reads *and zeroes* the counters, returning the values they
+/// held. A periodic scraper (the service's /metrics endpoint) calls this
+/// once per scrape so consecutive snapshots are per-interval rates rather
+/// than process-lifetime totals, without a read-then-reset race dropping
+/// ops counted in between.
+[[nodiscard]] FingerprintCounters fingerprintCountersReset() noexcept;
 /// Enables steady_clock accounting of hash time (benches only).
 void setFingerprintTiming(bool enabled) noexcept;
 [[nodiscard]] bool fingerprintTimingEnabled() noexcept;

@@ -344,6 +344,7 @@ SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
       }
     }
     if (!ranAll) stopped = true;
+    if (options.onProgress) options.onProgress(finished.size());
   }
   if (journal) journal->flush();
 

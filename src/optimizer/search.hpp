@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -109,6 +110,12 @@ struct SearchOptions {
   /// Streaming sweep only: candidates drained from the cursor per fan-out
   /// wave. Bounds peak memory at O(streamChunk) materialized candidates.
   std::size_t streamChunk = 1024;
+  /// Streaming sweep only: called on the sweeping thread after every wave
+  /// with the cumulative number of candidates dispatched (evaluated +
+  /// resumed from checkpoint) so far. Lets a long sweep report progress
+  /// (the service's /v1/search streams one chunk per callback). Must not
+  /// throw; keep it cheap — it runs between waves, on the critical path.
+  std::function<void(std::size_t done)> onProgress;
 };
 
 /// Evaluates one candidate against the scenario set, through `eng`'s cache

@@ -1,0 +1,150 @@
+#include "service/batcher.hpp"
+
+namespace stordep::service {
+
+Batcher::Batcher(engine::Engine& engine, Options options,
+                 ServiceMetrics* metrics)
+    : engine_(engine), options_(options), metrics_(metrics) {
+  worker_ = std::thread([this] { run(); });
+}
+
+Batcher::~Batcher() { stop(); }
+
+Batcher::Submit Batcher::submit(Job job) {
+  const std::size_t slots = job.requests.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || stop_) return Submit::kShuttingDown;
+    if (queuedSlots_ + slots > options_.maxQueueSlots) {
+      return Submit::kQueueFull;
+    }
+    queuedSlots_ += slots;
+    queue_.push_back(std::move(job));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->queuedSlots.fetch_add(static_cast<std::int64_t>(slots),
+                                    std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+  return Submit::kAccepted;
+}
+
+void Batcher::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.notify_all();
+  drained_.wait(lock, [this] { return queue_.empty() && !evaluating_; });
+}
+
+void Batcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::size_t Batcher::queuedSlots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queuedSlots_;
+}
+
+void Batcher::run() {
+  std::vector<Job> wave;
+  for (;;) {
+    wave.clear();
+    std::size_t waveSlots = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) {
+        // stop_ with nothing queued: every accepted job has completed.
+        drained_.notify_all();
+        return;
+      }
+      // First job seen: linger briefly so concurrent connections coalesce
+      // into the same engine fan-out (skipped once shutdown has begun).
+      if (!draining_ && options_.linger.count() > 0) {
+        cv_.wait_for(lock, options_.linger, [this] {
+          return queuedSlots_ >= options_.maxWaveSlots || stop_;
+        });
+      }
+      while (!queue_.empty() &&
+             (wave.empty() || waveSlots + queue_.front().requests.size() <=
+                                  options_.maxWaveSlots)) {
+        waveSlots += queue_.front().requests.size();
+        wave.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queuedSlots_ -= waveSlots;
+      evaluating_ = true;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->queuedSlots.fetch_sub(static_cast<std::int64_t>(waveSlots),
+                                      std::memory_order_relaxed);
+      metrics_->inFlightSlots.fetch_add(static_cast<std::int64_t>(waveSlots),
+                                        std::memory_order_relaxed);
+    }
+
+    // Partition the wave: jobs whose token already fired complete with the
+    // structured cancellation error without consuming engine work.
+    std::vector<engine::EvalRequest> combined;
+    combined.reserve(waveSlots);
+    std::vector<std::size_t> offsets(wave.size(), 0);
+    std::vector<char> expired(wave.size(), 0);
+    for (std::size_t j = 0; j < wave.size(); ++j) {
+      if (wave[j].token.cancellable() && wave[j].token.cancelled()) {
+        expired[j] = 1;
+        continue;
+      }
+      offsets[j] = combined.size();
+      combined.insert(combined.end(), wave[j].requests.begin(),
+                      wave[j].requests.end());
+    }
+
+    engine::BatchResult batch;
+    if (!combined.empty()) {
+      engine::BatchOptions batchOptions;
+      batchOptions.maxRetries = options_.maxRetries;
+      batch = engine_.evaluateBatch(combined, batchOptions);
+      if (metrics_ != nullptr) {
+        metrics_->waves.fetch_add(1, std::memory_order_relaxed);
+        metrics_->batchedSlots.fetch_add(combined.size(),
+                                         std::memory_order_relaxed);
+      }
+    }
+
+    for (std::size_t j = 0; j < wave.size(); ++j) {
+      std::vector<engine::EvalOutcome> outcomes;
+      outcomes.reserve(wave[j].requests.size());
+      if (expired[j] != 0) {
+        const engine::EvalError error = wave[j].token.toError();
+        for (std::size_t k = 0; k < wave[j].requests.size(); ++k) {
+          outcomes.emplace_back(error);
+        }
+        if (metrics_ != nullptr) {
+          metrics_->deadlineExpired.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        for (std::size_t k = 0; k < wave[j].requests.size(); ++k) {
+          outcomes.push_back(std::move(batch.results[offsets[j] + k]));
+        }
+      }
+      if (wave[j].done) wave[j].done(std::move(outcomes), batch.stats);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->inFlightSlots.fetch_sub(static_cast<std::int64_t>(waveSlots),
+                                        std::memory_order_relaxed);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      evaluating_ = false;
+      if (queue_.empty()) drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace stordep::service

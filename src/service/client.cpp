@@ -1,0 +1,193 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace stordep::service {
+
+namespace {
+
+void applyTimeout(int fd, std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout)
+    : host_(host), port_(port), timeout_(timeout) {
+  connect();
+}
+
+Client::~Client() { disconnect(); }
+
+Client::Client(Client&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_(other.timeout_),
+      fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    disconnect();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_ = other.timeout_;
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::disconnect() noexcept {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect() {
+  disconnect();
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error("socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    throw std::runtime_error("bad address: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    close(fd);
+    throw std::runtime_error("connect to " + host_ + ":" +
+                             std::to_string(port_) + " failed: " + reason);
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  applyTimeout(fd, timeout_);
+  fd_ = fd;
+}
+
+void Client::sendRequest(const std::string& method, const std::string& target,
+                         const std::string& body,
+                         const HttpHeaders& headers) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += method;
+  out += ' ';
+  out += target;
+  out += " HTTP/1.1\r\nHost: ";
+  out += host_;
+  out += "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+
+  std::string_view pending = out;
+  while (!pending.empty()) {
+    const ssize_t n = send(fd_, pending.data(), pending.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      disconnect();
+      throw std::runtime_error("send failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    pending.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+HttpClientResponse Client::readResponse(
+    const std::function<void(std::string_view line)>* onLine) {
+  HttpResponseParser parser;
+  std::size_t emitted = 0;  // body bytes already delivered as lines
+  char buf[16 * 1024];
+  while (parser.status() == ParseStatus::kNeedMore) {
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      disconnect();
+      throw std::runtime_error("recv failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      disconnect();
+      throw std::runtime_error("connection closed mid-response");
+    }
+    std::string_view data(buf, static_cast<std::size_t>(n));
+    while (!data.empty() && parser.status() == ParseStatus::kNeedMore) {
+      data.remove_prefix(parser.feed(data));
+    }
+    if (onLine != nullptr) {
+      // The parser decodes chunks into response().body as they arrive;
+      // emit every complete newline-terminated line we have not seen yet.
+      const std::string& bodySoFar = parser.response().body;
+      std::size_t newline;
+      while ((newline = bodySoFar.find('\n', emitted)) != std::string::npos) {
+        (*onLine)(std::string_view(bodySoFar).substr(emitted,
+                                                     newline - emitted));
+        emitted = newline + 1;
+      }
+    }
+  }
+  if (parser.status() == ParseStatus::kError) {
+    disconnect();
+    throw std::runtime_error("malformed response: " + parser.error().message);
+  }
+  HttpClientResponse response = std::move(parser.response());
+  if (!response.keepAlive()) disconnect();
+  return response;
+}
+
+HttpClientResponse Client::request(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body,
+                                   const HttpHeaders& headers) {
+  if (fd_ < 0) connect();
+  try {
+    sendRequest(method, target, body, headers);
+    return readResponse(nullptr);
+  } catch (const std::exception&) {
+    // The keep-alive connection may have been closed between requests;
+    // retry exactly once on a fresh connection.
+    connect();
+    sendRequest(method, target, body, headers);
+    return readResponse(nullptr);
+  }
+}
+
+HttpClientResponse Client::postStreaming(
+    const std::string& target, const std::string& body,
+    const std::function<void(std::string_view line)>& onLine) {
+  if (fd_ < 0) connect();
+  sendRequest("POST", target, body, {});
+  return readResponse(&onLine);
+}
+
+}  // namespace stordep::service

@@ -1,0 +1,78 @@
+// client.hpp — a minimal blocking HTTP client for the evaluation service.
+//
+// Covers exactly what the tests, the fuzz harness and the load generator
+// need: connect to a host:port, send one request at a time over a
+// keep-alive connection, and parse the response (fixed or chunked bodies)
+// with the same HttpResponseParser the torn-read tests exercise. Chunked
+// NDJSON streams (POST /v1/search) can be consumed line-by-line through
+// an onLine callback as chunks arrive.
+//
+// Not a general HTTP client: no TLS, no redirects, no proxies, blocking
+// I/O only. One Client per thread; it is not synchronized.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "service/http.hpp"
+
+namespace stordep::service {
+
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error when the server is
+  /// unreachable.
+  Client(const std::string& host, std::uint16_t port,
+         std::chrono::milliseconds timeout = std::chrono::milliseconds{30'000});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// One request/response round trip. Reconnects transparently when the
+  /// server closed the previous keep-alive connection. Throws
+  /// std::runtime_error on connect/write/read failure or a malformed
+  /// response.
+  HttpClientResponse request(const std::string& method,
+                             const std::string& target,
+                             const std::string& body = "",
+                             const HttpHeaders& headers = {});
+
+  [[nodiscard]] HttpClientResponse get(const std::string& target) {
+    return request("GET", target);
+  }
+  [[nodiscard]] HttpClientResponse post(const std::string& target,
+                                        const std::string& body,
+                                        const HttpHeaders& headers = {}) {
+    return request("POST", target, body, headers);
+  }
+
+  /// POSTs and feeds each newline-terminated line of the (chunked) response
+  /// body to `onLine` as it arrives — how a caller watches /v1/search
+  /// progress live. The full body is also returned.
+  HttpClientResponse postStreaming(
+      const std::string& target, const std::string& body,
+      const std::function<void(std::string_view line)>& onLine);
+
+  /// Closes the connection; the next request() reconnects.
+  void disconnect() noexcept;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  void connect();
+  void sendRequest(const std::string& method, const std::string& target,
+                   const std::string& body, const HttpHeaders& headers);
+  HttpClientResponse readResponse(
+      const std::function<void(std::string_view line)>* onLine);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::chrono::milliseconds timeout_{30'000};
+  int fd_ = -1;
+};
+
+}  // namespace stordep::service

@@ -1,0 +1,619 @@
+#include "service/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+
+namespace stordep::service {
+
+namespace {
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// "name: value" → appended to `headers`; false on a malformed line.
+bool parseHeaderLine(std::string_view line, HttpHeaders& headers) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  const std::string_view name = line.substr(0, colon);
+  // Field names are tokens: no spaces (a space before the colon is the
+  // classic request-smuggling vector, so it is an error, not a trim).
+  for (const char c : name) {
+    if (c == ' ' || c == '\t') return false;
+  }
+  headers.emplace_back(std::string(name),
+                       std::string(trim(line.substr(colon + 1))));
+  return true;
+}
+
+/// Strict base-10 Content-Length; nullopt on anything else.
+[[nodiscard]] std::optional<std::uint64_t> parseContentLength(
+    std::string_view text) {
+  if (text.empty() || text.size() > 18) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Connection semantics shared by requests and responses.
+[[nodiscard]] bool computeKeepAlive(const HttpHeaders& headers,
+                                    int versionMinor) noexcept {
+  const std::string* connection = findHeader(headers, "connection");
+  if (connection != nullptr) {
+    if (iequals(*connection, "close")) return false;
+    if (iequals(*connection, "keep-alive")) return true;
+  }
+  return versionMinor >= 1;
+}
+
+}  // namespace
+
+const std::string* findHeader(const HttpHeaders& headers,
+                              std::string_view name) noexcept {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::keepAlive() const noexcept {
+  return computeKeepAlive(headers, versionMinor);
+}
+
+std::string_view HttpRequest::path() const noexcept {
+  const std::string_view t = target;
+  const std::size_t query = t.find('?');
+  return query == std::string_view::npos ? t : t.substr(0, query);
+}
+
+bool HttpClientResponse::keepAlive() const noexcept {
+  return computeKeepAlive(headers, versionMinor);
+}
+
+// ---- HttpRequestParser -----------------------------------------------------
+
+void HttpRequestParser::fail(int status, std::string message) {
+  state_ = State::kError;
+  status_ = ParseStatus::kError;
+  error_ = ParseError{status, std::move(message)};
+}
+
+void HttpRequestParser::reset() {
+  state_ = State::kRequestLine;
+  status_ = ParseStatus::kNeedMore;
+  request_ = HttpRequest{};
+  error_ = ParseError{};
+  line_.clear();
+  sawCr_ = false;
+  headerBytes_ = 0;
+  bodyRemaining_ = 0;
+}
+
+void HttpRequestParser::finishRequestLine() {
+  if (line_.empty()) return;  // tolerate leading blank lines (RFC 9112 §2.2)
+  const std::string_view line = line_;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= line.size()) {
+    fail(400, "malformed request line");
+    return;
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request_.versionMinor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.versionMinor = 0;
+  } else if (version.substr(0, 5) == "HTTP/") {
+    // A real HTTP version we don't speak: 505 tells the client to retry
+    // with a supported one. Anything else is just a garbled request line.
+    fail(505, "unsupported HTTP version");
+    return;
+  } else {
+    fail(400, "malformed request line");
+    return;
+  }
+  if (request_.target[0] != '/') {
+    fail(400, "request target must be origin-form");
+    return;
+  }
+  state_ = State::kHeaders;
+  line_.clear();
+}
+
+void HttpRequestParser::finishHeaderLine() {
+  if (line_.empty()) {
+    finishHeaderBlock();
+    return;
+  }
+  if (line_[0] == ' ' || line_[0] == '\t') {
+    fail(400, "obsolete header line folding");
+    return;
+  }
+  if (!parseHeaderLine(line_, request_.headers)) {
+    fail(400, "malformed header line");
+    return;
+  }
+  line_.clear();
+}
+
+void HttpRequestParser::finishHeaderBlock() {
+  const std::string* transferEncoding =
+      request_.header("transfer-encoding");
+  const std::string* contentLength = request_.header("content-length");
+  if (transferEncoding != nullptr) {
+    if (!iequals(*transferEncoding, "chunked")) {
+      fail(501, "unsupported transfer encoding");
+      return;
+    }
+    if (contentLength != nullptr) {
+      fail(400, "both Transfer-Encoding and Content-Length");
+      return;
+    }
+    request_.chunked = true;
+    state_ = State::kChunkSize;
+    line_.clear();
+    return;
+  }
+  if (contentLength != nullptr) {
+    const std::optional<std::uint64_t> length =
+        parseContentLength(*contentLength);
+    if (!length) {
+      fail(400, "malformed Content-Length");
+      return;
+    }
+    if (*length > limits_.maxBodyBytes) {
+      fail(413, "request body too large");
+      return;
+    }
+    bodyRemaining_ = static_cast<std::size_t>(*length);
+    if (bodyRemaining_ == 0) {
+      state_ = State::kComplete;
+      status_ = ParseStatus::kComplete;
+      return;
+    }
+    request_.body.reserve(bodyRemaining_);
+    state_ = State::kBody;
+    return;
+  }
+  // No body.
+  state_ = State::kComplete;
+  status_ = ParseStatus::kComplete;
+}
+
+void HttpRequestParser::finishChunkSizeLine() {
+  std::string_view line = std::string_view(line_);
+  const std::size_t ext = line.find(';');
+  if (ext != std::string_view::npos) line = trim(line.substr(0, ext));
+  if (line.empty() || line.size() > 16) {
+    fail(400, "malformed chunk size");
+    return;
+  }
+  std::uint64_t size = 0;
+  for (const char c : line) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      fail(400, "malformed chunk size");
+      return;
+    }
+    size = size * 16 + static_cast<std::uint64_t>(digit);
+  }
+  line_.clear();
+  if (size == 0) {
+    state_ = State::kTrailers;
+    return;
+  }
+  if (request_.body.size() + size > limits_.maxBodyBytes) {
+    fail(413, "request body too large");
+    return;
+  }
+  bodyRemaining_ = static_cast<std::size_t>(size);
+  state_ = State::kChunkData;
+}
+
+std::size_t HttpRequestParser::feed(std::string_view data) {
+  std::size_t i = 0;
+  while (i < data.size() && state_ != State::kComplete &&
+         state_ != State::kError) {
+    // Bulk states first: copy as much payload as is available.
+    if (state_ == State::kBody || state_ == State::kChunkData) {
+      const std::size_t take =
+          std::min(bodyRemaining_, data.size() - i);
+      request_.body.append(data.substr(i, take));
+      bodyRemaining_ -= take;
+      i += take;
+      if (bodyRemaining_ == 0) {
+        if (state_ == State::kBody) {
+          state_ = State::kComplete;
+          status_ = ParseStatus::kComplete;
+        } else {
+          state_ = State::kChunkDataEnd;
+        }
+      }
+      continue;
+    }
+
+    const char c = data[i++];
+    // Everything below is line-structured.
+    if (state_ == State::kHeaders || state_ == State::kTrailers) {
+      if (++headerBytes_ > limits_.maxHeaderBytes) {
+        fail(431, "header block too large");
+        break;
+      }
+    }
+    if (c == '\r') {
+      if (sawCr_) {
+        fail(400, "stray CR");
+        break;
+      }
+      sawCr_ = true;
+      continue;
+    }
+    if (sawCr_ && c != '\n') {
+      fail(400, "CR not followed by LF");
+      break;
+    }
+    sawCr_ = false;
+    if (c != '\n') {
+      line_.push_back(c);
+      if (state_ == State::kRequestLine &&
+          line_.size() > limits_.maxRequestLineBytes) {
+        fail(431, "request line too long");
+        break;
+      }
+      if (state_ == State::kChunkDataEnd) {
+        fail(400, "missing CRLF after chunk data");
+        break;
+      }
+      continue;
+    }
+
+    // End of line.
+    switch (state_) {
+      case State::kRequestLine:
+        finishRequestLine();
+        break;
+      case State::kHeaders:
+        finishHeaderLine();
+        break;
+      case State::kChunkSize:
+        finishChunkSizeLine();
+        break;
+      case State::kChunkDataEnd:
+        if (!line_.empty()) {
+          fail(400, "missing CRLF after chunk data");
+        } else {
+          state_ = State::kChunkSize;
+        }
+        break;
+      case State::kTrailers:
+        if (line_.empty()) {
+          state_ = State::kComplete;
+          status_ = ParseStatus::kComplete;
+        } else {
+          line_.clear();  // trailer fields are accepted and ignored
+        }
+        break;
+      default:
+        fail(500, "parser state error");
+        break;
+    }
+  }
+  return i;
+}
+
+// ---- Response serialization ------------------------------------------------
+
+const char* reasonPhrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+void appendHead(std::string& out, int status, const HttpHeaders& headers) {
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reasonPhrase(status);
+  out += "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+}
+
+}  // namespace
+
+std::string serializeResponse(const HttpResponse& response, bool keepAlive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  appendHead(out, response.status, response.headers);
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  if (!keepAlive) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string serializeChunkedHead(int status, const HttpHeaders& headers) {
+  std::string out;
+  appendHead(out, status, headers);
+  out += "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+  return out;
+}
+
+std::string encodeChunk(std::string_view data) {
+  if (data.empty()) return {};
+  std::string out;
+  out.reserve(data.size() + 20);
+  char size[17];
+  std::snprintf(size, sizeof(size), "%zx", data.size());
+  out += size;
+  out += "\r\n";
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+// ---- HttpResponseParser ----------------------------------------------------
+
+void HttpResponseParser::fail(std::string message) {
+  state_ = State::kError;
+  status_ = ParseStatus::kError;
+  error_ = ParseError{0, std::move(message)};
+}
+
+void HttpResponseParser::reset() {
+  state_ = State::kStatusLine;
+  status_ = ParseStatus::kNeedMore;
+  response_ = HttpClientResponse{};
+  error_ = ParseError{};
+  line_.clear();
+  sawCr_ = false;
+  headerBytes_ = 0;
+  bodyRemaining_ = 0;
+}
+
+void HttpResponseParser::finishStatusLine() {
+  const std::string_view line = line_;
+  // "HTTP/1.x NNN reason"
+  if (line.size() < 12 || line.compare(0, 7, "HTTP/1.") != 0 ||
+      line[8] != ' ') {
+    fail("malformed status line");
+    return;
+  }
+  response_.versionMinor = line[7] - '0';
+  int status = 0;
+  for (std::size_t i = 9; i < 12; ++i) {
+    if (line[i] < '0' || line[i] > '9') {
+      fail("malformed status code");
+      return;
+    }
+    status = status * 10 + (line[i] - '0');
+  }
+  response_.status = status;
+  state_ = State::kHeaders;
+  line_.clear();
+}
+
+void HttpResponseParser::finishHeaderLine() {
+  if (line_.empty()) {
+    finishHeaderBlock();
+    return;
+  }
+  if (!parseHeaderLine(line_, response_.headers)) {
+    fail("malformed header line");
+    return;
+  }
+  line_.clear();
+}
+
+void HttpResponseParser::finishHeaderBlock() {
+  if (response_.status == 204 || response_.status == 304) {
+    state_ = State::kComplete;
+    status_ = ParseStatus::kComplete;
+    return;
+  }
+  const std::string* transferEncoding =
+      response_.header("transfer-encoding");
+  if (transferEncoding != nullptr && iequals(*transferEncoding, "chunked")) {
+    response_.chunked = true;
+    state_ = State::kChunkSize;
+    line_.clear();
+    return;
+  }
+  const std::string* contentLength = response_.header("content-length");
+  if (contentLength != nullptr) {
+    const std::optional<std::uint64_t> length =
+        parseContentLength(*contentLength);
+    if (!length || *length > limits_.maxBodyBytes) {
+      fail("bad Content-Length");
+      return;
+    }
+    bodyRemaining_ = static_cast<std::size_t>(*length);
+    if (bodyRemaining_ == 0) {
+      state_ = State::kComplete;
+      status_ = ParseStatus::kComplete;
+      return;
+    }
+    state_ = State::kBody;
+    return;
+  }
+  // Neither framing header: the service never sends such responses, so
+  // treat the body as empty rather than reading to connection close.
+  state_ = State::kComplete;
+  status_ = ParseStatus::kComplete;
+}
+
+void HttpResponseParser::finishChunkSizeLine() {
+  std::string_view line = std::string_view(line_);
+  const std::size_t ext = line.find(';');
+  if (ext != std::string_view::npos) line = trim(line.substr(0, ext));
+  if (line.empty() || line.size() > 16) {
+    fail("malformed chunk size");
+    return;
+  }
+  std::uint64_t size = 0;
+  for (const char c : line) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      fail("malformed chunk size");
+      return;
+    }
+    size = size * 16 + static_cast<std::uint64_t>(digit);
+  }
+  line_.clear();
+  if (size == 0) {
+    state_ = State::kTrailers;
+    return;
+  }
+  if (response_.body.size() + size > limits_.maxBodyBytes) {
+    fail("response body too large");
+    return;
+  }
+  bodyRemaining_ = static_cast<std::size_t>(size);
+  state_ = State::kChunkData;
+}
+
+std::size_t HttpResponseParser::feed(std::string_view data) {
+  std::size_t i = 0;
+  while (i < data.size() && state_ != State::kComplete &&
+         state_ != State::kError) {
+    if (state_ == State::kBody || state_ == State::kChunkData) {
+      const std::size_t take = std::min(bodyRemaining_, data.size() - i);
+      response_.body.append(data.substr(i, take));
+      bodyRemaining_ -= take;
+      i += take;
+      if (bodyRemaining_ == 0) {
+        if (state_ == State::kBody) {
+          state_ = State::kComplete;
+          status_ = ParseStatus::kComplete;
+        } else {
+          state_ = State::kChunkDataEnd;
+        }
+      }
+      continue;
+    }
+
+    const char c = data[i++];
+    if (state_ == State::kHeaders || state_ == State::kTrailers) {
+      if (++headerBytes_ > limits_.maxHeaderBytes) {
+        fail("header block too large");
+        break;
+      }
+    }
+    if (c == '\r') {
+      if (sawCr_) {
+        fail("stray CR");
+        break;
+      }
+      sawCr_ = true;
+      continue;
+    }
+    if (sawCr_ && c != '\n') {
+      fail("CR not followed by LF");
+      break;
+    }
+    sawCr_ = false;
+    if (c != '\n') {
+      line_.push_back(c);
+      if (state_ == State::kChunkDataEnd) {
+        fail("missing CRLF after chunk data");
+        break;
+      }
+      continue;
+    }
+
+    switch (state_) {
+      case State::kStatusLine:
+        finishStatusLine();
+        break;
+      case State::kHeaders:
+        finishHeaderLine();
+        break;
+      case State::kChunkSize:
+        finishChunkSizeLine();
+        break;
+      case State::kChunkDataEnd:
+        if (!line_.empty()) {
+          fail("missing CRLF after chunk data");
+        } else {
+          state_ = State::kChunkSize;
+        }
+        break;
+      case State::kTrailers:
+        if (line_.empty()) {
+          state_ = State::kComplete;
+          status_ = ParseStatus::kComplete;
+        } else {
+          line_.clear();
+        }
+        break;
+      default:
+        fail("parser state error");
+        break;
+    }
+  }
+  return i;
+}
+
+}  // namespace stordep::service

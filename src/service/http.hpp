@@ -1,0 +1,210 @@
+// http.hpp — incremental HTTP/1.1 message parsing and serialization.
+//
+// The service layer needs exactly the slice of HTTP/1.1 a loopback/LAN
+// evaluation daemon uses: request line + headers + body (Content-Length or
+// chunked), keep-alive and pipelining, and response writing (fixed bodies
+// and chunked streaming). No external dependency — the grammar here is
+// small enough that a hand-rolled push parser is both the fastest and the
+// most testable option (tests feed every torn-read split of every message).
+//
+// HttpRequestParser is a byte-at-a-time state machine: feed() consumes
+// bytes until the current message completes (or errors) and *stops there*,
+// leaving pipelined follow-on bytes unconsumed for the caller's buffer.
+// Torn reads at any boundary are handled by construction — the parser keeps
+// its own partial-line state between feeds. Limits (request-line size,
+// total header size, body size) are enforced as the bytes arrive, so an
+// oversized message is rejected long before it is buffered whole; each
+// parse error carries the HTTP status the server should answer with
+// (400/411/413/431/501/505).
+//
+// HttpResponseParser is the mirror image for the blocking client
+// (service/client.hpp) and the load generator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stordep::service {
+
+struct HttpLimits {
+  std::size_t maxRequestLineBytes = 8 * 1024;
+  std::size_t maxHeaderBytes = 64 * 1024;       ///< header block, total
+  std::size_t maxBodyBytes = 8 * 1024 * 1024;   ///< decoded body
+};
+
+/// Header list preserving arrival order; lookups are case-insensitive
+/// (field names), first match wins.
+using HttpHeaders = std::vector<std::pair<std::string, std::string>>;
+
+[[nodiscard]] const std::string* findHeader(const HttpHeaders& headers,
+                                            std::string_view name) noexcept;
+
+struct HttpRequest {
+  std::string method;
+  std::string target;   ///< origin-form, e.g. "/v1/evaluate?foo=1"
+  int versionMinor = 1; ///< HTTP/1.<minor>
+  HttpHeaders headers;
+  std::string body;
+  bool chunked = false; ///< body arrived chunked (decoded into `body`)
+
+  /// Connection semantics after this request: HTTP/1.1 defaults to
+  /// keep-alive, HTTP/1.0 to close, either overridden by a Connection
+  /// header.
+  [[nodiscard]] bool keepAlive() const noexcept;
+
+  /// Target path without the query string.
+  [[nodiscard]] std::string_view path() const noexcept;
+
+  [[nodiscard]] const std::string* header(std::string_view name) const {
+    return findHeader(headers, name);
+  }
+};
+
+enum class ParseStatus { kNeedMore, kComplete, kError };
+
+struct ParseError {
+  int status = 400;     ///< HTTP status to answer with
+  std::string message;
+};
+
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes bytes from `data` until the message completes, errors, or the
+  /// input runs out; returns the number of bytes consumed. Never consumes
+  /// past the end of the current message, so pipelined requests stay in the
+  /// caller's buffer for the next parse.
+  std::size_t feed(std::string_view data);
+
+  [[nodiscard]] ParseStatus status() const noexcept { return status_; }
+  /// The parsed message; valid only when status() == kComplete.
+  [[nodiscard]] HttpRequest& request() noexcept { return request_; }
+  [[nodiscard]] const HttpRequest& request() const noexcept {
+    return request_;
+  }
+  /// The failure; valid only when status() == kError.
+  [[nodiscard]] const ParseError& error() const noexcept { return error_; }
+
+  /// True when no byte of a new message has been consumed yet (an idle
+  /// keep-alive connection can be closed here without cutting anyone off).
+  [[nodiscard]] bool idle() const noexcept {
+    return state_ == State::kRequestLine && line_.empty();
+  }
+
+  /// Ready for the next pipelined message.
+  void reset();
+
+ private:
+  enum class State {
+    kRequestLine,
+    kHeaders,
+    kBody,        // Content-Length countdown
+    kChunkSize,   // hex size line
+    kChunkData,
+    kChunkDataEnd,  // CRLF after chunk payload
+    kTrailers,
+    kComplete,
+    kError,
+  };
+
+  void fail(int status, std::string message);
+  void finishRequestLine();
+  void finishHeaderLine();
+  void finishHeaderBlock();
+  void finishChunkSizeLine();
+
+  HttpLimits limits_;
+  State state_ = State::kRequestLine;
+  ParseStatus status_ = ParseStatus::kNeedMore;
+  HttpRequest request_;
+  ParseError error_;
+  std::string line_;             // partial line across feeds
+  bool sawCr_ = false;           // last byte of the line so far was CR
+  std::size_t headerBytes_ = 0;  // header block size so far
+  std::size_t bodyRemaining_ = 0;
+};
+
+// ---- Responses -------------------------------------------------------------
+
+struct HttpResponse {
+  int status = 200;
+  HttpHeaders headers;  ///< Content-Length / Connection are added on write
+  std::string body;
+};
+
+[[nodiscard]] const char* reasonPhrase(int status) noexcept;
+
+/// Serializes a complete response with Content-Length, adding
+/// "Connection: close" when `keepAlive` is false.
+[[nodiscard]] std::string serializeResponse(const HttpResponse& response,
+                                            bool keepAlive);
+
+/// Head of a chunked streaming response ("Transfer-Encoding: chunked",
+/// always "Connection: close" — streamed responses end the connection).
+[[nodiscard]] std::string serializeChunkedHead(int status,
+                                               const HttpHeaders& headers);
+/// One chunk (empty input yields an empty string, never the terminator).
+[[nodiscard]] std::string encodeChunk(std::string_view data);
+/// The terminating last-chunk.
+inline constexpr std::string_view kLastChunk = "0\r\n\r\n";
+
+// ---- Response parsing (client side) ---------------------------------------
+
+struct HttpClientResponse {
+  int status = 0;
+  int versionMinor = 1;
+  HttpHeaders headers;
+  std::string body;
+  bool chunked = false;
+
+  [[nodiscard]] bool keepAlive() const noexcept;
+  [[nodiscard]] const std::string* header(std::string_view name) const {
+    return findHeader(headers, name);
+  }
+};
+
+class HttpResponseParser {
+ public:
+  explicit HttpResponseParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  std::size_t feed(std::string_view data);
+  [[nodiscard]] ParseStatus status() const noexcept { return status_; }
+  [[nodiscard]] HttpClientResponse& response() noexcept { return response_; }
+  [[nodiscard]] const ParseError& error() const noexcept { return error_; }
+  void reset();
+
+ private:
+  enum class State {
+    kStatusLine,
+    kHeaders,
+    kBody,
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,
+    kTrailers,
+    kComplete,
+    kError,
+  };
+
+  void fail(std::string message);
+  void finishStatusLine();
+  void finishHeaderLine();
+  void finishHeaderBlock();
+  void finishChunkSizeLine();
+
+  HttpLimits limits_;
+  State state_ = State::kStatusLine;
+  ParseStatus status_ = ParseStatus::kNeedMore;
+  HttpClientResponse response_;
+  ParseError error_;
+  std::string line_;
+  bool sawCr_ = false;
+  std::size_t headerBytes_ = 0;
+  std::size_t bodyRemaining_ = 0;
+};
+
+}  // namespace stordep::service

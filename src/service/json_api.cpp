@@ -1,0 +1,225 @@
+#include "service/json_api.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stordep::service {
+
+using config::Json;
+using config::JsonArray;
+using config::JsonObject;
+
+namespace {
+
+/// Non-finite doubles have no JSON representation; encode them the same way
+/// the checkpoint journal does so the values survive a round trip.
+[[nodiscard]] Json encodeReal(double value) {
+  if (std::isfinite(value)) return Json(value);
+  if (std::isnan(value)) return Json("nan");
+  return Json(value > 0 ? "inf" : "-inf");
+}
+
+[[nodiscard]] Json utilizationToJson(const UtilizationResult& utilization) {
+  Json out{JsonObject{}};
+  out.set("feasible", Json(utilization.feasible()));
+  out.set("overallBwUtil", encodeReal(utilization.overallBwUtil));
+  out.set("overallCapUtil", encodeReal(utilization.overallCapUtil));
+  out.set("maxBwDevice", Json(utilization.maxBwDevice));
+  out.set("maxCapDevice", Json(utilization.maxCapDevice));
+  JsonArray devices;
+  devices.reserve(utilization.devices.size());
+  for (const DeviceUtilization& device : utilization.devices) {
+    Json entry{JsonObject{}};
+    entry.set("device", Json(device.device));
+    entry.set("bwUtil", encodeReal(device.bwUtil));
+    entry.set("capUtil", encodeReal(device.capUtil));
+    devices.push_back(entry);
+  }
+  out.set("devices", Json(std::move(devices)));
+  JsonArray errors;
+  errors.reserve(utilization.errors.size());
+  for (const std::string& message : utilization.errors) {
+    errors.push_back(Json(message));
+  }
+  out.set("errors", Json(std::move(errors)));
+  return out;
+}
+
+[[nodiscard]] Json recoveryToJson(const RecoveryResult& recovery) {
+  Json out{JsonObject{}};
+  out.set("recoverable", Json(recovery.recoverable));
+  out.set("sourceLevel", Json(recovery.sourceLevel));
+  out.set("sourceName", Json(recovery.sourceName));
+  out.set("dataLossSeconds", encodeReal(recovery.dataLoss.secs()));
+  out.set("recoveryTimeSeconds", encodeReal(recovery.recoveryTime.secs()));
+  out.set("payloadBytes", encodeReal(recovery.payload.bytes()));
+  JsonArray timeline;
+  timeline.reserve(recovery.timeline.size());
+  for (const RecoveryStep& step : recovery.timeline) {
+    Json entry{JsonObject{}};
+    entry.set("description", Json(step.description));
+    entry.set("startSeconds", encodeReal(step.startTime.secs()));
+    entry.set("readySeconds", encodeReal(step.readyTime.secs()));
+    entry.set("parFixSeconds", encodeReal(step.parFix.secs()));
+    entry.set("transitSeconds", encodeReal(step.transit.secs()));
+    entry.set("serFixSeconds", encodeReal(step.serFix.secs()));
+    entry.set("serXferSeconds", encodeReal(step.serXfer.secs()));
+    entry.set("rateBytesPerSec", encodeReal(step.rate.bytesPerSec()));
+    entry.set("payloadBytes", encodeReal(step.payload.bytes()));
+    entry.set("from", Json(step.fromDevice));
+    entry.set("to", Json(step.toDevice));
+    entry.set("via", Json(step.viaDevice));
+    timeline.push_back(entry);
+  }
+  out.set("timeline", Json(std::move(timeline)));
+  JsonArray notes;
+  notes.reserve(recovery.notes.size());
+  for (const std::string& note : recovery.notes) {
+    notes.push_back(Json(note));
+  }
+  out.set("notes", Json(std::move(notes)));
+  return out;
+}
+
+[[nodiscard]] Json costToJson(const CostResult& cost) {
+  Json out{JsonObject{}};
+  JsonArray outlays;
+  outlays.reserve(cost.outlays.size());
+  for (const TechniqueOutlay& outlay : cost.outlays) {
+    Json entry{JsonObject{}};
+    entry.set("technique", Json(outlay.technique));
+    entry.set("deviceOutlayUsd", encodeReal(outlay.deviceOutlay.usd()));
+    entry.set("spareOutlayUsd", encodeReal(outlay.spareOutlay.usd()));
+    outlays.push_back(entry);
+  }
+  out.set("outlays", Json(std::move(outlays)));
+  out.set("totalOutlaysUsd", encodeReal(cost.totalOutlays.usd()));
+  out.set("outagePenaltyUsd", encodeReal(cost.outagePenalty.usd()));
+  out.set("lossPenaltyUsd", encodeReal(cost.lossPenalty.usd()));
+  out.set("totalPenaltiesUsd", encodeReal(cost.totalPenalties.usd()));
+  out.set("totalCostUsd", encodeReal(cost.totalCost.usd()));
+  return out;
+}
+
+}  // namespace
+
+Json resultToJson(const EvaluationResult& result) {
+  Json out{JsonObject{}};
+  out.set("utilization", utilizationToJson(result.utilization));
+  out.set("recovery", recoveryToJson(result.recovery));
+  out.set("cost", costToJson(result.cost));
+  JsonArray warnings;
+  warnings.reserve(result.warnings.size());
+  for (const std::string& warning : result.warnings) {
+    warnings.push_back(Json(warning));
+  }
+  out.set("warnings", Json(std::move(warnings)));
+  out.set("meetsObjectives", Json(result.meetsObjectives));
+  return out;
+}
+
+Json evaluationToJson(const StorageDesign& design,
+                      const FailureScenario& scenario,
+                      const EvaluationResult& result) {
+  Json out{JsonObject{}};
+  out.set("design", Json(design.name()));
+  out.set("scenario", config::scenarioToJson(scenario));
+  out.set("result", resultToJson(result));
+  return out;
+}
+
+Json evalErrorToJson(const engine::EvalError& error) {
+  Json detail{JsonObject{}};
+  detail.set("code", Json(engine::toString(error.code)));
+  detail.set("message", Json(error.message));
+  detail.set("transient", Json(error.transient));
+  detail.set("attempts", Json(error.attempts));
+  Json out{JsonObject{}};
+  out.set("error", detail);
+  return out;
+}
+
+int httpStatusFor(engine::EvalErrorCode code) noexcept {
+  switch (code) {
+    case engine::EvalErrorCode::kInvalidDesign:
+    case engine::EvalErrorCode::kInvalidScenario:
+      return 400;
+    case engine::EvalErrorCode::kResourceExhausted:
+    case engine::EvalErrorCode::kCancelled:
+      return 503;
+    case engine::EvalErrorCode::kDeadlineExceeded:
+      return 504;
+    case engine::EvalErrorCode::kInjected:
+    case engine::EvalErrorCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+namespace {
+
+[[nodiscard]] EvaluateItem parseEvaluateItem(const Json& value) {
+  if (!value.isObject()) {
+    throw config::DesignIoError(
+        "evaluate request entries must be objects with "
+        "\"design\" and \"scenario\"");
+  }
+  const Json* design = value.find("design");
+  if (design == nullptr) {
+    throw config::DesignIoError("evaluate request is missing \"design\"");
+  }
+  const Json* scenario = value.find("scenario");
+  if (scenario == nullptr) {
+    throw config::DesignIoError("evaluate request is missing \"scenario\"");
+  }
+  EvaluateItem item;
+  item.design = std::make_shared<const StorageDesign>(
+      config::designFromJson(*design));
+  item.scenario = config::scenarioFromJson(*scenario);
+  return item;
+}
+
+[[nodiscard]] std::chrono::milliseconds parseDeadline(const Json& value) {
+  const Json* deadline = value.find("deadlineMs");
+  if (deadline == nullptr) return std::chrono::milliseconds{0};
+  if (!deadline->isNumber() || deadline->asNumber() < 0) {
+    throw config::DesignIoError("\"deadlineMs\" must be a number >= 0");
+  }
+  return std::chrono::milliseconds(
+      static_cast<long long>(deadline->asNumber()));
+}
+
+}  // namespace
+
+EvaluateRequest parseEvaluateRequest(const Json& body) {
+  EvaluateRequest request;
+  if (body.isArray()) {
+    request.array = true;
+    const JsonArray& entries = body.asArray();
+    if (entries.empty()) {
+      throw config::DesignIoError("evaluate request array is empty");
+    }
+    request.items.reserve(entries.size());
+    for (const Json& entry : entries) {
+      request.items.push_back(parseEvaluateItem(entry));
+      const std::chrono::milliseconds deadline = parseDeadline(entry);
+      if (deadline.count() > 0 &&
+          (request.deadline.count() == 0 || deadline < request.deadline)) {
+        request.deadline = deadline;  // tightest entry wins for the batch
+      }
+    }
+    return request;
+  }
+  request.items.push_back(parseEvaluateItem(body));
+  request.deadline = parseDeadline(body);
+  return request;
+}
+
+engine::EvalRequest toEngineRequest(const EvaluateItem& item) {
+  engine::EvalRequest request;
+  request.design = item.design;
+  request.scenario = item.scenario;
+  return request;
+}
+
+}  // namespace stordep::service

@@ -1,0 +1,111 @@
+// metrics.hpp — the service's observable surface (/metrics).
+//
+// Every counter here is a relaxed atomic updated on the hot path and read
+// by the scraper: recording a latency is two atomic adds and one bucketed
+// increment, cheap enough to run per request. Latency histograms use
+// log2-spaced buckets from 1 µs to ~1 hour; quantiles are estimated by
+// linear interpolation inside the bucket that crosses the rank, which is
+// exact enough for p50/p99 dashboards without storing samples.
+//
+// The /metrics document has two time bases:
+//   * lifetime  — monotone totals since process start;
+//   * interval  — what happened since the *previous* scrape, computed from
+//     snapshot diffs (EvalCache::Stats::delta) and read-and-reset counters
+//     (engine::fingerprintCountersReset), so a periodic scraper sees rates
+//     without doing its own bookkeeping.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "config/json.hpp"
+#include "engine/batch.hpp"
+
+namespace stordep::service {
+
+class LatencyHistogram {
+ public:
+  /// Bucket b covers [2^b, 2^(b+1)) microseconds; the last bucket is
+  /// open-ended. 32 buckets reach ~71 minutes.
+  static constexpr int kBuckets = 32;
+
+  void record(std::chrono::nanoseconds latency) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p90Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+  [[nodiscard]] config::Json toJson() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sumNanos_{0};
+  std::atomic<std::uint64_t> maxNanos_{0};
+};
+
+/// Per-endpoint request accounting.
+struct EndpointMetrics {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};  ///< responses with status >= 400
+  LatencyHistogram latency;
+
+  void record(int status, std::chrono::nanoseconds latency) noexcept {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    if (status >= 400) errors.fetch_add(1, std::memory_order_relaxed);
+    this->latency.record(latency);
+  }
+  [[nodiscard]] config::Json toJson() const;
+};
+
+class ServiceMetrics {
+ public:
+  ServiceMetrics() : start_(std::chrono::steady_clock::now()) {}
+
+  // Endpoints with their own latency series.
+  EndpointMetrics evaluate;
+  EndpointMetrics search;
+  EndpointMetrics metricsEndpoint;
+  EndpointMetrics healthz;
+  EndpointMetrics other;  ///< 404s, parse errors, admission rejections
+
+  // Connection gauges/counters.
+  std::atomic<std::int64_t> activeConnections{0};
+  std::atomic<std::uint64_t> connectionsAccepted{0};
+  std::atomic<std::uint64_t> connectionsRejected{0};  ///< over the cap
+
+  // Admission control.
+  std::atomic<std::int64_t> queuedSlots{0};    ///< waiting for a wave
+  std::atomic<std::int64_t> inFlightSlots{0};  ///< inside evaluateBatch
+  std::atomic<std::int64_t> activeSearches{0};
+  std::atomic<std::uint64_t> rejectedQueueFull{0};  ///< 429s
+  std::atomic<std::uint64_t> rejectedDraining{0};   ///< 503s while draining
+  std::atomic<std::uint64_t> deadlineExpired{0};    ///< 504s
+
+  // Batching effectiveness.
+  std::atomic<std::uint64_t> waves{0};         ///< evaluateBatch calls
+  std::atomic<std::uint64_t> batchedSlots{0};  ///< slots across all waves
+  std::atomic<std::uint64_t> parseErrors{0};   ///< HTTP-level 4xx
+
+  /// The full /metrics document. Takes the engine to snapshot its caches;
+  /// thread-safe (interval bookkeeping is mutex-guarded, everything else is
+  /// atomics).
+  [[nodiscard]] config::Json snapshot(engine::Engine& engine);
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::mutex intervalMu_;
+  std::chrono::steady_clock::time_point lastScrape_{};
+  engine::EvalCache::Stats lastCacheStats_{};
+  bool scraped_ = false;
+};
+
+}  // namespace stordep::service

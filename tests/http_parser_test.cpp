@@ -1,0 +1,298 @@
+// Tests for the service's HTTP/1.1 push parser: table-driven torn-read
+// coverage (every message re-parsed at every byte split), limit enforcement
+// (431/413/400/501/505 with the right statuses), pipelining (feed() stops
+// at message end), malformed chunked bodies, and the response parser the
+// blocking client uses.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/http.hpp"
+
+namespace stordep::service {
+namespace {
+
+/// Parses `wire` in one feed; expects completion and returns the request.
+HttpRequest parseOne(const std::string& wire, HttpLimits limits = {}) {
+  HttpRequestParser parser(limits);
+  const std::size_t used = parser.feed(wire);
+  EXPECT_EQ(parser.status(), ParseStatus::kComplete) << wire;
+  EXPECT_EQ(used, wire.size());
+  return parser.request();
+}
+
+/// Expects `wire` to fail with `status`.
+void expectError(const std::string& wire, int status,
+                 HttpLimits limits = {}) {
+  HttpRequestParser parser(limits);
+  parser.feed(wire);
+  ASSERT_EQ(parser.status(), ParseStatus::kError) << wire;
+  EXPECT_EQ(parser.error().status, status) << parser.error().message;
+}
+
+// ---- Basic messages --------------------------------------------------------
+
+TEST(HttpParser, SimpleGet) {
+  const HttpRequest request =
+      parseOne("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.versionMinor, 1);
+  EXPECT_EQ(request.body, "");
+  EXPECT_TRUE(request.keepAlive());
+}
+
+TEST(HttpParser, PostWithContentLength) {
+  const HttpRequest request = parseOne(
+      "POST /v1/evaluate HTTP/1.1\r\nHost: x\r\n"
+      "Content-Length: 11\r\n\r\nhello world");
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "hello world");
+  EXPECT_FALSE(request.chunked);
+}
+
+TEST(HttpParser, PathStripsQueryString) {
+  const HttpRequest request =
+      parseOne("GET /metrics?format=json HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(request.path(), "/metrics");
+  EXPECT_EQ(request.target, "/metrics?format=json");
+}
+
+TEST(HttpParser, HeaderLookupIsCaseInsensitiveFirstWins) {
+  const HttpRequest request = parseOne(
+      "GET / HTTP/1.1\r\nX-Deadline-Ms: 250\r\nx-deadline-ms: 9\r\n\r\n");
+  ASSERT_NE(request.header("X-DEADLINE-MS"), nullptr);
+  EXPECT_EQ(*request.header("x-deadline-ms"), "250");
+  EXPECT_EQ(request.header("absent"), nullptr);
+}
+
+TEST(HttpParser, ConnectionSemantics) {
+  EXPECT_TRUE(parseOne("GET / HTTP/1.1\r\n\r\n").keepAlive());
+  EXPECT_FALSE(
+      parseOne("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keepAlive());
+  EXPECT_FALSE(parseOne("GET / HTTP/1.0\r\n\r\n").keepAlive());
+  EXPECT_TRUE(parseOne("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                  .keepAlive());
+}
+
+TEST(HttpParser, BareLfLineEndingsTolerated) {
+  const HttpRequest request =
+      parseOne("POST /x HTTP/1.1\nContent-Length: 2\n\nok");
+  EXPECT_EQ(request.body, "ok");
+}
+
+// ---- Torn reads: every split of every table message ------------------------
+
+TEST(HttpParser, TornReadsAtEveryByteBoundary) {
+  const std::vector<std::string> wires = {
+      "GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n",
+      "POST /v1/evaluate HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde",
+      "POST /v1/evaluate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n",
+      "GET /metrics?a=1 HTTP/1.0\r\nConnection: keep-alive\r\n"
+      "X-Deadline-Ms: 40\r\n\r\n",
+  };
+  for (const std::string& wire : wires) {
+    const HttpRequest whole = parseOne(wire);
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+      HttpRequestParser parser;
+      std::size_t used = parser.feed(wire.substr(0, split));
+      used += parser.feed(wire.substr(used));
+      ASSERT_EQ(parser.status(), ParseStatus::kComplete)
+          << "split at " << split << " of: " << wire;
+      EXPECT_EQ(used, wire.size());
+      const HttpRequest& torn = parser.request();
+      EXPECT_EQ(torn.method, whole.method);
+      EXPECT_EQ(torn.target, whole.target);
+      EXPECT_EQ(torn.headers, whole.headers);
+      EXPECT_EQ(torn.body, whole.body);
+    }
+  }
+}
+
+TEST(HttpParser, ByteAtATime) {
+  const std::string wire =
+      "POST /v1/evaluate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+  HttpRequestParser parser;
+  for (const char byte : wire) {
+    ASSERT_NE(parser.status(), ParseStatus::kError);
+    parser.feed(std::string_view(&byte, 1));
+  }
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().body, "abc");
+}
+
+// ---- Pipelining ------------------------------------------------------------
+
+TEST(HttpParser, FeedStopsAtMessageEnd) {
+  const std::string first = "GET /a HTTP/1.1\r\n\r\n";
+  const std::string second =
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+  const std::string wire = first + second;
+
+  HttpRequestParser parser;
+  const std::size_t used = parser.feed(wire);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(used, first.size());  // pipelined bytes stay with the caller
+  EXPECT_EQ(parser.request().target, "/a");
+
+  parser.reset();
+  EXPECT_TRUE(parser.idle());
+  const std::size_t used2 = parser.feed(std::string_view(wire).substr(used));
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(used2, second.size());
+  EXPECT_EQ(parser.request().target, "/b");
+  EXPECT_EQ(parser.request().body, "hi");
+}
+
+TEST(HttpParser, IdleOnlyBeforeFirstByte) {
+  HttpRequestParser parser;
+  EXPECT_TRUE(parser.idle());
+  parser.feed("G");
+  EXPECT_FALSE(parser.idle());
+}
+
+// ---- Limits ----------------------------------------------------------------
+
+TEST(HttpParser, OversizedRequestLineIs431) {
+  HttpLimits limits;
+  limits.maxRequestLineBytes = 64;
+  expectError("GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n", 431,
+              limits);
+}
+
+TEST(HttpParser, OversizedHeaderBlockIs431) {
+  HttpLimits limits;
+  limits.maxHeaderBytes = 128;
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 16; ++i) {
+    wire += "X-Pad-" + std::to_string(i) + ": " + std::string(32, 'x') +
+            "\r\n";
+  }
+  wire += "\r\n";
+  expectError(wire, 431, limits);
+}
+
+TEST(HttpParser, OversizedBodyIs413) {
+  HttpLimits limits;
+  limits.maxBodyBytes = 8;
+  expectError("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789", 413,
+              limits);
+  // Chunked bodies hit the same limit as decoded bytes accumulate.
+  expectError(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "9\r\n123456789\r\n0\r\n\r\n",
+      413, limits);
+}
+
+// ---- Malformed messages ----------------------------------------------------
+
+TEST(HttpParser, MalformedRequestLines) {
+  expectError("GET\r\n\r\n", 400);
+  expectError("GET /\r\n\r\n", 400);              // missing version
+  expectError("GET / HTTP/2.0\r\n\r\n", 505);     // unsupported major
+  expectError("GET / HTTP/1.7\r\n\r\n", 505);     // unsupported minor
+  expectError("GET / FTP/1.1\r\n\r\n", 400);
+}
+
+TEST(HttpParser, MalformedHeaders) {
+  expectError("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400);
+  expectError("GET / HTTP/1.1\r\nBad Name: x\r\n\r\n", 400);
+  expectError("GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n", 400);  // obs-fold
+  expectError("GET / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n", 400);
+  expectError("GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400);
+  // Conflicting framing must be rejected (request-smuggling vector).
+  expectError(
+      "POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+      400);
+}
+
+TEST(HttpParser, UnsupportedTransferEncodingIs501) {
+  expectError("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", 501);
+}
+
+TEST(HttpParser, MalformedChunkedBodies) {
+  const std::string head =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  expectError(head + "zz\r\nab\r\n0\r\n\r\n", 400);   // non-hex size
+  expectError(head + "\r\nab\r\n0\r\n\r\n", 400);     // empty size line
+  expectError(head + "2\r\nabX\r\n0\r\n\r\n", 400);   // missing chunk CRLF
+  expectError(head + "fffffffffffffffff\r\n", 400);   // size overflow
+}
+
+TEST(HttpParser, ChunkedWithExtensionsAndTrailers) {
+  const HttpRequest request = parseOne(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4;name=value\r\nWiki\r\n0\r\nTrailer: ignored\r\n\r\n");
+  EXPECT_EQ(request.body, "Wiki");
+  EXPECT_TRUE(request.chunked);
+}
+
+// ---- Serialization ---------------------------------------------------------
+
+TEST(HttpSerialize, ResponseRoundTrip) {
+  HttpResponse response;
+  response.status = 429;
+  response.headers.emplace_back("Retry-After", "1");
+  response.body = "{\"error\":{}}";
+  const std::string wire = serializeResponse(response, true);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 12\r\n"), std::string::npos);
+
+  HttpResponseParser parser;
+  EXPECT_EQ(parser.feed(wire), wire.size());
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.response().status, 429);
+  EXPECT_EQ(parser.response().body, response.body);
+  EXPECT_TRUE(parser.response().keepAlive());
+}
+
+TEST(HttpSerialize, CloseAddsConnectionClose) {
+  HttpResponse response;
+  const std::string wire = serializeResponse(response, false);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpSerialize, ChunkedStreamRoundTrip) {
+  HttpHeaders headers;
+  headers.emplace_back("Content-Type", "application/x-ndjson");
+  std::string wire = serializeChunkedHead(200, headers);
+  wire += encodeChunk("line one\n");
+  wire += encodeChunk("");  // no-op, never the terminator
+  wire += encodeChunk("line two\n");
+  wire += std::string(kLastChunk);
+
+  HttpResponseParser parser;
+  parser.feed(wire);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.response().body, "line one\nline two\n");
+  EXPECT_TRUE(parser.response().chunked);
+  EXPECT_FALSE(parser.response().keepAlive());  // streams end the connection
+}
+
+TEST(HttpResponseParserTest, NoBodyStatusesComplete) {
+  HttpResponseParser parser;
+  parser.feed("HTTP/1.1 204 No Content\r\n\r\n");
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.response().body, "");
+}
+
+TEST(HttpResponseParserTest, TornChunkedResponse) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "6\r\nabcdef\r\n0\r\n\r\n";
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    HttpResponseParser parser;
+    std::size_t used = parser.feed(wire.substr(0, split));
+    used += parser.feed(wire.substr(used));
+    ASSERT_EQ(parser.status(), ParseStatus::kComplete) << split;
+    EXPECT_EQ(parser.response().body, "abcdef");
+  }
+}
+
+}  // namespace
+}  // namespace stordep::service

@@ -1,0 +1,400 @@
+// Loopback integration tests for the networked evaluation service, plus the
+// per-interval metrics primitives it scrapes:
+//   * a 64-connection burst over the shared cache answers bit-identically
+//     to serial in-process evaluation;
+//   * an expired per-request deadline returns a structured 504 carrying the
+//     engine's own taxonomy code while concurrent requests complete;
+//   * shutdown() drains in-flight work before the server stops;
+//   * admission control (oversized jobs → 429, draining → 503), routing
+//     errors, /healthz and /metrics;
+//   * a verify/gen-seeded fuzz pass round-tripping random evaluate payloads
+//     through the server against the in-process engine, byte for byte.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "casestudy/casestudy.hpp"
+#include "config/design_io.hpp"
+#include "engine/batch.hpp"
+#include "engine/eval_cache.hpp"
+#include "engine/fingerprint.hpp"
+#include "service/client.hpp"
+#include "service/json_api.hpp"
+#include "service/server.hpp"
+#include "verify/gen.hpp"
+
+namespace stordep::service {
+namespace {
+
+namespace cs = stordep::casestudy;
+using config::Json;
+using config::JsonObject;
+
+// ---- Per-interval metrics primitives (engine satellites) -------------------
+
+TEST(FingerprintCountersReset, ReturnsPriorValuesAndZeroes) {
+  (void)engine::fingerprintCountersReset();  // discard earlier activity
+  (void)engine::fingerprintDesign(cs::baseline());
+  (void)engine::fingerprintScenario(cs::arrayFailure());
+
+  const engine::FingerprintCounters first =
+      engine::fingerprintCountersReset();
+  EXPECT_GE(first.designFingerprints, 1u);
+  EXPECT_GE(first.scenarioFingerprints, 1u);
+  EXPECT_GT(first.bytesHashed, 0u);
+
+  // The read zeroed the counters: an immediate second read sees nothing.
+  const engine::FingerprintCounters second =
+      engine::fingerprintCountersReset();
+  EXPECT_EQ(second.designFingerprints, 0u);
+  EXPECT_EQ(second.scenarioFingerprints, 0u);
+  EXPECT_EQ(second.bytesHashed, 0u);
+}
+
+TEST(EvalCacheStatsDelta, SubtractsCountersKeepsGauges) {
+  engine::EvalCache::Stats then;
+  then.hits = 10;
+  then.misses = 4;
+  then.probes = 14;
+  then.inserts = 4;
+  then.evictions = 1;
+  then.entries = 3;
+  then.capacity = 64;
+
+  engine::EvalCache::Stats now = then;
+  now.hits = 25;
+  now.misses = 9;
+  now.probes = 34;
+  now.inserts = 9;
+  now.evictions = 2;
+  now.entries = 7;
+
+  const engine::EvalCache::Stats interval = now.delta(then);
+  EXPECT_EQ(interval.hits, 15u);
+  EXPECT_EQ(interval.misses, 5u);
+  EXPECT_EQ(interval.probes, 20u);
+  EXPECT_EQ(interval.inserts, 5u);
+  EXPECT_EQ(interval.evictions, 1u);
+  // Gauges report the current snapshot, not a difference.
+  EXPECT_EQ(interval.entries, 7u);
+  EXPECT_EQ(interval.capacity, 64u);
+  EXPECT_NEAR(interval.hitRate(), 15.0 / 20.0, 1e-12);
+}
+
+TEST(EvalCacheStatsDelta, ClampsBackwardCountersToZero) {
+  engine::EvalCache::Stats then;
+  then.hits = 50;
+  engine::EvalCache::Stats now;  // e.g. taken after a clear()
+  now.hits = 10;
+  EXPECT_EQ(now.delta(then).hits, 0u);
+}
+
+// ---- Loopback fixtures -----------------------------------------------------
+
+struct Pair {
+  std::shared_ptr<const StorageDesign> design;
+  FailureScenario scenario;
+  std::string payload;       ///< request body
+  std::string expectedBody;  ///< response the server must produce
+};
+
+/// The case-study what-if designs crossed with the three scenarios, each
+/// with its expected single-evaluate envelope computed by a serial
+/// in-process engine over the *round-tripped* design (the exact document
+/// the server parses).
+std::vector<Pair> makePairs() {
+  engine::Engine serial(engine::EngineOptions{.threads = 1});
+  std::vector<Pair> pairs;
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    for (const FailureScenario& scenario :
+         {cs::objectFailure(), cs::arrayFailure(), cs::siteDisaster()}) {
+      Pair pair;
+      const Json designJson = config::designToJson(design);
+      pair.design = std::make_shared<const StorageDesign>(
+          config::designFromJson(designJson));
+      pair.scenario = scenario;
+      Json payload{JsonObject{}};
+      payload.set("design", designJson);
+      payload.set("scenario", config::scenarioToJson(scenario));
+      pair.payload = payload.dump();
+      const engine::EvalOutcome outcome =
+          serial.tryEvaluate(*pair.design, scenario);
+      pair.expectedBody =
+          outcome.ok()
+              ? evaluationToJson(*pair.design, scenario, outcome.value())
+                    .dump()
+              : evalErrorToJson(outcome.error()).dump();
+      pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+// ---- Burst: 64 connections, bit-identical to serial ------------------------
+
+TEST(ServiceLoopback, BurstOf64ConnectionsBitIdenticalToSerial) {
+  const std::vector<Pair> pairs = makePairs();
+
+  ServerOptions options;
+  options.engineThreads = 4;
+  Server server(options);
+  server.start();
+
+  constexpr int kConnections = 64;
+  std::vector<std::string> bodies(kConnections);
+  std::vector<int> statuses(kConnections, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kConnections);
+  for (int i = 0; i < kConnections; ++i) {
+    clients.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port());
+      const Pair& pair = pairs[static_cast<std::size_t>(i) % pairs.size()];
+      const HttpClientResponse response = client.post(
+          "/v1/evaluate", pair.payload,
+          {{"Content-Type", "application/json"}});
+      statuses[i] = response.status;
+      bodies[i] = response.body;
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+
+  for (int i = 0; i < kConnections; ++i) {
+    const Pair& pair = pairs[static_cast<std::size_t>(i) % pairs.size()];
+    EXPECT_EQ(statuses[i], 200) << "connection " << i;
+    EXPECT_EQ(bodies[i], pair.expectedBody) << "connection " << i;
+  }
+
+  // The shared cache did its job: 64 requests over 21 distinct pairs means
+  // most answers came from memo, not recomputation.
+  const engine::EvalCache::Stats stats = server.engine().cache().stats();
+  EXPECT_LE(stats.misses, pairs.size());
+  EXPECT_GE(stats.hits + stats.misses, static_cast<std::uint64_t>(64));
+
+  server.shutdown();
+  EXPECT_FALSE(server.running());
+}
+
+// ---- Deadlines -------------------------------------------------------------
+
+TEST(ServiceLoopback, ExpiredDeadlineReturns504WhileOthersComplete) {
+  const std::vector<Pair> pairs = makePairs();
+  ServerOptions options;
+  options.engineThreads = 2;
+  // A generous linger so the expired request shares a wave with live ones.
+  options.batchLinger = std::chrono::microseconds{2000};
+  Server server(options);
+  server.start();
+
+  std::atomic<int> okCount{0};
+  std::thread expired([&] {
+    Client client("127.0.0.1", server.port());
+    const HttpClientResponse response =
+        client.post("/v1/evaluate", pairs[0].payload,
+                    {{"X-Deadline-Ms", "0"}});
+    EXPECT_EQ(response.status, 504);
+    const Json body = Json::parse(response.body);
+    EXPECT_EQ(body.at("error").at("code").asString(),
+              engine::toString(engine::EvalErrorCode::kDeadlineExceeded));
+  });
+  std::vector<std::thread> live;
+  for (int i = 1; i <= 4; ++i) {
+    live.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port());
+      const Pair& pair = pairs[static_cast<std::size_t>(i)];
+      const HttpClientResponse response =
+          client.post("/v1/evaluate", pair.payload);
+      EXPECT_EQ(response.status, 200);
+      EXPECT_EQ(response.body, pair.expectedBody);
+      okCount.fetch_add(1);
+    });
+  }
+  expired.join();
+  for (std::thread& thread : live) thread.join();
+  EXPECT_EQ(okCount.load(), 4);
+  EXPECT_GE(server.metrics().deadlineExpired.load(), 1u);
+  server.shutdown();
+}
+
+// ---- Graceful drain --------------------------------------------------------
+
+TEST(ServiceLoopback, ShutdownDrainsInFlightRequests) {
+  const std::vector<Pair> pairs = makePairs();
+  ServerOptions options;
+  options.engineThreads = 2;
+  // A long linger holds submitted jobs in the queue long enough for
+  // shutdown() to begin while they are genuinely in flight.
+  options.batchLinger = std::chrono::microseconds{50'000};
+  Server server(options);
+  server.start();
+
+  constexpr int kInFlight = 8;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kInFlight; ++i) {
+    clients.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port());
+      const Pair& pair = pairs[static_cast<std::size_t>(i) % pairs.size()];
+      const HttpClientResponse response =
+          client.post("/v1/evaluate", pair.payload);
+      EXPECT_EQ(response.status, 200);
+      EXPECT_EQ(response.body, pair.expectedBody);
+      answered.fetch_add(1);
+    });
+  }
+  // Give the clients a moment to get their requests submitted, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.shutdown();
+  for (std::thread& thread : clients) thread.join();
+
+  // Every request accepted before the drain got its real answer.
+  EXPECT_EQ(answered.load(), kInFlight);
+  EXPECT_FALSE(server.running());
+}
+
+// ---- Admission control and routing ----------------------------------------
+
+TEST(ServiceLoopback, OversizedJobGets429WithRetryAfter) {
+  const std::vector<Pair> pairs = makePairs();
+  ServerOptions options;
+  options.engineThreads = 1;
+  options.maxQueueSlots = 2;  // any 3-slot array request must bounce
+  Server server(options);
+  server.start();
+
+  std::string array = "[";
+  for (int i = 0; i < 3; ++i) {
+    if (i > 0) array += ",";
+    array += pairs[static_cast<std::size_t>(i)].payload;
+  }
+  array += "]";
+
+  Client client("127.0.0.1", server.port());
+  const HttpClientResponse response = client.post("/v1/evaluate", array);
+  EXPECT_EQ(response.status, 429);
+  ASSERT_NE(response.header("Retry-After"), nullptr);
+  EXPECT_EQ(*response.header("Retry-After"), "1");
+  EXPECT_EQ(Json::parse(response.body).at("error").at("code").asString(),
+            "queue-full");
+
+  // The connection survives an admission rejection: a within-budget
+  // request on the same connection succeeds.
+  const HttpClientResponse retry =
+      client.post("/v1/evaluate", pairs[0].payload);
+  EXPECT_EQ(retry.status, 200);
+  EXPECT_GE(server.metrics().rejectedQueueFull.load(), 1u);
+  server.shutdown();
+}
+
+TEST(ServiceLoopback, RoutingErrors) {
+  Server server;
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  EXPECT_EQ(client.get("/nope").status, 404);
+  EXPECT_EQ(client.get("/v1/evaluate").status, 405);
+  EXPECT_EQ(client.post("/v1/evaluate", "{\"not\": \"valid\"}").status, 400);
+  EXPECT_EQ(client.post("/v1/evaluate", "this is not json").status, 400);
+
+  const HttpClientResponse health = client.get("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(Json::parse(health.body).at("status").asString(), "ok");
+  server.shutdown();
+}
+
+TEST(ServiceLoopback, BatchArrayRequestAndMetricsIntervals) {
+  const std::vector<Pair> pairs = makePairs();
+  Server server;
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  std::string array =
+      "[" + pairs[0].payload + "," + pairs[1].payload + "]";
+  const HttpClientResponse response = client.post("/v1/evaluate", array);
+  EXPECT_EQ(response.status, 200);
+  const Json body = Json::parse(response.body);
+  ASSERT_EQ(body.at("results").asArray().size(), 2u);
+  EXPECT_EQ(body.at("results").asArray()[0].dump(),
+            Json::parse(pairs[0].expectedBody).dump());
+  EXPECT_EQ(body.at("stats").at("requests").asNumber(), 2.0);
+
+  // Two consecutive scrapes: the second's interval section covers only
+  // traffic since the first (none), while lifetime totals persist.
+  const Json first = Json::parse(client.get("/metrics").body);
+  EXPECT_GE(first.at("endpoints").at("evaluate").at("requests").asNumber(),
+            1.0);
+  const Json second = Json::parse(client.get("/metrics").body);
+  EXPECT_EQ(second.at("evalCache").at("interval").at("probes").asNumber(),
+            0.0);
+  EXPECT_GE(second.at("evalCache").at("lifetime").at("probes").asNumber(),
+            2.0);
+  server.shutdown();
+}
+
+TEST(ServiceLoopback, SearchStreamsProgressThenResult) {
+  Server server;
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  std::vector<std::string> lines;
+  const HttpClientResponse response = client.postStreaming(
+      "/v1/search", "{\"top\": 3, \"streamChunk\": 128}",
+      [&](std::string_view line) { lines.emplace_back(line); });
+  EXPECT_EQ(response.status, 200);
+  ASSERT_GE(lines.size(), 2u);  // at least one progress line + the result
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    const Json progress = Json::parse(lines[i]);
+    EXPECT_NE(progress.find("progress"), nullptr) << lines[i];
+  }
+  const Json last = Json::parse(lines.back());
+  ASSERT_NE(last.find("result"), nullptr);
+  EXPECT_GT(last.at("result").at("evaluated").asNumber(), 0.0);
+  EXPECT_LE(last.at("result").at("top").asArray().size(), 3u);
+  server.shutdown();
+}
+
+// ---- Gen-seeded loopback fuzz ----------------------------------------------
+
+TEST(ServiceLoopback, GenSeededPayloadsRoundTripByteExact) {
+  ServerOptions options;
+  options.engineThreads = 2;
+  Server server(options);
+  server.start();
+  engine::Engine reference(engine::EngineOptions{.threads = 1});
+  Client client("127.0.0.1", server.port());
+
+  constexpr std::uint64_t kSeed = 20260806;
+  for (std::uint64_t index = 0; index < 12; ++index) {
+    const verify::CaseSpec spec = verify::caseForSeed(kSeed, index);
+    const StorageDesign design = verify::makeDesign(spec);
+    const FailureScenario scenario = verify::makeScenario(spec);
+
+    Json payload{JsonObject{}};
+    payload.set("design", config::designToJson(design));
+    payload.set("scenario", config::scenarioToJson(scenario));
+    const HttpClientResponse response =
+        client.post("/v1/evaluate", payload.dump());
+
+    const StorageDesign parsed =
+        config::designFromJson(config::designToJson(design));
+    const engine::EvalOutcome outcome =
+        reference.tryEvaluate(parsed, scenario);
+    if (outcome.ok()) {
+      EXPECT_EQ(response.status, 200) << "case " << index;
+      EXPECT_EQ(response.body,
+                evaluationToJson(parsed, scenario, outcome.value()).dump())
+          << "case " << index;
+    } else {
+      EXPECT_EQ(response.status, httpStatusFor(outcome.error().code))
+          << "case " << index;
+      EXPECT_EQ(response.body, evalErrorToJson(outcome.error()).dump())
+          << "case " << index;
+    }
+  }
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace stordep::service
