@@ -1,9 +1,10 @@
 // bench_rt_distribution — typical vs worst-case recovery, simulated.
 //
-// The paper's recovery times are worst cases. This experiment couples the
-// RP-lifecycle simulation with the restore model to get the *distribution*
-// of achieved recovery times across failure instants: for full-only
-// schedules the restore payload is constant, so RT is deterministic; for
+// The paper's recovery times are worst cases. This experiment runs the
+// Monte-Carlo layer (stochastic::StochasticEvaluator) over the coupled
+// RP-lifecycle + restore simulation to get the *distribution* of achieved
+// recovery times across failure instants: for full-only schedules the
+// restore payload is constant, so RT is deterministic; for
 // full+incremental schedules the payload swings across the cycle (full
 // alone just after the full lands; full + five days of updates at the end),
 // and the restorability rule that an incremental is useless until its base
@@ -13,7 +14,7 @@
 
 #include "casestudy/casestudy.hpp"
 #include "report/report.hpp"
-#include "sim/recovery_simulator.hpp"
+#include "stochastic/evaluator.hpp"
 
 int main() {
   namespace cs = stordep::casestudy;
@@ -34,22 +35,27 @@ int main() {
            {"Baseline (weekly fulls)", cs::baseline()},
            {"Weekly vault, F+I", cs::weeklyVaultFullPlusIncremental()},
            {"Weekly vault, daily F", cs::weeklyVaultDailyFull()}}) {
-    stordep::sim::RpSimOptions options;
-    options.horizon = stordep::days(250);
-    stordep::sim::RpLifecycleSimulator sim(design, options);
-    sim.run();
-    const stordep::sim::RecoverySimulator rec(sim);
+    stordep::stochastic::StochasticOptions options;
+    options.trials = 5000;
+    options.seed = 99;
+    options.sim.horizon = stordep::days(250);
+    const stordep::stochastic::StochasticEvaluator eval(design, options);
 
     for (const auto& [name, scenario] :
          std::vector<std::pair<std::string, stordep::FailureScenario>>{
              {"array", cs::arrayFailure()}, {"site", cs::siteDisaster()}}) {
-      const auto dist =
-          rec.distribution(scenario, 5000, stordep::sim::Rng(99));
+      const auto outcome = eval.distributionFor(scenario);
+      if (!outcome.ok()) {
+        std::cerr << "evaluation failed for " << label << "/" << name << ": "
+                  << outcome.error().describe() << "\n";
+        return 1;
+      }
+      const auto& dist = outcome.value();
       allHold = allHold && dist.rtBoundHolds && dist.unrecoverable == 0;
       table.addRow(
           {label, name, fixed(dist.analyticWorstRt.hrs(), 2) + " hr",
-           fixed(dist.maxRt.hrs(), 2) + " hr",
-           fixed(dist.meanRt.hrs(), 2) + " hr",
+           fixed(stordep::Duration{dist.rt.max}.hrs(), 2) + " hr",
+           fixed(stordep::Duration{dist.rt.mean}.hrs(), 2) + " hr",
            fixed(dist.minPayload.gigabytes(), 0) + "-" +
                fixed(dist.maxPayload.gigabytes(), 0),
            dist.rtBoundHolds ? "holds" : "VIOLATED"});

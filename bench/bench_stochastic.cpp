@@ -1,0 +1,186 @@
+// bench_stochastic — throughput and determinism gate for the Monte-Carlo
+// layer.
+//
+// Runs the same 10,000-trial conditional distribution and a 2,000-trial
+// mission-window (annualizedRisk) sample at 1 and 8 threads, reports
+// trials/sec for the perf trajectory (BENCH_stochastic.json), and fails if
+// the two thread counts disagree on a single bit of the result envelope —
+// the subsystem's core contract is that parallelism is a wall-time knob,
+// never a result knob.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "casestudy/casestudy.hpp"
+#include "config/json.hpp"
+#include "report/report.hpp"
+#include "stochastic/evaluator.hpp"
+
+namespace {
+
+namespace cs = stordep::casestudy;
+namespace st = stordep::stochastic;
+using stordep::config::Json;
+using stordep::config::JsonObject;
+
+constexpr int kConditionalTrials = 10'000;
+constexpr int kMissionTrials = 2'000;
+
+st::StochasticOptions optionsFor(int threads) {
+  st::StochasticOptions opts;
+  opts.trials = kConditionalTrials;
+  opts.seed = 7;
+  opts.threads = threads;
+  opts.sim.horizon = stordep::days(250);
+  return opts;
+}
+
+bool identical(double a, double b) {
+  // Bit-identity including the NaN/Inf cases the envelope can carry.
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return a == b;
+}
+
+bool identical(const st::Distribution& a, const st::Distribution& b) {
+  return a.count == b.count && identical(a.min, b.min) &&
+         identical(a.max, b.max) && identical(a.mean, b.mean) &&
+         identical(a.ci95, b.ci95) && identical(a.p50, b.p50) &&
+         identical(a.p95, b.p95) && identical(a.p99, b.p99);
+}
+
+bool identical(const st::ScenarioDistribution& a,
+               const st::ScenarioDistribution& b) {
+  return a.trials == b.trials && a.unrecoverable == b.unrecoverable &&
+         identical(a.rt, b.rt) && identical(a.dl, b.dl) &&
+         identical(a.penalty, b.penalty) &&
+         identical(a.minPayload.bytes(), b.minPayload.bytes()) &&
+         identical(a.meanPayload.bytes(), b.meanPayload.bytes()) &&
+         identical(a.maxPayload.bytes(), b.maxPayload.bytes()) &&
+         identical(a.expectedPenalty.usd(), b.expectedPenalty.usd());
+}
+
+bool identical(const st::AnnualizedRisk& a, const st::AnnualizedRisk& b) {
+  return a.trials == b.trials && identical(a.eventsPerYear, b.eventsPerYear) &&
+         identical(a.unrecoverableTrialFraction,
+                   b.unrecoverableTrialFraction) &&
+         identical(a.expectedAnnualLossBytes.bytes(),
+                   b.expectedAnnualLossBytes.bytes()) &&
+         identical(a.expectedAnnualPenalty.usd(),
+                   b.expectedAnnualPenalty.usd()) &&
+         identical(a.expectedAnnualDowntimeHours,
+                   b.expectedAnnualDowntimeHours) &&
+         identical(a.eventRt, b.eventRt) && identical(a.eventDl, b.eventDl) &&
+         identical(a.annualPenalty, b.annualPenalty);
+}
+
+struct Timed {
+  double seconds = 0;
+};
+
+template <typename F>
+auto timed(Timed& t, F&& f) {
+  const auto begin = std::chrono::steady_clock::now();
+  auto result = f();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - begin;
+  t.seconds = wall.count();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using stordep::report::Align;
+  using stordep::report::TextTable;
+  using stordep::report::fixed;
+
+  const stordep::StorageDesign design = cs::weeklyVaultFullPlusIncremental();
+  const stordep::FailureScenario scenario = cs::arrayFailure();
+
+  TextTable table({"Mode", "Threads", "Trials", "Wall (s)", "Trials/sec"});
+  for (size_t c = 1; c < 5; ++c) table.align(c, Align::kRight);
+  table.title("Monte-Carlo throughput (weekly vault F+I, array failure)");
+
+  bool ok = true;
+  Json doc{JsonObject{}};
+  doc.set("bench", Json("stochastic"));
+  doc.set("conditionalTrials",
+          Json(static_cast<std::int64_t>(kConditionalTrials)));
+  doc.set("missionTrials", Json(static_cast<std::int64_t>(kMissionTrials)));
+
+  // --- Conditional distribution at 1 and 8 threads -----------------------
+  st::ScenarioDistribution conditional[2];
+  double condRate[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    const int threads = i == 0 ? 1 : 8;
+    const st::StochasticEvaluator eval(design, optionsFor(threads));
+    Timed t;
+    const auto outcome = timed(t, [&] { return eval.distributionFor(scenario); });
+    if (!outcome.ok()) {
+      std::cerr << "FAIL: conditional evaluation errored: "
+                << outcome.error().describe() << "\n";
+      return 1;
+    }
+    conditional[i] = outcome.value();
+    condRate[i] = kConditionalTrials / t.seconds;
+    table.addRow({"conditional", std::to_string(threads),
+                  std::to_string(kConditionalTrials), fixed(t.seconds, 3),
+                  fixed(condRate[i], 0)});
+  }
+  if (!identical(conditional[0], conditional[1])) {
+    std::cerr << "FAIL: conditional envelope differs between 1 and 8 "
+                 "threads (determinism contract broken)\n";
+    ok = false;
+  }
+
+  // --- Mission-window sample at 1 and 8 threads --------------------------
+  st::AnnualizedRisk mission[2];
+  double missionRate[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    const int threads = i == 0 ? 1 : 8;
+    st::StochasticOptions opts = optionsFor(threads);
+    opts.trials = kMissionTrials;
+    // Class-default processes plus a site-shock rate, so the bench also
+    // exercises the correlated-failure path.
+    opts.reliability.siteShockAnnualRate = 0.1;
+    const st::StochasticEvaluator eval(design, opts);
+    Timed t;
+    const auto outcome = timed(t, [&] { return eval.annualizedRisk(); });
+    if (!outcome.ok()) {
+      std::cerr << "FAIL: mission-window evaluation errored: "
+                << outcome.error().describe() << "\n";
+      return 1;
+    }
+    mission[i] = outcome.value();
+    missionRate[i] = kMissionTrials / t.seconds;
+    table.addRow({"mission", std::to_string(threads),
+                  std::to_string(kMissionTrials), fixed(t.seconds, 3),
+                  fixed(missionRate[i], 0)});
+  }
+  if (!identical(mission[0], mission[1])) {
+    std::cerr << "FAIL: annualized-risk envelope differs between 1 and 8 "
+                 "threads (determinism contract broken)\n";
+    ok = false;
+  }
+
+  std::cout << table.render();
+  std::cout << "\n1-vs-8-thread results bit-identical: " << (ok ? "yes" : "NO")
+            << "\n";
+
+  doc.set("conditionalTrialsPerSec1T", Json(condRate[0]));
+  doc.set("conditionalTrialsPerSec8T", Json(condRate[1]));
+  doc.set("missionTrialsPerSec1T", Json(missionRate[0]));
+  doc.set("missionTrialsPerSec8T", Json(missionRate[1]));
+  doc.set("eventsPerYear", Json(mission[0].eventsPerYear));
+  doc.set("deterministic", Json(ok));
+  doc.set("ok", Json(ok));
+
+  const std::string out = doc.pretty();
+  std::cout << out << "\n";
+  std::ofstream file("BENCH_stochastic.json");
+  file << out << "\n";
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,8 @@
 //   $ ./stordep_eval design.json --risk               # expected annual cost
 //   $ ./stordep_eval design.json site --markdown      # GFM report
 //   $ ./stordep_eval design.json site --json          # service envelope
+//   $ ./stordep_eval design.json array --stochastic 10000 --seed 7
+//                                  # + Monte-Carlo distribution (10k trials)
 //
 // --json prints exactly the document POST /v1/evaluate returns for the same
 // design and scenario (compactly dumped, no trailing newline), so offline
@@ -39,7 +41,8 @@ int usage() {
       << "usage:\n"
          "  stordep_eval --dump-baseline <out.json>\n"
          "  stordep_eval <design.json> (object [age] [size] | array [device]"
-         " | site [site] | <scenario.json>) [--markdown|--json]\n"
+         " | site [site] | <scenario.json>) [--markdown|--json]"
+         " [--stochastic <trials>] [--seed <seed>]\n"
          "  stordep_eval <design.json> --risk\n";
   return 2;
 }
@@ -103,19 +106,30 @@ int main(int argc, char** argv) {
       return risk.unrecoverableFrequency > 0 ? 1 : 0;
     }
 
-    // Trailing flags switch the output format.
+    // Trailing flags switch the output format and opt into the Monte-Carlo
+    // layer.
     bool markdown = false;
     bool json = false;
+    int stochasticTrials = 0;
+    std::uint64_t stochasticSeed = 1;
     while (argc >= 3) {
       const std::string last = argv[argc - 1];
       if (last == "--markdown") {
         markdown = true;
+        --argc;
       } else if (last == "--json") {
         json = true;
+        --argc;
+      } else if (argc >= 4 && std::string(argv[argc - 2]) == "--stochastic") {
+        stochasticTrials = std::stoi(last);
+        if (stochasticTrials < 1) return usage();
+        argc -= 2;
+      } else if (argc >= 4 && std::string(argv[argc - 2]) == "--seed") {
+        stochasticSeed = std::stoull(last);
+        argc -= 2;
       } else {
         break;
       }
-      --argc;
     }
 
     stordep::FailureScenario scenario =
@@ -151,15 +165,72 @@ int main(int argc, char** argv) {
       return 3;
     }
     const stordep::EvaluationResult& result = outcome.value();
+
+    // Optional Monte-Carlo add-on. The design document's "reliability"
+    // block parameterizes the sampler exactly as it does for a served
+    // {"stochastic": ...} request.
+    stordep::service::StochasticRequest stochasticReq;
+    if (stochasticTrials > 0) {
+      stochasticReq.trials = stochasticTrials;
+      stochasticReq.seed = stochasticSeed;
+      if (const auto reliability = stordep::config::reliabilityFromDesignJson(
+              stordep::config::Json::parse(slurp(first)))) {
+        stochasticReq.reliability = *reliability;
+      }
+    }
+
     if (json) {
       // Byte-identical to the service's single-evaluate response body.
-      std::cout << stordep::service::evaluationToJson(design, scenario, result)
-                       .dump();
+      stordep::config::Json body =
+          stordep::service::evaluationToJson(design, scenario, result);
+      if (stochasticTrials > 0) {
+        body.set("stochastic", stordep::service::stochasticEnvelope(
+                                   design, scenario, stochasticReq));
+      }
+      std::cout << body.dump();
     } else {
       std::cout << (markdown ? stordep::report::markdownReport(design,
                                                                scenario, result)
                              : stordep::report::fullReport(design, scenario,
                                                            result));
+      if (stochasticTrials > 0) {
+        stordep::stochastic::StochasticOptions sopt;
+        sopt.trials = stochasticReq.trials;
+        sopt.seed = stochasticReq.seed;
+        sopt.reliability = stochasticReq.reliability;
+        const stordep::stochastic::StochasticEvaluator sampler(design, sopt);
+        const auto sampled = sampler.distributionFor(scenario);
+        if (!sampled.ok()) {
+          std::cerr << "stochastic error: " << sampled.error().describe()
+                    << "\n";
+          return 3;
+        }
+        const stordep::stochastic::ScenarioDistribution& dist =
+            sampled.value();
+        std::cout << "\nMonte-Carlo distribution (" << dist.trials
+                  << " trials, seed " << stochasticSeed << "):\n"
+                  << "  recovery time hr: mean "
+                  << fixed(dist.rt.mean / 3600.0, 2) << "  p50 "
+                  << fixed(dist.rt.p50 / 3600.0, 2) << "  p95 "
+                  << fixed(dist.rt.p95 / 3600.0, 2) << "  p99 "
+                  << fixed(dist.rt.p99 / 3600.0, 2) << "  max "
+                  << fixed(dist.rt.max / 3600.0, 2) << " (worst-case bound "
+                  << fixed(dist.analyticWorstRt.hrs(), 2) << ", "
+                  << (dist.rtBoundHolds ? "holds" : "VIOLATED") << ")\n"
+                  << "  data loss hr:     mean "
+                  << fixed(dist.dl.mean / 3600.0, 2) << "  p95 "
+                  << fixed(dist.dl.p95 / 3600.0, 2) << "  max "
+                  << fixed(dist.dl.max / 3600.0, 2) << " ("
+                  << (dist.dlBoundHolds ? "bounded" : "BOUND VIOLATED")
+                  << ")\n"
+                  << "  penalty: expected "
+                  << toString(dist.expectedPenalty) << " +/- "
+                  << toString(stordep::dollars(dist.penalty.ci95))
+                  << " (95% CI), worst-case "
+                  << toString(dist.worstCasePenalty) << "\n"
+                  << "  unrecoverable trials: " << dist.unrecoverable << "/"
+                  << dist.trials << "\n";
+      }
     }
     return result.recovery.recoverable && result.utilization.feasible() ? 0
                                                                         : 1;

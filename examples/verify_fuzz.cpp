@@ -7,9 +7,9 @@
 //
 // Usage:
 //   verify_fuzz [--seed N] [--cases N] [--no-minimize] [--max-failures N]
-//               [--sim-every N] [--search-every N] [--io-every N]
-//               [--replay INDEX] [--out FILE] [--list-relations]
-//               [--server N]
+//               [--sim-every N] [--stochastic-every N] [--search-every N]
+//               [--io-every N] [--replay INDEX] [--out FILE]
+//               [--list-relations] [--server N]
 //
 // --server N switches to the service oracle: N gen-seeded evaluate payloads
 // round-trip through a loopback HTTP server (POST /v1/evaluate) and each
@@ -46,6 +46,8 @@ void usage() {
          "  --minimize        shrink failures to minimal cases (default)\n"
          "  --max-failures N  stop after N failures (default 5, 0 = all)\n"
          "  --sim-every N     simulation oracle cadence (default 20, 0 = off)\n"
+         "  --stochastic-every N\n"
+         "                    stochastic-bound oracle cadence (default 25)\n"
          "  --search-every N  search-parity oracle cadence (default 200)\n"
          "  --io-every N      round-trip/mutation oracle cadence (default 1)\n"
          "  --out FILE        write the JSON report to FILE\n"
@@ -160,6 +162,9 @@ int main(int argc, char** argv) {
       options.maxFailures = static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--sim-every") {
       options.simEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--stochastic-every") {
+      options.stochasticEvery =
+          static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--search-every") {
       options.searchEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--io-every") {

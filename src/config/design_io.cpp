@@ -640,6 +640,109 @@ StorageDesign designFromJson(const Json& value) {
   });
 }
 
+namespace {
+
+Json processToJson(const ProcessSpec& process) {
+  Json out{JsonObject{}};
+  out.set("dist", Json(toString(process.kind)));
+  out.set("mean", process.mean.isFinite() ? durationJson(process.mean)
+                                          : Json("never"));
+  if (process.kind == ProcessKind::kWeibull) {
+    out.set("shape", Json(process.shape));
+  }
+  return out;
+}
+
+ProcessSpec processFromJson(const Json& value) {
+  if (!value.isObject()) fail("process specs must be objects");
+  ProcessSpec process;
+  if (const Json* dist = value.find("dist")) {
+    const std::string name = dist->asString();
+    if (name == "exponential") {
+      process.kind = ProcessKind::kExponential;
+    } else if (name == "weibull") {
+      process.kind = ProcessKind::kWeibull;
+    } else if (name == "fixed") {
+      process.kind = ProcessKind::kFixed;
+    } else {
+      fail("unknown process dist '" + name + "'");
+    }
+  }
+  const Json& mean = value.at("mean");
+  if (mean.isString() && mean.asString() == "never") {
+    process.mean = Duration::infinite();
+  } else {
+    process.mean = jsonToDuration(mean);
+    if (!(process.mean.secs() >= 0)) fail("process mean must be >= 0");
+  }
+  if (const Json* shape = value.find("shape")) {
+    process.shape = shape->asNumber();
+    if (!(process.shape > 0)) fail("process shape must be > 0");
+  }
+  return process;
+}
+
+}  // namespace
+
+Json reliabilityToJson(const ReliabilitySpec& spec) {
+  Json out{JsonObject{}};
+  out.set("missionWindow", durationJson(spec.missionWindow));
+  out.set("siteShockAnnualRate", Json(spec.siteShockAnnualRate));
+  Json devices{JsonObject{}};
+  for (const auto& [name, reliability] : spec.devices) {
+    Json entry{JsonObject{}};
+    entry.set("failure", processToJson(reliability.failure));
+    entry.set("repair", processToJson(reliability.repair));
+    devices.set(name, std::move(entry));
+  }
+  out.set("devices", std::move(devices));
+  return out;
+}
+
+ReliabilitySpec reliabilityFromJson(const Json& value) {
+  if (!value.isObject()) fail("\"reliability\" must be an object");
+  ReliabilitySpec spec;
+  if (const Json* window = value.find("missionWindow")) {
+    spec.missionWindow = jsonToDuration(*window);
+    if (!(spec.missionWindow.secs() > 0) || !spec.missionWindow.isFinite()) {
+      fail("missionWindow must be a positive finite duration");
+    }
+  }
+  if (const Json* rate = value.find("siteShockAnnualRate")) {
+    spec.siteShockAnnualRate = rate->asNumber();
+    if (!(spec.siteShockAnnualRate >= 0)) {
+      fail("siteShockAnnualRate must be >= 0");
+    }
+  }
+  if (const Json* devices = value.find("devices")) {
+    if (!devices->isObject()) fail("reliability devices must be an object");
+    for (const auto& [name, entry] : devices->asObject()) {
+      withContext("devices/" + name, [&] {
+        DeviceReliability reliability;
+        if (const Json* failure = entry.find("failure")) {
+          reliability.failure = processFromJson(*failure);
+        }
+        if (const Json* repair = entry.find("repair")) {
+          reliability.repair = processFromJson(*repair);
+        }
+        if (entry.find("failure") == nullptr &&
+            entry.find("repair") == nullptr) {
+          fail("expected a \"failure\" and/or \"repair\" process");
+        }
+        spec.devices.emplace(name, reliability);
+      });
+    }
+  }
+  return spec;
+}
+
+std::optional<ReliabilitySpec> reliabilityFromDesignJson(
+    const Json& designDocument) {
+  const Json* block = designDocument.find("reliability");
+  if (block == nullptr) return std::nullopt;
+  return withContext("/reliability", [&] { return reliabilityFromJson(*block); });
+}
+
 StorageDesign loadDesign(const std::string& jsonText) {
   // Never leaks raw std::exceptions: JSON syntax errors and any stray
   // accessor failure surface as DesignIoError.

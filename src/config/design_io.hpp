@@ -30,9 +30,12 @@
 
 #include <string>
 
+#include <optional>
+
 #include "config/json.hpp"
 #include "core/failure.hpp"
 #include "core/hierarchy.hpp"
+#include "core/reliability.hpp"
 
 namespace stordep::config {
 
@@ -64,6 +67,23 @@ class DesignIoError : public std::runtime_error {
 
 [[nodiscard]] Json scenarioToJson(const FailureScenario& scenario);
 [[nodiscard]] FailureScenario scenarioFromJson(const Json& value);
+
+// ---- Reliability (the optional "reliability" block) -----------------------
+// Per-device failure/repair processes for the stochastic layer:
+//   {"missionWindow": "1 yr", "siteShockAnnualRate": 0.02,
+//    "devices": {"primary-array": {
+//        "failure": {"dist": "weibull", "mean": "10 yr", "shape": 1.5},
+//        "repair":  {"dist": "exponential", "mean": "12 hr"}}}}
+// "dist" defaults to exponential; an infinite mean is written/read as
+// "never". Devices not listed fall back to their class defaults
+// (core/reliability.hpp). The block is optional and ignored by
+// designFromJson, so documents carrying it load everywhere.
+[[nodiscard]] Json reliabilityToJson(const ReliabilitySpec& spec);
+[[nodiscard]] ReliabilitySpec reliabilityFromJson(const Json& value);
+
+/// The "reliability" block of a whole design document, if present.
+[[nodiscard]] std::optional<ReliabilitySpec> reliabilityFromDesignJson(
+    const Json& designDocument);
 
 // ---- Whole designs ---------------------------------------------------------
 [[nodiscard]] Json designToJson(const StorageDesign& design);

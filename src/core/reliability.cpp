@@ -1,0 +1,71 @@
+#include "core/reliability.hpp"
+
+#include "devices/disk_array.hpp"
+#include "devices/tape_library.hpp"
+#include "devices/vault.hpp"
+
+namespace stordep {
+
+const char* toString(ProcessKind kind) noexcept {
+  switch (kind) {
+    case ProcessKind::kExponential:
+      return "exponential";
+    case ProcessKind::kWeibull:
+      return "weibull";
+    case ProcessKind::kFixed:
+      return "fixed";
+  }
+  return "unknown";
+}
+
+DeviceReliability defaultDeviceReliability(const DeviceModel& device) {
+  DeviceReliability out;
+  if (device.isTransport()) {
+    // Link/courier outages delay propagation; they do not destroy stored
+    // data, so they are not failure sources in the mission model.
+    out.failure = {ProcessKind::kExponential, Duration::infinite(), 1.0};
+    out.repair = {ProcessKind::kFixed, Duration::zero(), 1.0};
+    return out;
+  }
+  if (dynamic_cast<const DiskArray*>(&device) != nullptr) {
+    // Fleet studies put disk-array field life near a decade with mild
+    // wear-out (shape > 1); repair = rebuild onto a spare, order of hours.
+    out.failure = {ProcessKind::kWeibull, years(10), 1.5};
+    out.repair = {ProcessKind::kExponential, hours(12), 1.0};
+    return out;
+  }
+  if (dynamic_cast<const TapeLibrary*>(&device) != nullptr) {
+    out.failure = {ProcessKind::kExponential, years(15), 1.0};
+    out.repair = {ProcessKind::kExponential, days(1), 1.0};
+    return out;
+  }
+  if (dynamic_cast<const MediaVault*>(&device) != nullptr) {
+    // Passive fire-safe storage: very rare loss, slow replacement.
+    out.failure = {ProcessKind::kExponential, years(50), 1.0};
+    out.repair = {ProcessKind::kExponential, weeks(1), 1.0};
+    return out;
+  }
+  // Unknown storage device class: conservative disk-like behaviour.
+  out.failure = {ProcessKind::kExponential, years(10), 1.0};
+  out.repair = {ProcessKind::kExponential, hours(12), 1.0};
+  return out;
+}
+
+std::vector<std::pair<DevicePtr, DeviceReliability>> resolveReliability(
+    const StorageDesign& design, const ReliabilitySpec& spec) {
+  const ProcessSpec unset{};
+  std::vector<std::pair<DevicePtr, DeviceReliability>> out;
+  for (const DevicePtr& device : design.devices()) {
+    if (device->isTransport()) continue;
+    DeviceReliability chosen = defaultDeviceReliability(*device);
+    const auto it = spec.devices.find(device->name());
+    if (it != spec.devices.end()) {
+      if (!(it->second.failure == unset)) chosen.failure = it->second.failure;
+      if (!(it->second.repair == unset)) chosen.repair = it->second.repair;
+    }
+    out.emplace_back(device, chosen);
+  }
+  return out;
+}
+
+}  // namespace stordep

@@ -1,0 +1,85 @@
+// reliability.hpp — per-device failure-arrival and repair-time processes.
+//
+// The analytic models answer "what happens *when* a failure strikes"; the
+// stochastic layer (src/stochastic) additionally needs "how often". This
+// module holds the process descriptions: each device gets a failure
+// inter-arrival process and a repair-time process, each exponential, Weibull
+// (disk infant-mortality/wear-out shapes), or degenerate-fixed. Specs are
+// plain data — sampling lives with the Monte-Carlo engine — so the config
+// layer can parse them from the optional "reliability" block of a design
+// document without depending on the simulators.
+//
+// Every device class carries literature-flavored defaults (a disk array
+// fails far more often than a fire-safe vault), so a design evaluates
+// stochastically out of the box; the design document overrides per device.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hierarchy.hpp"
+#include "core/units.hpp"
+
+namespace stordep {
+
+enum class ProcessKind {
+  kExponential,  ///< memoryless, parameterized by mean
+  kWeibull,      ///< mean + shape (k < 1 infant mortality, k > 1 wear-out)
+  kFixed,        ///< degenerate: always exactly the mean
+};
+
+[[nodiscard]] const char* toString(ProcessKind kind) noexcept;
+
+/// One stochastic duration process. An infinite mean means "never" for
+/// failure processes (the device is not a failure source). A
+/// default-constructed ProcessSpec doubles as "unset": resolveReliability
+/// substitutes the device-class default for it, so a design document may
+/// override just the failure or just the repair side.
+struct ProcessSpec {
+  ProcessKind kind = ProcessKind::kExponential;
+  Duration mean = Duration::infinite();
+  double shape = 1.0;  ///< Weibull shape k; ignored by the other kinds
+
+  friend bool operator==(const ProcessSpec&, const ProcessSpec&) = default;
+};
+
+struct DeviceReliability {
+  ProcessSpec failure;  ///< time from (re)commissioning to the next failure
+  ProcessSpec repair;   ///< time the device stays down once failed
+
+  friend bool operator==(const DeviceReliability&,
+                         const DeviceReliability&) = default;
+};
+
+/// The design-level reliability description: per-device overrides (by device
+/// name), the mission window annualized summaries are computed over, and an
+/// optional common-shock rate correlating failures at the same site.
+struct ReliabilitySpec {
+  std::map<std::string, DeviceReliability> devices;
+  /// Window one Monte-Carlo mission trial covers.
+  Duration missionWindow = years(1);
+  /// Rate (per year, per site) of whole-site shocks — fire, flood, power —
+  /// that take out every device at the site at once. This is the
+  /// Marshall–Olkin-style correlation knob; 0 keeps devices independent.
+  double siteShockAnnualRate = 0.0;
+
+  friend bool operator==(const ReliabilitySpec&,
+                         const ReliabilitySpec&) = default;
+};
+
+/// Class defaults for a device (disk arrays: Weibull wear-out failures with
+/// a 10-year mean and half-day repairs; tape libraries: 15-year/-1-day;
+/// vaults: 50-year/1-week; transports never fail as storage).
+[[nodiscard]] DeviceReliability defaultDeviceReliability(
+    const DeviceModel& device);
+
+/// Per-device processes for every *storage* device in the design, in design
+/// device order (deterministic): explicit spec entries override the class
+/// defaults. Transports (links, couriers) are excluded — their outages are
+/// not storage-destruction events in the paper's failure model.
+[[nodiscard]] std::vector<std::pair<DevicePtr, DeviceReliability>>
+resolveReliability(const StorageDesign& design, const ReliabilitySpec& spec);
+
+}  // namespace stordep

@@ -30,17 +30,14 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
 bool FaultInjector::probabilityHit(FaultSite site,
                                    const Fingerprint& key) const {
   if (plan_.probability <= 0.0) return false;
-  // One decision per (seed, site, key): seed a deterministic stream from
-  // the triple and draw once. Order-independent, so the same requests fail
-  // at any thread count or chunking.
-  std::uint64_t mix = plan_.seed;
-  mix = fnv1a64(std::string_view(reinterpret_cast<const char*>(&key.hi),
-                                 sizeof(key.hi)),
-                mix ^ (static_cast<std::uint64_t>(site) + 1));
-  mix = fnv1a64(std::string_view(reinterpret_cast<const char*>(&key.lo),
-                                 sizeof(key.lo)),
-                mix);
-  sim::Rng rng(mix);
+  // One decision per (seed, site, key): derive a substream from the triple
+  // via the Rng substream protocol and draw once. Order-independent, so the
+  // same requests fail at any thread count or chunking.
+  std::uint64_t stream = sim::Rng::substreamSeed(
+      plan_.seed, static_cast<std::uint64_t>(site) + 1);
+  stream = sim::Rng::substreamSeed(stream, key.hi);
+  stream = sim::Rng::substreamSeed(stream, key.lo);
+  sim::Rng rng(stream);
   return rng.uniform() < plan_.probability;
 }
 

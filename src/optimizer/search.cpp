@@ -6,10 +6,18 @@
 
 #include "casestudy/casestudy.hpp"
 #include "optimizer/checkpoint.hpp"
+#include "stochastic/evaluator.hpp"
 
 namespace stordep::optimizer {
 
 namespace {
+
+/// Expected-penalty objective parameters; null pointer = worst-case mode
+/// (the default, kept bit-identical to the serial reference).
+struct StochasticObjectiveSpec {
+  int trials = 512;
+  std::uint64_t seed = 1;
+};
 
 /// Shared scenario-set preparation: fingerprints hoisted out of the
 /// candidate loop (the same scenarios are paired with every candidate).
@@ -62,7 +70,8 @@ EvaluatedCandidate evaluateCandidateImpl(
     const BusinessRequirements& business,
     const std::vector<ScenarioCase>& scenarios, engine::Engine& eng,
     const std::vector<engine::Fingerprint>& scenarioFps,
-    const engine::BatchOptions& evalOptions) {
+    const engine::BatchOptions& evalOptions,
+    const StochasticObjectiveSpec* stochastic = nullptr) {
   EvaluatedCandidate out;
   out.spec = spec;
   out.label = spec.label();
@@ -80,6 +89,9 @@ EvaluatedCandidate evaluateCandidateImpl(
     // the cache.
     std::optional<DesignPrecomputation> precomputed;
     bool outlaysRecorded = false;
+    // Per-scenario worst-case penalty contributions, kept in fold order so
+    // the expected-penalty objective can fall back scenario-by-scenario.
+    std::vector<Money> analyticPenalties;
 
     for (std::size_t j = 0; j < scenarios.size(); ++j) {
       engine::EvalOutcome outcome = eng.tryEvaluateKeyed(
@@ -92,6 +104,41 @@ EvaluatedCandidate evaluateCandidateImpl(
       }
       if (!foldScenario(out, outcome.value(), scenarios[j], outlaysRecorded)) {
         break;
+      }
+      if (stochastic != nullptr) {
+        analyticPenalties.push_back(outcome.value().cost.totalPenalties *
+                                    scenarios[j].weight);
+      }
+    }
+
+    // Expected-penalty objective: replace the worst-case penalty term with
+    // the Monte-Carlo expectation. Trials run serially (the candidate loop
+    // is already parallel) from a fixed root seed, so rankings stay
+    // deterministic. Scenarios the simulation cannot serve keep their
+    // worst-case contribution; a design the simulator rejects outright
+    // keeps all of them.
+    if (stochastic != nullptr && !out.error && out.feasible &&
+        out.meetsObjectives &&
+        analyticPenalties.size() == scenarios.size()) {
+      try {
+        stochastic::StochasticOptions sopt;
+        sopt.trials = stochastic->trials;
+        sopt.seed = stochastic->seed;
+        sopt.threads = 1;
+        const stochastic::StochasticEvaluator sampler(design, sopt);
+        Money expected = Money::zero();
+        for (std::size_t j = 0; j < scenarios.size(); ++j) {
+          const auto dist = sampler.distributionFor(scenarios[j].scenario);
+          if (dist.ok() && dist.value().expectedPenalty.isFinite()) {
+            expected += dist.value().expectedPenalty * scenarios[j].weight;
+          } else {
+            expected += analyticPenalties[j];
+          }
+        }
+        out.weightedPenalties = expected;
+      } catch (...) {
+        // Simulator rejected the design; the analytic worst-case penalties
+        // already accumulated stand.
       }
     }
   } catch (...) {
@@ -183,6 +230,12 @@ SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
   }
   const bool cancellable = token.cancellable();
 
+  const StochasticObjectiveSpec stochasticSpec{options.stochasticTrials,
+                                               options.stochasticSeed};
+  const StochasticObjectiveSpec* stochastic =
+      options.objective == Objective::kExpectedPenalty ? &stochasticSpec
+                                                       : nullptr;
+
   // Resume: restore journaled candidates before fanning out, so the sweep
   // spends its budget only on un-finished work.
   std::unique_ptr<CheckpointJournal> journal;
@@ -224,7 +277,8 @@ SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
         if (cancellable && token.cancelled()) return;
         evaluated[i] =
             evaluateCandidateImpl(candidates[i], workload, business, scenarios,
-                                  resolved, scenarioFps, evalOptions);
+                                  resolved, scenarioFps, evalOptions,
+                                  stochastic);
         completed[i] = 1;
         // Only clean evaluations are journaled: a transiently-failed
         // candidate should be re-attempted on resume, not pinned.
@@ -271,6 +325,12 @@ SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
     token = token.withDeadline(options.deadline);
   }
   const bool cancellable = token.cancellable();
+
+  const StochasticObjectiveSpec stochasticSpec{options.stochasticTrials,
+                                               options.stochasticSeed};
+  const StochasticObjectiveSpec* stochastic =
+      options.objective == Objective::kExpectedPenalty ? &stochasticSpec
+                                                       : nullptr;
 
   std::unique_ptr<CheckpointJournal> journal;
   if (!options.checkpointPath.empty()) {
@@ -328,7 +388,8 @@ SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
           if (cancellable && token.cancelled()) return;
           evaluated[i] =
               evaluateCandidateImpl(chunk[i], workload, business, scenarios,
-                                    resolved, scenarioFps, evalOptions);
+                                    resolved, scenarioFps, evalOptions,
+                                    stochastic);
           completed[i] = 1;
           if (journal && !evaluated[i].error) {
             journal->record(keys[i], evaluated[i]);

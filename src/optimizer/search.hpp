@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -87,6 +88,20 @@ struct SearchResult {
   }
 };
 
+/// What the penalty component of a candidate's total cost measures.
+enum class Objective {
+  /// The paper's objective: scenario-weighted *worst-case* penalties from
+  /// the analytic models. Deterministic, cache-friendly, bit-identical to
+  /// the serial reference.
+  kWorstCase,
+  /// Scenario-weighted *expected* penalties from the Monte-Carlo layer
+  /// (stochastic::StochasticEvaluator, fixed seed, serial trials — still
+  /// deterministic). Candidates where the simulation is inapplicable (e.g.
+  /// cycles longer than the simulated horizon) fall back to their
+  /// worst-case penalty, so rankings are always total.
+  kExpectedPenalty,
+};
+
 /// Knobs for the fault-tolerant search overload (all default to "off").
 struct SearchOptions {
   /// Engine to evaluate through (null = Engine::shared()).
@@ -116,6 +131,15 @@ struct SearchOptions {
   /// (the service's /v1/search streams one chunk per callback). Must not
   /// throw; keep it cheap — it runs between waves, on the critical path.
   std::function<void(std::size_t done)> onProgress;
+  /// Ranking objective. kWorstCase leaves every result bit-identical to the
+  /// serial reference; kExpectedPenalty replaces the penalty term with the
+  /// Monte-Carlo expectation. Checkpoint journals record the penalty totals,
+  /// so do not share one journal file across objectives.
+  Objective objective = Objective::kWorstCase;
+  /// Monte-Carlo trials per (candidate, scenario) for kExpectedPenalty.
+  int stochasticTrials = 512;
+  /// Root seed for the expected-penalty sampler (same seed -> same ranking).
+  std::uint64_t stochasticSeed = 1;
 };
 
 /// Evaluates one candidate against the scenario set, through `eng`'s cache

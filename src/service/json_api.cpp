@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace stordep::service {
 
@@ -128,6 +129,62 @@ Json evaluationToJson(const StorageDesign& design,
   return out;
 }
 
+namespace {
+
+[[nodiscard]] Json distributionToJson(const stochastic::Distribution& d) {
+  Json out{JsonObject{}};
+  out.set("count", Json(static_cast<double>(d.count)));
+  out.set("min", encodeReal(d.min));
+  out.set("max", encodeReal(d.max));
+  out.set("mean", encodeReal(d.mean));
+  out.set("ci95", encodeReal(d.ci95));
+  out.set("p50", encodeReal(d.p50));
+  out.set("p95", encodeReal(d.p95));
+  out.set("p99", encodeReal(d.p99));
+  return out;
+}
+
+}  // namespace
+
+Json stochasticToJson(const stochastic::ScenarioDistribution& dist) {
+  Json out{JsonObject{}};
+  out.set("trials", Json(dist.trials));
+  out.set("unrecoverable", Json(dist.unrecoverable));
+  out.set("recoveryTimeSeconds", distributionToJson(dist.rt));
+  out.set("dataLossSeconds", distributionToJson(dist.dl));
+  out.set("penaltyUsd", distributionToJson(dist.penalty));
+  out.set("minPayloadBytes", encodeReal(dist.minPayload.bytes()));
+  out.set("meanPayloadBytes", encodeReal(dist.meanPayload.bytes()));
+  out.set("maxPayloadBytes", encodeReal(dist.maxPayload.bytes()));
+  out.set("analyticWorstRtSeconds", encodeReal(dist.analyticWorstRt.secs()));
+  out.set("analyticWorstDlSeconds", encodeReal(dist.analyticWorstDl.secs()));
+  out.set("rtBoundHolds", Json(dist.rtBoundHolds));
+  out.set("dlBoundHolds", Json(dist.dlBoundHolds));
+  out.set("rtTightness", encodeReal(dist.rtTightness));
+  out.set("expectedPenaltyUsd", encodeReal(dist.expectedPenalty.usd()));
+  out.set("worstCasePenaltyUsd", encodeReal(dist.worstCasePenalty.usd()));
+  return out;
+}
+
+Json stochasticEnvelope(const StorageDesign& design,
+                        const FailureScenario& scenario,
+                        const StochasticRequest& spec) {
+  try {
+    stochastic::StochasticOptions options;
+    options.trials = spec.trials;
+    options.seed = spec.seed;
+    options.threads = 1;  // already on an engine worker; stay deterministic
+    options.reliability = spec.reliability;
+    const stochastic::StochasticEvaluator evaluator(design, options);
+    const engine::Expected<stochastic::ScenarioDistribution> outcome =
+        evaluator.distributionFor(scenario);
+    if (!outcome.ok()) return evalErrorToJson(outcome.error());
+    return stochasticToJson(outcome.value());
+  } catch (...) {
+    return evalErrorToJson(engine::errorFromCurrentException());
+  }
+}
+
 Json evalErrorToJson(const engine::EvalError& error) {
   Json detail{JsonObject{}};
   detail.set("code", Json(engine::toString(error.code)));
@@ -158,6 +215,10 @@ int httpStatusFor(engine::EvalErrorCode code) noexcept {
 
 namespace {
 
+/// Trials are CPU on an engine worker; keep one request from monopolizing
+/// the pool.
+constexpr int kMaxStochasticTrials = 65'536;
+
 [[nodiscard]] EvaluateItem parseEvaluateItem(const Json& value) {
   if (!value.isObject()) {
     throw config::DesignIoError(
@@ -176,6 +237,31 @@ namespace {
   item.design = std::make_shared<const StorageDesign>(
       config::designFromJson(*design));
   item.scenario = config::scenarioFromJson(*scenario);
+  if (const Json* stochastic = value.find("stochastic")) {
+    if (!stochastic->isObject()) {
+      throw config::DesignIoError("\"stochastic\" must be an object");
+    }
+    const Json* trials = stochastic->find("trials");
+    if (trials == nullptr || !trials->isNumber() || trials->asNumber() < 1 ||
+        trials->asNumber() > kMaxStochasticTrials) {
+      throw config::DesignIoError(
+          "\"stochastic.trials\" must be a number in [1, " +
+          std::to_string(kMaxStochasticTrials) + "]");
+    }
+    StochasticRequest spec;
+    spec.trials = static_cast<int>(trials->asNumber());
+    if (const Json* seed = stochastic->find("seed")) {
+      if (!seed->isNumber() || seed->asNumber() < 0) {
+        throw config::DesignIoError(
+            "\"stochastic.seed\" must be a number >= 0");
+      }
+      spec.seed = static_cast<std::uint64_t>(seed->asNumber());
+    }
+    if (const auto reliability = config::reliabilityFromDesignJson(*design)) {
+      spec.reliability = *reliability;
+    }
+    item.stochastic = spec;
+  }
   return item;
 }
 

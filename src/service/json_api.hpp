@@ -24,8 +24,10 @@
 
 #include "config/design_io.hpp"
 #include "core/evaluator.hpp"
+#include "core/reliability.hpp"
 #include "engine/batch.hpp"
 #include "engine/errors.hpp"
+#include "stochastic/evaluator.hpp"
 
 namespace stordep::service {
 
@@ -41,6 +43,32 @@ namespace stordep::service {
 [[nodiscard]] config::Json evaluationToJson(const StorageDesign& design,
                                             const FailureScenario& scenario,
                                             const EvaluationResult& result);
+
+// ---- Monte-Carlo add-on ----------------------------------------------------
+
+/// A request for the Monte-Carlo layer riding along with an evaluation:
+/// {"stochastic": {"trials": N[, "seed": S]}} in the request body, plus the
+/// design document's optional "reliability" block. trials == 0 means "not
+/// requested".
+struct StochasticRequest {
+  int trials = 0;
+  std::uint64_t seed = 1;
+  ReliabilitySpec reliability;
+};
+
+/// Serialized ScenarioDistribution (distribution summaries use the same
+/// non-finite string encoding as the rest of the envelope).
+[[nodiscard]] config::Json stochasticToJson(
+    const stochastic::ScenarioDistribution& dist);
+
+/// Runs the Monte-Carlo layer for one (design, scenario) and returns the
+/// value of the response's "stochastic" key: the serialized distribution on
+/// success, {"error": {...}} on failure. Shared by the server and
+/// `stordep_eval --json --stochastic` so offline and served documents stay
+/// bit-identical.
+[[nodiscard]] config::Json stochasticEnvelope(const StorageDesign& design,
+                                              const FailureScenario& scenario,
+                                              const StochasticRequest& spec);
 
 // ---- Error mapping ---------------------------------------------------------
 
@@ -59,6 +87,10 @@ namespace stordep::service {
 struct EvaluateItem {
   std::shared_ptr<const StorageDesign> design;
   FailureScenario scenario;
+  /// Set when the entry carried {"stochastic": {"trials": N, ...}}; the
+  /// reliability inside comes from the design document's optional
+  /// "reliability" block.
+  std::optional<StochasticRequest> stochastic;
 };
 
 struct EvaluateRequest {

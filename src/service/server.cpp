@@ -485,10 +485,15 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
       const engine::EvalOutcome& outcome = outcomes.front();
       if (outcome.ok()) {
         response.status = 200;
-        response.body = evaluationToJson(*(*items)[0].design,
-                                         (*items)[0].scenario,
-                                         outcome.value())
-                            .dump();
+        Json body = evaluationToJson(*(*items)[0].design,
+                                     (*items)[0].scenario, outcome.value());
+        if ((*items)[0].stochastic) {
+          body.set("stochastic",
+                   stochasticEnvelope(*(*items)[0].design,
+                                      (*items)[0].scenario,
+                                      *(*items)[0].stochastic));
+        }
+        response.body = body.dump();
       } else {
         response.status = httpStatusFor(outcome.error().code);
         response.body = evalErrorToJson(outcome.error()).dump();
@@ -502,9 +507,16 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
       results.reserve(outcomes.size());
       for (std::size_t i = 0; i < outcomes.size(); ++i) {
         if (outcomes[i].ok()) {
-          results.push_back(evaluationToJson(*(*items)[i].design,
-                                             (*items)[i].scenario,
-                                             outcomes[i].value()));
+          Json entry = evaluationToJson(*(*items)[i].design,
+                                        (*items)[i].scenario,
+                                        outcomes[i].value());
+          if ((*items)[i].stochastic) {
+            entry.set("stochastic",
+                      stochasticEnvelope(*(*items)[i].design,
+                                         (*items)[i].scenario,
+                                         *(*items)[i].stochastic));
+          }
+          results.push_back(std::move(entry));
         } else {
           results.push_back(evalErrorToJson(outcomes[i].error()));
         }

@@ -123,54 +123,4 @@ std::optional<ObservedRecovery> RecoverySimulator::observedRecovery(
                           .recoveryTime = result.recoveryTime};
 }
 
-RecoveryDistribution RecoverySimulator::distribution(
-    const FailureScenario& scenario, int samples, Rng rng) const {
-  const SimTime lo = sim_.warmupTime();
-  const SimTime hi = sim_.horizon();
-  if (lo >= hi) {
-    throw SimulationError(
-        "horizon too short: no steady-state window to sample");
-  }
-
-  RecoveryDistribution out;
-  const RecoveryResult analytic =
-      computeRecovery(sim_.design(), scenario);
-  out.analyticWorstRt = analytic.recoveryTime;
-
-  double rtSum = 0;
-  double payloadSum = 0;
-  int recovered = 0;
-  out.minRt = Duration::infinite();
-  out.maxRt = Duration::zero();
-  out.minPayload = Bytes::infinite();
-  out.maxPayload = Bytes{0};
-  for (int i = 0; i < samples; ++i) {
-    const SimTime failTime = rng.uniform(lo, hi);
-    const auto observed = observedRecovery(scenario, failTime);
-    if (!observed) {
-      ++out.unrecoverable;
-      continue;
-    }
-    ++recovered;
-    rtSum += observed->recoveryTime.secs();
-    payloadSum += observed->payload.bytes();
-    out.minRt = std::min(out.minRt, observed->recoveryTime);
-    out.maxRt = std::max(out.maxRt, observed->recoveryTime);
-    out.minPayload = std::min(out.minPayload, observed->payload);
-    out.maxPayload = std::max(out.maxPayload, observed->payload);
-  }
-  out.samples = samples;
-  if (recovered > 0) {
-    out.meanRt = seconds(rtSum / recovered);
-    out.meanPayload = Bytes{payloadSum / recovered};
-    const double analyticSecs = out.analyticWorstRt.secs();
-    out.rtBoundHolds = out.analyticWorstRt.isFinite() &&
-                       out.maxRt.secs() <=
-                           analyticSecs * (1 + 1e-9) + 1e-6;
-    out.tightness =
-        analyticSecs > 0 ? out.maxRt.secs() / analyticSecs : 1.0;
-  }
-  return out;
-}
-
 }  // namespace stordep::sim

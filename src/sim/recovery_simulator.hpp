@@ -30,23 +30,6 @@ struct ObservedRecovery {
   Duration recoveryTime = Duration::infinite();
 };
 
-struct RecoveryDistribution {
-  int samples = 0;
-  int unrecoverable = 0;
-  /// The paper-style worst case from the analytic model.
-  Duration analyticWorstRt = Duration::infinite();
-  Duration minRt = Duration::infinite();
-  Duration meanRt = Duration::infinite();
-  Duration maxRt = Duration::infinite();
-  Bytes minPayload;
-  Bytes meanPayload;
-  Bytes maxPayload;
-  /// maxRt <= analyticWorstRt (+epsilon) over all recoverable samples.
-  bool rtBoundHolds = false;
-  /// maxRt / analyticWorstRt.
-  double tightness = 0.0;
-};
-
 class RecoverySimulator {
  public:
   /// `simulator` must have been run() already and must outlive this object.
@@ -55,12 +38,10 @@ class RecoverySimulator {
   /// The restore that a failure at `failTime` would trigger: the best
   /// surviving RP across levels, its exact payload, and the recovery time
   /// via the analytic restore legs. Empty when nothing can serve.
+  /// Monte-Carlo distributions over the steady-state window are built by
+  /// stochastic::StochasticEvaluator, the single sampling implementation.
   [[nodiscard]] std::optional<ObservedRecovery> observedRecovery(
       const FailureScenario& scenario, SimTime failTime) const;
-
-  /// Monte-Carlo distribution over the steady-state window.
-  [[nodiscard]] RecoveryDistribution distribution(
-      const FailureScenario& scenario, int samples, Rng rng) const;
 
  private:
   /// Payload to read from `level` when restoring the RP `rp` (chains

@@ -18,7 +18,7 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
 }
@@ -106,6 +106,26 @@ std::uint64_t Rng::zipf(std::uint64_t n, double s) {
   }
 }
 
+double Rng::weibull(double mean, double shape) {
+  // Inverse-CDF: scale * (-ln U)^(1/k), with the scale chosen so the draw
+  // has the requested mean (E[X] = scale * Gamma(1 + 1/k)).
+  const double scale = mean / std::tgamma(1.0 + 1.0 / shape);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
 Rng Rng::split() { return Rng(next()); }
+
+std::uint64_t Rng::substreamSeed(std::uint64_t seed, std::uint64_t streamId) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (streamId + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng Rng::split(std::uint64_t streamId) const {
+  return Rng(substreamSeed(seed_, streamId));
+}
 
 }  // namespace stordep::sim

@@ -36,11 +36,37 @@ class Rng {
   /// rejection-inversion method (Hörmann/Derflinger), O(1) per draw.
   std::uint64_t zipf(std::uint64_t n, double s);
 
+  /// Weibull with the given mean and shape k (> 0); k == 1 is exponential.
+  /// The scale is derived from the mean via Gamma(1 + 1/k).
+  double weibull(double mean, double shape);
+
   /// Fork a statistically independent stream (for parallel entities).
+  /// Stateful: advances this generator; the forked stream depends on how
+  /// many draws preceded the fork. Prefer split(streamId) when the forks
+  /// must be reproducible independent of draw order.
   Rng split();
+
+  /// The substream seed for `streamId` under `seed`: a splitmix64 finalizer
+  /// over the seed advanced by the stream id (the same construction as the
+  /// verify layer's mixSeed). Distinct streamIds give decorrelated,
+  /// non-overlapping streams; chaining substreamSeed calls derives nested
+  /// substreams.
+  [[nodiscard]] static std::uint64_t substreamSeed(std::uint64_t seed,
+                                                   std::uint64_t streamId);
+
+  /// The substream `streamId` of this generator's *construction seed*: a
+  /// pure function of (seed, streamId), unaffected by any draws made from
+  /// this generator. This is the deterministic-parallelism primitive — trial
+  /// i of a Monte-Carlo run uses split(i), so results are bit-identical
+  /// regardless of how trials are scheduled across threads.
+  [[nodiscard]] Rng split(std::uint64_t streamId) const;
+
+  /// The seed this generator was constructed with.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
  private:
   std::uint64_t s_[4];
+  std::uint64_t seed_;
 };
 
 }  // namespace stordep::sim

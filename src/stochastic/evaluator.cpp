@@ -1,0 +1,419 @@
+#include "stochastic/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "core/data_loss.hpp"
+#include "core/propagation.hpp"
+#include "core/recovery.hpp"
+#include "engine/thread_pool.hpp"
+#include "sim/rng.hpp"
+
+namespace stordep::stochastic {
+namespace {
+
+/// Matches the analytic-vs-simulated comparison tolerance used by the
+/// differential oracles: bound * (1 + 1e-9) + 1e-6 absorbs the restore-leg
+/// floating-point noise without hiding real violations.
+[[nodiscard]] bool withinRtBound(double observedMax, Duration bound) {
+  if (!bound.isFinite()) return true;
+  return observedMax <= bound.secs() * (1.0 + 1e-9) + 1e-6;
+}
+
+[[nodiscard]] bool withinDlBound(double observedMax, Duration bound) {
+  if (!bound.isFinite()) return true;
+  const double b = bound.secs();
+  return observedMax <= b + 1e-6 * std::max(1.0, b);
+}
+
+/// One draw from a duration process, in seconds. Infinite means "never".
+[[nodiscard]] double sampleSecs(const ProcessSpec& process, sim::Rng& rng) {
+  if (!process.mean.isFinite()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  switch (process.kind) {
+    case ProcessKind::kExponential:
+      return rng.exponential(process.mean.secs());
+    case ProcessKind::kWeibull:
+      return rng.weibull(process.mean.secs(), process.shape);
+    case ProcessKind::kFixed:
+      return process.mean.secs();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+/// Runaway guard for degenerate processes (zero/near-zero means): no sane
+/// reliability config produces this many arrivals in one mission window.
+constexpr int kMaxArrivalsPerProcess = 100'000;
+
+struct MissionEvent {
+  double time = 0;
+  int kind = 0;  ///< 0 = device failure, 1 = site shock
+  int index = 0;
+};
+
+}  // namespace
+
+struct StochasticEvaluator::ConditionalTrial {
+  bool filled = false;
+  bool recoverable = false;
+  double rt = 0;       ///< seconds
+  double dl = 0;       ///< seconds
+  double payload = 0;  ///< bytes
+  double penalty = 0;  ///< dollars
+};
+
+struct StochasticEvaluator::MissionTrial {
+  bool filled = false;
+  int events = 0;
+  int unrecoverable = 0;
+  double penalty = 0;       ///< dollars over the window (recoverable events)
+  double lossBytes = 0;     ///< bytes lost over the window
+  double downtimeSecs = 0;  ///< seconds of outage over the window
+  std::vector<std::pair<double, double>> eventRtDl;  ///< (rt, dl) seconds
+};
+
+StochasticEvaluator::StochasticEvaluator(StorageDesign design,
+                                         StochasticOptions options)
+    : options_(std::move(options)),
+      sim_(std::make_unique<sim::RpLifecycleSimulator>(std::move(design),
+                                                       options_.sim)) {
+  sim_->run();
+  recovery_ = std::make_unique<sim::RecoverySimulator>(*sim_);
+}
+
+StochasticEvaluator::~StochasticEvaluator() = default;
+
+const StorageDesign& StochasticEvaluator::design() const noexcept {
+  return sim_->design();
+}
+
+bool StochasticEvaluator::runTrials(
+    int count, const std::function<void(std::size_t)>& body) const {
+  const engine::CancellationToken& token = options_.token;
+  const auto n = static_cast<std::size_t>(count);
+  if (options_.threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (token.cancelled()) return false;
+      body(i);
+    }
+    return true;
+  }
+  // The pool only drains promptly on cancellation; polling inside the
+  // wrapped body keeps the completed-trial accounting tight.
+  const auto wrapped = [&](std::size_t i) {
+    if (token.cancelled()) return;
+    body(i);
+  };
+  if (options_.threads <= 0) {
+    return engine::ThreadPool::shared().parallelForCancellable(n, wrapped,
+                                                               token);
+  }
+  engine::ThreadPool pool(options_.threads);
+  return pool.parallelForCancellable(n, wrapped, token);
+}
+
+engine::Expected<ScenarioDistribution> StochasticEvaluator::distributionFor(
+    const FailureScenario& scenario) const {
+  if (options_.trials <= 0) {
+    return engine::EvalError{engine::EvalErrorCode::kInvalidDesign,
+                             "stochastic trials must be positive"};
+  }
+  const double lo = sim_->warmupTime();
+  const double hi = sim_->horizon();
+  if (!(lo < hi)) {
+    return engine::EvalError{
+        engine::EvalErrorCode::kInvalidDesign,
+        "simulation horizon too short to reach steady state; raise "
+        "StochasticOptions::sim.horizon"};
+  }
+
+  const StorageDesign& design = sim_->design();
+  const BusinessRequirements& business = design.business();
+  const int trials = options_.trials;
+  std::vector<ConditionalTrial> slots(static_cast<std::size_t>(trials));
+  const sim::Rng root(options_.seed);
+
+  // Per-trial sampling. DL comes from the simulator's bestVisibleRp view
+  // (the quantity the FailureInjector oracle bounds by analytic +
+  // rpCaptureSlack); RT and payload come from the restorable-RP replay (the
+  // quantity bounded by the analytic worst-case recovery time).
+  const auto body = [&](std::size_t i) {
+    sim::Rng rng = root.split(i);
+    ConditionalTrial& t = slots[i];
+    const double failTime = rng.uniform(lo, hi);
+    const auto obs = recovery_->observedRecovery(scenario, failTime);
+    const Duration dl = sim_->observedDataLoss(scenario, failTime);
+    if (obs && obs->recoveryTime.isFinite() && dl.isFinite()) {
+      t.recoverable = true;
+      t.rt = obs->recoveryTime.secs();
+      t.dl = dl.secs();
+      t.payload = obs->payload.bytes();
+      t.penalty =
+          (business.outagePenalty(obs->recoveryTime) + business.lossPenalty(dl))
+              .usd();
+    }
+    t.filled = true;
+  };
+
+  const bool ranAll = runTrials(trials, body);
+  int completed = 0;
+  for (const ConditionalTrial& t : slots) completed += t.filled ? 1 : 0;
+  if (!ranAll || completed < trials) {
+    return engine::EvalError{
+        options_.token.reason(),
+        "stochastic run cancelled after " + std::to_string(completed) +
+            " of " + std::to_string(trials) + " trials"};
+  }
+
+  // Sequential reduction in trial order: bit-identical at any thread count.
+  ScenarioDistribution out;
+  out.trials = trials;
+  const auto expected = static_cast<std::uint64_t>(trials);
+  DistributionAccumulator rtAcc(expected, options_.ciBatches);
+  DistributionAccumulator dlAcc(expected, options_.ciBatches);
+  DistributionAccumulator penAcc(expected, options_.ciBatches);
+  double paySum = 0;
+  double payMin = 0;
+  double payMax = 0;
+  for (const ConditionalTrial& t : slots) {
+    if (!t.recoverable) {
+      ++out.unrecoverable;
+      continue;
+    }
+    rtAcc.add(t.rt);
+    dlAcc.add(t.dl);
+    penAcc.add(t.penalty);
+    if (rtAcc.count() == 1) {
+      payMin = t.payload;
+      payMax = t.payload;
+    } else {
+      payMin = std::min(payMin, t.payload);
+      payMax = std::max(payMax, t.payload);
+    }
+    paySum += t.payload;
+  }
+  out.rt = rtAcc.finalize();
+  out.dl = dlAcc.finalize();
+  out.penalty = penAcc.finalize();
+  const std::uint64_t recovered = rtAcc.count();
+  if (recovered > 0) {
+    out.minPayload = Bytes{payMin};
+    out.meanPayload = Bytes{paySum / static_cast<double>(recovered)};
+    out.maxPayload = Bytes{payMax};
+  }
+
+  // Analytic worst case and bound checks.
+  const RecoveryResult analytic = computeRecovery(design, scenario);
+  out.analyticWorstRt = analytic.recoveryTime;
+  out.analyticWorstDl = analytic.dataLoss;
+  if (analytic.recoverable) {
+    out.worstCasePenalty = business.outagePenalty(analytic.recoveryTime) +
+                           business.lossPenalty(analytic.dataLoss);
+  } else {
+    out.worstCasePenalty =
+        dollars(std::numeric_limits<double>::infinity());
+  }
+  if (const auto source = chooseRecoverySource(design, scenario)) {
+    out.dlSlack = rpCaptureSlack(design, source->level);
+  }
+  if (out.rt.count > 0) {
+    out.rtBoundHolds = withinRtBound(out.rt.max, analytic.recoveryTime);
+    if (analytic.recoveryTime.isFinite() && analytic.recoveryTime.secs() > 0) {
+      out.rtTightness = out.rt.max / analytic.recoveryTime.secs();
+    } else {
+      out.rtTightness = 1.0;
+    }
+  }
+  if (out.dl.count > 0) {
+    out.dlBoundHolds = withinDlBound(out.dl.max, analytic.dataLoss + out.dlSlack);
+  }
+
+  // Unrecoverable trials carry no finite penalty; they are excluded from the
+  // mean and surfaced through `unrecoverable` instead. A scenario with no
+  // recoverable instant at all is infinitely expensive.
+  out.expectedPenalty =
+      recovered > 0 ? dollars(out.penalty.mean)
+                    : dollars(std::numeric_limits<double>::infinity());
+  return out;
+}
+
+engine::Expected<AnnualizedRisk> StochasticEvaluator::annualizedRisk() const {
+  if (options_.trials <= 0) {
+    return engine::EvalError{engine::EvalErrorCode::kInvalidDesign,
+                             "stochastic trials must be positive"};
+  }
+  const double lo = sim_->warmupTime();
+  const double hi = sim_->horizon();
+  if (!(lo < hi)) {
+    return engine::EvalError{
+        engine::EvalErrorCode::kInvalidDesign,
+        "simulation horizon too short to reach steady state; raise "
+        "StochasticOptions::sim.horizon"};
+  }
+  const double window = options_.reliability.missionWindow.secs();
+  if (!(window > 0) || !options_.reliability.missionWindow.isFinite()) {
+    return engine::EvalError{engine::EvalErrorCode::kInvalidDesign,
+                             "mission window must be positive and finite"};
+  }
+  if (options_.reliability.siteShockAnnualRate < 0) {
+    return engine::EvalError{engine::EvalErrorCode::kInvalidDesign,
+                             "site shock rate must be non-negative"};
+  }
+
+  const StorageDesign& design = sim_->design();
+  const BusinessRequirements& business = design.business();
+  const auto resolved = resolveReliability(design, options_.reliability);
+  if (resolved.empty()) {
+    return engine::EvalError{engine::EvalErrorCode::kInvalidDesign,
+                             "design has no storage devices to fail"};
+  }
+
+  // Scenario per failure source, built once: device failures plus (when the
+  // common-shock rate is set) one whole-site disaster per distinct site.
+  std::vector<FailureScenario> deviceScenarios;
+  deviceScenarios.reserve(resolved.size());
+  for (const auto& [device, rel] : resolved) {
+    deviceScenarios.push_back(FailureScenario::arrayFailure(device->name()));
+  }
+  std::vector<std::string> sites;
+  for (const auto& [device, rel] : resolved) {
+    const std::string& site = device->location().site;
+    if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+      sites.push_back(site);
+    }
+  }
+  std::vector<FailureScenario> siteScenarios;
+  siteScenarios.reserve(sites.size());
+  for (const std::string& site : sites) {
+    siteScenarios.push_back(FailureScenario::siteDisaster(site));
+  }
+  const double shockRate = options_.reliability.siteShockAnnualRate;
+  const double shockMeanSecs =
+      shockRate > 0 ? Duration::kYear / shockRate
+                    : std::numeric_limits<double>::infinity();
+
+  const int trials = options_.trials;
+  std::vector<MissionTrial> slots(static_cast<std::size_t>(trials));
+  const sim::Rng root(options_.seed);
+
+  const auto body = [&](std::size_t i) {
+    sim::Rng rng = root.split(i);
+    MissionTrial& t = slots[i];
+
+    // Renewal process per device: fail, stay down for a repair draw, run
+    // until the next failure draw; repeat across the mission window.
+    std::vector<MissionEvent> events;
+    for (std::size_t d = 0; d < resolved.size(); ++d) {
+      const DeviceReliability& rel = resolved[d].second;
+      double time = sampleSecs(rel.failure, rng);
+      int arrivals = 0;
+      while (time < window && arrivals < kMaxArrivalsPerProcess) {
+        events.push_back({time, 0, static_cast<int>(d)});
+        ++arrivals;
+        const double gap = sampleSecs(rel.repair, rng) +
+                           sampleSecs(rel.failure, rng);
+        if (!(gap > 0)) break;
+        time += gap;
+      }
+    }
+    // Marshall–Olkin-style common shocks: a Poisson stream per site that
+    // takes out every device there at once (correlated failures).
+    if (shockRate > 0) {
+      for (std::size_t s = 0; s < sites.size(); ++s) {
+        double time = rng.exponential(shockMeanSecs);
+        int arrivals = 0;
+        while (time < window && arrivals < kMaxArrivalsPerProcess) {
+          events.push_back({time, 1, static_cast<int>(s)});
+          ++arrivals;
+          time += rng.exponential(shockMeanSecs);
+        }
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const MissionEvent& a, const MissionEvent& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.kind != b.kind) return a.kind < b.kind;
+                return a.index < b.index;
+              });
+
+    // Replay each outage at an independent uniformly drawn phase of the
+    // steady-state backup cycle (the mission clock and the RP-schedule
+    // clock are incommensurable, so the phase at failure is ~uniform).
+    for (const MissionEvent& e : events) {
+      const FailureScenario& scenario =
+          e.kind == 0 ? deviceScenarios[static_cast<std::size_t>(e.index)]
+                      : siteScenarios[static_cast<std::size_t>(e.index)];
+      const double failTime = rng.uniform(lo, hi);
+      const auto obs = recovery_->observedRecovery(scenario, failTime);
+      const Duration dl = sim_->observedDataLoss(scenario, failTime);
+      ++t.events;
+      if (!obs || !obs->recoveryTime.isFinite() || !dl.isFinite()) {
+        ++t.unrecoverable;
+        t.lossBytes += design.workload().dataCap().bytes();
+        continue;
+      }
+      const double rt = obs->recoveryTime.secs();
+      t.eventRtDl.emplace_back(rt, dl.secs());
+      t.penalty +=
+          (business.outagePenalty(obs->recoveryTime) + business.lossPenalty(dl))
+              .usd();
+      t.lossBytes += design.workload().uniqueBytes(dl).bytes();
+      t.downtimeSecs += rt;
+    }
+    t.filled = true;
+  };
+
+  const bool ranAll = runTrials(trials, body);
+  int completed = 0;
+  for (const MissionTrial& t : slots) completed += t.filled ? 1 : 0;
+  if (!ranAll || completed < trials) {
+    return engine::EvalError{
+        options_.token.reason(),
+        "stochastic run cancelled after " + std::to_string(completed) +
+            " of " + std::to_string(trials) + " trials"};
+  }
+
+  // Sequential reduction in trial order; annualize by window scale.
+  AnnualizedRisk out;
+  out.trials = trials;
+  out.missionWindow = options_.reliability.missionWindow;
+  const double scale = Duration::kYear / window;
+  const auto expected = static_cast<std::uint64_t>(trials);
+  DistributionAccumulator penAcc(expected, options_.ciBatches);
+  DistributionAccumulator lossAcc(expected, options_.ciBatches);
+  DistributionAccumulator eventRtAcc;
+  DistributionAccumulator eventDlAcc;
+  std::uint64_t eventSum = 0;
+  int unrecoverableTrials = 0;
+  double downtimeSum = 0;
+  for (const MissionTrial& t : slots) {
+    eventSum += static_cast<std::uint64_t>(t.events);
+    if (t.unrecoverable > 0) ++unrecoverableTrials;
+    penAcc.add(t.penalty * scale);
+    lossAcc.add(t.lossBytes * scale);
+    downtimeSum += t.downtimeSecs;
+    for (const auto& [rt, dl] : t.eventRtDl) {
+      eventRtAcc.add(rt);
+      eventDlAcc.add(dl);
+    }
+  }
+  const auto n = static_cast<double>(trials);
+  out.eventsPerYear = static_cast<double>(eventSum) / n * scale;
+  out.unrecoverableTrialFraction = static_cast<double>(unrecoverableTrials) / n;
+  out.annualPenalty = penAcc.finalize();
+  out.expectedAnnualPenalty = dollars(out.annualPenalty.mean);
+  out.penaltyCi95 = dollars(out.annualPenalty.ci95);
+  const Distribution loss = lossAcc.finalize();
+  out.expectedAnnualLossBytes = Bytes{loss.mean};
+  out.lossBytesCi95 = Bytes{loss.ci95};
+  out.expectedAnnualDowntimeHours = downtimeSum / n * scale / Duration::kHour;
+  out.eventRt = eventRtAcc.finalize();
+  out.eventDl = eventDlAcc.finalize();
+  return out;
+}
+
+}  // namespace stordep::stochastic

@@ -12,8 +12,8 @@
 #include "engine/batch.hpp"
 #include "optimizer/search.hpp"
 #include "sim/failure_injector.hpp"
-#include "sim/recovery_simulator.hpp"
 #include "sim/rp_simulator.hpp"
+#include "stochastic/evaluator.hpp"
 
 namespace stordep::verify {
 
@@ -107,19 +107,69 @@ OracleResult simBoundOracle(const CaseSpec& spec,
                         " s + capture slack " + num(slack.raw()) + " s");
       }
     }
-
-    sim::RecoverySimulator recovery(simulator);
-    const sim::RecoveryDistribution dist = recovery.distribution(
-        scenario, options.simSamples, sim::Rng(mixSeed(spec.auxSeed, 2)));
-    if (dist.samples > dist.unrecoverable && !dist.rtBoundHolds) {
-      return fail(kName,
-                  "simulated recovery time exceeds the analytic worst case: "
-                  "observed max " +
-                      num(dist.maxRt.raw()) + " s > bound " +
-                      num(dist.analyticWorstRt.raw()) + " s");
-    }
   } catch (const std::exception& e) {
     return fail(kName, std::string("simulation threw: ") + e.what());
+  }
+  return pass(kName);
+}
+
+OracleResult stochasticBoundOracle(const CaseSpec& spec,
+                                   const OracleOptions& options) {
+  const char* kName = "stochastic-bound";
+  if (spec.scope != FailureScope::kArray && spec.scope != FailureScope::kSite) {
+    return notApplicable(kName);
+  }
+  StorageDesign design = makeDesign(spec);
+  // Same applicability as simBoundOracle: the sampled-P100-under-bound
+  // property is a theorem only for convention-conforming designs whose
+  // slowest cycle fits the default simulation horizon.
+  if (!design.validate().empty()) return notApplicable(kName);
+  if (slowestCycle(spec) > days(7)) return notApplicable(kName);
+
+  const FailureScenario scenario = makeScenario(spec);
+  try {
+    stochastic::StochasticOptions sopt;
+    sopt.trials = options.stochasticTrials;
+    sopt.seed = mixSeed(spec.auxSeed, 5);
+    sopt.threads = 1;
+    const stochastic::StochasticEvaluator eval(std::move(design), sopt);
+    const auto result = eval.distributionFor(scenario);
+    if (!result.ok()) {
+      return fail(kName, "stochastic evaluation failed: " +
+                             result.error().describe());
+    }
+    const stochastic::ScenarioDistribution& dist = result.value();
+    if (!dist.rtBoundHolds) {
+      return fail(kName,
+                  "sampled recovery time exceeds the analytic worst case: "
+                  "observed max " +
+                      num(dist.rt.max) + " s > bound " +
+                      num(dist.analyticWorstRt.raw()) + " s");
+    }
+    if (!dist.dlBoundHolds) {
+      return fail(kName,
+                  "sampled data loss exceeds the analytic worst case: "
+                  "observed max " +
+                      num(dist.dl.max) + " s > bound " +
+                      num(dist.analyticWorstDl.raw()) + " s + capture slack " +
+                      num(dist.dlSlack.raw()) + " s");
+    }
+    const auto monotone = [](const stochastic::Distribution& d) {
+      if (d.count == 0) return true;
+      return !std::isnan(d.p50) && !std::isnan(d.p95) && !std::isnan(d.p99) &&
+             d.p50 <= d.p95 && d.p95 <= d.p99 && d.p99 <= d.max;
+    };
+    if (!monotone(dist.rt) || !monotone(dist.dl)) {
+      return fail(kName,
+                  "quantiles are not monotone: RT p50/p95/p99/max " +
+                      num(dist.rt.p50) + "/" + num(dist.rt.p95) + "/" +
+                      num(dist.rt.p99) + "/" + num(dist.rt.max) +
+                      ", DL p50/p95/p99/max " + num(dist.dl.p50) + "/" +
+                      num(dist.dl.p95) + "/" + num(dist.dl.p99) + "/" +
+                      num(dist.dl.max));
+    }
+  } catch (const std::exception& e) {
+    return fail(kName, std::string("stochastic evaluation threw: ") + e.what());
   }
   return pass(kName);
 }

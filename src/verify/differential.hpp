@@ -6,10 +6,14 @@
 // optimizer::searchDesignSpace. Each oracle here runs one generated case
 // through two of them and checks agreement:
 //
-//   sim-bound       analytic worst-case DL/RT bound every simulated failure
+//   sim-bound       analytic worst-case DL bound every simulated failure
 //                   instant (paper's "validate the models via simulation"
 //                   future work; requires a convention-conforming design,
 //                   where the aligned-schedule bound is a theorem)
+//   stochastic-bound the Monte-Carlo layer (stochastic::StochasticEvaluator)
+//                   never samples beyond the analytic worst case: sampled
+//                   P100 of RT/DL stays under the bound, and the reported
+//                   quantiles are monotone (P50 <= P95 <= P99 <= max)
 //   search-parity   searchDesignSpaceSerial vs the engine-backed parallel
 //                   search, bit-identical rankings
 //   round-trip      saveDesign -> loadDesign -> saveDesign reaches a fixpoint
@@ -45,16 +49,25 @@ struct OracleOptions {
   int mutations = 4;
   /// Threads for the parallel side of search parity.
   int searchThreads = 4;
+  /// Monte-Carlo trials per stochastic-bound check.
+  int stochasticTrials = 48;
 };
 
 /// Analytic evaluator vs discrete-event simulation: the analytic worst-case
-/// data loss bounds every simulated failure instant, and the analytic
-/// worst-case recovery time bounds the simulated recovery-time distribution.
-/// Applicable only to convention-conforming designs (validate() empty) with
-/// a simulation-affordable slowest cycle, and to array/site scenarios (the
+/// data loss bounds every simulated failure instant. Applicable only to
+/// convention-conforming designs (validate() empty) with a
+/// simulation-affordable slowest cycle, and to array/site scenarios (the
 /// simulator's failure model).
 [[nodiscard]] OracleResult simBoundOracle(const CaseSpec& spec,
                                           const OracleOptions& options = {});
+
+/// Analytic worst case vs the Monte-Carlo distribution layer: the sampled
+/// maximum recovery time must stay under the analytic worst-case RT, the
+/// sampled maximum data loss under the analytic worst-case DL plus capture
+/// slack, and the reported RT/DL quantiles must be monotone
+/// (P50 <= P95 <= P99 <= max). Same applicability guards as simBoundOracle.
+[[nodiscard]] OracleResult stochasticBoundOracle(
+    const CaseSpec& spec, const OracleOptions& options = {});
 
 /// Serial reference search vs the engine-backed parallel search over a small
 /// candidate set including this case's candidate: rankings, labels, costs

@@ -20,6 +20,10 @@ CheckOutcome runNamedCheck(const std::string& name, const CaseSpec& spec,
     const OracleResult r = simBoundOracle(spec, options.oracle);
     return {r.applicable, r.holds, r.detail};
   }
+  if (name == "stochastic-bound") {
+    const OracleResult r = stochasticBoundOracle(spec, options.oracle);
+    return {r.applicable, r.holds, r.detail};
+  }
   if (name == "search-parity") {
     const OracleResult r = searchParityOracle(spec, options.oracle);
     return {r.applicable, r.holds, r.detail};
@@ -69,7 +73,7 @@ void recordFailure(FuzzReport& report, const FuzzOptions& options,
 /// Returns false when the failure budget is exhausted.
 bool checkCase(FuzzReport& report, const FuzzOptions& options,
                std::uint64_t index, const CaseSpec& spec, bool runSim,
-               bool runSearch, bool runIo) {
+               bool runStochastic, bool runSearch, bool runIo) {
   for (const RelationResult& r : checkRelations(spec, options.ctx)) {
     if (!r.applicable) {
       ++report.relationSkips;
@@ -91,6 +95,9 @@ bool checkCase(FuzzReport& report, const FuzzOptions& options,
     oracles.push_back(mutationOracle(spec, options.oracle));
   }
   if (runSim) oracles.push_back(simBoundOracle(spec, options.oracle));
+  if (runStochastic) {
+    oracles.push_back(stochasticBoundOracle(spec, options.oracle));
+  }
   if (runSearch) oracles.push_back(searchParityOracle(spec, options.oracle));
   for (const OracleResult& r : oracles) {
     if (!r.applicable) {
@@ -124,6 +131,7 @@ FuzzReport runFuzz(const FuzzOptions& options) {
     ++report.cases;
     if (!checkCase(report, options, static_cast<std::uint64_t>(i), spec,
                    everyNth(options.simEvery, i),
+                   everyNth(options.stochasticEvery, i),
                    everyNth(options.searchEvery, i),
                    everyNth(options.ioEvery, i))) {
       report.stoppedEarly = true;
@@ -142,7 +150,7 @@ FuzzReport replayCase(std::uint64_t seed, std::uint64_t index,
   report.cases = 1;
   const CaseSpec spec = caseForSeed(seed, index);
   (void)checkCase(report, replay, index, spec, /*runSim=*/true,
-                  /*runSearch=*/true, /*runIo=*/true);
+                  /*runStochastic=*/true, /*runSearch=*/true, /*runIo=*/true);
   return report;
 }
 

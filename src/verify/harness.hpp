@@ -31,6 +31,8 @@ struct FuzzOptions {
   int maxFailures = 5;
   /// Run the simulation oracle on every Nth case (0 = never).
   int simEvery = 20;
+  /// Run the stochastic-bound oracle on every Nth case (0 = never).
+  int stochasticEvery = 25;
   /// Run the search-parity oracle on every Nth case (0 = never).
   int searchEvery = 200;
   /// Run the round-trip and mutation oracles on every Nth case (0 = never).
