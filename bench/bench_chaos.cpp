@@ -1,0 +1,369 @@
+// bench_chaos — closed-loop chaos soak for the resilience layer.
+//
+// Starts the embedded evaluation server in-process, puts the deterministic
+// ChaosProxy in front of it (connection resets, accept stalls, torn
+// writes, response truncation, slow-loris trickle, black-hole timeouts,
+// all planned as a pure function of (--chaos-seed, connId)), and drives
+// closed-loop ResilientClient threads through the proxy. The gate:
+//
+//   * every request produces exactly one outcome — no lost or duplicated
+//     responses;
+//   * every success is bit-identical to the chaos-free serial-engine
+//     answer for that payload — no corrupted responses;
+//   * every failure is a structured engine-taxonomy error (kUnavailable,
+//     transient), never a raw exception;
+//   * the proxy's recorded fault schedule replays exactly from the seed
+//     (audit: every decision matches a planFor() recomputation);
+//   * forced brown-out tiers are observable over /healthz and /metrics,
+//     shed cold requests and keep warm ones bit-identical;
+//   * after the server dies, the client's circuit breaker opens and fails
+//     fast.
+//
+// Emits BENCH_chaos.json (stdout + --out) and exits non-zero on any
+// violation. Usage:
+//   bench_chaos [--chaos-seed N] [--requests N] [--threads N] [--out PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "casestudy/casestudy.hpp"
+#include "config/design_io.hpp"
+#include "engine/batch.hpp"
+#include "service/client.hpp"
+#include "service/json_api.hpp"
+#include "service/resilience/chaos_proxy.hpp"
+#include "service/resilience/resilient_client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+namespace cs = stordep::casestudy;
+namespace eng = stordep::engine;
+namespace svc = stordep::service;
+namespace res = stordep::service::resilience;
+using stordep::FailureScenario;
+using stordep::StorageDesign;
+using stordep::config::Json;
+using stordep::config::JsonObject;
+using std::chrono::milliseconds;
+
+struct Pair {
+  std::string payload;
+  std::string expectedBody;  ///< the chaos-free serial-engine answer
+};
+
+/// The case-study what-if designs crossed with the three scenarios, each
+/// with the byte-exact response a chaos-free run must produce.
+std::vector<Pair> makePairs() {
+  eng::Engine serial(eng::EngineOptions{.threads = 1});
+  std::vector<Pair> pairs;
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    for (const FailureScenario& scenario :
+         {cs::objectFailure(), cs::arrayFailure(), cs::siteDisaster()}) {
+      const Json designJson = stordep::config::designToJson(design);
+      const StorageDesign roundTripped =
+          stordep::config::designFromJson(designJson);
+      Json payload{JsonObject{}};
+      payload.set("design", designJson);
+      payload.set("scenario", stordep::config::scenarioToJson(scenario));
+      const eng::EvalOutcome outcome =
+          serial.tryEvaluate(roundTripped, scenario);
+      Pair pair;
+      pair.payload = payload.dump();
+      pair.expectedBody =
+          outcome.ok() ? svc::evaluationToJson(roundTripped, scenario,
+                                               outcome.value())
+                             .dump()
+                       : svc::evalErrorToJson(outcome.error()).dump();
+      pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++failures;
+    std::cerr << "FAIL: " << what << "\n";
+  }
+}
+
+bool waitFor(const std::function<bool()>& condition, milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(milliseconds{2});
+  }
+  return condition();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t chaosSeed = 1;
+  int requestsPerThread = 150;
+  int threads = 4;
+  std::string outPath = "BENCH_chaos.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--chaos-seed") {
+      chaosSeed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--requests") {
+      requestsPerThread = std::atoi(next().c_str());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next().c_str());
+    } else if (arg == "--out") {
+      outPath = next();
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<Pair> pairs = makePairs();
+
+  svc::ServerOptions serverOptions;
+  serverOptions.engineThreads = std::max(2, threads);
+  svc::Server server(serverOptions);
+  server.start();
+
+  res::ChaosOptions chaos;
+  chaos.seed = chaosSeed;
+  chaos.resetProb = 0.05;
+  chaos.stallProb = 0.03;
+  chaos.tornWriteProb = 0.15;
+  chaos.truncateProb = 0.08;
+  chaos.trickleProb = 0.04;
+  chaos.blackholeProb = 0.02;
+  chaos.stall = milliseconds{20};
+  chaos.blackholeHold = milliseconds{300};
+  chaos.trickleBudget = 8;    // a trickling keep-alive conn slows a whole
+  chaos.blackholeBudget = 8;  // thread; bound the worst cases
+  res::ChaosProxy proxy("127.0.0.1", server.port(), chaos);
+  proxy.start();
+
+  // ---- Phase 1: closed-loop soak through the proxy -------------------------
+  std::atomic<std::uint64_t> successes{0};
+  std::atomic<std::uint64_t> structuredFailures{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> unstructured{0};
+  std::atomic<std::uint64_t> httpErrors{0};
+  std::atomic<std::uint64_t> outcomes{0};
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> hedges{0};
+  std::atomic<std::uint64_t> hedgeWins{0};
+
+  const auto begin = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        res::ResilientClientOptions clientOptions;
+        clientOptions.seed = chaosSeed * 1000 + static_cast<std::uint64_t>(t);
+        clientOptions.timeout = milliseconds{2000};
+        clientOptions.retry.maxAttempts = 5;
+        clientOptions.retry.baseBackoff = milliseconds{5};
+        clientOptions.retry.maxBackoff = milliseconds{100};
+        clientOptions.hedging = true;
+        clientOptions.hedgeFloor = milliseconds{50};
+        res::ResilientClient client("127.0.0.1", proxy.port(), clientOptions);
+        for (int i = 0; i < requestsPerThread; ++i) {
+          const Pair& pair =
+              pairs[static_cast<std::size_t>(t + i) % pairs.size()];
+          const res::ResilientClient::Result result =
+              client.post("/v1/evaluate", pair.payload);
+          outcomes.fetch_add(1);
+          if (result.ok()) {
+            if (result.value().status == 200) {
+              if (result.value().body == pair.expectedBody) {
+                successes.fetch_add(1);
+              } else {
+                corrupted.fetch_add(1);
+                std::cerr << "CORRUPTED thread=" << t << " i=" << i
+                          << "\n  got:  " << result.value().body.substr(0, 200)
+                          << "\n  want: " << pair.expectedBody.substr(0, 200)
+                          << "\n";
+              }
+            } else {
+              // A non-200 must still be a structured service error body.
+              httpErrors.fetch_add(1);
+              if (result.value().body.find("\"error\"") ==
+                  std::string::npos) {
+                unstructured.fetch_add(1);
+              }
+            }
+          } else if (result.error().code ==
+                         eng::EvalErrorCode::kUnavailable &&
+                     result.error().transient) {
+            structuredFailures.fetch_add(1);
+          } else {
+            unstructured.fetch_add(1);
+          }
+        }
+        attempts.fetch_add(client.stats().attempts);
+        retries.fetch_add(client.stats().retries);
+        hedges.fetch_add(client.stats().hedges);
+        hedgeWins.fetch_add(client.stats().hedgeWins);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - begin;
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(threads) *
+      static_cast<std::uint64_t>(requestsPerThread);
+  check(outcomes.load() == total, "every request must have exactly one "
+                                  "outcome (lost or duplicated responses)");
+  check(corrupted.load() == 0, "corrupted responses observed");
+  check(unstructured.load() == 0, "failures outside the structured error "
+                                  "taxonomy observed");
+  check(successes.load() > 0, "no successful requests at all");
+
+  // The audit trail: the proxy's schedule must replay from the seed.
+  const res::ChaosProxy::Stats proxyStats = proxy.stats();
+  const std::vector<res::ChaosDecision> decisions = proxy.decisions();
+  check(proxyStats.connections > 0, "proxy saw no connections");
+  check(proxyStats.faultsInjected > 0,
+        "no faults injected — the soak proved nothing");
+  for (const res::ChaosDecision& decision : decisions) {
+    const res::ChaosDecision replanned =
+        res::ChaosProxy::planFor(chaos, decision.connId);
+    check(decision.fault == replanned.fault &&
+              decision.param == replanned.param,
+          "decision for conn " + std::to_string(decision.connId) +
+              " does not replay from the seed");
+  }
+
+  // ---- Phase 2: forced brown-out, observable over the wire -----------------
+  {
+    svc::Client direct("127.0.0.1", server.port());
+    server.forceBrownoutTier(2);
+    check(waitFor([&] { return server.brownoutTier() == 2; },
+                  milliseconds{2000}),
+          "forced brown-out tier was not applied");
+    const svc::HttpClientResponse health = direct.get("/healthz");
+    check(health.status == 200 &&
+              health.body.find("degraded") != std::string::npos,
+          "/healthz does not report degraded under tier 2");
+
+    // Warm request: served from cache, still bit-identical.
+    const svc::HttpClientResponse warm =
+        direct.post("/v1/evaluate", pairs[0].payload);
+    check(warm.status == 200 && warm.body == pairs[0].expectedBody,
+          "warm request under tier 2 was not served bit-identically");
+
+    // Cold request: clear the shared cache, expect a structured 503.
+    server.engine().cache().clear();
+    const svc::HttpClientResponse cold =
+        direct.post("/v1/evaluate", pairs[1].payload);
+    check(cold.status == 503, "cold request under tier 2 was not shed");
+    check(cold.header("Retry-After") != nullptr,
+          "shed response carries no Retry-After");
+
+    const Json metrics = Json::parse(direct.get("/metrics").body);
+    check(metrics.at("resilience").at("brownoutTier").asNumber() == 2.0,
+          "/metrics does not report the forced tier");
+    check(metrics.at("resilience").at("shedCold").asNumber() >= 1.0,
+          "/metrics does not count shed cold requests");
+    check(metrics.at("resilience").at("brownoutTransitions").asNumber() >=
+              1.0,
+          "/metrics does not count brown-out transitions");
+
+    server.forceBrownoutTier(-1);
+    check(waitFor([&] { return server.brownoutTier() == 0; },
+                  milliseconds{2000}),
+          "brown-out pin release did not recover to tier 0");
+  }
+
+  // ---- Phase 3: dead server opens the circuit breaker ----------------------
+  proxy.stop();
+  const std::uint16_t deadPort = server.port();
+  server.shutdown();
+  std::uint64_t shortCircuits = 0;
+  std::string breakerState;
+  {
+    res::ResilientClientOptions clientOptions;
+    clientOptions.timeout = milliseconds{200};
+    clientOptions.retry.maxAttempts = 2;
+    clientOptions.retry.baseBackoff = milliseconds{1};
+    clientOptions.retry.maxBackoff = milliseconds{5};
+    clientOptions.breaker.minSamples = 3;
+    clientOptions.breaker.window = 8;
+    clientOptions.breaker.openFor = milliseconds{60'000};
+    res::ResilientClient client("127.0.0.1", deadPort, clientOptions);
+    for (int i = 0; i < 5; ++i) {
+      const res::ResilientClient::Result result =
+          client.post("/v1/evaluate", pairs[0].payload);
+      check(!result.ok() &&
+                result.error().code == eng::EvalErrorCode::kUnavailable,
+            "dead server must yield structured kUnavailable");
+    }
+    breakerState = res::toString(client.breakerState("/v1/evaluate"));
+    shortCircuits = client.stats().breakerShortCircuits;
+    check(breakerState == std::string("open"),
+          "circuit breaker did not open against a dead server");
+    check(shortCircuits > 0, "open breaker never failed fast");
+  }
+
+  // ---- Report --------------------------------------------------------------
+  Json byFault{JsonObject{}};
+  for (int f = 0; f < res::kChaosFaultKinds; ++f) {
+    byFault.set(res::toString(static_cast<res::ChaosFault>(f)),
+                Json(static_cast<double>(
+                    proxyStats.byFault[static_cast<std::size_t>(f)])));
+  }
+  Json report{JsonObject{}};
+  report.set("bench", Json(std::string("chaos")));
+  report.set("chaosSeed", Json(static_cast<double>(chaosSeed)));
+  report.set("threads", Json(static_cast<double>(threads)));
+  report.set("requests", Json(static_cast<double>(total)));
+  report.set("successes", Json(static_cast<double>(successes.load())));
+  report.set("structuredFailures",
+             Json(static_cast<double>(structuredFailures.load())));
+  report.set("httpErrors", Json(static_cast<double>(httpErrors.load())));
+  report.set("corrupted", Json(static_cast<double>(corrupted.load())));
+  report.set("unstructured", Json(static_cast<double>(unstructured.load())));
+  report.set("attempts", Json(static_cast<double>(attempts.load())));
+  report.set("retries", Json(static_cast<double>(retries.load())));
+  report.set("hedges", Json(static_cast<double>(hedges.load())));
+  report.set("hedgeWins", Json(static_cast<double>(hedgeWins.load())));
+  report.set("proxyConnections",
+             Json(static_cast<double>(proxyStats.connections)));
+  report.set("faultsInjected",
+             Json(static_cast<double>(proxyStats.faultsInjected)));
+  report.set("faultsByKind", byFault);
+  report.set("breakerState", Json(breakerState));
+  report.set("breakerShortCircuits",
+             Json(static_cast<double>(shortCircuits)));
+  report.set("wallSeconds", Json(wall.count()));
+  report.set("passed", Json(failures == 0));
+  const std::string out = report.dump();
+  std::cout << out << "\n";
+  std::ofstream(outPath) << out << "\n";
+
+  if (failures != 0) {
+    std::cerr << failures << " chaos-soak violation(s)\n";
+    return 1;
+  }
+  std::cout << "chaos soak passed: " << successes.load() << "/" << total
+            << " successes, " << proxyStats.faultsInjected
+            << " faults injected, breaker " << breakerState << "\n";
+  return 0;
+}

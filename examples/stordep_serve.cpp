@@ -19,6 +19,9 @@
 //   --linger-us N      batching linger window in microseconds
 //   --deadline-ms N    cap on per-request deadlines
 //   --drain-ms N       shutdown grace period for in-flight work
+//   --no-brownout      disable tiered load shedding under overload
+//   --brownout-enter R queue pressure in [0,1] that counts as a hot tick
+//   --brownout-exit R  queue pressure at or below which the server recovers
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
@@ -43,6 +46,20 @@ long long parseIntArg(int argc, char** argv, int& i, const std::string& flag) {
   }
   try {
     return std::stoll(argv[++i]);
+  } catch (const std::exception&) {
+    std::cerr << "stordep_serve: bad value for " << flag << ": " << argv[i]
+              << "\n";
+    std::exit(2);
+  }
+}
+
+double parseDoubleArg(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) {
+    std::cerr << "stordep_serve: " << flag << " needs a value\n";
+    std::exit(2);
+  }
+  try {
+    return std::stod(argv[++i]);
   } catch (const std::exception&) {
     std::cerr << "stordep_serve: bad value for " << flag << ": " << argv[i]
               << "\n";
@@ -82,10 +99,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--drain-ms") {
       options.drainTimeout =
           std::chrono::milliseconds(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--no-brownout") {
+      options.brownoutEnabled = false;
+    } else if (arg == "--brownout-enter") {
+      options.brownout.enterPressure = parseDoubleArg(argc, argv, i, arg);
+    } else if (arg == "--brownout-exit") {
+      options.brownout.exitPressure = parseDoubleArg(argc, argv, i, arg);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: stordep_serve [--host ADDR] [--port N]"
                    " [--threads N] [--max-queue N] [--linger-us N]"
-                   " [--deadline-ms N] [--drain-ms N]\n";
+                   " [--deadline-ms N] [--drain-ms N] [--no-brownout]"
+                   " [--brownout-enter R] [--brownout-exit R]\n";
       return 0;
     } else {
       std::cerr << "stordep_serve: unknown option " << arg << "\n";

@@ -21,6 +21,8 @@ const char* toString(EvalErrorCode code) noexcept {
       return "deadline-exceeded";
     case EvalErrorCode::kInjected:
       return "injected";
+    case EvalErrorCode::kUnavailable:
+      return "unavailable";
     case EvalErrorCode::kInternal:
       return "internal";
   }

@@ -22,6 +22,11 @@
 //                        this request ran.
 //   kInjected          — a FaultInjector fired (tests only); transient when
 //                        the plan says so.
+//   kUnavailable       — a transport-layer failure reaching a remote
+//                        evaluator (connect refused/reset, request could not
+//                        be delivered, response lost or timed out, circuit
+//                        breaker open); transient — a retry against a
+//                        recovered peer may succeed.
 //   kInternal          — anything else; a bug or an unclassified exception.
 #pragma once
 
@@ -39,6 +44,7 @@ enum class EvalErrorCode {
   kCancelled,
   kDeadlineExceeded,
   kInjected,
+  kUnavailable,
   kInternal,
 };
 

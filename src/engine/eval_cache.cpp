@@ -41,7 +41,14 @@ std::optional<EvaluationResult> EvalCache::lookup(const Fingerprint& key) {
 
 void EvalCache::insert(const Fingerprint& key,
                        const EvaluationResult& result) {
-  if (injector_) injector_->maybeInject(FaultSite::kCacheInsert, key);
+  if (injector_) {
+    try {
+      injector_->maybeInject(FaultSite::kCacheInsert, key);
+    } catch (...) {
+      insertFailures_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+  }
   Shard& shard = shardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
@@ -92,6 +99,7 @@ EvalCache::Stats EvalCache::stats() const {
     out.entries += shard->lru.size();
   }
   out.probes = out.hits + out.misses;
+  out.insertFailures = insertFailures_.load(std::memory_order_relaxed);
   return out;
 }
 

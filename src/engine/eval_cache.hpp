@@ -20,6 +20,7 @@
 // untouched.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -44,6 +45,12 @@ class EvalCache {
     std::uint64_t probes = 0;  ///< hits + misses (lookup traffic)
     std::uint64_t inserts = 0;
     std::uint64_t evictions = 0;
+    /// insert() calls that threw before reaching the table (injected
+    /// kCacheInsert faults, allocation failures). The engine swallows these
+    /// — losing a cache write never fails a request that already has its
+    /// result — so this counter is the only audit trail an injected-fault
+    /// run leaves.
+    std::uint64_t insertFailures = 0;
     std::size_t entries = 0;
     std::size_t capacity = 0;
 
@@ -70,6 +77,7 @@ class EvalCache {
       out.probes = sub(probes, since.probes);
       out.inserts = sub(inserts, since.inserts);
       out.evictions = sub(evictions, since.evictions);
+      out.insertFailures = sub(insertFailures, since.insertFailures);
       out.entries = entries;
       out.capacity = capacity;
       return out;
@@ -146,6 +154,7 @@ class EvalCache {
   std::size_t perShardCapacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::shared_ptr<FaultInjector> injector_;  // null = no injection
+  std::atomic<std::uint64_t> insertFailures_{0};
 };
 
 }  // namespace stordep::engine

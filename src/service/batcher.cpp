@@ -113,6 +113,11 @@ void Batcher::run() {
         metrics_->waves.fetch_add(1, std::memory_order_relaxed);
         metrics_->batchedSlots.fetch_add(combined.size(),
                                          std::memory_order_relaxed);
+        if (batch.stats.failed > 0) {
+          // Feeds the brown-out controller: a streak of failing waves
+          // escalates degradation even when the queue looks shallow.
+          metrics_->waveFailures.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
 

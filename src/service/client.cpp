@@ -8,7 +8,6 @@
 
 #include <cerrno>
 #include <cstring>
-#include <stdexcept>
 #include <utility>
 
 namespace stordep::service {
@@ -22,6 +21,10 @@ void applyTimeout(int fd, std::chrono::milliseconds timeout) {
   tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+[[nodiscard]] bool errnoIsTimeout(int err) noexcept {
+  return err == EAGAIN || err == EWOULDBLOCK || err == ETIMEDOUT;
 }
 
 }  // namespace
@@ -65,7 +68,8 @@ void Client::connect() {
   disconnect();
   const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    throw std::runtime_error("socket() failed: " +
+    throw TransportError(TransportError::Stage::kConnect, false, false,
+                         "socket() failed: " +
                              std::string(std::strerror(errno)));
   }
   sockaddr_in addr{};
@@ -73,23 +77,28 @@ void Client::connect() {
   addr.sin_port = htons(port_);
   if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     close(fd);
-    throw std::runtime_error("bad address: " + host_);
+    throw TransportError(TransportError::Stage::kConnect, false, false,
+                         "bad address: " + host_);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string reason = std::strerror(errno);
+    const int err = errno;
+    const std::string reason = std::strerror(err);
     close(fd);
-    throw std::runtime_error("connect to " + host_ + ":" +
-                             std::to_string(port_) + " failed: " + reason);
+    throw TransportError(TransportError::Stage::kConnect, false,
+                         errnoIsTimeout(err),
+                         "connect to " + host_ + ":" + std::to_string(port_) +
+                             " failed: " + reason);
   }
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   applyTimeout(fd, timeout_);
   fd_ = fd;
+  exchanged_ = false;
 }
 
 void Client::sendRequest(const std::string& method, const std::string& target,
-                         const std::string& body,
-                         const HttpHeaders& headers) {
+                         const std::string& body, const HttpHeaders& headers,
+                         bool reused) {
   std::string out;
   out.reserve(128 + body.size());
   out += method;
@@ -115,31 +124,44 @@ void Client::sendRequest(const std::string& method, const std::string& target,
     const ssize_t n = send(fd_, pending.data(), pending.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
       disconnect();
-      throw std::runtime_error("send failed: " +
-                               std::string(std::strerror(errno)));
+      throw TransportError(TransportError::Stage::kSend, reused,
+                           errnoIsTimeout(err),
+                           "send failed: " +
+                               std::string(std::strerror(err)));
     }
     pending.remove_prefix(static_cast<std::size_t>(n));
   }
 }
 
 HttpClientResponse Client::readResponse(
-    const std::function<void(std::string_view line)>* onLine) {
+    const std::function<void(std::string_view line)>* onLine, bool reused) {
   HttpResponseParser parser;
-  std::size_t emitted = 0;  // body bytes already delivered as lines
+  std::size_t emitted = 0;   // body bytes already delivered as lines
+  std::size_t received = 0;  // total response bytes seen — None vs Torn
   char buf[16 * 1024];
+  const auto stageForDeath = [&received] {
+    return received == 0 ? TransportError::Stage::kResponseNone
+                         : TransportError::Stage::kResponseTorn;
+  };
   while (parser.status() == ParseStatus::kNeedMore) {
     const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
       disconnect();
-      throw std::runtime_error("recv failed: " +
-                               std::string(std::strerror(errno)));
+      throw TransportError(stageForDeath(), reused, errnoIsTimeout(err),
+                           "recv failed: " +
+                               std::string(std::strerror(err)));
     }
     if (n == 0) {
       disconnect();
-      throw std::runtime_error("connection closed mid-response");
+      throw TransportError(stageForDeath(), reused, false,
+                           received == 0 ? "connection closed before response"
+                                         : "connection closed mid-response");
     }
+    received += static_cast<std::size_t>(n);
     std::string_view data(buf, static_cast<std::size_t>(n));
     while (!data.empty() && parser.status() == ParseStatus::kNeedMore) {
       data.remove_prefix(parser.feed(data));
@@ -158,9 +180,11 @@ HttpClientResponse Client::readResponse(
   }
   if (parser.status() == ParseStatus::kError) {
     disconnect();
-    throw std::runtime_error("malformed response: " + parser.error().message);
+    throw TransportError(TransportError::Stage::kMalformed, reused, false,
+                         "malformed response: " + parser.error().message);
   }
   HttpClientResponse response = std::move(parser.response());
+  exchanged_ = true;
   if (!response.keepAlive()) disconnect();
   return response;
 }
@@ -168,26 +192,29 @@ HttpClientResponse Client::readResponse(
 HttpClientResponse Client::request(const std::string& method,
                                    const std::string& target,
                                    const std::string& body,
-                                   const HttpHeaders& headers) {
+                                   const HttpHeaders& headers,
+                                   bool idempotent) {
+  const bool reused = fd_ >= 0 && exchanged_;
   if (fd_ < 0) connect();
   try {
-    sendRequest(method, target, body, headers);
-    return readResponse(nullptr);
-  } catch (const std::exception&) {
-    // The keep-alive connection may have been closed between requests;
-    // retry exactly once on a fresh connection.
+    sendRequest(method, target, body, headers, reused);
+    return readResponse(nullptr, reused);
+  } catch (const TransportError& e) {
+    if (!e.safeToRetry(idempotent)) throw;
+    // One retry on a fresh connection; a second failure propagates.
     connect();
-    sendRequest(method, target, body, headers);
-    return readResponse(nullptr);
+    sendRequest(method, target, body, headers, /*reused=*/false);
+    return readResponse(nullptr, /*reused=*/false);
   }
 }
 
 HttpClientResponse Client::postStreaming(
     const std::string& target, const std::string& body,
     const std::function<void(std::string_view line)>& onLine) {
+  const bool reused = fd_ >= 0 && exchanged_;
   if (fd_ < 0) connect();
-  sendRequest("POST", target, body, {});
-  return readResponse(&onLine);
+  sendRequest("POST", target, body, {}, reused);
+  return readResponse(&onLine, reused);
 }
 
 }  // namespace stordep::service

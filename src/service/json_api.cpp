@@ -203,6 +203,7 @@ int httpStatusFor(engine::EvalErrorCode code) noexcept {
       return 400;
     case engine::EvalErrorCode::kResourceExhausted:
     case engine::EvalErrorCode::kCancelled:
+    case engine::EvalErrorCode::kUnavailable:
       return 503;
     case engine::EvalErrorCode::kDeadlineExceeded:
       return 504;

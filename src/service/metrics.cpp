@@ -114,6 +114,7 @@ namespace {
   out.set("probes", Json(static_cast<double>(stats.probes)));
   out.set("inserts", Json(static_cast<double>(stats.inserts)));
   out.set("evictions", Json(static_cast<double>(stats.evictions)));
+  out.set("insertFailures", Json(static_cast<double>(stats.insertFailures)));
   out.set("entries", Json(static_cast<double>(stats.entries)));
   out.set("capacity", Json(static_cast<double>(stats.capacity)));
   out.set("hitRate", Json(stats.hitRate()));
@@ -157,7 +158,16 @@ config::Json ServiceMetrics::snapshot(engine::Engine& engine) {
                Json(waveCount == 0 ? 0.0
                                    : static_cast<double>(slotCount) /
                                          static_cast<double>(waveCount)));
+  batching.set("waveFailures", gauge(waveFailures));
   out.set("batching", batching);
+
+  Json resilience{JsonObject{}};
+  resilience.set("brownoutTier", gauge(brownoutTier));
+  resilience.set("brownoutTransitions", gauge(brownoutTransitions));
+  resilience.set("shedStochastic", gauge(shedStochastic));
+  resilience.set("shedCold", gauge(shedCold));
+  resilience.set("searchPeerDisconnects", gauge(searchPeerDisconnects));
+  out.set("resilience", resilience);
 
   Json endpoints{JsonObject{}};
   endpoints.set("evaluate", evaluate.toJson());

@@ -93,7 +93,18 @@ class ServiceMetrics {
   // Batching effectiveness.
   std::atomic<std::uint64_t> waves{0};         ///< evaluateBatch calls
   std::atomic<std::uint64_t> batchedSlots{0};  ///< slots across all waves
+  std::atomic<std::uint64_t> waveFailures{0};  ///< waves with >= 1 failed slot
   std::atomic<std::uint64_t> parseErrors{0};   ///< HTTP-level 4xx
+
+  // Resilience / degradation. brownoutTier is a gauge (0 = normal, 1 = shed
+  // stochastic envelopes, 2 = cache-hits-only, 3 = full drain); the rest are
+  // monotone counters so transitions and shed load are observable from
+  // /metrics.
+  std::atomic<std::int64_t> brownoutTier{0};
+  std::atomic<std::uint64_t> brownoutTransitions{0};
+  std::atomic<std::uint64_t> shedStochastic{0};  ///< envelopes stripped
+  std::atomic<std::uint64_t> shedCold{0};        ///< cold requests 503'd
+  std::atomic<std::uint64_t> searchPeerDisconnects{0};
 
   /// The full /metrics document. Takes the engine to snapshot its caches;
   /// thread-safe (interval bookkeeping is mutex-guarded, everything else is

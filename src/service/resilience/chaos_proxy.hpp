@@ -1,0 +1,162 @@
+// chaos_proxy.hpp — deterministic socket-layer fault injection.
+//
+// The socket-layer sibling of engine::FaultInjector: a small in-process TCP
+// proxy that sits between a client and the evaluation server and injects
+// the failures real networks produce — connection resets, accept stalls,
+// byte-level torn writes, response truncation, slow-loris trickle, and
+// black-hole timeouts — so the client's retry/hedging logic and the
+// server's torn-read handling are exercised end to end.
+//
+// Determinism is the point. Each accepted connection gets a sequential
+// connId, and the fault planned for it is a PURE function of
+// (options.seed, connId): planFor() seeds a fresh sim::Rng with
+// Rng::substreamSeed(seed, connId) and draws the fault and its parameter
+// from that substream. The same seed therefore reproduces the same fault
+// schedule regardless of thread interleaving, and any observer can recompute
+// the schedule after the fact to audit what the proxy actually did
+// (bench_chaos does exactly this).
+//
+// Budgets bound the blast radius: each fault kind has an optional budget;
+// once spent, later connections planned for that fault pass through clean
+// (the decision is recorded with applied=false so the audit trail stays
+// complete).
+//
+// Test infrastructure: blocking sockets, two pump threads per connection,
+// not tuned for throughput.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stordep::service::resilience {
+
+enum class ChaosFault {
+  kNone = 0,
+  kConnectReset,      ///< RST the client after forwarding N response bytes
+  kAcceptStall,       ///< delay before the proxy starts forwarding
+  kTornWrite,         ///< forward in tiny chunks with sub-ms pauses
+  kTruncateResponse,  ///< forward N response bytes, then FIN-close
+  kTrickle,           ///< slow-loris: small chunks, fixed pause each
+  kBlackhole,         ///< swallow the response, hold, then close
+};
+inline constexpr int kChaosFaultKinds = 7;
+
+[[nodiscard]] const char* toString(ChaosFault fault) noexcept;
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+
+  // Per-fault injection probabilities; evaluated in declaration order from
+  // one uniform draw, so they must sum to <= 1 (the remainder is kNone).
+  double resetProb = 0.0;
+  double stallProb = 0.0;
+  double tornWriteProb = 0.0;
+  double truncateProb = 0.0;
+  double trickleProb = 0.0;
+  double blackholeProb = 0.0;
+
+  // Per-fault budgets: at most this many connections actually get the
+  // fault; -1 = unlimited. Spent budgets downgrade to pass-through.
+  int resetBudget = -1;
+  int stallBudget = -1;
+  int tornWriteBudget = -1;
+  int truncateBudget = -1;
+  int trickleBudget = -1;
+  int blackholeBudget = -1;
+
+  std::chrono::milliseconds stall{50};
+  std::chrono::milliseconds blackholeHold{1500};
+  /// Reset fires after uniform[0, resetAfterMaxBytes] response bytes
+  /// (0 = reset before any response byte).
+  std::size_t resetAfterMaxBytes = 128;
+  /// Truncation forwards uniform[1, truncateMaxBytes] response bytes.
+  std::size_t truncateMaxBytes = 256;
+  /// Torn writes use chunks of uniform[1, tornMaxChunk] bytes...
+  std::size_t tornMaxChunk = 7;
+  std::chrono::microseconds tornDelay{200};
+  /// ...but only for the first tornBytesCap bytes per direction, so a
+  /// keep-alive connection does not stay slow forever.
+  std::size_t tornBytesCap = 4096;
+  std::size_t trickleBytes = 64;
+  std::chrono::milliseconds trickleDelay{1};
+};
+
+/// What the proxy decided for one connection. `param` is fault-specific
+/// (byte thresholds, chunk sizes, delays in ms); `applied` is false when a
+/// spent budget downgraded the planned fault to pass-through.
+struct ChaosDecision {
+  std::uint64_t connId = 0;
+  ChaosFault fault = ChaosFault::kNone;
+  std::uint64_t param = 0;
+  bool applied = false;
+};
+
+class ChaosProxy {
+ public:
+  /// Plans the fault for `connId` — a pure function of (options.seed,
+  /// connId); budgets are NOT consulted (`applied` mirrors fault != kNone).
+  /// Exposed so tests and bench_chaos can recompute and audit the schedule.
+  [[nodiscard]] static ChaosDecision planFor(const ChaosOptions& options,
+                                             std::uint64_t connId);
+
+  /// Proxies 127.0.0.1:<port()> -> upstreamHost:upstreamPort. The listener
+  /// is bound in the constructor (port() is valid immediately); the accept
+  /// loop starts with start().
+  ChaosProxy(const std::string& upstreamHost, std::uint16_t upstreamPort,
+             ChaosOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const ChaosOptions& options() const noexcept {
+    return options_;
+  }
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t faultsInjected = 0;  ///< decisions with applied && != kNone
+    std::array<std::uint64_t, kChaosFaultKinds> byFault{};
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Every decision made so far, in connId order — the audit trail.
+  [[nodiscard]] std::vector<ChaosDecision> decisions() const;
+
+ private:
+  struct Conn;
+
+  void acceptLoop();
+  void runConn(Conn& conn);
+  void pump(Conn& conn, int fromFd, int toFd, bool isResponseDirection);
+  void reapFinished();
+  [[nodiscard]] bool consumeBudget(ChaosFault fault);
+
+  ChaosOptions options_;
+  std::string upstreamHost_;
+  std::uint16_t upstreamPort_ = 0;
+  std::uint16_t port_ = 0;
+  int listenFd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread acceptThread_;
+
+  std::atomic<std::uint64_t> nextConnId_{0};
+  std::array<std::atomic<int>, kChaosFaultKinds> budgetUsed_{};
+
+  mutable std::mutex mu_;
+  std::vector<ChaosDecision> decisions_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace stordep::service::resilience

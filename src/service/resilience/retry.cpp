@@ -1,0 +1,115 @@
+#include "service/resilience/retry.hpp"
+
+#include <algorithm>
+
+#include "sim/rng.hpp"
+
+namespace stordep::service::resilience {
+
+std::chrono::milliseconds nextBackoff(const RetryPolicy& policy,
+                                      std::chrono::milliseconds previous,
+                                      sim::Rng& rng) {
+  const double base = static_cast<double>(
+      std::max<std::int64_t>(1, policy.baseBackoff.count()));
+  const double prev =
+      std::max(base, static_cast<double>(previous.count()));
+  const double drawn = rng.uniform(base, prev * 3.0);
+  const auto capped = std::min<std::int64_t>(
+      policy.maxBackoff.count(), static_cast<std::int64_t>(drawn));
+  return std::chrono::milliseconds{std::max<std::int64_t>(1, capped)};
+}
+
+const char* toString(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "closed";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options),
+      outcomes_(std::max<std::size_t>(1, options.window), false) {}
+
+double CircuitBreaker::failureRateLocked() const {
+  if (filled_ == 0) return 0.0;
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    if (outcomes_[i]) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(filled_);
+}
+
+bool CircuitBreaker::allow(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - openedAt_ < options_.openFor) {
+        ++shortCircuits_;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probesInFlight_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probesInFlight_ >= options_.halfOpenProbes) {
+        ++shortCircuits_;
+        return false;
+      }
+      ++probesInFlight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record(bool success,
+                            std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    if (success) {
+      // Probe succeeded: close and start from a clean window.
+      state_ = State::kClosed;
+      head_ = 0;
+      filled_ = 0;
+      probesInFlight_ = 0;
+      return;
+    }
+    state_ = State::kOpen;
+    openedAt_ = now;
+    probesInFlight_ = 0;
+    return;
+  }
+  if (state_ == State::kOpen) return;  // late result from before opening
+
+  outcomes_[head_] = !success;
+  head_ = (head_ + 1) % outcomes_.size();
+  filled_ = std::min(filled_ + 1, outcomes_.size());
+  if (filled_ >= options_.minSamples &&
+      failureRateLocked() >= options_.failureRateToOpen) {
+    state_ = State::kOpen;
+    openedAt_ = now;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::shortCircuits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shortCircuits_;
+}
+
+double CircuitBreaker::failureRate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failureRateLocked();
+}
+
+}  // namespace stordep::service::resilience

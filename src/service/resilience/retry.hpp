@@ -1,0 +1,95 @@
+// retry.hpp — retry pacing and circuit breaking for the resilient client.
+//
+// Two small, independently testable pieces:
+//
+//   * RetryPolicy / nextBackoff — capped exponential backoff with
+//     decorrelated jitter (next = min(cap, uniform[base, prev*3))), the
+//     AWS-architecture-blog variant that both spreads retries and grows
+//     the mean interval. Deterministic given the caller's sim::Rng, so
+//     chaos runs replay byte-identically.
+//
+//   * CircuitBreaker — the classic closed / open / half-open machine over
+//     a sliding outcome window. Closed counts failures in a ring of the
+//     last `window` outcomes and opens once `minSamples` outcomes exist
+//     and the failure rate reaches `failureRateToOpen`. Open fails fast
+//     (allow() == false) until `openFor` has elapsed, then half-open
+//     admits `halfOpenProbes` probes: one success closes the breaker and
+//     clears the window, one failure reopens it. Time is passed in by the
+//     caller so unit tests can drive transitions without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace stordep::sim {
+class Rng;
+}
+
+namespace stordep::service::resilience {
+
+struct RetryPolicy {
+  int maxAttempts = 4;  ///< total tries, including the first
+  std::chrono::milliseconds baseBackoff{10};
+  std::chrono::milliseconds maxBackoff{1000};
+  /// Honor a server-provided Retry-After (seconds) instead of the computed
+  /// backoff, capped at maxRetryAfter.
+  bool honorRetryAfter = true;
+  std::chrono::milliseconds maxRetryAfter{5000};
+};
+
+/// The delay before the next attempt, given the previous delay (pass
+/// baseBackoff for the first retry). Decorrelated jitter, capped.
+[[nodiscard]] std::chrono::milliseconds nextBackoff(
+    const RetryPolicy& policy, std::chrono::milliseconds previous,
+    sim::Rng& rng);
+
+struct CircuitBreakerOptions {
+  std::size_t window = 16;      ///< sliding outcome window size
+  std::size_t minSamples = 8;   ///< outcomes needed before opening
+  double failureRateToOpen = 0.5;
+  std::chrono::milliseconds openFor{1000};
+  int halfOpenProbes = 1;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// Whether a request may proceed now. Transitions open -> half-open when
+  /// the open period has elapsed. A true return in half-open consumes a
+  /// probe slot; the caller must follow up with record().
+  [[nodiscard]] bool allow(
+      std::chrono::steady_clock::time_point now =
+          std::chrono::steady_clock::now());
+
+  /// Reports the outcome of an allowed request.
+  void record(bool success,
+              std::chrono::steady_clock::time_point now =
+                  std::chrono::steady_clock::now());
+
+  [[nodiscard]] State state() const;
+  /// allow() == false decisions — the fail-fast count.
+  [[nodiscard]] std::uint64_t shortCircuits() const;
+  [[nodiscard]] double failureRate() const;
+
+ private:
+  [[nodiscard]] double failureRateLocked() const;
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::vector<bool> outcomes_;  // ring: true = failure
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  std::chrono::steady_clock::time_point openedAt_{};
+  int probesInFlight_ = 0;
+  std::uint64_t shortCircuits_ = 0;
+};
+
+[[nodiscard]] const char* toString(CircuitBreaker::State state) noexcept;
+
+}  // namespace stordep::service::resilience

@@ -16,6 +16,7 @@
 
 #include "casestudy/casestudy.hpp"
 #include "config/design_io.hpp"
+#include "engine/fingerprint.hpp"
 #include "optimizer/search.hpp"
 #include "service/json_api.hpp"
 
@@ -80,6 +81,7 @@ struct Server::Connection {
 };
 
 Server::Server(ServerOptions options) : options_(std::move(options)) {
+  brownout_ = resilience::BrownoutController(options_.brownout);
   if (options_.eng != nullptr) {
     engine_ = options_.eng;
   } else {
@@ -210,6 +212,7 @@ void Server::loop() {
         std::chrono::steady_clock::now() >= drainDeadline_) {
       break;  // grace period exhausted; remaining connections are dropped
     }
+    brownoutTick();
 
     const int n = epoll_wait(epollFd_, events, kMaxEvents, 100);
     if (n < 0) {
@@ -244,6 +247,39 @@ void Server::loop() {
   }
   drainCompletions();
   running_.store(false, std::memory_order_release);
+}
+
+void Server::forceBrownoutTier(int tier) noexcept {
+  pendingForcedTier_.store(tier < 0 ? -1 : tier, std::memory_order_release);
+  wake();
+}
+
+void Server::brownoutTick() {
+  if (!options_.brownoutEnabled) return;
+  const int pinned =
+      pendingForcedTier_.exchange(-2, std::memory_order_acq_rel);
+  if (pinned != -2) brownout_.force(pinned);
+
+  const auto now = std::chrono::steady_clock::now();
+  const bool due =
+      lastBrownoutTick_.time_since_epoch().count() == 0 ||
+      now - lastBrownoutTick_ >= options_.brownoutTickInterval;
+  if (due) {
+    lastBrownoutTick_ = now;
+    const double capacity = static_cast<double>(
+        std::max<std::size_t>(1, options_.maxQueueSlots));
+    const double queued = static_cast<double>(std::max<std::int64_t>(
+        0, metrics_.queuedSlots.load(std::memory_order_relaxed)));
+    const double pressure = std::min(1.0, queued / capacity);
+    const std::uint64_t failedWaves =
+        metrics_.waveFailures.load(std::memory_order_relaxed);
+    const std::uint64_t delta = failedWaves - lastWaveFailures_;
+    lastWaveFailures_ = failedWaves;
+    brownout_.tick(pressure, delta);
+  }
+  metrics_.brownoutTier.store(brownout_.tier(), std::memory_order_relaxed);
+  metrics_.brownoutTransitions.store(brownout_.transitions(),
+                                     std::memory_order_relaxed);
 }
 
 bool Server::drainComplete() const {
@@ -382,8 +418,14 @@ void Server::dispatch(Connection& conn, HttpRequest request) {
 
   if (path == "/healthz") {
     HttpResponse response;
+    const int tier = options_.brownoutEnabled ? brownout_.tier() : 0;
     Json body{JsonObject{}};
-    body.set("status", Json(draining_ ? "draining" : "ok"));
+    // "degraded" still answers 200: the process is alive and serving what
+    // it can; a cluster failure detector reads the tier, not the status
+    // code, to steer load away.
+    body.set("status", Json(draining_ ? "draining"
+                                      : (tier > 0 ? "degraded" : "ok")));
+    body.set("brownoutTier", Json(static_cast<double>(tier)));
     response.status = draining_ ? 503 : 200;
     response.headers.emplace_back("Content-Type", "application/json");
     response.body = body.dump();
@@ -440,6 +482,45 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
     return;
   }
 
+  // Brown-out shedding, cheapest checks first. Tier 3 drops everything;
+  // tier 2 admits only requests every item of which is already cached (the
+  // probe itself refreshes the entries' LRU position); tier 1 is handled in
+  // the completion by stripping stochastic envelopes.
+  const int tier = options_.brownoutEnabled ? brownout_.tier() : 0;
+  if (tier >= 3) {
+    metrics_.shedCold.fetch_add(1, std::memory_order_relaxed);
+    metrics_.evaluate.record(503, std::chrono::steady_clock::now() - start);
+    sendError(conn, 503, "browned-out",
+              "server is in full brown-out (tier 3)", /*retryAfter=*/true);
+    return;
+  }
+  if (tier >= 2) {
+    bool allWarm = true;
+    try {
+      for (const EvaluateItem& item : parsed.items) {
+        const engine::Fingerprint key =
+            engine::fingerprintEvaluation(*item.design, item.scenario);
+        if (!engine_->cache().lookup(key)) {
+          allWarm = false;
+          break;
+        }
+      }
+    } catch (...) {
+      allWarm = false;  // injected cache-lookup fault: treat as cold
+    }
+    if (!allWarm) {
+      metrics_.shedCold.fetch_add(1, std::memory_order_relaxed);
+      metrics_.evaluate.record(503,
+                               std::chrono::steady_clock::now() - start);
+      sendError(conn, 503, "browned-out",
+                "cache-hits-only under brown-out (tier 2); request needs a "
+                "cold evaluation",
+                /*retryAfter=*/true);
+      return;
+    }
+  }
+  const bool shedStochastic = tier >= 1;
+
   // Body "deadlineMs" uses 0 as "unset"; an explicit X-Deadline-Ms header
   // always wins, and an explicit 0 there means "already expired" — the
   // deterministic way to exercise the 504 path.
@@ -476,7 +557,8 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
   const bool arrayShape = parsed.array;
   auto items = std::make_shared<std::vector<EvaluateItem>>(
       std::move(parsed.items));
-  job.done = [this, connId, keepAlive, arrayShape, items, start](
+  job.done = [this, connId, keepAlive, arrayShape, items, start,
+              shedStochastic](
                  std::vector<engine::EvalOutcome> outcomes,
                  const engine::EngineStats& stats) {
     HttpResponse response;
@@ -488,10 +570,18 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
         Json body = evaluationToJson(*(*items)[0].design,
                                      (*items)[0].scenario, outcome.value());
         if ((*items)[0].stochastic) {
-          body.set("stochastic",
-                   stochasticEnvelope(*(*items)[0].design,
-                                      (*items)[0].scenario,
-                                      *(*items)[0].stochastic));
+          if (shedStochastic) {
+            metrics_.shedStochastic.fetch_add(1, std::memory_order_relaxed);
+            body.set("stochastic",
+                     serviceErrorBody(
+                         "unavailable",
+                         "stochastic envelopes shed under brown-out"));
+          } else {
+            body.set("stochastic",
+                     stochasticEnvelope(*(*items)[0].design,
+                                        (*items)[0].scenario,
+                                        *(*items)[0].stochastic));
+          }
         }
         response.body = body.dump();
       } else {
@@ -511,10 +601,19 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
                                         (*items)[i].scenario,
                                         outcomes[i].value());
           if ((*items)[i].stochastic) {
-            entry.set("stochastic",
-                      stochasticEnvelope(*(*items)[i].design,
-                                         (*items)[i].scenario,
-                                         *(*items)[i].stochastic));
+            if (shedStochastic) {
+              metrics_.shedStochastic.fetch_add(1,
+                                                std::memory_order_relaxed);
+              entry.set("stochastic",
+                        serviceErrorBody(
+                            "unavailable",
+                            "stochastic envelopes shed under brown-out"));
+            } else {
+              entry.set("stochastic",
+                        stochasticEnvelope(*(*items)[i].design,
+                                           (*items)[i].scenario,
+                                           *(*items)[i].stochastic));
+            }
           }
           results.push_back(std::move(entry));
         } else {
@@ -562,6 +661,15 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
 // ---- /v1/search ------------------------------------------------------------
 
 void Server::handleSearch(Connection& conn, const HttpRequest& request) {
+  // Searches are always cold work; tier 2 already sheds them.
+  if (options_.brownoutEnabled && brownout_.tier() >= 2) {
+    metrics_.shedCold.fetch_add(1, std::memory_order_relaxed);
+    metrics_.search.record(503, std::chrono::nanoseconds{0});
+    sendError(conn, 503, "browned-out",
+              "searches are shed under brown-out (tier >= 2)",
+              /*retryAfter=*/true);
+    return;
+  }
   if (metrics_.activeSearches.load(std::memory_order_relaxed) >=
       options_.maxConcurrentSearches) {
     metrics_.search.record(503, std::chrono::nanoseconds{0});
@@ -644,7 +752,13 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
   }
 
   searchOptions.eng = engine_;
-  engine::CancellationToken token = stopSource_.token();
+  // The search token is owned by this worker so a broken pipe can cancel
+  // just this search; the server-wide drain flag is folded in by polling
+  // it at every progress boundary below.
+  engine::CancellationSource localStop;
+  const engine::CancellationToken drainToken = stopSource_.token();
+  if (drainToken.cancelled()) localStop.cancel();
+  engine::CancellationToken token = localStop.token();
   if (deadline.count() > 0) token = token.withDeadline(deadline);
   searchOptions.token = token;
 
@@ -655,7 +769,20 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
   HttpHeaders headers;
   headers.emplace_back("Content-Type", "application/x-ndjson");
   bool alive = writeAll(fd, serializeChunkedHead(200, headers));
+  bool peerDisconnected = false;
+  const auto onPeerGone = [&] {
+    // Broken pipe: the client went away mid-stream. Cancel this search so
+    // it stops at its next wave instead of burning the rest of the sweep,
+    // and make the event observable in /metrics.
+    if (!peerDisconnected) {
+      peerDisconnected = true;
+      localStop.cancel();
+      metrics_.searchPeerDisconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (!alive) onPeerGone();
   searchOptions.onProgress = [&](std::size_t done) {
+    if (drainToken.cancelled()) localStop.cancel();
     if (!alive) return;
     Json progress{JsonObject{}};
     progress.set("done", Json(static_cast<double>(done)));
@@ -663,6 +790,7 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
     Json line{JsonObject{}};
     line.set("progress", progress);
     alive = writeAll(fd, encodeChunk(line.dump() + "\n"));
+    if (!alive) onPeerGone();
   };
 
   const optimizer::SearchResult result = optimizer::searchDesignSpaceStreaming(

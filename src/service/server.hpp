@@ -49,6 +49,7 @@
 #include "service/batcher.hpp"
 #include "service/http.hpp"
 #include "service/metrics.hpp"
+#include "service/resilience/brownout.hpp"
 
 namespace stordep::service {
 
@@ -75,6 +76,14 @@ struct ServerOptions {
 
   int maxConcurrentSearches = 2;
   int retryAfterSeconds = 1;  ///< advertised on 429/503
+
+  /// Tiered load shedding under sustained overload (resilience/brownout).
+  /// The controller ticks on the event loop's cadence, watching queue
+  /// pressure and failed waves; tiers shed stochastic envelopes, then cold
+  /// requests, then everything (see BrownoutOptions).
+  bool brownoutEnabled = true;
+  resilience::BrownoutOptions brownout;
+  std::chrono::milliseconds brownoutTickInterval{100};
 
   /// Grace period for in-flight work at shutdown; connections still busy
   /// after it are closed.
@@ -119,6 +128,17 @@ class Server {
     return options_;
   }
 
+  /// Pins the brown-out tier (0–3; -1 releases the pin), applied by the
+  /// event loop on its next tick. Thread-safe; for tests, benches and
+  /// operator overrides.
+  void forceBrownoutTier(int tier) noexcept;
+
+  /// The currently applied brown-out tier (same value /metrics reports).
+  [[nodiscard]] int brownoutTier() const noexcept {
+    return static_cast<int>(
+        metrics_.brownoutTier.load(std::memory_order_relaxed));
+  }
+
  private:
   struct Connection;
 
@@ -142,6 +162,7 @@ class Server {
   void beginDrain();
   void wake() noexcept;
   [[nodiscard]] bool drainComplete() const;
+  void brownoutTick();
 
   ServerOptions options_;
   std::unique_ptr<engine::Engine> ownedEngine_;
@@ -162,6 +183,14 @@ class Server {
   engine::CancellationSource stopSource_;
   bool draining_ = false;  // loop-thread state
   std::chrono::steady_clock::time_point drainDeadline_{};
+
+  // Brown-out state. The controller is loop-thread-only; tier pins arrive
+  // from other threads through pendingForcedTier_ (-2 = no change pending)
+  // and are applied on the next tick.
+  resilience::BrownoutController brownout_{};
+  std::atomic<int> pendingForcedTier_{-2};
+  std::chrono::steady_clock::time_point lastBrownoutTick_{};
+  std::uint64_t lastWaveFailures_ = 0;
 
   std::uint64_t nextConnId_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
