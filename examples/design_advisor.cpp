@@ -52,6 +52,10 @@ int main(int argc, char** argv) {
           static_cast<long long>(std::atof(arg.c_str() + 11) * 1000.0));
     } else if (arg.rfind("--retries=", 0) == 0) {
       searchOptions.maxRetries = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--plan") {
+      searchOptions.usePlan = true;  // the default; kept for symmetry
+    } else if (arg == "--no-plan") {
+      searchOptions.usePlan = false;  // force the legacy cache-backed path
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return 2;
@@ -151,8 +155,11 @@ int main(int argc, char** argv) {
 
   if (const auto* best = result.best()) {
     // Hill-climb the grid winner's knobs off-grid.
+    opt::RefineOptions refineOptions;
+    refineOptions.usePlan = searchOptions.usePlan;
     const opt::RefineResult refined = opt::refineCandidate(
-        best->spec, cs::celloWorkload(), business, opt::caseStudyScenarios());
+        best->spec, cs::celloWorkload(), business, opt::caseStudyScenarios(),
+        refineOptions);
     std::cout << "Recommendation: " << refined.best.label << "\n";
     if (refined.improvement.usd() > 1.0) {
       std::cout << "  (refined from '" << best->label << "', saving "

@@ -8,7 +8,7 @@
 // Usage:
 //   verify_fuzz [--seed N] [--cases N] [--no-minimize] [--max-failures N]
 //               [--sim-every N] [--stochastic-every N] [--search-every N]
-//               [--io-every N] [--replay INDEX] [--out FILE]
+//               [--plan-every N] [--io-every N] [--replay INDEX] [--out FILE]
 //               [--list-relations] [--server N]
 //
 // --server N switches to the service oracle: N gen-seeded evaluate payloads
@@ -49,6 +49,7 @@ void usage() {
          "  --stochastic-every N\n"
          "                    stochastic-bound oracle cadence (default 25)\n"
          "  --search-every N  search-parity oracle cadence (default 200)\n"
+         "  --plan-every N    plan-vs-legacy oracle cadence (default 1)\n"
          "  --io-every N      round-trip/mutation oracle cadence (default 1)\n"
          "  --out FILE        write the JSON report to FILE\n"
          "  --list-relations  print every metamorphic relation and exit\n"
@@ -167,6 +168,8 @@ int main(int argc, char** argv) {
           static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--search-every") {
       options.searchEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--plan-every") {
+      options.planEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--io-every") {
       options.ioEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--server") {

@@ -29,4 +29,21 @@ EvaluationResult evaluate(const StorageDesign& design,
   return result;
 }
 
+EvaluationMetrics summarizeEvaluation(const EvaluationResult& result) {
+  EvaluationMetrics m;
+  m.utilizationFeasible = result.utilization.feasible();
+  m.recoverable = result.recovery.recoverable;
+  m.meetsObjectives = result.meetsObjectives;
+  m.sourceLevel = result.recovery.sourceLevel;
+  m.recoveryTime = result.recovery.recoveryTime;
+  m.dataLoss = result.recovery.dataLoss;
+  m.payload = result.recovery.payload;
+  m.totalOutlays = result.cost.totalOutlays;
+  m.outagePenalty = result.cost.outagePenalty;
+  m.lossPenalty = result.cost.lossPenalty;
+  m.totalPenalties = result.cost.totalPenalties;
+  m.totalCost = result.cost.totalCost;
+  return m;
+}
+
 }  // namespace stordep

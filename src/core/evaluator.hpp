@@ -51,4 +51,30 @@ struct DesignPrecomputation {
                                         const FailureScenario& scenario,
                                         const DesignPrecomputation& precomputed);
 
+/// The scalar core of an EvaluationResult: every field the optimizer's
+/// candidate fold and the dependability reports actually rank on, as a flat
+/// trivially-copyable record (no strings, no vectors). This is the output
+/// type of the plan-based fast path (engine/plan.hpp); summarizeEvaluation()
+/// projects a full legacy result onto it so the two paths can be compared
+/// field-for-field (the plan-vs-legacy differential oracle) and so callers
+/// can fall back to the legacy evaluator transparently.
+struct EvaluationMetrics {
+  bool utilizationFeasible = false;
+  bool recoverable = false;
+  bool meetsObjectives = false;
+  /// Chosen recovery source level; -1 when no surviving level has an RP.
+  int sourceLevel = -1;
+  Duration recoveryTime = Duration::infinite();
+  Duration dataLoss = Duration::infinite();
+  Bytes payload{0};
+  Money totalOutlays = Money::zero();
+  Money outagePenalty = Money::zero();
+  Money lossPenalty = Money::zero();
+  Money totalPenalties = Money::zero();
+  Money totalCost = Money::zero();
+};
+
+[[nodiscard]] EvaluationMetrics summarizeEvaluation(
+    const EvaluationResult& result);
+
 }  // namespace stordep

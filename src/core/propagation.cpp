@@ -90,6 +90,20 @@ Duration rpExpectedTimeLag(const StorageDesign& design, int level) {
   return rpTransitTime(design, level) + pol.effectiveAccW() * 0.5;
 }
 
+LevelRecoveryWindow levelRecoveryWindow(const StorageDesign& design,
+                                        int level) {
+  if (level == 0) {
+    return LevelRecoveryWindow{.lag = Duration::zero(),
+                               .oldestAge = Duration::zero()};
+  }
+  const ProtectionPolicy& pol = *design.level(level).policy();
+  const Duration transit = rpTransitTime(design, level);
+  return LevelRecoveryWindow{
+      .lag = transit + pol.effectiveAccW(),
+      .oldestAge = transit + pol.cyclePeriod() *
+                                 static_cast<double>(pol.retentionCount() - 1)};
+}
+
 RpRange guaranteedRange(const StorageDesign& design, int level) {
   if (level == 0) {
     return RpRange{.youngestAge = Duration::zero(),

@@ -86,4 +86,21 @@ struct RpRange {
 [[nodiscard]] Duration rpTimeLagConservative(const StorageDesign& design,
                                              int level);
 
+/// The two propagation quantities the recovery-source choice consumes,
+/// computed with a single transit traversal. rpTimeLag() and
+/// guaranteedRange() each rebuild the cumulative hold+prop transit; plan
+/// compilation (engine/plan.hpp) asks for both for every level of every
+/// candidate, so sharing the traversal halves that cost. Both fields are
+/// bit-identical to the separate entry points: they are the same expressions
+/// over the same transit value.
+struct LevelRecoveryWindow {
+  /// == rpTimeLag(design, level)
+  Duration lag;
+  /// == guaranteedRange(design, level).oldestAge
+  Duration oldestAge;
+};
+
+[[nodiscard]] LevelRecoveryWindow levelRecoveryWindow(
+    const StorageDesign& design, int level);
+
 }  // namespace stordep

@@ -79,4 +79,63 @@ UtilizationResult computeUtilization(const std::vector<PlacedDemand>& all) {
   return result;
 }
 
+UtilizationFeasibility computeUtilizationFeasibility(
+    const std::vector<PlacedDemand>& all) {
+  // Same first-seen device order as computeUtilization(), without building
+  // the per-device demand map: for each distinct device, re-scan `all` for
+  // its demands. The per-demand accumulation below must mirror the full
+  // model's exactly (same expressions, same order) so the double sums land
+  // on the same bits.
+  std::vector<const DeviceModel*> seen;
+  UtilizationFeasibility out;
+  for (std::size_t first = 0; first < all.size(); ++first) {
+    const DeviceModel* device = all[first].device.get();
+    bool isNew = true;
+    for (const DeviceModel* s : seen) {
+      if (s == device) {
+        isNew = false;
+        break;
+      }
+    }
+    if (!isNew) continue;
+    seen.push_back(device);
+
+    const Bandwidth bwLimit = device->maxBandwidth();
+    const Bytes capLimit = device->usableCapacity();
+    Bandwidth bwDemand;
+    Bytes capDemand;
+    double bwUtil = 0.0;
+    double capUtil = 0.0;
+    for (std::size_t i = first; i < all.size(); ++i) {
+      if (all[i].device.get() != device) continue;
+      const DeviceDemand& demand = all[i].demand;
+      const double shareBw = bwLimit.isInfinite() || bwLimit.bytesPerSec() == 0
+                                 ? 0.0
+                                 : demand.bandwidth / bwLimit;
+      const double shareCap =
+          capLimit.isInfinite() ? 0.0 : demand.capacity / capLimit;
+      bwDemand += demand.bandwidth;
+      capDemand += demand.capacity;
+      bwUtil += shareBw;
+      capUtil += shareCap;
+    }
+
+    if (bwUtil > 1.0) {
+      out.feasible = false;
+      out.firstError = "device '" + std::string(device->name()) +
+                       "' bandwidth overloaded: demand " + toString(bwDemand) +
+                       " exceeds " + toString(bwLimit);
+      return out;
+    }
+    if (capUtil > 1.0) {
+      out.feasible = false;
+      out.firstError = "device '" + std::string(device->name()) +
+                       "' capacity overloaded: demand " + toString(capDemand) +
+                       " exceeds " + toString(capLimit);
+      return out;
+    }
+  }
+  return out;
+}
+
 }  // namespace stordep

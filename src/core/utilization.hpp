@@ -58,4 +58,21 @@ struct UtilizationResult {
 [[nodiscard]] UtilizationResult computeUtilization(
     const std::vector<PlacedDemand>& demands);
 
+/// Feasibility-only view of the utilization model: whether any device is
+/// overloaded, and the first diagnostic string computeUtilization() would
+/// have produced. Plan compilation (engine/plan.hpp) needs exactly this much
+/// — search folds only feasible() and errors[0] into a candidate verdict —
+/// and computing the full per-device/per-share report costs more than the
+/// rest of a plan compile combined. The fold below runs the same per-demand
+/// double accumulations in the same order as computeUtilization(), so
+/// feasible and firstError are bit-for-bit what the full model reports.
+struct UtilizationFeasibility {
+  bool feasible = true;
+  /// First entry of UtilizationResult::errors; empty when feasible.
+  std::string firstError;
+};
+
+[[nodiscard]] UtilizationFeasibility computeUtilizationFeasibility(
+    const std::vector<PlacedDemand>& demands);
+
 }  // namespace stordep

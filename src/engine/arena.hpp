@@ -1,0 +1,139 @@
+// arena.hpp — bump-pointer arena for allocation-free evaluation loops.
+//
+// Plan-based evaluation (engine/plan.hpp) needs a handful of small scratch
+// arrays per scenario — destroyed-device flags, per-level loss assessments —
+// whose sizes are known up front from the compiled plan. Allocating them
+// from the general heap would put malloc/free on the hottest loop in the
+// system and serialize threads on the allocator. A BumpArena instead hands
+// out memory by advancing a pointer through pre-allocated blocks: after the
+// first eval warms the block list, every subsequent eval is allocation-free.
+//
+// Ownership protocol: each worker thread owns one arena (usually a
+// thread_local); arenas are NOT thread-safe and must never be shared.
+// A Frame is a watermark — it records the bump position on construction and
+// rewinds to it on destruction, so per-eval scratch vanishes in O(1) without
+// running destructors. Consequently only trivially-destructible types may
+// be placed in the arena (enforced via static_assert in array<T>()).
+// reset() rewinds everything but keeps the blocks for reuse.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace stordep::engine {
+
+class BumpArena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit BumpArena(std::size_t blockBytes = kDefaultBlockBytes)
+      : blockBytes_(blockBytes == 0 ? kDefaultBlockBytes : blockBytes) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Raw aligned allocation. Alignment must be a power of two.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (blockIdx_ < blocks_.size()) {
+        Block& b = blocks_[blockIdx_];
+        const std::size_t base =
+            reinterpret_cast<std::size_t>(b.data.get()) + offset_;
+        const std::size_t aligned = (base + align - 1) & ~(align - 1);
+        const std::size_t padded = offset_ + (aligned - base) + bytes;
+        if (padded <= b.size) {
+          offset_ = padded;
+          if (used() > highWater_) highWater_ = used();
+          return reinterpret_cast<void*>(aligned);
+        }
+        // Current block exhausted; move to the next (or grow).
+        if (blockIdx_ + 1 < blocks_.size()) {
+          ++blockIdx_;
+          offset_ = 0;
+          continue;
+        }
+      }
+      grow(bytes + align);
+    }
+  }
+
+  /// Typed array of n default-initialized elements. T must be trivially
+  /// destructible: Frame rewinds never run destructors.
+  template <typename T>
+  [[nodiscard]] T* array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "BumpArena memory is reclaimed without running destructors");
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T();
+    return p;
+  }
+
+  /// Rewind to empty, keeping all blocks for reuse.
+  void reset() noexcept {
+    blockIdx_ = 0;
+    offset_ = 0;
+  }
+
+  /// Watermark guard: rewinds the arena to the position captured at
+  /// construction. Per-eval scratch lives inside one Frame.
+  class Frame {
+   public:
+    explicit Frame(BumpArena& arena) noexcept
+        : arena_(arena), blockIdx_(arena.blockIdx_), offset_(arena.offset_) {}
+    ~Frame() {
+      arena_.blockIdx_ = blockIdx_;
+      arena_.offset_ = offset_;
+    }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    BumpArena& arena_;
+    std::size_t blockIdx_;
+    std::size_t offset_;
+  };
+
+  [[nodiscard]] std::size_t blockCount() const noexcept {
+    return blocks_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  /// Bytes currently handed out (including alignment padding).
+  [[nodiscard]] std::size_t used() const noexcept {
+    std::size_t total = offset_;
+    for (std::size_t i = 0; i < blockIdx_ && i < blocks_.size(); ++i)
+      total += blocks_[i].size;
+    return total;
+  }
+  [[nodiscard]] std::size_t highWater() const noexcept { return highWater_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t atLeast) {
+    // If we were mid-list, skip to a fresh block at the end.
+    const std::size_t size = atLeast > blockBytes_ ? atLeast : blockBytes_;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    blockIdx_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::size_t blockBytes_;
+  std::vector<Block> blocks_;
+  std::size_t blockIdx_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t highWater_ = 0;
+};
+
+}  // namespace stordep::engine

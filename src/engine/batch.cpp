@@ -26,7 +26,75 @@ std::chrono::milliseconds backoffFor(const BatchOptions& options,
   }
   return std::min(delay, BatchOptions::kMaxRetryBackoff);
 }
+
+/// Which engine's write-behind buffers this thread currently holds. The
+/// epoch ties the cached pointer to one scope: registry teardown at scope
+/// close bumps the epoch, so a stale pointer is never dereferenced.
+struct ThreadWriteBehind {
+  const Engine* engine = nullptr;
+  std::uint64_t epoch = 0;
+  Engine::WriteBehindBuffers* buffers = nullptr;
+};
+thread_local ThreadWriteBehind tlsWriteBehind;
+
+/// Epochs are drawn from one process-wide counter, not per engine: a thread's
+/// cached buffer pointer is only trusted when (engine, epoch) both match, and
+/// a per-engine counter restarts at zero when an engine is destroyed and a
+/// new one is constructed at the same address — which would revalidate a
+/// dangling pointer into the dead engine's freed registry. A never-repeating
+/// epoch makes that impossible.
+std::atomic<std::uint64_t> writeBehindEpochSource{0};
 }  // namespace
+
+Engine::WriteBehindScope::WriteBehindScope(Engine& engine) : engine_(engine) {
+  // Degrade to a no-op (direct per-insert path) whenever buffering would
+  // change observable semantics or an outer scope already buffers.
+  if (engine.injector_ != nullptr || !engine.options_.useCache ||
+      engine.options_.writeBehindLimit == 0 ||
+      engine.writeBehindActive_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  engine.writeBehindEpoch_.store(
+      writeBehindEpochSource.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_release);
+  engine.writeBehindActive_.store(true, std::memory_order_release);
+  active_ = true;
+}
+
+Engine::WriteBehindScope::~WriteBehindScope() {
+  if (!active_) return;
+  engine_.writeBehindActive_.store(false, std::memory_order_release);
+  engine_.mergeWriteBehind();
+}
+
+Engine::WriteBehindBuffers* Engine::writeBehindBuffers() {
+  if (!writeBehindActive_.load(std::memory_order_acquire)) return nullptr;
+  const std::uint64_t epoch = writeBehindEpoch_.load(std::memory_order_acquire);
+  ThreadWriteBehind& tls = tlsWriteBehind;
+  if (tls.engine == this && tls.epoch == epoch) return tls.buffers;
+  auto buffers = std::make_unique<WriteBehindBuffers>();
+  WriteBehindBuffers* raw = buffers.get();
+  {
+    const std::lock_guard<std::mutex> lock(writeBehindMu_);
+    writeBehindRegistry_.push_back(std::move(buffers));
+  }
+  tls = ThreadWriteBehind{this, epoch, raw};
+  return raw;
+}
+
+void Engine::mergeWriteBehind() {
+  // Runs on the scope-owning thread after every covered parallelFor has
+  // joined, so no worker can be appending concurrently.
+  std::vector<std::unique_ptr<WriteBehindBuffers>> registry;
+  {
+    const std::lock_guard<std::mutex> lock(writeBehindMu_);
+    registry.swap(writeBehindRegistry_);
+  }
+  for (const auto& buffers : registry) {
+    cache_.insertBatch(std::move(buffers->evalPending));
+    demandCache_.insertBatch(std::move(buffers->demandPending));
+  }
+}
 
 Engine::Engine(EngineOptions options)
     : options_(options),
@@ -78,18 +146,35 @@ EvaluationResult Engine::evaluateKeyed(
     }
   }
   if (injector_) injector_->maybeInject(FaultSite::kEvaluate, pairKey);
+  WriteBehindBuffers* writeBehind =
+      options_.useCache ? writeBehindBuffers() : nullptr;
   if (!precomputed) {
+    // Demand-cache writes stay direct even under a write-behind scope:
+    // candidates *within* one sweep share protection levels, so a deferred
+    // level insert would make every sharer recompute it. Level inserts are
+    // rare (one per distinct level in the sweep), so the shard lock they
+    // take is noise; pair-result inserts below are the hot ones.
     precomputed = parts != nullptr
                       ? precomputeDesignCached(design, *parts, demandCache_)
                       : precomputeDesign(design);
   }
   EvaluationResult result = stordep::evaluate(design, scenario, *precomputed);
   if (options_.useCache) {
-    try {
-      cache_.insert(pairKey, result);
-    } catch (...) {
-      // Losing a cache write (injected kCacheInsert fault, allocation
-      // failure) never fails a request that already has its result.
+    if (writeBehind != nullptr) {
+      // Deferred write: merged into the shared cache (bulk, one lock per
+      // shard) when the enclosing WriteBehindScope closes, or flushed here
+      // once the buffer hits its bound.
+      writeBehind->evalPending.emplace_back(pairKey, result);
+      if (writeBehind->evalPending.size() >= options_.writeBehindLimit) {
+        cache_.insertBatch(std::move(writeBehind->evalPending));
+      }
+    } else {
+      try {
+        cache_.insert(pairKey, result);
+      } catch (...) {
+        // Losing a cache write (injected kCacheInsert fault, allocation
+        // failure) never fails a request that already has its result.
+      }
     }
   }
   return result;
@@ -121,6 +206,11 @@ BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests,
                                   const BatchOptions& options) {
   const auto start = std::chrono::steady_clock::now();
 
+  // No write-behind scope here: a batch may legitimately contain duplicate
+  // pairs (the service batcher coalesces concurrent requests), and deferred
+  // inserts would make every duplicate recompute instead of hitting. The
+  // optimizer's sweeps — whose pair keys are unique — open the scope
+  // themselves around their candidate fan-outs.
   BatchResult out;
   // Default-constructed slots read "not evaluated"; every request below
   // overwrites its own slot exactly once.
@@ -248,6 +338,70 @@ BatchResult Engine::evaluateBatch(const std::vector<EvalRequest>& requests,
       out.stats.wallSeconds > 0.0
           ? static_cast<double>(out.stats.requests) / out.stats.wallSeconds
           : 0.0;
+  return out;
+}
+
+BumpArena& Engine::threadArena() {
+  static thread_local BumpArena arena;
+  return arena;
+}
+
+std::vector<EvaluationMetrics> Engine::evaluatePlanMatrix(
+    const std::vector<std::shared_ptr<const StorageDesign>>& designs,
+    const std::vector<FailureScenario>& scenarios,
+    PlanBatchStats* statsOut) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t designCount = designs.size();
+  const std::size_t scenarioCount = scenarios.size();
+  std::vector<EvaluationMetrics> out(designCount * scenarioCount);
+
+  // Phase 1: one plan compile per design (parallel across designs). The
+  // rare plan-incompatible design gets its scenario-independent sub-models
+  // precomputed here instead, so its legacy fallback evals don't repeat
+  // them per scenario.
+  std::vector<std::shared_ptr<const EvalPlan>> plans(designCount);
+  std::vector<std::optional<DesignPrecomputation>> legacyPre(designCount);
+  std::atomic<std::uint64_t> compiled{0};
+  std::atomic<std::uint64_t> incompatible{0};
+  parallelFor(designCount, [&](std::size_t d) {
+    if (designs[d] == nullptr) return;
+    plans[d] = EvalPlan::compile(*designs[d]);
+    if (plans[d] != nullptr) {
+      compiled.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      incompatible.fetch_add(1, std::memory_order_relaxed);
+      legacyPre[d] = precomputeDesign(*designs[d]);
+    }
+  });
+
+  // Phase 2: every (design, scenario) pair, allocation-free via the
+  // per-thread arenas. Design-major order keeps a design's plan hot in
+  // cache across its scenario row.
+  parallelFor(designCount * scenarioCount, [&](std::size_t k) {
+    const std::size_t d = k / scenarioCount;
+    if (designs[d] == nullptr) return;
+    const std::size_t s = k % scenarioCount;
+    if (plans[d] != nullptr) {
+      out[k] = plans[d]->evaluate(scenarios[s], threadArena());
+    } else {
+      out[k] = summarizeEvaluation(
+          stordep::evaluate(*designs[d], scenarios[s], *legacyPre[d]));
+    }
+  });
+
+  if (statsOut != nullptr) {
+    statsOut->threadsUsed = threads_;
+    statsOut->pairs = designCount * scenarioCount;
+    statsOut->planCompiles = compiled.load();
+    statsOut->planIncompatible = incompatible.load();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    statsOut->wallSeconds = elapsed.count();
+    statsOut->pairsPerSec =
+        statsOut->wallSeconds > 0.0
+            ? static_cast<double>(statsOut->pairs) / statsOut->wallSeconds
+            : 0.0;
+  }
   return out;
 }
 

@@ -43,12 +43,17 @@
 #include <optional>
 #include <vector>
 
+#include <atomic>
+#include <mutex>
+
 #include "core/evaluator.hpp"
+#include "engine/arena.hpp"
 #include "engine/cancellation.hpp"
 #include "engine/errors.hpp"
 #include "engine/eval_cache.hpp"
 #include "engine/fault_injection.hpp"
 #include "engine/fingerprint.hpp"
+#include "engine/plan.hpp"
 #include "engine/precompute.hpp"
 #include "engine/thread_pool.hpp"
 
@@ -60,6 +65,12 @@ struct EngineOptions {
   bool useCache = true;
   std::size_t cacheCapacity = EvalCache::kDefaultCapacity;
   std::size_t cacheShards = EvalCache::kDefaultShards;
+  /// Per-thread pending-entry bound for write-behind cache buffering (see
+  /// Engine::WriteBehindScope): a thread whose pending eval/demand inserts
+  /// reach this many entries flushes them to the shared cache early, bounding
+  /// buffered memory on huge cold sweeps. 0 disables write-behind entirely
+  /// (every insert goes straight to the shared sharded caches).
+  std::size_t writeBehindLimit = 4096;
 };
 
 /// One evaluation request. The design is shared so a batch can reference the
@@ -209,13 +220,91 @@ class Engine {
   /// across optimizer / portfolio / bench calls within the process.
   [[nodiscard]] static Engine& shared();
 
+  /// Per-worker-thread pending cache writes, buffered while a
+  /// WriteBehindScope is active and merged into the shared caches when it
+  /// closes. Public only so the scope machinery can hand threads their
+  /// buffers; not part of the caller-facing API.
+  struct WriteBehindBuffers {
+    std::vector<std::pair<Fingerprint, EvaluationResult>> evalPending;
+    std::vector<std::pair<Fingerprint, DemandCache::Entry>> demandPending;
+  };
+
+  /// RAII window during which this engine's cache *writes* are buffered in
+  /// thread-local vectors instead of taking the shared shard locks, then
+  /// merged in bulk (one lock per touched shard) when the scope closes.
+  /// Lookups still go to the shared caches, so hit/miss accounting and warm
+  /// reuse are unchanged; only who pays the insert lock moves. This is what
+  /// makes the *cold* path scale: a cold sweep is nearly 100% inserts, and
+  /// per-insert shard locking serializes exactly when every thread is
+  /// inserting.
+  ///
+  /// The scope must outlive every parallelFor it covers (workers must have
+  /// joined before the merge runs). Nested scopes, fault-injection runs
+  /// (per-insert kCacheInsert probes must fire), cache-less engines and
+  /// writeBehindLimit == 0 all degrade to a no-op scope with direct inserts.
+  /// Values are pure functions of their keys, so buffering never changes
+  /// what any lookup returns — only when the write lands.
+  class WriteBehindScope {
+   public:
+    explicit WriteBehindScope(Engine& engine);
+    ~WriteBehindScope();
+    WriteBehindScope(const WriteBehindScope&) = delete;
+    WriteBehindScope& operator=(const WriteBehindScope&) = delete;
+
+   private:
+    Engine& engine_;
+    bool active_ = false;
+  };
+
+  /// Stats for one evaluatePlanMatrix call.
+  struct PlanBatchStats {
+    int threadsUsed = 1;
+    std::uint64_t pairs = 0;
+    std::uint64_t planCompiles = 0;     ///< designs compiled into plans
+    std::uint64_t planIncompatible = 0; ///< designs evaluated via legacy path
+    double wallSeconds = 0.0;
+    double pairsPerSec = 0.0;
+  };
+
+  /// Cross-product fast path: compiles each design once into an EvalPlan
+  /// (engine/plan.hpp), then evaluates every (design, scenario) pair against
+  /// the plans with per-thread bump arenas — allocation-free per eval and
+  /// lock-free (the plan path does not touch the eval cache). Results are in
+  /// design-major order: out[d * scenarios.size() + s]. Designs the plan
+  /// compiler rejects fall back to the legacy evaluator (bit-identical by
+  /// the plan contract). Unlike evaluateBatch this throws on model errors,
+  /// mirroring the plain evaluate() contract; null design pointers leave
+  /// their rows default-initialized.
+  [[nodiscard]] std::vector<EvaluationMetrics> evaluatePlanMatrix(
+      const std::vector<std::shared_ptr<const StorageDesign>>& designs,
+      const std::vector<FailureScenario>& scenarios,
+      PlanBatchStats* statsOut = nullptr);
+
+  /// The calling thread's plan-evaluation arena (one per thread, reused
+  /// across evals; see engine/arena.hpp for the ownership protocol).
+  [[nodiscard]] static BumpArena& threadArena();
+
  private:
+  /// The calling thread's write-behind buffers, or nullptr when no scope is
+  /// active (or this thread should insert directly).
+  [[nodiscard]] WriteBehindBuffers* writeBehindBuffers();
+  void mergeWriteBehind();
+
   EngineOptions options_;
   int threads_;
   EvalCache cache_;
   DemandCache demandCache_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
   std::shared_ptr<FaultInjector> injector_;  // null = no injection
+
+  std::atomic<bool> writeBehindActive_{false};
+  /// The active scope's epoch, drawn from a process-wide never-repeating
+  /// counter on scope open; a thread whose cached buffer pointer carries a
+  /// different epoch re-registers, so buffers never leak across scopes (or
+  /// across engine lifetimes sharing a reused address).
+  std::atomic<std::uint64_t> writeBehindEpoch_{0};
+  std::mutex writeBehindMu_;
+  std::vector<std::unique_ptr<WriteBehindBuffers>> writeBehindRegistry_;
 };
 
 }  // namespace stordep::engine

@@ -1,0 +1,405 @@
+#include "engine/plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/propagation.hpp"
+
+namespace stordep::engine {
+
+namespace {
+
+const std::string kNoDeviceName;
+
+/// Byte-stream accumulator for the plan fingerprint. Doubles go in by bit
+/// pattern (the tables are produced deterministically, so -0.0/NaN patterns
+/// are stable), strings length-prefixed.
+struct FpStream {
+  std::string buf;
+
+  void u64(std::uint64_t v) {
+    char b[sizeof v];
+    std::memcpy(b, &v, sizeof v);
+    buf.append(b, sizeof v);
+  }
+  void d(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void i(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { buf.push_back(v ? '\1' : '\0'); }
+  void s(const std::string& v) {
+    u64(v.size());
+    buf.append(v);
+  }
+  void loc(const Location& l) {
+    s(l.site);
+    s(l.building);
+    s(l.region);
+  }
+  void fp(const Fingerprint& f) {
+    u64(f.hi);
+    u64(f.lo);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const EvalPlan> EvalPlan::compile(const StorageDesign& design) {
+  if (design.levelCount() == 0) return nullptr;
+  const DevicePtr primaryArray = design.primary().array();
+  if (!primaryArray) return nullptr;
+
+  auto plan = std::shared_ptr<EvalPlan>(new EvalPlan());
+  const WorkloadSpec& workload = design.workload();
+  plan->workload_ = workload;
+  plan->business_ = design.business();
+  if (design.facility()) {
+    plan->hasFacility_ = true;
+    plan->facilityLocation_ = design.facility()->location;
+    plan->facilityProvisioningTime_ = design.facility()->provisioningTime;
+  }
+
+  // Distinct device rows, first-seen order: storage devices level by level,
+  // then restore-leg endpoints/transports level by level.
+  auto addDevice = [&](const DevicePtr& d) -> std::int32_t {
+    for (std::size_t i = 0; i < plan->devices_.size(); ++i) {
+      if (plan->devices_[i].device.get() == d.get()) {
+        return static_cast<std::int32_t>(i);
+      }
+    }
+    DeviceRow row;
+    row.device = d;
+    row.name = d->name();
+    row.location = d->location();
+    row.hasSpare = d->spec().spare.type != SpareType::kNone;
+    row.spareProvisioningTime = d->spareProvisioningTime();
+    plan->devices_.push_back(std::move(row));
+    return static_cast<std::int32_t>(plan->devices_.size() - 1);
+  };
+
+  const int levelCount = design.levelCount();
+  std::vector<std::vector<PlacedDemand>> perLevelDemands;
+  perLevelDemands.reserve(static_cast<std::size_t>(levelCount));
+
+  for (int i = 0; i < levelCount; ++i) {
+    const Technique& tech = design.level(i);
+    LevelRow row;
+    row.technique = design.levelPtr(i);
+
+    const LevelRecoveryWindow window = levelRecoveryWindow(design, i);
+    row.lag = window.lag;
+    row.oldestAge = window.oldestAge;
+    row.withinLoss = tech.policy() != nullptr ? tech.policy()->effectiveAccW()
+                                              : Duration::zero();
+    if (i > 0) {
+      row.defaultPayload = tech.restorePayload(workload, workload.dataCap());
+    }
+
+    row.storageBegin = static_cast<std::uint32_t>(plan->storageIdx_.size());
+    for (const DevicePtr& d : tech.storageDevices()) {
+      if (!d) return nullptr;
+      plan->storageIdx_.push_back(static_cast<std::uint32_t>(addDevice(d)));
+    }
+    row.storageEnd = static_cast<std::uint32_t>(plan->storageIdx_.size());
+
+    row.legBegin = static_cast<std::uint32_t>(plan->legs_.size());
+    for (const RecoveryLeg& leg : tech.recoveryLegs(primaryArray)) {
+      // A leg with a missing endpoint is a diagnostic-note path in the
+      // legacy evaluator; such designs stay on the legacy path.
+      if (!leg.from || !leg.to) return nullptr;
+      LegRow lr;
+      lr.from = addDevice(leg.from);
+      lr.to = addDevice(leg.to);
+      lr.originallyCrossSite =
+          leg.from->location().site != leg.to->location().site;
+      lr.serializedFix = leg.serializedFix;
+      if (leg.via) {
+        lr.via = addDevice(leg.via);
+        lr.viaPhysical = leg.via->deliversPhysically();
+        lr.viaTransit = leg.via->accessDelay();
+      }
+      plan->legs_.push_back(lr);
+    }
+    row.legEnd = static_cast<std::uint32_t>(plan->legs_.size());
+
+    plan->levels_.push_back(std::move(row));
+    perLevelDemands.push_back(tech.normalModeDemands(workload));
+  }
+
+  // Flat per-device bandwidth-contribution table for the availableBw fold,
+  // in the exact order the legacy fold adds them: levels outer, each
+  // level's demand vector inner.
+  for (DeviceRow& row : plan->devices_) {
+    row.contribBegin = static_cast<std::uint32_t>(plan->contribLevel_.size());
+    for (int i = 0; i < levelCount; ++i) {
+      for (const PlacedDemand& pd : perLevelDemands[static_cast<std::size_t>(i)]) {
+        if (pd.device.get() != row.device.get()) continue;
+        plan->contribLevel_.push_back(i);
+        plan->contribBandwidth_.push_back(pd.demand.bandwidth);
+      }
+    }
+    row.contribEnd = static_cast<std::uint32_t>(plan->contribLevel_.size());
+  }
+
+  // Scenario-independent half of the evaluation, resolved once. The demand
+  // vector is assembled exactly like StorageDesign::allDemands() (level
+  // order), so both folds see the legacy operand order.
+  std::vector<PlacedDemand> all;
+  for (auto& demands : perLevelDemands) {
+    all.insert(all.end(), std::make_move_iterator(demands.begin()),
+               std::make_move_iterator(demands.end()));
+  }
+  UtilizationFeasibility feasibility = computeUtilizationFeasibility(all);
+  plan->utilFeasible_ = feasibility.feasible;
+  plan->utilError_ = std::move(feasibility.firstError);
+  for (const TechniqueOutlay& o : computeOutlays(all)) {
+    plan->totalOutlays_ += o.total();
+  }
+
+  // ---- Plan fingerprint ----------------------------------------------
+  // Everything evaluate() reads must be covered: the flattened tables, the
+  // workload/business inputs, and behavioural probes of the virtuals the
+  // tables defer to per eval (restorePayload, transferBandwidth), so two
+  // plans with equal fingerprints evaluate identically under any scenario.
+  FpStream fs;
+  fs.buf.reserve(1024);
+  fs.s("stordep-evalplan-v1");
+  fs.fp(fingerprintWorkload(workload));
+  fs.b(plan->hasFacility_);
+  if (plan->hasFacility_) {
+    fs.loc(plan->facilityLocation_);
+    fs.d(plan->facilityProvisioningTime_.raw());
+  }
+  fs.d(plan->business_.unavailabilityPenaltyRate.raw());
+  fs.d(plan->business_.lossPenaltyRate.raw());
+  fs.b(plan->business_.rto.has_value());
+  if (plan->business_.rto) fs.d(plan->business_.rto->raw());
+  fs.b(plan->business_.rpo.has_value());
+  if (plan->business_.rpo) fs.d(plan->business_.rpo->raw());
+  fs.b(plan->utilFeasible_);
+  fs.s(plan->utilError_);
+  fs.d(plan->totalOutlays_.raw());
+
+  const Bytes probePayload = megabytes(1);
+  fs.u64(plan->devices_.size());
+  for (const DeviceRow& row : plan->devices_) {
+    fs.s(row.name);
+    fs.loc(row.location);
+    fs.b(row.hasSpare);
+    fs.d(row.spareProvisioningTime.raw());
+    fs.u64(row.contribBegin);
+    fs.u64(row.contribEnd);
+    fs.d(row.device->transferBandwidth(probePayload).raw());
+    fs.d(row.device->transferBandwidth(workload.dataCap()).raw());
+  }
+  fs.u64(plan->levels_.size());
+  for (const LevelRow& row : plan->levels_) {
+    fs.i(static_cast<std::int64_t>(row.technique->kind()));
+    fs.d(row.lag.raw());
+    fs.d(row.oldestAge.raw());
+    fs.d(row.withinLoss.raw());
+    fs.d(row.defaultPayload.raw());
+    fs.d(row.technique->restorePayload(workload, probePayload).raw());
+    fs.u64(row.storageBegin);
+    fs.u64(row.storageEnd);
+    fs.u64(row.legBegin);
+    fs.u64(row.legEnd);
+  }
+  fs.u64(plan->legs_.size());
+  for (const LegRow& leg : plan->legs_) {
+    fs.i(leg.from);
+    fs.i(leg.to);
+    fs.i(leg.via);
+    fs.b(leg.originallyCrossSite);
+    fs.b(leg.viaPhysical);
+    fs.d(leg.viaTransit.raw());
+    fs.d(leg.serializedFix.raw());
+  }
+  fs.u64(plan->storageIdx_.size());
+  for (std::uint32_t idx : plan->storageIdx_) fs.u64(idx);
+  fs.u64(plan->contribLevel_.size());
+  for (std::size_t c = 0; c < plan->contribLevel_.size(); ++c) {
+    fs.i(plan->contribLevel_[c]);
+    fs.d(plan->contribBandwidth_[c].raw());
+  }
+  plan->fingerprint_ = fingerprintBytes(fs.buf);
+
+  return plan;
+}
+
+Bandwidth EvalPlan::availableBw(std::int32_t devIdx, Bytes payload, bool fresh,
+                                const bool* lvlDestroyed) const {
+  const DeviceRow& row = devices_[static_cast<std::size_t>(devIdx)];
+  const Bandwidth base = row.device->transferBandwidth(payload);
+  if (fresh) return base;
+  Bandwidth demands = Bandwidth::zero();
+  for (std::uint32_t c = row.contribBegin; c < row.contribEnd; ++c) {
+    const std::int32_t lvl = contribLevel_[c];
+    if (lvlDestroyed[lvl]) continue;
+    if (lvl > 0 && lvlDestroyed[lvl - 1]) continue;
+    demands += contribBandwidth_[c];
+  }
+  if (demands >= base) return Bandwidth::zero();
+  return base - demands;
+}
+
+EvaluationMetrics EvalPlan::evaluate(const FailureScenario& scenario,
+                                     BumpArena& arena) const {
+  BumpArena::Frame frame(arena);
+  EvaluationMetrics m;
+  m.utilizationFeasible = utilFeasible_;
+  m.totalOutlays = totalOutlays_;
+
+  const std::size_t nDev = devices_.size();
+  bool* devDestroyed = arena.array<bool>(nDev);
+  for (std::size_t i = 0; i < nDev; ++i) {
+    devDestroyed[i] = scenario.destroys(devices_[i].name, devices_[i].location);
+  }
+
+  const std::size_t nLvl = levels_.size();
+  bool* lvlDestroyed = arena.array<bool>(nLvl);
+  for (std::size_t i = 0; i < nLvl; ++i) {
+    bool all = true;
+    for (std::uint32_t s = levels_[i].storageBegin; s < levels_[i].storageEnd;
+         ++s) {
+      if (!devDestroyed[storageIdx_[s]]) {
+        all = false;
+        break;
+      }
+    }
+    lvlDestroyed[i] = all;
+  }
+
+  // Recovery-source choice: assessLevel + chooseRecoverySource, branch for
+  // branch (data_loss.cpp). Levels whose assessed loss is infinite
+  // (destroyed, corrupted primary, or target beyond retention) are skipped;
+  // strictly smaller loss wins, ties keep the lower level.
+  const Duration targetAge = scenario.recoveryTargetAge;
+  int bestLevel = -1;
+  Duration bestLoss = Duration::infinite();
+  for (std::size_t i = 0; i < nLvl; ++i) {
+    if (lvlDestroyed[i]) continue;
+    if (i == 0 && scenario.scope == FailureScope::kDataObject) continue;
+    const LevelRow& row = levels_[i];
+    Duration loss;
+    if (targetAge < row.lag) {
+      loss = row.lag - targetAge;
+    } else if (targetAge <= row.oldestAge) {
+      loss = row.withinLoss;
+    } else {
+      continue;
+    }
+    if (!loss.isFinite()) continue;
+    if (bestLevel < 0 || loss < bestLoss) {
+      bestLevel = static_cast<int>(i);
+      bestLoss = loss;
+    }
+  }
+
+  // Defaults already mirror the no-source case (computeRecovery with no
+  // surviving RP): unrecoverable, sourceLevel -1, infinite RT/DL.
+  if (bestLevel >= 0) {
+    m.sourceLevel = bestLevel;
+    m.dataLoss = bestLoss;
+    if (bestLevel == 0) {
+      // Recovering from the primary itself: nothing to restore.
+      m.recoverable = true;
+      m.recoveryTime = Duration::zero();
+      m.payload = Bytes{0};
+    } else {
+      const LevelRow& src = levels_[static_cast<std::size_t>(bestLevel)];
+      m.payload = scenario.recoverySize
+                      ? src.technique->restorePayload(*workload_,
+                                                      *scenario.recoverySize)
+                      : src.defaultPayload;
+      if (src.legBegin == src.legEnd) {
+        // "source level has no restore path": unrecoverable, RT stays
+        // infinite, DL keeps the source assessment.
+      } else {
+        // Leg walk: recoverFrom (recovery.cpp), minus the reporting.
+        struct Resolved {
+          const Location* loc;
+          Duration parFix;
+          bool fresh;
+          bool viable;
+        };
+        auto resolve = [&](std::int32_t idx) -> Resolved {
+          const DeviceRow& row = devices_[static_cast<std::size_t>(idx)];
+          if (!devDestroyed[idx]) {
+            return {&row.location, Duration::zero(), false, true};
+          }
+          if (scenario.scope == FailureScope::kArray && row.hasSpare) {
+            return {&row.location, row.spareProvisioningTime, true, true};
+          }
+          if (hasFacility_ &&
+              !scenario.destroys(kNoDeviceName, facilityLocation_)) {
+            return {&facilityLocation_, facilityProvisioningTime_, true, true};
+          }
+          return {&row.location, Duration::zero(), false, false};
+        };
+
+        Duration clock = Duration::zero();
+        bool pathLost = false;
+        for (std::uint32_t l = src.legBegin; l < src.legEnd; ++l) {
+          const LegRow& leg = legs_[l];
+          const Resolved from = resolve(leg.from);
+          const Resolved to = resolve(leg.to);
+          if (!from.viable || !to.viable) {
+            // An RP survives but there is nowhere to restore it.
+            m.dataLoss = Duration::infinite();
+            m.recoveryTime = Duration::infinite();
+            m.recoverable = false;
+            pathLost = true;
+            break;
+          }
+          const bool resolvedSameSite = from.loc->site == to.loc->site;
+          const bool useVia =
+              leg.via >= 0 && !(leg.originallyCrossSite && resolvedSameSite);
+          const bool physical = useVia && leg.viaPhysical;
+          const Duration transit = useVia ? leg.viaTransit : Duration::zero();
+
+          const Duration sendReady = std::max(clock, from.parFix);
+          Duration drainTime = Duration::zero();
+          Duration applyTime = Duration::zero();
+          if (!physical) {
+            Bandwidth drainRate =
+                availableBw(leg.from, m.payload, from.fresh, lvlDestroyed);
+            if (useVia) {
+              drainRate = std::min(
+                  drainRate,
+                  availableBw(leg.via, m.payload, false, lvlDestroyed));
+            }
+            drainTime = drainRate.bytesPerSec() > 0 ? m.payload / drainRate
+                                                    : Duration::infinite();
+            const Bandwidth destRate =
+                availableBw(leg.to, m.payload, to.fresh, lvlDestroyed);
+            applyTime = destRate.bytesPerSec() > 0 ? m.payload / destRate
+                                                   : Duration::infinite();
+          }
+          const Duration serFix =
+              physical ? Duration::zero() : leg.serializedFix;
+          const Duration drainDone = sendReady + transit + serFix + drainTime;
+          const Duration ready = std::max(drainDone, to.parFix) + applyTime;
+          clock = ready;
+          if (!clock.isFinite()) break;
+        }
+        if (!pathLost) {
+          m.recoverable = clock.isFinite();
+          m.recoveryTime = clock;
+        }
+      }
+    }
+  }
+
+  // computeCosts + meetsObjectives (cost.cpp, business.hpp).
+  m.outagePenalty = business_.outagePenalty(m.recoveryTime);
+  m.lossPenalty = business_.lossPenalty(m.dataLoss);
+  m.totalPenalties = m.outagePenalty + m.lossPenalty;
+  m.totalCost = m.totalOutlays + m.totalPenalties;
+  m.meetsObjectives = business_.meetsObjectives(m.recoveryTime, m.dataLoss);
+  return m;
+}
+
+}  // namespace stordep::engine

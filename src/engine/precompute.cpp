@@ -41,6 +41,28 @@ void DemandCache::insert(const Fingerprint& key, Entry value) {
   if (shard.map.emplace(key, std::move(value)).second) ++shard.inserts;
 }
 
+void DemandCache::insertBatch(
+    std::vector<std::pair<Fingerprint, Entry>>&& entries) {
+  if (entries.empty()) return;
+  std::vector<std::vector<std::size_t>> byShard(shards_.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    byShard[entries[i].first.hi & (shards_.size() - 1)].push_back(i);
+  }
+  for (std::size_t s = 0; s < byShard.size(); ++s) {
+    if (byShard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (const std::size_t i : byShard[s]) {
+      if (shard.map.size() >= perShardCapacity_) break;
+      if (shard.map.emplace(entries[i].first, std::move(entries[i].second))
+              .second) {
+        ++shard.inserts;
+      }
+    }
+  }
+  entries.clear();
+}
+
 DemandCache::Stats DemandCache::stats() const {
   Stats out;
   out.capacity = perShardCapacity_ * shards_.size();
@@ -64,9 +86,10 @@ void DemandCache::clear() {
   }
 }
 
-DesignPrecomputation precomputeDesignCached(const StorageDesign& design,
-                                            const DesignFingerprints& parts,
-                                            DemandCache& cache) {
+DesignPrecomputation precomputeDesignCached(
+    const StorageDesign& design, const DesignFingerprints& parts,
+    DemandCache& cache,
+    std::vector<std::pair<Fingerprint, DemandCache::Entry>>* pendingInserts) {
   const int levels = design.levelCount();
   if (parts.levelKeys.size() != static_cast<std::size_t>(levels)) {
     return precomputeDesign(design);  // stale parts; never guess
@@ -111,7 +134,11 @@ DesignPrecomputation precomputeDesignCached(const StorageDesign& design,
     for (const PlacedDemand& placed : fresh) {
       entry->push_back(CachedDemand{placed.device->name(), placed.demand});
     }
-    cache.insert(key, std::move(entry));
+    if (pendingInserts != nullptr) {
+      pendingInserts->emplace_back(key, std::move(entry));
+    } else {
+      cache.insert(key, std::move(entry));
+    }
     demands.insert(demands.end(), std::make_move_iterator(fresh.begin()),
                    std::make_move_iterator(fresh.end()));
   }

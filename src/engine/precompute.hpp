@@ -58,6 +58,10 @@ class DemandCache {
   /// No-op when the shard is at capacity or the key is already present.
   void insert(const Fingerprint& key, Entry value);
 
+  /// Bulk insert for write-behind merges: groups entries by shard and takes
+  /// each shard lock once. Same semantics as insert() per entry in order.
+  void insertBatch(std::vector<std::pair<Fingerprint, Entry>>&& entries);
+
   struct Stats {
     std::uint64_t probes = 0;
     std::uint64_t hits = 0;
@@ -96,9 +100,15 @@ class DemandCache {
 /// `parts` must be fingerprintDesignParts(design). Falls back to the direct
 /// computation whenever reuse would be ambiguous (duplicate device names,
 /// stale part count); the result is bit-identical to precomputeDesign(design)
-/// in every case.
+/// in every case. When `pendingInserts` is non-null, newly computed levels
+/// are appended there instead of being inserted into the shared cache —
+/// the write-behind mode (engine/batch.hpp): the caller merges the pending
+/// vector via insertBatch() after its batch joins, so cold sweeps stop
+/// serializing on the demand-cache shard locks.
 [[nodiscard]] DesignPrecomputation precomputeDesignCached(
     const StorageDesign& design, const DesignFingerprints& parts,
-    DemandCache& cache);
+    DemandCache& cache,
+    std::vector<std::pair<Fingerprint, DemandCache::Entry>>* pendingInserts =
+        nullptr);
 
 }  // namespace stordep::engine

@@ -21,6 +21,9 @@ struct RefineOptions {
   /// Cooperative cancellation, polled between climb steps: the climb stops
   /// at the last accepted move (which is always a valid, evaluated design).
   engine::CancellationToken token;
+  /// Evaluate neighborhoods through compiled evaluation plans (see
+  /// SearchOptions::usePlan); bit-identical to the legacy cache-backed path.
+  bool usePlan = true;
 };
 
 struct RefineResult {

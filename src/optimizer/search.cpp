@@ -61,6 +61,72 @@ bool foldScenario(EvaluatedCandidate& out, const EvaluationResult& result,
   return true;
 }
 
+/// Plan-backed candidate evaluation: the compile-once fast path. The design
+/// is compiled into an engine::EvalPlan and every scenario folds through
+/// EvalPlan::evaluate on the calling thread's bump arena — no per-eval heap
+/// allocation, no cache traffic, no shard locks. Field for field this
+/// reproduces evaluateCandidateImpl + foldScenario (the plan contract
+/// guarantees bit-identical metrics; the plan-vs-legacy oracle enforces it),
+/// including the exact rejection strings. Returns nullopt when the design is
+/// not plannable, in which case the caller takes the keyed legacy path.
+/// Never throws: failures are captured as EvaluatedCandidate::error.
+std::optional<EvaluatedCandidate> tryEvaluateCandidateViaPlan(
+    const CandidateSpec& spec, const WorkloadSpec& workload,
+    const BusinessRequirements& business,
+    const std::vector<ScenarioCase>& scenarios) {
+  EvaluatedCandidate out;
+  out.spec = spec;
+  out.label = spec.label();
+  out.feasible = true;
+  out.meetsObjectives = true;
+
+  try {
+    const StorageDesign design = spec.build(workload, business);
+    const std::shared_ptr<const engine::EvalPlan> plan =
+        engine::EvalPlan::compile(design);
+    if (plan == nullptr) return std::nullopt;  // legacy fallback
+
+    bool outlaysRecorded = false;
+    for (const ScenarioCase& sc : scenarios) {
+      // Scenario-independent, but checked inside the loop so an empty
+      // scenario set leaves the candidate untouched, like the legacy fold.
+      if (!plan->utilizationFeasible()) {
+        out.feasible = false;
+        out.rejectionReason = "over-utilized: " + plan->utilizationError();
+        break;
+      }
+      const EvaluationMetrics m =
+          plan->evaluate(sc.scenario, engine::Engine::threadArena());
+      if (!m.recoverable) {
+        out.feasible = false;
+        out.rejectionReason = "unrecoverable under scenario '" + sc.name + "'";
+        break;
+      }
+      if (!m.meetsObjectives) {
+        out.meetsObjectives = false;
+        out.rejectionReason = "misses RTO/RPO under scenario '" + sc.name + "'";
+      }
+      if (!outlaysRecorded) {
+        out.outlays = m.totalOutlays;  // scenario-independent
+        outlaysRecorded = true;
+      }
+      out.weightedPenalties += m.totalPenalties * sc.weight;
+      out.worstRecoveryTime = std::max(out.worstRecoveryTime, m.recoveryTime);
+      out.worstDataLoss = std::max(out.worstDataLoss, m.dataLoss);
+    }
+  } catch (...) {
+    // build() rejected the candidate (same isolation as the legacy path).
+    out.error = engine::errorFromCurrentException();
+  }
+
+  if (out.error) {
+    out.feasible = false;
+    out.rejectionReason = "evaluation failed: " + out.error->describe();
+  }
+  out.totalCost = out.outlays + out.weightedPenalties;
+  return out;
+}
+
 /// Evaluates one candidate against the scenario set. Never throws: a build
 /// or evaluation failure (past the retry budget in `evalOptions`) is
 /// captured as EvaluatedCandidate::error, isolating the failure to this
@@ -191,8 +257,15 @@ void finalizeThroughput(SearchResult& result,
 EvaluatedCandidate evaluateCandidate(
     const CandidateSpec& spec, const WorkloadSpec& workload,
     const BusinessRequirements& business,
-    const std::vector<ScenarioCase>& scenarios, engine::Engine* eng) {
+    const std::vector<ScenarioCase>& scenarios, engine::Engine* eng,
+    bool usePlan) {
   engine::Engine& resolved = eng != nullptr ? *eng : engine::Engine::shared();
+  if (usePlan && resolved.faultInjector() == nullptr) {
+    if (std::optional<EvaluatedCandidate> viaPlan =
+            tryEvaluateCandidateViaPlan(spec, workload, business, scenarios)) {
+      return std::move(*viaPlan);
+    }
+  }
   return evaluateCandidateImpl(spec, workload, business, scenarios, resolved,
                                fingerprintScenarios(scenarios),
                                engine::BatchOptions{});
@@ -236,6 +309,12 @@ SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
       options.objective == Objective::kExpectedPenalty ? &stochasticSpec
                                                        : nullptr;
 
+  // The plan fast path applies only to the deterministic worst-case
+  // objective with no fault injection; everything else needs the keyed
+  // legacy path (retries, injected-failure probes, Monte-Carlo penalties).
+  const bool planEligible = options.usePlan && stochastic == nullptr &&
+                            resolved.faultInjector() == nullptr;
+
   // Resume: restore journaled candidates before fanning out, so the sweep
   // spends its budget only on un-finished work.
   std::unique_ptr<CheckpointJournal> journal;
@@ -270,15 +349,24 @@ SearchResult searchDesignSpace(const std::vector<CandidateSpec>& candidates,
     }
   }
 
+  // Cold sweeps through the legacy fallback are insert-heavy; buffer the
+  // cache writes per worker and merge them once the fan-out joins.
+  engine::Engine::WriteBehindScope writeBehind(resolved);
   const bool ranAll = resolved.parallelForCancellable(
       candidates.size(),
       [&](std::size_t i) {
         if (completed[i] != 0) return;  // restored from the journal
         if (cancellable && token.cancelled()) return;
+        std::optional<EvaluatedCandidate> viaPlan;
+        if (planEligible) {
+          viaPlan = tryEvaluateCandidateViaPlan(candidates[i], workload,
+                                                business, scenarios);
+        }
         evaluated[i] =
-            evaluateCandidateImpl(candidates[i], workload, business, scenarios,
-                                  resolved, scenarioFps, evalOptions,
-                                  stochastic);
+            viaPlan ? std::move(*viaPlan)
+                    : evaluateCandidateImpl(candidates[i], workload, business,
+                                            scenarios, resolved, scenarioFps,
+                                            evalOptions, stochastic);
         completed[i] = 1;
         // Only clean evaluations are journaled: a transiently-failed
         // candidate should be re-attempted on resume, not pinned.
@@ -332,6 +420,9 @@ SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
       options.objective == Objective::kExpectedPenalty ? &stochasticSpec
                                                        : nullptr;
 
+  const bool planEligible = options.usePlan && stochastic == nullptr &&
+                            resolved.faultInjector() == nullptr;
+
   std::unique_ptr<CheckpointJournal> journal;
   if (!options.checkpointPath.empty()) {
     journal = std::make_unique<CheckpointJournal>(
@@ -342,6 +433,11 @@ SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
 
   SearchResult result;
   std::vector<EvaluatedCandidate> finished;
+
+  // One write-behind window covers every wave: candidates are unique across
+  // chunks, so deferring the merge to the end of the sweep loses no reuse,
+  // and the per-thread flush bound keeps buffered memory flat.
+  engine::Engine::WriteBehindScope writeBehind(resolved);
 
   // Wave buffers, reused across chunks: peak memory is O(streamChunk)
   // materialized candidates regardless of grid size.
@@ -386,10 +482,16 @@ SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
         [&](std::size_t i) {
           if (completed[i] != 0) return;
           if (cancellable && token.cancelled()) return;
+          std::optional<EvaluatedCandidate> viaPlan;
+          if (planEligible) {
+            viaPlan = tryEvaluateCandidateViaPlan(chunk[i], workload, business,
+                                                  scenarios);
+          }
           evaluated[i] =
-              evaluateCandidateImpl(chunk[i], workload, business, scenarios,
-                                    resolved, scenarioFps, evalOptions,
-                                    stochastic);
+              viaPlan ? std::move(*viaPlan)
+                      : evaluateCandidateImpl(chunk[i], workload, business,
+                                              scenarios, resolved, scenarioFps,
+                                              evalOptions, stochastic);
           completed[i] = 1;
           if (journal && !evaluated[i].error) {
             journal->record(keys[i], evaluated[i]);

@@ -140,15 +140,28 @@ struct SearchOptions {
   int stochasticTrials = 512;
   /// Root seed for the expected-penalty sampler (same seed -> same ranking).
   std::uint64_t stochasticSeed = 1;
+  /// Evaluate candidates through compiled evaluation plans (engine/plan.hpp):
+  /// each candidate is compiled once and every scenario folds allocation-free
+  /// against the flattened plan, which is what makes the *cold* sweep fast.
+  /// Bit-identical to the legacy path by the plan contract (and enforced by
+  /// the plan-vs-legacy differential oracle). Automatically ignored — the
+  /// keyed legacy path runs instead — for the kExpectedPenalty objective,
+  /// when a fault injector is installed, and for any candidate the plan
+  /// compiler rejects. Set false to force the legacy cache-backed path (the
+  /// benchmarks pin it off for their legacy-reference sections).
+  bool usePlan = true;
 };
 
-/// Evaluates one candidate against the scenario set, through `eng`'s cache
-/// (null = the process-wide Engine::shared()).
+/// Evaluates one candidate against the scenario set. With `usePlan` (the
+/// default) the candidate is compiled into an evaluation plan and folded
+/// allocation-free; otherwise (or when the design is not plannable, or a
+/// fault injector is installed on `eng`) it goes through `eng`'s cache
+/// (null = the process-wide Engine::shared()). Both paths are bit-identical.
 [[nodiscard]] EvaluatedCandidate evaluateCandidate(
     const CandidateSpec& spec, const WorkloadSpec& workload,
     const BusinessRequirements& business,
     const std::vector<ScenarioCase>& scenarios,
-    engine::Engine* eng = nullptr);
+    engine::Engine* eng = nullptr, bool usePlan = true);
 
 /// Evaluates all candidates and ranks them. Candidates fan out across the
 /// engine's thread pool; results are identical to the serial reference.

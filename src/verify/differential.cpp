@@ -245,6 +245,103 @@ OracleResult searchParityOracle(const CaseSpec& spec,
   return pass(kName);
 }
 
+OracleResult planVsLegacyOracle(const CaseSpec& spec) {
+  const char* kName = "plan-vs-legacy";
+  try {
+    const StorageDesign design = makeDesign(spec);
+    const std::shared_ptr<const engine::EvalPlan> plan =
+        engine::EvalPlan::compile(design);
+    if (plan == nullptr) return notApplicable(kName);
+
+    // The generated scenario plus a site-disaster variant, so every case
+    // exercises both a partial and a total failure against the same plan.
+    std::vector<std::pair<std::string, FailureScenario>> scenarios;
+    scenarios.emplace_back("generated", makeScenario(spec));
+    {
+      CaseSpec site = spec;
+      site.scope = FailureScope::kSite;
+      site.targetAgeHours = 0.0;
+      site.recoverySizeMB = 1.0;
+      scenarios.emplace_back("site", makeScenario(site));
+    }
+
+    for (const auto& [label, scenario] : scenarios) {
+      const EvaluationResult reference = evaluate(design, scenario);
+      const EvaluationMetrics legacy = summarizeEvaluation(reference);
+      const EvaluationMetrics viaPlan =
+          plan->evaluate(scenario, engine::Engine::threadArena());
+
+      const auto mismatch = [&](const char* field, double a,
+                                double b) -> std::string {
+        return "scenario '" + label + "' " + field + " differs: plan " +
+               num(a) + " vs legacy " + num(b);
+      };
+      if (viaPlan.utilizationFeasible != legacy.utilizationFeasible) {
+        return fail(kName, "scenario '" + label +
+                               "' utilization feasibility differs");
+      }
+      if (viaPlan.recoverable != legacy.recoverable) {
+        return fail(kName, "scenario '" + label + "' recoverability differs");
+      }
+      if (viaPlan.meetsObjectives != legacy.meetsObjectives) {
+        return fail(kName, "scenario '" + label + "' RTO/RPO verdict differs");
+      }
+      if (viaPlan.sourceLevel != legacy.sourceLevel) {
+        return fail(kName, "scenario '" + label + "' source level differs: " +
+                               std::to_string(viaPlan.sourceLevel) + " vs " +
+                               std::to_string(legacy.sourceLevel));
+      }
+      if (!bitSame(viaPlan.recoveryTime.raw(), legacy.recoveryTime.raw())) {
+        return fail(kName, mismatch("recovery time", viaPlan.recoveryTime.raw(),
+                                    legacy.recoveryTime.raw()));
+      }
+      if (!bitSame(viaPlan.dataLoss.raw(), legacy.dataLoss.raw())) {
+        return fail(kName, mismatch("data loss", viaPlan.dataLoss.raw(),
+                                    legacy.dataLoss.raw()));
+      }
+      if (!bitSame(viaPlan.payload.raw(), legacy.payload.raw())) {
+        return fail(kName, mismatch("payload", viaPlan.payload.raw(),
+                                    legacy.payload.raw()));
+      }
+      if (!bitSame(viaPlan.totalOutlays.raw(), legacy.totalOutlays.raw())) {
+        return fail(kName, mismatch("outlays", viaPlan.totalOutlays.raw(),
+                                    legacy.totalOutlays.raw()));
+      }
+      if (!bitSame(viaPlan.outagePenalty.raw(), legacy.outagePenalty.raw())) {
+        return fail(kName,
+                    mismatch("outage penalty", viaPlan.outagePenalty.raw(),
+                             legacy.outagePenalty.raw()));
+      }
+      if (!bitSame(viaPlan.lossPenalty.raw(), legacy.lossPenalty.raw())) {
+        return fail(kName, mismatch("loss penalty", viaPlan.lossPenalty.raw(),
+                                    legacy.lossPenalty.raw()));
+      }
+      if (!bitSame(viaPlan.totalPenalties.raw(),
+                   legacy.totalPenalties.raw()) ||
+          !bitSame(viaPlan.totalCost.raw(), legacy.totalCost.raw())) {
+        return fail(kName, mismatch("total cost", viaPlan.totalCost.raw(),
+                                    legacy.totalCost.raw()));
+      }
+      // The rejection string the optimizer builds from an over-utilized
+      // design must also agree with the reference's first error.
+      if (!viaPlan.utilizationFeasible) {
+        const std::string& referenceError =
+            reference.utilization.errors.empty()
+                ? std::string()
+                : reference.utilization.errors[0];
+        if (plan->utilizationError() != referenceError) {
+          return fail(kName, "utilization error strings differ: plan '" +
+                                 plan->utilizationError() + "' vs legacy '" +
+                                 referenceError + "'");
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail(kName, std::string("plan-vs-legacy threw: ") + e.what());
+  }
+  return pass(kName);
+}
+
 OracleResult roundTripOracle(const CaseSpec& spec) {
   const char* kName = "round-trip";
   try {

@@ -16,6 +16,10 @@
 //                   quantiles are monotone (P50 <= P95 <= P99 <= max)
 //   search-parity   searchDesignSpaceSerial vs the engine-backed parallel
 //                   search, bit-identical rankings
+//   plan-vs-legacy  engine::EvalPlan::compile + EvalPlan::evaluate vs the
+//                   reference evaluate() pipeline, bit-identical metrics on
+//                   every generated scenario (the compile-once fast path's
+//                   correctness contract)
 //   round-trip      saveDesign -> loadDesign -> saveDesign reaches a fixpoint
 //                   and the reloaded design evaluates bit-identically
 //   mutation        random structural mutations of the design JSON either
@@ -74,6 +78,16 @@ struct OracleOptions {
 /// and rejection reasons must match bit-identically.
 [[nodiscard]] OracleResult searchParityOracle(const CaseSpec& spec,
                                               const OracleOptions& options = {});
+
+/// Compiled evaluation plan vs the reference evaluator: EvalPlan::compile on
+/// the case's design, then every scenario (the generated one plus a
+/// site-disaster variant) evaluated through both EvalPlan::evaluate and the
+/// legacy evaluate() pipeline. Every metric — feasibility, recoverability,
+/// source level, RT, DL, payload, outlays, penalties, total cost, the
+/// RTO/RPO verdict, and the utilization error string — must match
+/// bit-for-bit. Not applicable when the plan compiler rejects the design
+/// (the engine then falls back to the legacy path by construction).
+[[nodiscard]] OracleResult planVsLegacyOracle(const CaseSpec& spec);
 
 /// saveDesign -> loadDesign -> saveDesign fixpoint, plus bit-identical
 /// evaluation of the reloaded design.

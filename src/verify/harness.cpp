@@ -28,6 +28,10 @@ CheckOutcome runNamedCheck(const std::string& name, const CaseSpec& spec,
     const OracleResult r = searchParityOracle(spec, options.oracle);
     return {r.applicable, r.holds, r.detail};
   }
+  if (name == "plan-vs-legacy") {
+    const OracleResult r = planVsLegacyOracle(spec);
+    return {r.applicable, r.holds, r.detail};
+  }
   if (name == "round-trip") {
     const OracleResult r = roundTripOracle(spec);
     return {r.applicable, r.holds, r.detail};
@@ -73,7 +77,7 @@ void recordFailure(FuzzReport& report, const FuzzOptions& options,
 /// Returns false when the failure budget is exhausted.
 bool checkCase(FuzzReport& report, const FuzzOptions& options,
                std::uint64_t index, const CaseSpec& spec, bool runSim,
-               bool runStochastic, bool runSearch, bool runIo) {
+               bool runStochastic, bool runSearch, bool runPlan, bool runIo) {
   for (const RelationResult& r : checkRelations(spec, options.ctx)) {
     if (!r.applicable) {
       ++report.relationSkips;
@@ -99,6 +103,7 @@ bool checkCase(FuzzReport& report, const FuzzOptions& options,
     oracles.push_back(stochasticBoundOracle(spec, options.oracle));
   }
   if (runSearch) oracles.push_back(searchParityOracle(spec, options.oracle));
+  if (runPlan) oracles.push_back(planVsLegacyOracle(spec));
   for (const OracleResult& r : oracles) {
     if (!r.applicable) {
       ++report.oracleSkips;
@@ -133,6 +138,7 @@ FuzzReport runFuzz(const FuzzOptions& options) {
                    everyNth(options.simEvery, i),
                    everyNth(options.stochasticEvery, i),
                    everyNth(options.searchEvery, i),
+                   everyNth(options.planEvery, i),
                    everyNth(options.ioEvery, i))) {
       report.stoppedEarly = true;
       break;
@@ -150,7 +156,8 @@ FuzzReport replayCase(std::uint64_t seed, std::uint64_t index,
   report.cases = 1;
   const CaseSpec spec = caseForSeed(seed, index);
   (void)checkCase(report, replay, index, spec, /*runSim=*/true,
-                  /*runStochastic=*/true, /*runSearch=*/true, /*runIo=*/true);
+                  /*runStochastic=*/true, /*runSearch=*/true,
+                  /*runPlan=*/true, /*runIo=*/true);
   return report;
 }
 

@@ -35,6 +35,11 @@ struct FuzzOptions {
   int stochasticEvery = 25;
   /// Run the search-parity oracle on every Nth case (0 = never).
   int searchEvery = 200;
+  /// Run the plan-vs-legacy oracle on every Nth case (0 = never). Defaults
+  /// to every case: one plan compile + two evaluations is barely more than
+  /// the analytic evaluations the relations already do, and the compiled
+  /// fast path must hold on *every* generated design, not a sample.
+  int planEvery = 1;
   /// Run the round-trip and mutation oracles on every Nth case (0 = never).
   int ioEvery = 1;
   OracleOptions oracle;

@@ -282,13 +282,20 @@ TEST(Determinism, EngineBackedSearchMatchesSerialReference) {
       candidates, cs::celloWorkload(), cs::requirements(), scenarios);
 
   Engine engine(EngineOptions{.threads = 4});
+  // Pin the legacy cache-backed path: this test is specifically about the
+  // keyed evaluate/cache machinery (plan-path parity is covered by
+  // test_plan and the plan-vs-legacy oracle).
+  opt::SearchOptions legacy;
+  legacy.eng = &engine;
+  legacy.maxRetries = 0;
+  legacy.usePlan = false;
   const opt::SearchResult parallel =
       opt::searchDesignSpace(candidates, cs::celloWorkload(),
-                             cs::requirements(), scenarios, &engine);
+                             cs::requirements(), scenarios, legacy);
   // And a second engine-backed run, now fully cache-hot.
   const opt::SearchResult cached =
       opt::searchDesignSpace(candidates, cs::celloWorkload(),
-                             cs::requirements(), scenarios, &engine);
+                             cs::requirements(), scenarios, legacy);
 
   for (const opt::SearchResult* result : {&parallel, &cached}) {
     EXPECT_EQ(result->evaluated, serial.evaluated);
@@ -317,11 +324,15 @@ TEST(Determinism, RepeatedSweepHitRate) {
   Engine engine(EngineOptions{.threads = 2});
   const auto candidates = opt::enumerateDesignSpace();
   const auto scenarios = opt::caseStudyScenarios();
+  opt::SearchOptions legacy;  // the criterion is about the cache: pin it on
+  legacy.eng = &engine;
+  legacy.maxRetries = 0;
+  legacy.usePlan = false;
   (void)opt::searchDesignSpace(candidates, cs::celloWorkload(),
-                               cs::requirements(), scenarios, &engine);
+                               cs::requirements(), scenarios, legacy);
   const EvalCache::Stats before = engine.cache().stats();
   (void)opt::searchDesignSpace(candidates, cs::celloWorkload(),
-                               cs::requirements(), scenarios, &engine);
+                               cs::requirements(), scenarios, legacy);
   const EvalCache::Stats after = engine.cache().stats();
 
   const auto hits = static_cast<double>(after.hits - before.hits);

@@ -447,8 +447,14 @@ TEST(DemandCache, EngineSweepSharesLevelWork) {
       optimizer::enumerateDesignSpace();
 
   engine::Engine eng(engine::EngineOptions{.threads = 4});
+  // Pin the legacy keyed path: the demand cache only sees traffic when
+  // candidates precompute through it (the plan path never touches it).
+  optimizer::SearchOptions legacy;
+  legacy.eng = &eng;
+  legacy.maxRetries = 0;
+  legacy.usePlan = false;
   const optimizer::SearchResult viaEngine = optimizer::searchDesignSpace(
-      candidates, workload, business, scenarios, &eng);
+      candidates, workload, business, scenarios, legacy);
   const optimizer::SearchResult serial = optimizer::searchDesignSpaceSerial(
       candidates, workload, business, scenarios);
 

@@ -1,0 +1,428 @@
+// plan_test.cpp — the compile-once evaluation-plan fast path.
+//
+// Covers the pieces the plan-vs-legacy fuzz oracle cannot: the BumpArena's
+// reuse/rewind protocol, plan-compilation idempotence (fingerprints), the
+// fallback to the legacy evaluator for un-plannable designs, the engine's
+// write-behind cache merge, and — the thread-determinism satellite — that a
+// cold plan-routed search returns bit-identical rankings at 1/2/4/8 threads
+// (this binary also runs under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "casestudy/casestudy.hpp"
+#include "core/evaluator.hpp"
+#include "core/hierarchy.hpp"
+#include "core/technique.hpp"
+#include "core/techniques/foreground.hpp"
+#include "devices/catalog.hpp"
+#include "engine/arena.hpp"
+#include "engine/batch.hpp"
+#include "engine/plan.hpp"
+#include "optimizer/design_space.hpp"
+#include "optimizer/search.hpp"
+
+namespace {
+
+namespace cs = stordep::casestudy;
+namespace opt = stordep::optimizer;
+using stordep::engine::BumpArena;
+using stordep::engine::Engine;
+using stordep::engine::EngineOptions;
+using stordep::engine::EvalPlan;
+
+// ---- BumpArena -------------------------------------------------------------
+
+TEST(Arena, ArrayAllocationAlignsAndZeroes) {
+  BumpArena arena(/*blockBytes=*/256);
+  double* d = arena.array<double>(4);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(d[i], 0.0);
+
+  bool* flags = arena.array<bool>(7);
+  ASSERT_NE(flags, nullptr);
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(flags[i]);
+
+  EXPECT_GE(arena.used(), 4 * sizeof(double) + 7 * sizeof(bool));
+  EXPECT_EQ(arena.highWater(), arena.used());
+}
+
+TEST(Arena, ResetKeepsBlocksAndReusesMemory) {
+  BumpArena arena(/*blockBytes=*/128);
+  void* first = arena.allocate(64, 8);
+  ASSERT_NE(first, nullptr);
+  const std::size_t blocks = arena.blockCount();
+  const std::size_t capacity = arena.capacity();
+
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.blockCount(), blocks);     // blocks retained...
+  EXPECT_EQ(arena.capacity(), capacity);     // ...capacity unchanged
+  void* again = arena.allocate(64, 8);
+  EXPECT_EQ(again, first);  // same bytes handed out again
+}
+
+TEST(Arena, FrameRewindsWithoutFreeing) {
+  BumpArena arena(/*blockBytes=*/128);
+  (void)arena.allocate(16, 8);
+  const std::size_t before = arena.used();
+  void* inner1 = nullptr;
+  {
+    BumpArena::Frame frame(arena);
+    inner1 = arena.allocate(32, 8);
+    (void)arena.allocate(500, 8);  // forces growth past the first block
+    EXPECT_GT(arena.used(), before);
+  }
+  EXPECT_EQ(arena.used(), before);  // frame rewound the bump position
+  // The next frame re-serves the same scratch memory.
+  BumpArena::Frame frame(arena);
+  EXPECT_EQ(arena.allocate(32, 8), inner1);
+}
+
+TEST(Arena, OversizedAllocationGetsItsOwnBlock) {
+  BumpArena arena(/*blockBytes=*/64);
+  void* big = arena.allocate(1024, 16);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.capacity(), 1024u);
+  // High-water tracks the peak across resets.
+  const std::size_t peak = arena.highWater();
+  arena.reset();
+  (void)arena.allocate(8, 8);
+  EXPECT_EQ(arena.highWater(), peak);
+}
+
+// ---- Plan compilation ------------------------------------------------------
+
+TEST(PlanCompile, SameDesignSameFingerprintTwice) {
+  const stordep::StorageDesign design = cs::baseline();
+  const auto a = EvalPlan::compile(design);
+  const auto b = EvalPlan::compile(design);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->fingerprint().hi, b->fingerprint().hi);
+  EXPECT_EQ(a->fingerprint().lo, b->fingerprint().lo);
+  // Re-materializing the design from scratch must also agree: compilation
+  // is a pure function of the design's content, not its object identity.
+  const auto c = EvalPlan::compile(cs::baseline());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(a->fingerprint().hi, c->fingerprint().hi);
+  EXPECT_EQ(a->fingerprint().lo, c->fingerprint().lo);
+}
+
+TEST(PlanCompile, DifferentDesignsDifferentFingerprints) {
+  const auto a = EvalPlan::compile(cs::baseline());
+  const auto b = EvalPlan::compile(cs::weeklyVault());
+  const auto c = EvalPlan::compile(cs::asyncBatchMirror(2));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(a->fingerprint().hi == b->fingerprint().hi &&
+               a->fingerprint().lo == b->fingerprint().lo);
+  EXPECT_FALSE(a->fingerprint().hi == c->fingerprint().hi &&
+               a->fingerprint().lo == c->fingerprint().lo);
+  EXPECT_FALSE(b->fingerprint().hi == c->fingerprint().hi &&
+               b->fingerprint().lo == c->fingerprint().lo);
+}
+
+TEST(PlanCompile, EveryCaseStudyDesignIsPlannable) {
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    EXPECT_NE(EvalPlan::compile(design), nullptr) << label;
+  }
+}
+
+// ---- Plan vs legacy on the case-study designs ------------------------------
+
+void expectMetricsBitIdentical(const stordep::EvaluationMetrics& plan,
+                               const stordep::EvaluationMetrics& legacy,
+                               const std::string& context) {
+  EXPECT_EQ(plan.utilizationFeasible, legacy.utilizationFeasible) << context;
+  EXPECT_EQ(plan.recoverable, legacy.recoverable) << context;
+  EXPECT_EQ(plan.meetsObjectives, legacy.meetsObjectives) << context;
+  EXPECT_EQ(plan.sourceLevel, legacy.sourceLevel) << context;
+  EXPECT_EQ(plan.recoveryTime.raw(), legacy.recoveryTime.raw()) << context;
+  EXPECT_EQ(plan.dataLoss.raw(), legacy.dataLoss.raw()) << context;
+  EXPECT_EQ(plan.payload.raw(), legacy.payload.raw()) << context;
+  EXPECT_EQ(plan.totalOutlays.raw(), legacy.totalOutlays.raw()) << context;
+  EXPECT_EQ(plan.outagePenalty.raw(), legacy.outagePenalty.raw()) << context;
+  EXPECT_EQ(plan.lossPenalty.raw(), legacy.lossPenalty.raw()) << context;
+  EXPECT_EQ(plan.totalPenalties.raw(), legacy.totalPenalties.raw()) << context;
+  EXPECT_EQ(plan.totalCost.raw(), legacy.totalCost.raw()) << context;
+}
+
+TEST(PlanEvaluate, BitIdenticalToLegacyOnCaseStudyMatrix) {
+  const std::vector<std::pair<std::string, stordep::FailureScenario>>
+      scenarios = {{"object", cs::objectFailure()},
+                   {"array", cs::arrayFailure()},
+                   {"site", cs::siteDisaster()}};
+  BumpArena arena;
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    const auto plan = EvalPlan::compile(design);
+    ASSERT_NE(plan, nullptr) << label;
+    for (const auto& [scenarioName, scenario] : scenarios) {
+      const stordep::EvaluationMetrics viaPlan =
+          plan->evaluate(scenario, arena);
+      const stordep::EvaluationMetrics legacy =
+          stordep::summarizeEvaluation(stordep::evaluate(design, scenario));
+      expectMetricsBitIdentical(viaPlan, legacy,
+                                label + " / " + scenarioName);
+    }
+  }
+}
+
+TEST(PlanEvaluate, RepeatedEvalsReuseArenaWithoutGrowth) {
+  const stordep::StorageDesign design = cs::baseline();
+  const auto plan = EvalPlan::compile(design);
+  ASSERT_NE(plan, nullptr);
+  BumpArena arena;
+  const stordep::EvaluationMetrics first =
+      plan->evaluate(cs::siteDisaster(), arena);
+  const std::size_t warmBlocks = arena.blockCount();
+  const std::size_t warmCapacity = arena.capacity();
+  for (int i = 0; i < 100; ++i) {
+    const stordep::EvaluationMetrics again =
+        plan->evaluate(cs::siteDisaster(), arena);
+    ASSERT_EQ(again.recoveryTime.raw(), first.recoveryTime.raw());
+    ASSERT_EQ(again.totalCost.raw(), first.totalCost.raw());
+  }
+  EXPECT_EQ(arena.blockCount(), warmBlocks);  // no growth once warm
+  EXPECT_EQ(arena.capacity(), warmCapacity);
+  EXPECT_EQ(arena.used(), 0u);  // every eval rewound its frame
+}
+
+// ---- Fallback for un-plannable designs -------------------------------------
+
+/// A technique whose restore path has a missing endpoint: the legacy
+/// evaluator reports it via a diagnostic note, which the plan tables cannot
+/// represent — compile() must reject the design and the engine must fall
+/// back to the legacy evaluator.
+class BrokenRestoreTechnique final : public stordep::Technique {
+ public:
+  explicit BrokenRestoreTechnique(stordep::DevicePtr storage)
+      : Technique("broken restore", stordep::TechniqueKind::kBackup),
+        storage_(std::move(storage)),
+        policy_(stordep::WindowSpec{stordep::hours(24), stordep::hours(1),
+                                    stordep::Duration::zero()},
+                /*retentionCount=*/2, stordep::days(14)) {}
+
+  [[nodiscard]] const stordep::ProtectionPolicy* policy()
+      const noexcept override {
+    return &policy_;
+  }
+  [[nodiscard]] std::vector<stordep::DevicePtr> storageDevices()
+      const override {
+    return {storage_};
+  }
+  [[nodiscard]] std::vector<stordep::PlacedDemand> normalModeDemands(
+      const stordep::WorkloadSpec&) const override {
+    return {};
+  }
+  [[nodiscard]] std::vector<stordep::RecoveryLeg> recoveryLegs(
+      stordep::DevicePtr) const override {
+    return {stordep::RecoveryLeg{nullptr, nullptr, nullptr,
+                                 stordep::Duration::zero()}};
+  }
+
+ private:
+  stordep::DevicePtr storage_;
+  stordep::ProtectionPolicy policy_;
+};
+
+stordep::StorageDesign brokenRestoreDesign() {
+  auto primary = stordep::catalog::midrangeDiskArray(
+      "primary array", stordep::Location::at("primary site"));
+  auto offsite = stordep::catalog::midrangeDiskArray(
+      "offsite array", stordep::Location::at("offsite"));
+  std::vector<stordep::TechniquePtr> levels;
+  levels.push_back(std::make_shared<stordep::PrimaryCopy>(primary));
+  levels.push_back(std::make_shared<BrokenRestoreTechnique>(offsite));
+  return stordep::StorageDesign("broken restore design", cs::celloWorkload(),
+                                cs::requirements(), std::move(levels));
+}
+
+TEST(PlanFallback, UnplannableDesignCompilesToNull) {
+  EXPECT_EQ(EvalPlan::compile(brokenRestoreDesign()), nullptr);
+}
+
+TEST(PlanFallback, MatrixFallsBackToLegacyForUnplannableDesigns) {
+  const auto designs = std::vector<std::shared_ptr<const stordep::StorageDesign>>{
+      std::make_shared<const stordep::StorageDesign>(cs::baseline()),
+      std::make_shared<const stordep::StorageDesign>(brokenRestoreDesign())};
+  const std::vector<stordep::FailureScenario> scenarios = {
+      cs::objectFailure(), cs::arrayFailure(), cs::siteDisaster()};
+
+  Engine engine(EngineOptions{.threads = 2});
+  Engine::PlanBatchStats stats;
+  const std::vector<stordep::EvaluationMetrics> matrix =
+      engine.evaluatePlanMatrix(designs, scenarios, &stats);
+
+  ASSERT_EQ(matrix.size(), designs.size() * scenarios.size());
+  EXPECT_EQ(stats.pairs, matrix.size());
+  EXPECT_EQ(stats.planCompiles, 1u);      // baseline
+  EXPECT_EQ(stats.planIncompatible, 1u);  // broken-restore design
+  for (std::size_t d = 0; d < designs.size(); ++d) {
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const stordep::EvaluationMetrics legacy = stordep::summarizeEvaluation(
+          stordep::evaluate(*designs[d], scenarios[s]));
+      expectMetricsBitIdentical(matrix[d * scenarios.size() + s], legacy,
+                                "design " + std::to_string(d) + " scenario " +
+                                    std::to_string(s));
+    }
+  }
+}
+
+TEST(PlanFallback, SearchStillRanksUnplannableDesignSpaces) {
+  // evaluateCandidate's plan routing must agree with the forced-legacy path
+  // even though these candidates compile fine — and the plan default must
+  // not change any public search results.
+  const auto candidates = opt::enumerateDesignSpace();
+  const auto scenarios = opt::caseStudyScenarios();
+  ASSERT_FALSE(candidates.empty());
+  const opt::EvaluatedCandidate viaPlan = opt::evaluateCandidate(
+      candidates.front(), cs::celloWorkload(), cs::requirements(), scenarios,
+      nullptr, /*usePlan=*/true);
+  const opt::EvaluatedCandidate legacy = opt::evaluateCandidate(
+      candidates.front(), cs::celloWorkload(), cs::requirements(), scenarios,
+      nullptr, /*usePlan=*/false);
+  EXPECT_EQ(viaPlan.label, legacy.label);
+  EXPECT_EQ(viaPlan.feasible, legacy.feasible);
+  EXPECT_EQ(viaPlan.meetsObjectives, legacy.meetsObjectives);
+  EXPECT_EQ(viaPlan.rejectionReason, legacy.rejectionReason);
+  EXPECT_EQ(viaPlan.totalCost.raw(), legacy.totalCost.raw());
+  EXPECT_EQ(viaPlan.outlays.raw(), legacy.outlays.raw());
+  EXPECT_EQ(viaPlan.weightedPenalties.raw(), legacy.weightedPenalties.raw());
+  EXPECT_EQ(viaPlan.worstRecoveryTime.raw(), legacy.worstRecoveryTime.raw());
+  EXPECT_EQ(viaPlan.worstDataLoss.raw(), legacy.worstDataLoss.raw());
+}
+
+// ---- Write-behind cache merge ----------------------------------------------
+
+TEST(WriteBehind, InsertsAreBufferedAndMergedOnScopeClose) {
+  Engine engine(EngineOptions{.threads = 1});
+  const stordep::StorageDesign design = cs::baseline();
+  const stordep::FailureScenario scenario = cs::arrayFailure();
+  const stordep::engine::DesignFingerprints parts =
+      stordep::engine::fingerprintDesignParts(design);
+  const stordep::engine::Fingerprint key = stordep::engine::combine(
+      parts.design, stordep::engine::fingerprintScenario(scenario));
+
+  {
+    Engine::WriteBehindScope scope(engine);
+    std::optional<stordep::DesignPrecomputation> pre;
+    (void)engine.evaluateKeyed(design, scenario, key, pre, &parts);
+    // The write is parked in the thread buffer, not the shared cache.
+    EXPECT_EQ(engine.cache().stats().inserts, 0u);
+  }
+  // Scope close merged it.
+  EXPECT_EQ(engine.cache().stats().inserts, 1u);
+  std::optional<stordep::DesignPrecomputation> pre;
+  const std::uint64_t hitsBefore = engine.cache().stats().hits;
+  (void)engine.evaluateKeyed(design, scenario, key, pre, &parts);
+  EXPECT_EQ(engine.cache().stats().hits, hitsBefore + 1);
+}
+
+TEST(WriteBehind, BufferFlushesEarlyAtTheLimit) {
+  Engine engine(EngineOptions{.threads = 1, .writeBehindLimit = 1});
+  const stordep::StorageDesign design = cs::baseline();
+  const stordep::engine::DesignFingerprints parts =
+      stordep::engine::fingerprintDesignParts(design);
+
+  Engine::WriteBehindScope scope(engine);
+  std::optional<stordep::DesignPrecomputation> pre;
+  const stordep::FailureScenario scenario = cs::arrayFailure();
+  const stordep::engine::Fingerprint key = stordep::engine::combine(
+      parts.design, stordep::engine::fingerprintScenario(scenario));
+  (void)engine.evaluateKeyed(design, scenario, key, pre, &parts);
+  // Limit 1: the pending buffer hit its bound and flushed inside the scope.
+  EXPECT_EQ(engine.cache().stats().inserts, 1u);
+}
+
+TEST(WriteBehind, ZeroLimitDisablesBuffering) {
+  Engine engine(EngineOptions{.threads = 1, .writeBehindLimit = 0});
+  const stordep::StorageDesign design = cs::baseline();
+  const stordep::engine::DesignFingerprints parts =
+      stordep::engine::fingerprintDesignParts(design);
+  Engine::WriteBehindScope scope(engine);  // degrades to a no-op
+  std::optional<stordep::DesignPrecomputation> pre;
+  const stordep::FailureScenario scenario = cs::siteDisaster();
+  const stordep::engine::Fingerprint key = stordep::engine::combine(
+      parts.design, stordep::engine::fingerprintScenario(scenario));
+  (void)engine.evaluateKeyed(design, scenario, key, pre, &parts);
+  EXPECT_EQ(engine.cache().stats().inserts, 1u);  // straight to the cache
+}
+
+TEST(WriteBehind, NestedScopeIsANoOp) {
+  Engine engine(EngineOptions{.threads = 1});
+  const stordep::StorageDesign design = cs::baseline();
+  const stordep::engine::DesignFingerprints parts =
+      stordep::engine::fingerprintDesignParts(design);
+  Engine::WriteBehindScope outer(engine);
+  {
+    Engine::WriteBehindScope inner(engine);  // no-op: outer is active
+    std::optional<stordep::DesignPrecomputation> pre;
+    const stordep::FailureScenario scenario = cs::objectFailure();
+    const stordep::engine::Fingerprint key = stordep::engine::combine(
+        parts.design, stordep::engine::fingerprintScenario(scenario));
+    (void)engine.evaluateKeyed(design, scenario, key, pre, &parts);
+  }
+  // Inner close must NOT have merged: the write still belongs to outer.
+  EXPECT_EQ(engine.cache().stats().inserts, 0u);
+}
+
+// ---- Thread-count determinism (runs under TSan in CI) ----------------------
+
+void expectSameRanking(const opt::SearchResult& a, const opt::SearchResult& b,
+                       int threads) {
+  ASSERT_EQ(a.ranked.size(), b.ranked.size()) << threads << " threads";
+  ASSERT_EQ(a.rejected.size(), b.rejected.size()) << threads << " threads";
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].label, b.ranked[i].label)
+        << threads << " threads, rank " << i;
+    EXPECT_EQ(a.ranked[i].totalCost.raw(), b.ranked[i].totalCost.raw())
+        << threads << " threads, rank " << i;
+    EXPECT_EQ(a.ranked[i].outlays.raw(), b.ranked[i].outlays.raw());
+    EXPECT_EQ(a.ranked[i].weightedPenalties.raw(),
+              b.ranked[i].weightedPenalties.raw());
+    EXPECT_EQ(a.ranked[i].worstRecoveryTime.raw(),
+              b.ranked[i].worstRecoveryTime.raw());
+    EXPECT_EQ(a.ranked[i].worstDataLoss.raw(),
+              b.ranked[i].worstDataLoss.raw());
+  }
+  for (std::size_t i = 0; i < a.rejected.size(); ++i) {
+    EXPECT_EQ(a.rejected[i].label, b.rejected[i].label);
+    EXPECT_EQ(a.rejected[i].rejectionReason, b.rejected[i].rejectionReason);
+  }
+}
+
+TEST(PlanDeterminism, ColdGridSearchBitIdenticalAcrossThreadCounts) {
+  const auto candidates = opt::enumerateDesignSpace();
+  const auto scenarios = opt::caseStudyScenarios();
+  const stordep::WorkloadSpec workload = cs::celloWorkload();
+  const stordep::BusinessRequirements business = cs::requirements();
+
+  std::optional<opt::SearchResult> reference;
+  for (const int threads : {1, 2, 4, 8}) {
+    // A fresh engine per thread count: every sweep is fully cold.
+    Engine engine(EngineOptions{.threads = threads});
+    opt::SearchOptions options;
+    options.eng = &engine;
+    options.maxRetries = 0;
+    ASSERT_TRUE(options.usePlan);  // the cold fast path is the default
+    const opt::SearchResult result = opt::searchDesignSpace(
+        candidates, workload, business, scenarios, options);
+    EXPECT_EQ(result.evaluated, static_cast<int>(candidates.size()));
+    if (!reference) {
+      reference = result;
+      ASSERT_FALSE(reference->ranked.empty());
+    } else {
+      expectSameRanking(*reference, result, threads);
+    }
+  }
+}
+
+}  // namespace
