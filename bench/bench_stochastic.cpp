@@ -1,12 +1,23 @@
-// bench_stochastic — throughput and determinism gate for the Monte-Carlo
-// layer.
+// bench_stochastic — throughput, speedup and determinism gate for the
+// Monte-Carlo layer.
 //
-// Runs the same 10,000-trial conditional distribution and a 2,000-trial
-// mission-window (annualizedRisk) sample at 1 and 8 threads, reports
-// trials/sec for the perf trajectory (BENCH_stochastic.json), and fails if
-// the two thread counts disagree on a single bit of the result envelope —
-// the subsystem's core contract is that parallelism is a wall-time knob,
-// never a result knob.
+// Three modes of the same workload run back to back: the legacy per-trial
+// sampler (usePlan=false, 1 thread), the compiled TrialPlan serially, and
+// the TrialPlan fanned out over 8 threads. The bench hard-fails unless
+//
+//   * the serial plan runs the 10,000-trial conditional distribution at
+//     >= 5x the in-run legacy rate AND >= 5x the recorded seed baseline
+//     (kSeedLegacyConditionalTrialsPerSec) — the compile-once fast path
+//     must stay an order-of-magnitude win, not drift back to parity;
+//   * the 8-thread plan finishes the replay-heavy 2,000-trial mission
+//     sample in <= 1/4 of the serial legacy wall time, even on one core;
+//   * every mode agrees on every bit of the result envelope — parallelism
+//     and the plan are wall-time knobs, never result knobs.
+//
+// The mission workload overrides every device to a 30-day exponential
+// failure process (12-hour repairs) plus 2 site shocks/year, so trials are
+// replay-heavy (~40 events/year) rather than RNG-bound; that is the regime
+// the plan's precompiled scenario rows accelerate.
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -16,6 +27,7 @@
 
 #include "casestudy/casestudy.hpp"
 #include "config/json.hpp"
+#include "core/reliability.hpp"
 #include "report/report.hpp"
 #include "stochastic/evaluator.hpp"
 
@@ -29,13 +41,41 @@ using stordep::config::JsonObject;
 constexpr int kConditionalTrials = 10'000;
 constexpr int kMissionTrials = 2'000;
 
-st::StochasticOptions optionsFor(int threads) {
+// Legacy serial conditional throughput on the seed machine (trials/sec,
+// weekly vault F+I, array failure, 10k trials). The serial plan must beat
+// 5x this recorded floor as well as 5x the in-run legacy rate, so a
+// regression shows up even if the legacy loop slows down alongside it.
+constexpr double kSeedLegacyConditionalTrialsPerSec = 574771.0;
+constexpr double kConditionalSpeedupFloor = 5.0;
+// The 8-thread plan must finish the mission sample in <= wall/this of the
+// serial legacy loop.
+constexpr double kMissionSpeedupFloor = 4.0;
+
+st::StochasticOptions optionsFor(int threads, bool usePlan) {
   st::StochasticOptions opts;
   opts.trials = kConditionalTrials;
   opts.seed = 7;
   opts.threads = threads;
+  opts.usePlan = usePlan;
   opts.sim.horizon = stordep::days(250);
   return opts;
+}
+
+/// Replay-heavy mission reliability: every storage device fails every ~30
+/// days and repairs in ~12 hours, plus correlated site shocks.
+stordep::ReliabilitySpec missionReliability(const stordep::StorageDesign&
+                                                design) {
+  stordep::ReliabilitySpec spec;
+  spec.siteShockAnnualRate = 2.0;
+  for (const auto& [device, rel] : resolveReliability(design, spec)) {
+    stordep::DeviceReliability heavy;
+    heavy.failure = {stordep::ProcessKind::kExponential, stordep::days(30),
+                     1.0};
+    heavy.repair = {stordep::ProcessKind::kExponential, stordep::hours(12),
+                    1.0};
+    spec.devices[device->name()] = heavy;
+  }
+  return spec;
 }
 
 bool identical(double a, double b) {
@@ -53,6 +93,8 @@ bool identical(const st::Distribution& a, const st::Distribution& b) {
 
 bool identical(const st::ScenarioDistribution& a,
                const st::ScenarioDistribution& b) {
+  // Field-by-field on the deterministic envelope; the wallSeconds /
+  // trialsPerSec / usedPlan trio varies by construction and is excluded.
   return a.trials == b.trials && a.unrecoverable == b.unrecoverable &&
          identical(a.rt, b.rt) && identical(a.dl, b.dl) &&
          identical(a.penalty, b.penalty) &&
@@ -76,19 +118,17 @@ bool identical(const st::AnnualizedRisk& a, const st::AnnualizedRisk& b) {
          identical(a.annualPenalty, b.annualPenalty);
 }
 
-struct Timed {
-  double seconds = 0;
+struct Mode {
+  const char* label;
+  int threads;
+  bool usePlan;
 };
 
-template <typename F>
-auto timed(Timed& t, F&& f) {
-  const auto begin = std::chrono::steady_clock::now();
-  auto result = f();
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - begin;
-  t.seconds = wall.count();
-  return result;
-}
+constexpr Mode kModes[] = {
+    {"legacy", 1, false},
+    {"plan", 1, true},
+    {"plan", 8, true},
+};
 
 }  // namespace
 
@@ -100,8 +140,9 @@ int main() {
   const stordep::StorageDesign design = cs::weeklyVaultFullPlusIncremental();
   const stordep::FailureScenario scenario = cs::arrayFailure();
 
-  TextTable table({"Mode", "Threads", "Trials", "Wall (s)", "Trials/sec"});
-  for (size_t c = 1; c < 5; ++c) table.align(c, Align::kRight);
+  TextTable table({"Phase", "Mode", "Threads", "Trials", "Wall (s)",
+                   "Trials/sec"});
+  for (size_t c = 2; c < 6; ++c) table.align(c, Align::kRight);
   table.title("Monte-Carlo throughput (weekly vault F+I, array failure)");
 
   bool ok = true;
@@ -110,70 +151,108 @@ int main() {
   doc.set("conditionalTrials",
           Json(static_cast<std::int64_t>(kConditionalTrials)));
   doc.set("missionTrials", Json(static_cast<std::int64_t>(kMissionTrials)));
+  doc.set("seedLegacyConditionalTrialsPerSec",
+          Json(kSeedLegacyConditionalTrialsPerSec));
 
-  // --- Conditional distribution at 1 and 8 threads -----------------------
-  st::ScenarioDistribution conditional[2];
-  double condRate[2] = {0, 0};
-  for (int i = 0; i < 2; ++i) {
-    const int threads = i == 0 ? 1 : 8;
-    const st::StochasticEvaluator eval(design, optionsFor(threads));
-    Timed t;
-    const auto outcome = timed(t, [&] { return eval.distributionFor(scenario); });
+  // --- Conditional distribution: legacy, plan serial, plan 8T ------------
+  st::ScenarioDistribution conditional[3];
+  double condRate[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    const Mode& mode = kModes[i];
+    const st::StochasticEvaluator eval(design,
+                                       optionsFor(mode.threads, mode.usePlan));
+    const auto outcome = eval.distributionFor(scenario);
     if (!outcome.ok()) {
       std::cerr << "FAIL: conditional evaluation errored: "
                 << outcome.error().describe() << "\n";
       return 1;
     }
     conditional[i] = outcome.value();
-    condRate[i] = kConditionalTrials / t.seconds;
-    table.addRow({"conditional", std::to_string(threads),
-                  std::to_string(kConditionalTrials), fixed(t.seconds, 3),
+    // The envelope's own timing covers exactly the trial loop (the part the
+    // plan compiles away), not the shared quantile post-pass.
+    condRate[i] = conditional[i].trialsPerSec;
+    table.addRow({"conditional", mode.label, std::to_string(mode.threads),
+                  std::to_string(kConditionalTrials),
+                  fixed(conditional[i].wallSeconds, 3),
                   fixed(condRate[i], 0)});
   }
-  if (!identical(conditional[0], conditional[1])) {
-    std::cerr << "FAIL: conditional envelope differs between 1 and 8 "
-                 "threads (determinism contract broken)\n";
+  if (!identical(conditional[0], conditional[1]) ||
+      !identical(conditional[1], conditional[2])) {
+    std::cerr << "FAIL: conditional envelope differs across modes "
+                 "(plan-vs-legacy / thread-count determinism broken)\n";
+    ok = false;
+  }
+  const double condSpeedup = condRate[1] / condRate[0];
+  if (condSpeedup < kConditionalSpeedupFloor) {
+    std::cerr << "FAIL: serial plan conditional speedup " << condSpeedup
+              << "x < required " << kConditionalSpeedupFloor
+              << "x over the in-run legacy loop\n";
+    ok = false;
+  }
+  if (condRate[1] <
+      kConditionalSpeedupFloor * kSeedLegacyConditionalTrialsPerSec) {
+    std::cerr << "FAIL: serial plan conditional rate " << condRate[1]
+              << " trials/s < required "
+              << kConditionalSpeedupFloor * kSeedLegacyConditionalTrialsPerSec
+              << " (5x the recorded seed-machine legacy baseline)\n";
     ok = false;
   }
 
-  // --- Mission-window sample at 1 and 8 threads --------------------------
-  st::AnnualizedRisk mission[2];
-  double missionRate[2] = {0, 0};
-  for (int i = 0; i < 2; ++i) {
-    const int threads = i == 0 ? 1 : 8;
-    st::StochasticOptions opts = optionsFor(threads);
+  // --- Mission-window sample: replay-heavy reliability --------------------
+  const stordep::ReliabilitySpec heavy = missionReliability(design);
+  st::AnnualizedRisk mission[3];
+  double missionWall[3] = {0, 0, 0};
+  double missionRate[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    const Mode& mode = kModes[i];
+    st::StochasticOptions opts = optionsFor(mode.threads, mode.usePlan);
     opts.trials = kMissionTrials;
-    // Class-default processes plus a site-shock rate, so the bench also
-    // exercises the correlated-failure path.
-    opts.reliability.siteShockAnnualRate = 0.1;
+    opts.reliability = heavy;
     const st::StochasticEvaluator eval(design, opts);
-    Timed t;
-    const auto outcome = timed(t, [&] { return eval.annualizedRisk(); });
+    const auto outcome = eval.annualizedRisk();
     if (!outcome.ok()) {
       std::cerr << "FAIL: mission-window evaluation errored: "
                 << outcome.error().describe() << "\n";
       return 1;
     }
     mission[i] = outcome.value();
-    missionRate[i] = kMissionTrials / t.seconds;
-    table.addRow({"mission", std::to_string(threads),
-                  std::to_string(kMissionTrials), fixed(t.seconds, 3),
+    missionWall[i] = mission[i].wallSeconds;
+    missionRate[i] = mission[i].trialsPerSec;
+    table.addRow({"mission", mode.label, std::to_string(mode.threads),
+                  std::to_string(kMissionTrials), fixed(missionWall[i], 3),
                   fixed(missionRate[i], 0)});
   }
-  if (!identical(mission[0], mission[1])) {
-    std::cerr << "FAIL: annualized-risk envelope differs between 1 and 8 "
-                 "threads (determinism contract broken)\n";
+  if (!identical(mission[0], mission[1]) ||
+      !identical(mission[1], mission[2])) {
+    std::cerr << "FAIL: annualized-risk envelope differs across modes "
+                 "(plan-vs-legacy / thread-count determinism broken)\n";
+    ok = false;
+  }
+  const double missionSpeedup = missionWall[0] / missionWall[2];
+  if (missionSpeedup < kMissionSpeedupFloor) {
+    std::cerr << "FAIL: 8-thread plan mission wall " << missionWall[2]
+              << " s is only " << missionSpeedup << "x faster than the "
+              << "serial legacy wall " << missionWall[0] << " s (need "
+              << kMissionSpeedupFloor << "x)\n";
     ok = false;
   }
 
   std::cout << table.render();
-  std::cout << "\n1-vs-8-thread results bit-identical: " << (ok ? "yes" : "NO")
-            << "\n";
+  std::cout << "\nconditional plan speedup (serial, in-run): "
+            << fixed(condSpeedup, 1)
+            << "x\nmission plan-8T speedup over legacy serial: "
+            << fixed(missionSpeedup, 1)
+            << "x\nall modes bit-identical and gates met: "
+            << (ok ? "yes" : "NO") << "\n";
 
-  doc.set("conditionalTrialsPerSec1T", Json(condRate[0]));
-  doc.set("conditionalTrialsPerSec8T", Json(condRate[1]));
-  doc.set("missionTrialsPerSec1T", Json(missionRate[0]));
-  doc.set("missionTrialsPerSec8T", Json(missionRate[1]));
+  doc.set("conditionalLegacyTrialsPerSec1T", Json(condRate[0]));
+  doc.set("conditionalTrialsPerSec1T", Json(condRate[1]));
+  doc.set("conditionalTrialsPerSec8T", Json(condRate[2]));
+  doc.set("conditionalPlanSpeedup", Json(condSpeedup));
+  doc.set("missionLegacyTrialsPerSec1T", Json(missionRate[0]));
+  doc.set("missionTrialsPerSec1T", Json(missionRate[1]));
+  doc.set("missionTrialsPerSec8T", Json(missionRate[2]));
+  doc.set("missionPlan8TSpeedup", Json(missionSpeedup));
   doc.set("eventsPerYear", Json(mission[0].eventsPerYear));
   doc.set("deterministic", Json(ok));
   doc.set("ok", Json(ok));

@@ -42,7 +42,8 @@ int usage() {
          "  stordep_eval --dump-baseline <out.json>\n"
          "  stordep_eval <design.json> (object [age] [size] | array [device]"
          " | site [site] | <scenario.json>) [--markdown|--json]"
-         " [--stochastic <trials>] [--seed <seed>]\n"
+         " [--stochastic <trials>] [--seed <seed>]"
+         " [--stochastic-plan|--no-stochastic-plan]\n"
          "  stordep_eval <design.json> --risk\n";
   return 2;
 }
@@ -112,6 +113,7 @@ int main(int argc, char** argv) {
     bool json = false;
     int stochasticTrials = 0;
     std::uint64_t stochasticSeed = 1;
+    bool stochasticPlan = true;
     while (argc >= 3) {
       const std::string last = argv[argc - 1];
       if (last == "--markdown") {
@@ -119,6 +121,12 @@ int main(int argc, char** argv) {
         --argc;
       } else if (last == "--json") {
         json = true;
+        --argc;
+      } else if (last == "--stochastic-plan") {
+        stochasticPlan = true;
+        --argc;
+      } else if (last == "--no-stochastic-plan") {
+        stochasticPlan = false;
         --argc;
       } else if (argc >= 4 && std::string(argv[argc - 2]) == "--stochastic") {
         stochasticTrials = std::stoi(last);
@@ -173,6 +181,7 @@ int main(int argc, char** argv) {
     if (stochasticTrials > 0) {
       stochasticReq.trials = stochasticTrials;
       stochasticReq.seed = stochasticSeed;
+      stochasticReq.usePlan = stochasticPlan;
       if (const auto reliability = stordep::config::reliabilityFromDesignJson(
               stordep::config::Json::parse(slurp(first)))) {
         stochasticReq.reliability = *reliability;
@@ -198,6 +207,7 @@ int main(int argc, char** argv) {
         sopt.trials = stochasticReq.trials;
         sopt.seed = stochasticReq.seed;
         sopt.reliability = stochasticReq.reliability;
+        sopt.usePlan = stochasticReq.usePlan;
         const stordep::stochastic::StochasticEvaluator sampler(design, sopt);
         const auto sampled = sampler.distributionFor(scenario);
         if (!sampled.ok()) {
@@ -229,7 +239,11 @@ int main(int argc, char** argv) {
                   << " (95% CI), worst-case "
                   << toString(dist.worstCasePenalty) << "\n"
                   << "  unrecoverable trials: " << dist.unrecoverable << "/"
-                  << dist.trials << "\n";
+                  << dist.trials << "\n"
+                  << "  throughput: " << fixed(dist.trialsPerSec, 0)
+                  << " trials/s ("
+                  << (dist.usedPlan ? "compiled plan" : "legacy loop")
+                  << ")\n";
       }
     }
     return result.recovery.recoverable && result.utilization.feasible() ? 0

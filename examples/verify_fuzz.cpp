@@ -7,7 +7,8 @@
 //
 // Usage:
 //   verify_fuzz [--seed N] [--cases N] [--no-minimize] [--max-failures N]
-//               [--sim-every N] [--stochastic-every N] [--search-every N]
+//               [--sim-every N] [--stochastic-every N]
+//               [--stochastic-plan-every N] [--search-every N]
 //               [--plan-every N] [--io-every N] [--replay INDEX] [--out FILE]
 //               [--list-relations] [--server N]
 //
@@ -48,6 +49,9 @@ void usage() {
          "  --sim-every N     simulation oracle cadence (default 20, 0 = off)\n"
          "  --stochastic-every N\n"
          "                    stochastic-bound oracle cadence (default 25)\n"
+         "  --stochastic-plan-every N\n"
+         "                    stochastic-plan oracle cadence (compiled\n"
+         "                    TrialPlan vs legacy trial loop, default 25)\n"
          "  --search-every N  search-parity oracle cadence (default 200)\n"
          "  --plan-every N    plan-vs-legacy oracle cadence (default 1)\n"
          "  --io-every N      round-trip/mutation oracle cadence (default 1)\n"
@@ -165,6 +169,9 @@ int main(int argc, char** argv) {
       options.simEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--stochastic-every") {
       options.stochasticEvery =
+          static_cast<int>(parseIntArg(argc, argv, i, arg));
+    } else if (arg == "--stochastic-plan-every") {
+      options.stochasticPlanEvery =
           static_cast<int>(parseIntArg(argc, argv, i, arg));
     } else if (arg == "--search-every") {
       options.searchEvery = static_cast<int>(parseIntArg(argc, argv, i, arg));

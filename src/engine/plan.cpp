@@ -245,6 +245,150 @@ Bandwidth EvalPlan::availableBw(std::int32_t devIdx, Bytes payload, bool fresh,
   return base - demands;
 }
 
+std::vector<char> EvalPlan::destroyedLevels(
+    const FailureScenario& scenario) const {
+  std::vector<char> out(levels_.size(), 0);
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    bool all = true;
+    for (std::uint32_t s = levels_[i].storageBegin; s < levels_[i].storageEnd;
+         ++s) {
+      const DeviceRow& row = devices_[storageIdx_[s]];
+      if (!scenario.destroys(row.name, row.location)) {
+        all = false;
+        break;
+      }
+    }
+    out[i] = all ? 1 : 0;
+  }
+  return out;
+}
+
+EvalPlan::ResolvedRecovery EvalPlan::resolveRecovery(
+    const FailureScenario& scenario, int sourceLevel) const {
+  ResolvedRecovery out;
+  if (sourceLevel <= 0 || sourceLevel >= levelCount()) return out;
+  const LevelRow& src = levels_[static_cast<std::size_t>(sourceLevel)];
+  if (src.legBegin == src.legEnd) return out;
+  out.hasLegs = true;
+
+  const std::size_t nDev = devices_.size();
+  std::vector<char> devDestroyed(nDev, 0);
+  for (std::size_t i = 0; i < nDev; ++i) {
+    devDestroyed[i] =
+        scenario.destroys(devices_[i].name, devices_[i].location) ? 1 : 0;
+  }
+  const std::vector<char> lvlDestroyed = destroyedLevels(scenario);
+
+  // The demand half of availableBandwidth(), in the legacy fold order.
+  const auto demandFold = [&](std::int32_t devIdx) {
+    const DeviceRow& row = devices_[static_cast<std::size_t>(devIdx)];
+    Bandwidth demands = Bandwidth::zero();
+    for (std::uint32_t c = row.contribBegin; c < row.contribEnd; ++c) {
+      const std::int32_t lvl = contribLevel_[c];
+      if (lvlDestroyed[static_cast<std::size_t>(lvl)]) continue;
+      if (lvl > 0 && lvlDestroyed[static_cast<std::size_t>(lvl - 1)]) continue;
+      demands += contribBandwidth_[c];
+    }
+    return demands;
+  };
+
+  // resolveNode (recovery.cpp), minus the diagnostics.
+  struct Resolved {
+    const Location* loc;
+    Duration parFix;
+    bool fresh;
+    bool viable;
+  };
+  const auto resolve = [&](std::int32_t idx) -> Resolved {
+    const DeviceRow& row = devices_[static_cast<std::size_t>(idx)];
+    if (!devDestroyed[static_cast<std::size_t>(idx)]) {
+      return {&row.location, Duration::zero(), false, true};
+    }
+    if (scenario.scope == FailureScope::kArray && row.hasSpare) {
+      return {&row.location, row.spareProvisioningTime, true, true};
+    }
+    if (hasFacility_ && !scenario.destroys(kNoDeviceName, facilityLocation_)) {
+      return {&facilityLocation_, facilityProvisioningTime_, true, true};
+    }
+    return {&row.location, Duration::zero(), false, false};
+  };
+
+  out.legs.reserve(src.legEnd - src.legBegin);
+  for (std::uint32_t l = src.legBegin; l < src.legEnd; ++l) {
+    const LegRow& leg = legs_[l];
+    const Resolved from = resolve(leg.from);
+    const Resolved to = resolve(leg.to);
+    if (!from.viable || !to.viable) {
+      // recoverFrom() returns unrecoverable at the first unviable leg; the
+      // legs after it are never walked.
+      out.pathLost = true;
+      break;
+    }
+    ResolvedLeg r;
+    r.from = devices_[static_cast<std::size_t>(leg.from)].device.get();
+    r.to = devices_[static_cast<std::size_t>(leg.to)].device.get();
+    const bool resolvedSameSite = from.loc->site == to.loc->site;
+    const bool useVia =
+        leg.via >= 0 && !(leg.originallyCrossSite && resolvedSameSite);
+    r.physical = useVia && leg.viaPhysical;
+    r.transit = useVia ? leg.viaTransit : Duration::zero();
+    r.serFix = r.physical ? Duration::zero() : leg.serializedFix;
+    r.fromFresh = from.fresh;
+    r.toFresh = to.fresh;
+    r.fromParFix = from.parFix;
+    r.toParFix = to.parFix;
+    if (!r.physical) {
+      if (!from.fresh) r.fromDemands = demandFold(leg.from);
+      if (useVia) {
+        r.via = devices_[static_cast<std::size_t>(leg.via)].device.get();
+        r.viaDemands = demandFold(leg.via);
+      }
+      if (!to.fresh) r.toDemands = demandFold(leg.to);
+    }
+    out.legs.push_back(r);
+  }
+  return out;
+}
+
+Duration EvalPlan::runResolvedLegs(const ResolvedRecovery& path,
+                                   Bytes payload) {
+  if (path.pathLost || !path.hasLegs) return Duration::infinite();
+  // availableBandwidth() with the demand fold precomputed: same subtraction,
+  // same saturation comparison, same operand order.
+  const auto remainingBw = [&](const DeviceModel& device, bool fresh,
+                               Bandwidth demands) {
+    const Bandwidth base = device.transferBandwidth(payload);
+    if (fresh) return base;
+    if (demands >= base) return Bandwidth::zero();
+    return base - demands;
+  };
+  Duration clock = Duration::zero();
+  for (const ResolvedLeg& leg : path.legs) {
+    const Duration sendReady = std::max(clock, leg.fromParFix);
+    Duration drainTime = Duration::zero();
+    Duration applyTime = Duration::zero();
+    if (!leg.physical) {
+      Bandwidth drainRate = remainingBw(*leg.from, leg.fromFresh,
+                                        leg.fromDemands);
+      if (leg.via != nullptr) {
+        drainRate =
+            std::min(drainRate, remainingBw(*leg.via, false, leg.viaDemands));
+      }
+      drainTime = drainRate.bytesPerSec() > 0 ? payload / drainRate
+                                              : Duration::infinite();
+      const Bandwidth destRate = remainingBw(*leg.to, leg.toFresh,
+                                             leg.toDemands);
+      applyTime = destRate.bytesPerSec() > 0 ? payload / destRate
+                                             : Duration::infinite();
+    }
+    const Duration drainDone = sendReady + leg.transit + leg.serFix + drainTime;
+    const Duration ready = std::max(drainDone, leg.toParFix) + applyTime;
+    clock = ready;
+    if (!clock.isFinite()) break;
+  }
+  return clock;
+}
+
 EvaluationMetrics EvalPlan::evaluate(const FailureScenario& scenario,
                                      BumpArena& arena) const {
   BumpArena::Frame frame(arena);

@@ -88,6 +88,61 @@ class EvalPlan {
     return static_cast<int>(levels_.size());
   }
 
+  // ---- Stochastic trial-plan support ---------------------------------
+  // The Monte-Carlo layer (stochastic::TrialPlan) replays recoverFrom() at
+  // thousands of sampled failure instants per scenario. Everything in that
+  // walk except the payload is a pure function of the scenario: endpoint
+  // resolution (spare / facility / unviable), via/transit decisions, and
+  // the normal-mode demand folds. resolveRecovery() computes those once per
+  // (scenario, source level); runResolvedLegs() replays only the
+  // payload-dependent arithmetic — the same FP expressions recoverFrom()
+  // evaluates, in the same order, so recovery times stay bit-identical.
+
+  /// One restore leg with its scenario-dependent parts resolved. Device
+  /// pointers are kept only for transferBandwidth() (payload-dependent
+  /// virtual); the plan's DeviceRow owns them.
+  struct ResolvedLeg {
+    const DeviceModel* from = nullptr;
+    const DeviceModel* to = nullptr;
+    /// Transport to drain through; null when the leg resolved same-site or
+    /// ships physically (no bandwidth term either way).
+    const DeviceModel* via = nullptr;
+    bool physical = false;  ///< courier: one transit, no drain/apply
+    bool fromFresh = false;
+    bool toFresh = false;
+    Duration transit = Duration::zero();
+    Duration serFix = Duration::zero();
+    Duration fromParFix = Duration::zero();
+    Duration toParFix = Duration::zero();
+    /// availableBandwidth()'s demand subtrahends under this scenario's
+    /// destroyed-level mask (payload-independent).
+    Bandwidth fromDemands = Bandwidth::zero();
+    Bandwidth viaDemands = Bandwidth::zero();
+    Bandwidth toDemands = Bandwidth::zero();
+  };
+
+  struct ResolvedRecovery {
+    /// Some endpoint is destroyed with no spare or facility: the walk is
+    /// unrecoverable regardless of payload (legs stop at the lost one).
+    bool pathLost = false;
+    /// False mirrors "source level has no restore path": unrecoverable.
+    bool hasLegs = false;
+    std::vector<ResolvedLeg> legs;
+  };
+
+  /// Resolves `sourceLevel`'s restore path under `scenario`.
+  [[nodiscard]] ResolvedRecovery resolveRecovery(const FailureScenario& scenario,
+                                                 int sourceLevel) const;
+
+  /// levelDestroyed(design, level, scenario) for every level.
+  [[nodiscard]] std::vector<char> destroyedLevels(
+      const FailureScenario& scenario) const;
+
+  /// recoverFrom()'s drain/apply clock over a resolved path. Infinite when
+  /// the path cannot stream the payload (or pathLost).
+  [[nodiscard]] static Duration runResolvedLegs(const ResolvedRecovery& path,
+                                                Bytes payload);
+
  private:
   EvalPlan() = default;
 

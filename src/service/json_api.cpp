@@ -163,22 +163,36 @@ Json stochasticToJson(const stochastic::ScenarioDistribution& dist) {
   out.set("rtTightness", encodeReal(dist.rtTightness));
   out.set("expectedPenaltyUsd", encodeReal(dist.expectedPenalty.usd()));
   out.set("worstCasePenaltyUsd", encodeReal(dist.worstCasePenalty.usd()));
+  // Run-varying throughput facts, isolated so the rest of the document
+  // stays byte-comparable across runs (offline-vs-served smoke strips it).
+  Json perf{JsonObject{}};
+  perf.set("trialsPerSec", encodeReal(dist.trialsPerSec));
+  perf.set("wallSeconds", encodeReal(dist.wallSeconds));
+  perf.set("plan", Json(dist.usedPlan));
+  out.set("perf", perf);
   return out;
 }
 
 Json stochasticEnvelope(const StorageDesign& design,
                         const FailureScenario& scenario,
-                        const StochasticRequest& spec) {
+                        const StochasticRequest& spec,
+                        StochasticRunStats* stats) {
   try {
     stochastic::StochasticOptions options;
     options.trials = spec.trials;
     options.seed = spec.seed;
     options.threads = 1;  // already on an engine worker; stay deterministic
     options.reliability = spec.reliability;
+    options.usePlan = spec.usePlan;
     const stochastic::StochasticEvaluator evaluator(design, options);
     const engine::Expected<stochastic::ScenarioDistribution> outcome =
         evaluator.distributionFor(scenario);
     if (!outcome.ok()) return evalErrorToJson(outcome.error());
+    if (stats != nullptr) {
+      stats->trials = outcome.value().trials;
+      stats->wallSeconds = outcome.value().wallSeconds;
+      stats->usedPlan = outcome.value().usedPlan;
+    }
     return stochasticToJson(outcome.value());
   } catch (...) {
     return evalErrorToJson(engine::errorFromCurrentException());
@@ -257,6 +271,12 @@ constexpr int kMaxStochasticTrials = 65'536;
             "\"stochastic.seed\" must be a number >= 0");
       }
       spec.seed = static_cast<std::uint64_t>(seed->asNumber());
+    }
+    if (const Json* plan = stochastic->find("plan")) {
+      if (!plan->isBool()) {
+        throw config::DesignIoError("\"stochastic.plan\" must be a boolean");
+      }
+      spec.usePlan = plan->asBool();
     }
     if (const auto reliability = config::reliabilityFromDesignJson(*design)) {
       spec.reliability = *reliability;

@@ -54,10 +54,23 @@ struct StochasticRequest {
   int trials = 0;
   std::uint64_t seed = 1;
   ReliabilitySpec reliability;
+  /// Route trials through the compiled TrialPlan (bit-identical results;
+  /// legacy loop on false — `stordep_eval --no-stochastic-plan`).
+  bool usePlan = true;
+};
+
+/// Throughput facts from one stochastic run, reported to ServiceMetrics so
+/// served Monte-Carlo load shows up in /metrics interval stats.
+struct StochasticRunStats {
+  int trials = 0;
+  double wallSeconds = 0.0;
+  bool usedPlan = false;
 };
 
 /// Serialized ScenarioDistribution (distribution summaries use the same
-/// non-finite string encoding as the rest of the envelope).
+/// non-finite string encoding as the rest of the envelope). The run-varying
+/// throughput fields live under a "perf" subobject so the deterministic
+/// remainder of the document stays byte-comparable across runs.
 [[nodiscard]] config::Json stochasticToJson(
     const stochastic::ScenarioDistribution& dist);
 
@@ -65,10 +78,13 @@ struct StochasticRequest {
 /// value of the response's "stochastic" key: the serialized distribution on
 /// success, {"error": {...}} on failure. Shared by the server and
 /// `stordep_eval --json --stochastic` so offline and served documents stay
-/// bit-identical.
+/// bit-identical (modulo the "perf" subobject). `stats`, when non-null, is
+/// filled on success for the server's /metrics accounting.
 [[nodiscard]] config::Json stochasticEnvelope(const StorageDesign& design,
                                               const FailureScenario& scenario,
-                                              const StochasticRequest& spec);
+                                              const StochasticRequest& spec,
+                                              StochasticRunStats* stats =
+                                                  nullptr);
 
 // ---- Error mapping ---------------------------------------------------------
 

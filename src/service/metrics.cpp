@@ -181,8 +181,19 @@ config::Json ServiceMetrics::snapshot(engine::Engine& engine) {
   // Caches and fingerprint counters: lifetime totals plus the interval since
   // the previous scrape (snapshot diff / read-and-reset).
   const engine::EvalCache::Stats cacheNow = engine.cache().stats();
+  const std::uint64_t stRuns = stochasticRuns.load(std::memory_order_relaxed);
+  const std::uint64_t stPlanRuns =
+      stochasticPlanRuns.load(std::memory_order_relaxed);
+  const std::uint64_t stTrials =
+      stochasticTrials.load(std::memory_order_relaxed);
+  const std::uint64_t stWallNanos =
+      stochasticWallNanos.load(std::memory_order_relaxed);
   double intervalSeconds = 0.0;
   engine::EvalCache::Stats cacheInterval;
+  std::uint64_t stRunsDelta = 0;
+  std::uint64_t stPlanRunsDelta = 0;
+  std::uint64_t stTrialsDelta = 0;
+  std::uint64_t stWallNanosDelta = 0;
   {
     std::lock_guard<std::mutex> lock(intervalMu_);
     cacheInterval = cacheNow.delta(scraped_ ? lastCacheStats_
@@ -191,11 +202,46 @@ config::Json ServiceMetrics::snapshot(engine::Engine& engine) {
         scraped_
             ? std::chrono::duration<double>(now - lastScrape_).count()
             : std::chrono::duration<double>(now - start_).count();
+    stRunsDelta = stRuns - (scraped_ ? lastStochasticRuns_ : 0);
+    stPlanRunsDelta = stPlanRuns - (scraped_ ? lastStochasticPlanRuns_ : 0);
+    stTrialsDelta = stTrials - (scraped_ ? lastStochasticTrials_ : 0);
+    stWallNanosDelta =
+        stWallNanos - (scraped_ ? lastStochasticWallNanos_ : 0);
     lastCacheStats_ = cacheNow;
+    lastStochasticRuns_ = stRuns;
+    lastStochasticPlanRuns_ = stPlanRuns;
+    lastStochasticTrials_ = stTrials;
+    lastStochasticWallNanos_ = stWallNanos;
     lastScrape_ = now;
     scraped_ = true;
   }
   out.set("intervalSeconds", Json(intervalSeconds));
+
+  // Monte-Carlo throughput: trialsPerSec divides trials by the wall time
+  // spent inside runTrials (not the scrape interval), so it reflects sampler
+  // speed rather than request arrival rate.
+  const auto stochasticJson = [](std::uint64_t runs, std::uint64_t planRuns,
+                                 std::uint64_t trials,
+                                 std::uint64_t wallNanos) {
+    Json section{JsonObject{}};
+    section.set("runs", Json(static_cast<double>(runs)));
+    section.set("planRuns", Json(static_cast<double>(planRuns)));
+    section.set("trials", Json(static_cast<double>(trials)));
+    const double wallSeconds = static_cast<double>(wallNanos) / 1e9;
+    section.set("wallSeconds", Json(wallSeconds));
+    section.set("trialsPerSec",
+                Json(wallSeconds > 0.0
+                         ? static_cast<double>(trials) / wallSeconds
+                         : 0.0));
+    return section;
+  };
+  Json stochasticOut{JsonObject{}};
+  stochasticOut.set("lifetime",
+                    stochasticJson(stRuns, stPlanRuns, stTrials, stWallNanos));
+  stochasticOut.set("interval",
+                    stochasticJson(stRunsDelta, stPlanRunsDelta, stTrialsDelta,
+                                   stWallNanosDelta));
+  out.set("stochastic", stochasticOut);
 
   Json cache{JsonObject{}};
   cache.set("lifetime", cacheStatsJson(cacheNow));

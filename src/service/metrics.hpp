@@ -106,6 +106,25 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> shedCold{0};        ///< cold requests 503'd
   std::atomic<std::uint64_t> searchPeerDisconnects{0};
 
+  // Monte-Carlo load: runs/trials served and the wall time spent inside
+  // runTrials, split by whether the compiled TrialPlan path was taken.
+  // snapshot() derives interval trials/sec from the deltas.
+  std::atomic<std::uint64_t> stochasticRuns{0};
+  std::atomic<std::uint64_t> stochasticPlanRuns{0};
+  std::atomic<std::uint64_t> stochasticTrials{0};
+  std::atomic<std::uint64_t> stochasticWallNanos{0};
+
+  void recordStochastic(int trials, double wallSeconds,
+                        bool usedPlan) noexcept {
+    stochasticRuns.fetch_add(1, std::memory_order_relaxed);
+    if (usedPlan) stochasticPlanRuns.fetch_add(1, std::memory_order_relaxed);
+    stochasticTrials.fetch_add(static_cast<std::uint64_t>(trials),
+                               std::memory_order_relaxed);
+    stochasticWallNanos.fetch_add(
+        static_cast<std::uint64_t>(wallSeconds * 1e9),
+        std::memory_order_relaxed);
+  }
+
   /// The full /metrics document. Takes the engine to snapshot its caches;
   /// thread-safe (interval bookkeeping is mutex-guarded, everything else is
   /// atomics).
@@ -116,6 +135,10 @@ class ServiceMetrics {
   std::mutex intervalMu_;
   std::chrono::steady_clock::time_point lastScrape_{};
   engine::EvalCache::Stats lastCacheStats_{};
+  std::uint64_t lastStochasticRuns_ = 0;
+  std::uint64_t lastStochasticPlanRuns_ = 0;
+  std::uint64_t lastStochasticTrials_ = 0;
+  std::uint64_t lastStochasticWallNanos_ = 0;
   bool scraped_ = false;
 };
 

@@ -577,10 +577,15 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
                          "unavailable",
                          "stochastic envelopes shed under brown-out"));
           } else {
+            StochasticRunStats runStats;
             body.set("stochastic",
                      stochasticEnvelope(*(*items)[0].design,
                                         (*items)[0].scenario,
-                                        *(*items)[0].stochastic));
+                                        *(*items)[0].stochastic, &runStats));
+            if (runStats.trials > 0) {
+              metrics_.recordStochastic(runStats.trials, runStats.wallSeconds,
+                                        runStats.usedPlan);
+            }
           }
         }
         response.body = body.dump();
@@ -609,10 +614,17 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
                             "unavailable",
                             "stochastic envelopes shed under brown-out"));
             } else {
+              StochasticRunStats runStats;
               entry.set("stochastic",
                         stochasticEnvelope(*(*items)[i].design,
                                            (*items)[i].scenario,
-                                           *(*items)[i].stochastic));
+                                           *(*items)[i].stochastic,
+                                           &runStats));
+              if (runStats.trials > 0) {
+                metrics_.recordStochastic(runStats.trials,
+                                          runStats.wallSeconds,
+                                          runStats.usedPlan);
+              }
             }
           }
           results.push_back(std::move(entry));

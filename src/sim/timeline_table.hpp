@@ -1,0 +1,110 @@
+// timeline_table.hpp — flattened, query-optimized view of simulated RP
+// timelines.
+//
+// RecoverySimulator and RpLifecycleSimulator answer "which RP serves a
+// failure at instant t" by walking vectors of SimRp structs; the per-entry
+// base-full search (visibleBaseFull) is a linear scan from the beginning of
+// the timeline. That is fine for one-off queries but dominates Monte-Carlo
+// trial loops, which ask the same questions at thousands of sampled
+// instants. A TimelineTable flattens a *run* simulator once into
+// struct-of-arrays columns (dataTime / arrivalTime / evictTime / isFull)
+// plus a per-entry index of the last full at-or-before each entry's data
+// time, so every query is a binary search plus a short back-walk over
+// contiguous doubles.
+//
+// Bit-identity contract: bestVisible / bestUsable / baseFullDataTime mirror
+// RpLifecycleSimulator::bestVisibleRp, RecoverySimulator::bestUsableRp and
+// RecoverySimulator::visibleBaseFull branch for branch over the same
+// double-precision values, so stochastic::TrialPlan's trial kernel returns
+// exactly what the legacy loop returns. The asymmetry between the two
+// walks is load-bearing: bestVisible STOPS at the first evicted entry
+// (everything older is retired too), while the chained-backup walk in
+// bestUsable CONTINUES past evicted or not-yet-arrived entries looking for
+// a restorable one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/rp_simulator.hpp"
+
+namespace stordep::sim {
+
+class TimelineTable {
+ public:
+  /// Flattens `simulator`'s timelines. The simulator must have been run();
+  /// the table copies everything it needs and does not keep a reference.
+  explicit TimelineTable(const RpLifecycleSimulator& simulator);
+
+  /// One query answer: the serving RP's data time and representation.
+  /// `entry` indexes the level's timeline (-1 for the synthetic RP a
+  /// continuous mirror level serves analytically).
+  struct Hit {
+    double dataTime = 0;
+    bool isFull = true;
+    std::int32_t entry = -1;
+  };
+
+  /// Mirror of RpLifecycleSimulator::bestVisibleRp.
+  [[nodiscard]] std::optional<Hit> bestVisible(int level, double failTime,
+                                               double targetTime) const;
+
+  /// Mirror of RecoverySimulator::bestUsableRp (skips incrementals whose
+  /// base full is not restorable at `failTime`).
+  [[nodiscard]] std::optional<Hit> bestUsable(int level, double failTime,
+                                              double targetTime) const;
+
+  /// Mirror of RecoverySimulator::visibleBaseFull for the entry `hit` of
+  /// `level`: the data time of the base full it chains from, or nullopt
+  /// when no visible full in the same cycle exists.
+  [[nodiscard]] std::optional<double> baseFullDataTime(int level,
+                                                       const Hit& hit,
+                                                       double failTime) const;
+
+  [[nodiscard]] int levelCount() const noexcept {
+    return static_cast<int>(levels_.size());
+  }
+  /// Technique kind/style flags the restore-payload arithmetic branches on.
+  [[nodiscard]] bool isBackup(int level) const noexcept {
+    return levels_[static_cast<std::size_t>(level)].isBackup;
+  }
+  [[nodiscard]] bool fullOnly(int level) const noexcept {
+    return levels_[static_cast<std::size_t>(level)].fullOnly;
+  }
+  [[nodiscard]] bool cumulative(int level) const noexcept {
+    return levels_[static_cast<std::size_t>(level)].cumulative;
+  }
+  /// Differential chains: the secondary accumulation window (seconds); 0
+  /// when the level has none.
+  [[nodiscard]] double stepSecs(int level) const noexcept {
+    return levels_[static_cast<std::size_t>(level)].stepSecs;
+  }
+
+ private:
+  struct Level {
+    // Parallel columns in creation order (dataTime non-decreasing).
+    std::vector<double> dataTime;
+    std::vector<double> arrivalTime;
+    std::vector<double> evictTime;
+    std::vector<std::uint8_t> isFull;
+    /// Timeline indices of the fulls, ascending.
+    std::vector<std::int32_t> fulls;
+    /// Per entry: index into `fulls` of the last full whose dataTime is
+    /// at or before this entry's dataTime; -1 when none.
+    std::vector<std::int32_t> lastFullPos;
+
+    bool continuous = false;
+    double continuousDelay = 0;  ///< holdW + worstPropW, seconds
+    bool isBackup = false;
+    bool fullOnly = false;
+    bool cumulative = false;
+    bool chained = false;  ///< backup with incrementals: base-full checks
+    double stepSecs = 0;
+    double cyclePeriodSecs = 0;
+  };
+
+  std::vector<Level> levels_;
+};
+
+}  // namespace stordep::sim

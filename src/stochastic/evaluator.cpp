@@ -1,6 +1,7 @@
 #include "stochastic/evaluator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -9,6 +10,7 @@
 #include "core/data_loss.hpp"
 #include "core/propagation.hpp"
 #include "core/recovery.hpp"
+#include "engine/batch.hpp"
 #include "engine/thread_pool.hpp"
 #include "sim/rng.hpp"
 
@@ -55,25 +57,23 @@ struct MissionEvent {
   int index = 0;
 };
 
+/// Seconds elapsed since `start` (trial-loop wall time).
+[[nodiscard]] double secsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
-struct StochasticEvaluator::ConditionalTrial {
+/// Slot layout: the plan kernel and the legacy body fill the same sample
+/// fields, so the sequential reduction below is shared between both paths.
+struct StochasticEvaluator::ConditionalTrial : ConditionalSample {
   bool filled = false;
-  bool recoverable = false;
-  double rt = 0;       ///< seconds
-  double dl = 0;       ///< seconds
-  double payload = 0;  ///< bytes
-  double penalty = 0;  ///< dollars
 };
 
-struct StochasticEvaluator::MissionTrial {
+struct StochasticEvaluator::MissionTrial : MissionSample {
   bool filled = false;
-  int events = 0;
-  int unrecoverable = 0;
-  double penalty = 0;       ///< dollars over the window (recoverable events)
-  double lossBytes = 0;     ///< bytes lost over the window
-  double downtimeSecs = 0;  ///< seconds of outage over the window
-  std::vector<std::pair<double, double>> eventRtDl;  ///< (rt, dl) seconds
 };
 
 StochasticEvaluator::StochasticEvaluator(StorageDesign design,
@@ -83,6 +83,9 @@ StochasticEvaluator::StochasticEvaluator(StorageDesign design,
                                                        options_.sim)) {
   sim_->run();
   recovery_ = std::make_unique<sim::RecoverySimulator>(*sim_);
+  if (options_.usePlan) {
+    plan_ = TrialPlan::compile(*sim_, options_.reliability);
+  }
 }
 
 StochasticEvaluator::~StochasticEvaluator() = default;
@@ -140,26 +143,42 @@ engine::Expected<ScenarioDistribution> StochasticEvaluator::distributionFor(
   // Per-trial sampling. DL comes from the simulator's bestVisibleRp view
   // (the quantity the FailureInjector oracle bounds by analytic +
   // rpCaptureSlack); RT and payload come from the restorable-RP replay (the
-  // quantity bounded by the analytic worst-case recovery time).
-  const auto body = [&](std::size_t i) {
-    sim::Rng rng = root.split(i);
-    ConditionalTrial& t = slots[i];
-    const double failTime = rng.uniform(lo, hi);
-    const auto obs = recovery_->observedRecovery(scenario, failTime);
-    const Duration dl = sim_->observedDataLoss(scenario, failTime);
-    if (obs && obs->recoveryTime.isFinite() && dl.isFinite()) {
-      t.recoverable = true;
-      t.rt = obs->recoveryTime.secs();
-      t.dl = dl.secs();
-      t.payload = obs->payload.bytes();
-      t.penalty =
-          (business.outagePenalty(obs->recoveryTime) + business.lossPenalty(dl))
-              .usd();
-    }
-    t.filled = true;
-  };
+  // quantity bounded by the analytic worst-case recovery time). The plan
+  // kernel replays the same draws through the compiled tables,
+  // bit-identically.
+  std::function<void(std::size_t)> body;
+  TrialPlan::ScenarioRow row;
+  if (plan_ != nullptr) {
+    row = plan_->compileScenario(scenario);
+    body = [&](std::size_t i) {
+      sim::Rng rng = root.split(i);
+      ConditionalTrial& t = slots[i];
+      plan_->conditionalTrial(row, rng, t);
+      t.filled = true;
+    };
+  } else {
+    body = [&](std::size_t i) {
+      sim::Rng rng = root.split(i);
+      ConditionalTrial& t = slots[i];
+      const double failTime = rng.uniform(lo, hi);
+      const auto obs = recovery_->observedRecovery(scenario, failTime);
+      const Duration dl = sim_->observedDataLoss(scenario, failTime);
+      if (obs && obs->recoveryTime.isFinite() && dl.isFinite()) {
+        t.recoverable = true;
+        t.rt = obs->recoveryTime.secs();
+        t.dl = dl.secs();
+        t.payload = obs->payload.bytes();
+        t.penalty = (business.outagePenalty(obs->recoveryTime) +
+                     business.lossPenalty(dl))
+                        .usd();
+      }
+      t.filled = true;
+    };
+  }
 
+  const auto start = std::chrono::steady_clock::now();
   const bool ranAll = runTrials(trials, body);
+  const double wallSeconds = secsSince(start);
   int completed = 0;
   for (const ConditionalTrial& t : slots) completed += t.filled ? 1 : 0;
   if (!ranAll || completed < trials) {
@@ -168,10 +187,17 @@ engine::Expected<ScenarioDistribution> StochasticEvaluator::distributionFor(
         "stochastic run cancelled after " + std::to_string(completed) +
             " of " + std::to_string(trials) + " trials"};
   }
+  if (options_.trace != nullptr) {
+    options_.trace->conditional.assign(slots.begin(), slots.end());
+  }
 
   // Sequential reduction in trial order: bit-identical at any thread count.
   ScenarioDistribution out;
   out.trials = trials;
+  out.wallSeconds = wallSeconds;
+  out.trialsPerSec =
+      wallSeconds > 0 ? static_cast<double>(trials) / wallSeconds : 0.0;
+  out.usedPlan = plan_ != nullptr;
   const auto expected = static_cast<std::uint64_t>(trials);
   DistributionAccumulator rtAcc(expected, options_.ciBatches);
   DistributionAccumulator dlAcc(expected, options_.ciBatches);
@@ -300,13 +326,19 @@ engine::Expected<AnnualizedRisk> StochasticEvaluator::annualizedRisk() const {
   std::vector<MissionTrial> slots(static_cast<std::size_t>(trials));
   const sim::Rng root(options_.seed);
 
-  const auto body = [&](std::size_t i) {
+  const auto sampleMissionWindow = [&](std::size_t i) {
     sim::Rng rng = root.split(i);
     MissionTrial& t = slots[i];
 
+    // Event staging reused across this thread's trials: reserved once,
+    // cleared per trial (the per-trial churn was the allocator hot spot).
+    static thread_local std::vector<MissionEvent> events;
+    events.clear();
+
     // Renewal process per device: fail, stay down for a repair draw, run
-    // until the next failure draw; repeat across the mission window.
-    std::vector<MissionEvent> events;
+    // until the next failure draw; repeat across the mission window. The
+    // repair draw precedes the next failure draw (the plan kernel relies
+    // on this order being pinned down).
     for (std::size_t d = 0; d < resolved.size(); ++d) {
       const DeviceReliability& rel = resolved[d].second;
       double time = sampleSecs(rel.failure, rng);
@@ -314,8 +346,9 @@ engine::Expected<AnnualizedRisk> StochasticEvaluator::annualizedRisk() const {
       while (time < window && arrivals < kMaxArrivalsPerProcess) {
         events.push_back({time, 0, static_cast<int>(d)});
         ++arrivals;
-        const double gap = sampleSecs(rel.repair, rng) +
-                           sampleSecs(rel.failure, rng);
+        const double repairDraw = sampleSecs(rel.repair, rng);
+        const double failureDraw = sampleSecs(rel.failure, rng);
+        const double gap = repairDraw + failureDraw;
         if (!(gap > 0)) break;
         time += gap;
       }
@@ -343,6 +376,7 @@ engine::Expected<AnnualizedRisk> StochasticEvaluator::annualizedRisk() const {
     // Replay each outage at an independent uniformly drawn phase of the
     // steady-state backup cycle (the mission clock and the RP-schedule
     // clock are incommensurable, so the phase at failure is ~uniform).
+    t.eventRtDl.reserve(events.size());
     for (const MissionEvent& e : events) {
       const FailureScenario& scenario =
           e.kind == 0 ? deviceScenarios[static_cast<std::size_t>(e.index)]
@@ -367,7 +401,21 @@ engine::Expected<AnnualizedRisk> StochasticEvaluator::annualizedRisk() const {
     t.filled = true;
   };
 
+  std::function<void(std::size_t)> body;
+  if (plan_ != nullptr && plan_->missionReady()) {
+    body = [&](std::size_t i) {
+      sim::Rng rng = root.split(i);
+      MissionTrial& t = slots[i];
+      plan_->missionTrial(rng, engine::Engine::threadArena(), t);
+      t.filled = true;
+    };
+  } else {
+    body = sampleMissionWindow;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
   const bool ranAll = runTrials(trials, body);
+  const double wallSeconds = secsSince(start);
   int completed = 0;
   for (const MissionTrial& t : slots) completed += t.filled ? 1 : 0;
   if (!ranAll || completed < trials) {
@@ -376,11 +424,18 @@ engine::Expected<AnnualizedRisk> StochasticEvaluator::annualizedRisk() const {
         "stochastic run cancelled after " + std::to_string(completed) +
             " of " + std::to_string(trials) + " trials"};
   }
+  if (options_.trace != nullptr) {
+    options_.trace->mission.assign(slots.begin(), slots.end());
+  }
 
   // Sequential reduction in trial order; annualize by window scale.
   AnnualizedRisk out;
   out.trials = trials;
   out.missionWindow = options_.reliability.missionWindow;
+  out.wallSeconds = wallSeconds;
+  out.trialsPerSec =
+      wallSeconds > 0 ? static_cast<double>(trials) / wallSeconds : 0.0;
+  out.usedPlan = plan_ != nullptr && plan_->missionReady();
   const double scale = Duration::kYear / window;
   const auto expected = static_cast<std::uint64_t>(trials);
   DistributionAccumulator penAcc(expected, options_.ciBatches);

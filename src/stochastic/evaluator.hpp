@@ -45,6 +45,7 @@
 #include "sim/recovery_simulator.hpp"
 #include "sim/rp_simulator.hpp"
 #include "stochastic/quantile.hpp"
+#include "stochastic/trial_plan.hpp"
 
 namespace stordep::stochastic {
 
@@ -64,6 +65,14 @@ struct StochasticOptions {
   ReliabilitySpec reliability;
   /// Batches for the batch-means confidence intervals.
   int ciBatches = 32;
+  /// Run trials through the compiled TrialPlan when the design is
+  /// plannable (bit-identical to the legacy loop, much faster). False
+  /// forces the legacy loop — the differential oracle's reference side.
+  bool usePlan = true;
+  /// When set, each evaluation records its per-trial samples here, in
+  /// trial order (oracle/test hook; not thread-safe across concurrent
+  /// evaluations on the same evaluator).
+  TrialTrace* trace = nullptr;
 };
 
 /// The distribution envelope for one (design, scenario), conditioned on the
@@ -99,6 +108,13 @@ struct ScenarioDistribution {
   /// uses — and the analytic worst-case penalty it replaces.
   Money expectedPenalty;
   Money worstCasePenalty;
+
+  /// Trial-loop wall time and throughput for this evaluation, and whether
+  /// the compiled TrialPlan ran it (false = legacy fallback). Timing
+  /// fields vary run to run; everything above is deterministic.
+  double wallSeconds = 0.0;
+  double trialsPerSec = 0.0;
+  bool usedPlan = false;
 };
 
 /// Mission-window summary: how much the design is expected to lose and pay
@@ -125,6 +141,13 @@ struct AnnualizedRisk {
   Distribution eventDl;
   /// Per-trial penalty, annualized (dollars).
   Distribution annualPenalty;
+
+  /// Trial-loop wall time and throughput for this evaluation, and whether
+  /// the compiled TrialPlan ran it (false = legacy fallback). Timing
+  /// fields vary run to run; everything above is deterministic.
+  double wallSeconds = 0.0;
+  double trialsPerSec = 0.0;
+  bool usedPlan = false;
 };
 
 /// Monte-Carlo front-end over one design. Construction builds and runs the
@@ -153,6 +176,10 @@ class StochasticEvaluator {
     return options_;
   }
 
+  /// True when trials run through the compiled TrialPlan (usePlan was set
+  /// and the design is plannable); false = legacy loop.
+  [[nodiscard]] bool usingPlan() const noexcept { return plan_ != nullptr; }
+
  private:
   struct ConditionalTrial;
   struct MissionTrial;
@@ -166,6 +193,7 @@ class StochasticEvaluator {
   StochasticOptions options_;
   std::unique_ptr<sim::RpLifecycleSimulator> sim_;
   std::unique_ptr<sim::RecoverySimulator> recovery_;
+  std::shared_ptr<const TrialPlan> plan_;  ///< null = legacy trial loop
 };
 
 }  // namespace stordep::stochastic

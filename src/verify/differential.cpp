@@ -174,6 +174,149 @@ OracleResult stochasticBoundOracle(const CaseSpec& spec,
   return pass(kName);
 }
 
+OracleResult stochasticPlanOracle(const CaseSpec& spec,
+                                  const OracleOptions& options) {
+  const char* kName = "stochastic-plan";
+  if (spec.scope != FailureScope::kArray && spec.scope != FailureScope::kSite) {
+    return notApplicable(kName);
+  }
+  StorageDesign design = makeDesign(spec);
+  // Same guards as stochasticBoundOracle: the simulator must accept the
+  // design and the default horizon must cover the slowest cycle.
+  if (!design.validate().empty()) return notApplicable(kName);
+  if (slowestCycle(spec) > days(7)) return notApplicable(kName);
+
+  const FailureScenario scenario = makeScenario(spec);
+  try {
+    stochastic::StochasticOptions base;
+    base.trials = options.stochasticTrials;
+    base.seed = mixSeed(spec.auxSeed, 6);
+    base.threads = 1;
+    // Device-class failure/repair defaults apply on both sides; a nonzero
+    // shock rate additionally exercises the correlated whole-site path.
+    base.reliability.siteShockAnnualRate = 1.0;
+
+    stochastic::TrialTrace planTrace;
+    stochastic::TrialTrace legacyTrace;
+    stochastic::StochasticOptions planOpt = base;
+    planOpt.usePlan = true;
+    planOpt.trace = &planTrace;
+    stochastic::StochasticOptions legacyOpt = base;
+    legacyOpt.usePlan = false;
+    legacyOpt.trace = &legacyTrace;
+
+    const stochastic::StochasticEvaluator viaPlan(makeDesign(spec), planOpt);
+    const stochastic::StochasticEvaluator legacy(std::move(design), legacyOpt);
+    // Plan compiler rejected the design: the evaluator already fell back to
+    // the legacy loop, so both sides are the same code path.
+    if (!viaPlan.usingPlan()) return notApplicable(kName);
+
+    const auto planCond = viaPlan.distributionFor(scenario);
+    const auto legacyCond = legacy.distributionFor(scenario);
+    if (!planCond.ok() || !legacyCond.ok()) {
+      return fail(kName,
+                  "conditional evaluation failed: " +
+                      (planCond.ok() ? legacyCond.error().describe()
+                                     : planCond.error().describe()));
+    }
+    if (planTrace.conditional.size() != legacyTrace.conditional.size()) {
+      return fail(kName, "conditional trial counts differ: " +
+                             std::to_string(planTrace.conditional.size()) +
+                             " vs " +
+                             std::to_string(legacyTrace.conditional.size()));
+    }
+    for (std::size_t i = 0; i < planTrace.conditional.size(); ++i) {
+      const stochastic::ConditionalSample& p = planTrace.conditional[i];
+      const stochastic::ConditionalSample& l = legacyTrace.conditional[i];
+      if (p.recoverable != l.recoverable || !bitSame(p.rt, l.rt) ||
+          !bitSame(p.dl, l.dl) || !bitSame(p.payload, l.payload) ||
+          !bitSame(p.penalty, l.penalty)) {
+        return fail(kName, "conditional trial " + std::to_string(i) +
+                               " differs: plan rt/dl/payload/penalty " +
+                               num(p.rt) + "/" + num(p.dl) + "/" +
+                               num(p.payload) + "/" + num(p.penalty) +
+                               " vs legacy " + num(l.rt) + "/" + num(l.dl) +
+                               "/" + num(l.payload) + "/" + num(l.penalty));
+      }
+    }
+    const auto sameDist = [](const stochastic::Distribution& a,
+                             const stochastic::Distribution& b) {
+      return a.count == b.count && bitSame(a.min, b.min) &&
+             bitSame(a.max, b.max) && bitSame(a.mean, b.mean) &&
+             bitSame(a.ci95, b.ci95) && bitSame(a.p50, b.p50) &&
+             bitSame(a.p95, b.p95) && bitSame(a.p99, b.p99);
+    };
+    {
+      const stochastic::ScenarioDistribution& p = planCond.value();
+      const stochastic::ScenarioDistribution& l = legacyCond.value();
+      if (p.trials != l.trials || p.unrecoverable != l.unrecoverable ||
+          !sameDist(p.rt, l.rt) || !sameDist(p.dl, l.dl) ||
+          !sameDist(p.penalty, l.penalty) ||
+          !bitSame(p.meanPayload.raw(), l.meanPayload.raw()) ||
+          !bitSame(p.expectedPenalty.raw(), l.expectedPenalty.raw())) {
+        return fail(kName,
+                    "conditional envelopes differ: plan penalty mean " +
+                        num(p.penalty.mean) + " vs legacy " +
+                        num(l.penalty.mean));
+      }
+    }
+
+    const auto planMission = viaPlan.annualizedRisk();
+    const auto legacyMission = legacy.annualizedRisk();
+    if (!planMission.ok() || !legacyMission.ok()) {
+      return fail(kName,
+                  "mission evaluation failed: " +
+                      (planMission.ok() ? legacyMission.error().describe()
+                                        : planMission.error().describe()));
+    }
+    if (planTrace.mission.size() != legacyTrace.mission.size()) {
+      return fail(kName, "mission trial counts differ: " +
+                             std::to_string(planTrace.mission.size()) +
+                             " vs " +
+                             std::to_string(legacyTrace.mission.size()));
+    }
+    for (std::size_t i = 0; i < planTrace.mission.size(); ++i) {
+      const stochastic::MissionSample& p = planTrace.mission[i];
+      const stochastic::MissionSample& l = legacyTrace.mission[i];
+      if (p.events != l.events || p.unrecoverable != l.unrecoverable ||
+          !bitSame(p.penalty, l.penalty) ||
+          !bitSame(p.lossBytes, l.lossBytes) ||
+          !bitSame(p.downtimeSecs, l.downtimeSecs) ||
+          p.eventRtDl != l.eventRtDl) {
+        return fail(kName, "mission trial " + std::to_string(i) +
+                               " differs: plan events/penalty/loss " +
+                               std::to_string(p.events) + "/" +
+                               num(p.penalty) + "/" + num(p.lossBytes) +
+                               " vs legacy " + std::to_string(l.events) +
+                               "/" + num(l.penalty) + "/" + num(l.lossBytes));
+      }
+    }
+    {
+      const stochastic::AnnualizedRisk& p = planMission.value();
+      const stochastic::AnnualizedRisk& l = legacyMission.value();
+      if (p.trials != l.trials || !bitSame(p.eventsPerYear, l.eventsPerYear) ||
+          !bitSame(p.unrecoverableTrialFraction,
+                   l.unrecoverableTrialFraction) ||
+          !bitSame(p.expectedAnnualLossBytes.raw(),
+                   l.expectedAnnualLossBytes.raw()) ||
+          !bitSame(p.expectedAnnualPenalty.raw(),
+                   l.expectedAnnualPenalty.raw()) ||
+          !bitSame(p.expectedAnnualDowntimeHours,
+                   l.expectedAnnualDowntimeHours) ||
+          !sameDist(p.eventRt, l.eventRt) || !sameDist(p.eventDl, l.eventDl) ||
+          !sameDist(p.annualPenalty, l.annualPenalty)) {
+        return fail(kName,
+                    "mission envelopes differ: plan annual penalty " +
+                        num(p.expectedAnnualPenalty.raw()) + " vs legacy " +
+                        num(l.expectedAnnualPenalty.raw()));
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail(kName, std::string("stochastic-plan threw: ") + e.what());
+  }
+  return pass(kName);
+}
+
 OracleResult searchParityOracle(const CaseSpec& spec,
                                 const OracleOptions& options) {
   const char* kName = "search-parity";

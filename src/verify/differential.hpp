@@ -73,6 +73,19 @@ struct OracleOptions {
 [[nodiscard]] OracleResult stochasticBoundOracle(
     const CaseSpec& spec, const OracleOptions& options = {});
 
+/// Compiled stochastic TrialPlan vs the legacy trial loop: the same design
+/// evaluated through two StochasticEvaluators sharing one seed — one routed
+/// through TrialPlan (usePlan), one forced onto the legacy per-trial
+/// sampler — with per-trial traces attached. Every conditional trial
+/// (recoverable, RT, DL, payload, penalty), every mission trial (event
+/// count, unrecoverable count, penalty, loss bytes, downtime, per-event
+/// RT/DL) and the deterministic envelope summaries must match bit-for-bit.
+/// Same applicability guards as stochasticBoundOracle, plus the plan
+/// compiler accepting the design (rejection means the evaluator already
+/// runs the legacy loop on both sides).
+[[nodiscard]] OracleResult stochasticPlanOracle(
+    const CaseSpec& spec, const OracleOptions& options = {});
+
 /// Serial reference search vs the engine-backed parallel search over a small
 /// candidate set including this case's candidate: rankings, labels, costs
 /// and rejection reasons must match bit-identically.

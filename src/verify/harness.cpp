@@ -24,6 +24,10 @@ CheckOutcome runNamedCheck(const std::string& name, const CaseSpec& spec,
     const OracleResult r = stochasticBoundOracle(spec, options.oracle);
     return {r.applicable, r.holds, r.detail};
   }
+  if (name == "stochastic-plan") {
+    const OracleResult r = stochasticPlanOracle(spec, options.oracle);
+    return {r.applicable, r.holds, r.detail};
+  }
   if (name == "search-parity") {
     const OracleResult r = searchParityOracle(spec, options.oracle);
     return {r.applicable, r.holds, r.detail};
@@ -77,7 +81,8 @@ void recordFailure(FuzzReport& report, const FuzzOptions& options,
 /// Returns false when the failure budget is exhausted.
 bool checkCase(FuzzReport& report, const FuzzOptions& options,
                std::uint64_t index, const CaseSpec& spec, bool runSim,
-               bool runStochastic, bool runSearch, bool runPlan, bool runIo) {
+               bool runStochastic, bool runStochasticPlan, bool runSearch,
+               bool runPlan, bool runIo) {
   for (const RelationResult& r : checkRelations(spec, options.ctx)) {
     if (!r.applicable) {
       ++report.relationSkips;
@@ -101,6 +106,9 @@ bool checkCase(FuzzReport& report, const FuzzOptions& options,
   if (runSim) oracles.push_back(simBoundOracle(spec, options.oracle));
   if (runStochastic) {
     oracles.push_back(stochasticBoundOracle(spec, options.oracle));
+  }
+  if (runStochasticPlan) {
+    oracles.push_back(stochasticPlanOracle(spec, options.oracle));
   }
   if (runSearch) oracles.push_back(searchParityOracle(spec, options.oracle));
   if (runPlan) oracles.push_back(planVsLegacyOracle(spec));
@@ -137,6 +145,7 @@ FuzzReport runFuzz(const FuzzOptions& options) {
     if (!checkCase(report, options, static_cast<std::uint64_t>(i), spec,
                    everyNth(options.simEvery, i),
                    everyNth(options.stochasticEvery, i),
+                   everyNth(options.stochasticPlanEvery, i),
                    everyNth(options.searchEvery, i),
                    everyNth(options.planEvery, i),
                    everyNth(options.ioEvery, i))) {
@@ -156,8 +165,8 @@ FuzzReport replayCase(std::uint64_t seed, std::uint64_t index,
   report.cases = 1;
   const CaseSpec spec = caseForSeed(seed, index);
   (void)checkCase(report, replay, index, spec, /*runSim=*/true,
-                  /*runStochastic=*/true, /*runSearch=*/true,
-                  /*runPlan=*/true, /*runIo=*/true);
+                  /*runStochastic=*/true, /*runStochasticPlan=*/true,
+                  /*runSearch=*/true, /*runPlan=*/true, /*runIo=*/true);
   return report;
 }
 

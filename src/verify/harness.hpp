@@ -33,6 +33,9 @@ struct FuzzOptions {
   int simEvery = 20;
   /// Run the stochastic-bound oracle on every Nth case (0 = never).
   int stochasticEvery = 25;
+  /// Run the stochastic-plan oracle (compiled TrialPlan vs legacy trial
+  /// loop, exact per-trial equality) on every Nth case (0 = never).
+  int stochasticPlanEvery = 25;
   /// Run the search-parity oracle on every Nth case (0 = never).
   int searchEvery = 200;
   /// Run the plan-vs-legacy oracle on every Nth case (0 = never). Defaults
