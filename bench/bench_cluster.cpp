@@ -1,0 +1,330 @@
+// bench_cluster — aggregate warm-cache throughput of a 3-node loopback
+// cluster versus a single node, driven by ring-aware clients.
+//
+// Starts one solo cluster member, warms its cache over the case-study
+// what-if designs crossed with the three failure scenarios, and measures
+// closed-loop throughput; then starts three members on loopback ephemeral
+// ports, converges membership with explicit gossip rounds, and repeats the
+// measurement with clients that compute each payload's evaluation
+// fingerprint and dial the ring owner directly — the same placement the
+// nodes themselves use, so the hot path never pays a forwarding hop.
+//
+// Hard gates (machine-independent, fail on any hardware):
+//   * every clustered response — owner-routed AND deliberately sent to a
+//     non-owner so it traverses the forwarding path — must be byte-identical
+//     to the solo node's response for the same payload;
+//   * zero non-200 responses in both measured phases.
+// The scaling gate is hardware-relative, like the thread runs in
+// bench_parallel_search: with >= 4 hardware threads the 3-node aggregate
+// must sustain >= 1.8x the solo RPS; on smaller machines (this repo is
+// grown in a container that may expose a single core) the ratio is
+// reported in BENCH_cluster.json but cannot fail the run, because three
+// event loops on one core time-slice instead of scaling.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "casestudy/casestudy.hpp"
+#include "cluster/node.hpp"
+#include "cluster/ring.hpp"
+#include "config/design_io.hpp"
+#include "engine/fingerprint.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+namespace cs = stordep::casestudy;
+namespace svc = stordep::service;
+namespace cl = stordep::cluster;
+using stordep::FailureScenario;
+using stordep::config::Json;
+using stordep::config::JsonObject;
+
+constexpr int kEngineThreadsPerNode = 2;
+constexpr int kClientThreadsPerNode = 4;
+constexpr double kMeasureSeconds = 3.0;
+constexpr double kMinSpeedup = 1.8;
+constexpr unsigned kSpeedupGateCores = 4;
+
+struct Payload {
+  std::string body;
+  stordep::engine::Fingerprint key;
+};
+
+std::vector<Payload> makePayloads() {
+  std::vector<Payload> payloads;
+  for (const auto& [label, design] : cs::allWhatIfDesigns()) {
+    for (const FailureScenario& scenario :
+         {cs::objectFailure(), cs::arrayFailure(), cs::siteDisaster()}) {
+      Json body{JsonObject{}};
+      body.set("design", stordep::config::designToJson(design));
+      body.set("scenario", stordep::config::scenarioToJson(scenario));
+      payloads.push_back(Payload{
+          body.dump(), stordep::engine::fingerprintEvaluation(design,
+                                                              scenario)});
+    }
+  }
+  return payloads;
+}
+
+struct LoadResult {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double wallSeconds = 0.0;
+  double rps = 0.0;
+};
+
+/// Closed-loop load: `clientThreads` threads round-robin the payloads, each
+/// request dialed at targetPorts[i] (one keep-alive Client per distinct
+/// port per thread).
+LoadResult measure(const std::vector<Payload>& payloads,
+                   const std::vector<int>& targetPorts, int clientThreads) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(clientThreads), 0);
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(clientThreads));
+
+  const auto begin = std::chrono::steady_clock::now();
+  for (int t = 0; t < clientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::map<int, std::unique_ptr<svc::Client>> byPort;
+      std::uint64_t done = 0;
+      std::size_t next = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t i = next % payloads.size();
+        next += 1;
+        std::unique_ptr<svc::Client>& client = byPort[targetPorts[i]];
+        if (!client) {
+          client = std::make_unique<svc::Client>("127.0.0.1",
+                                                 targetPorts[i]);
+        }
+        try {
+          const svc::HttpClientResponse response =
+              client->post("/v1/evaluate", payloads[i].body);
+          if (response.status == 200) {
+            done += 1;
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const svc::TransportError&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          client.reset();
+        }
+      }
+      counts[static_cast<std::size_t>(t)] = done;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kMeasureSeconds));
+  stop.store(true);
+  for (std::thread& thread : clients) thread.join();
+
+  LoadResult result;
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  for (const std::uint64_t count : counts) result.requests += count;
+  result.errors = errors.load();
+  result.rps = static_cast<double>(result.requests) / result.wallSeconds;
+  return result;
+}
+
+svc::ServerOptions nodeServerOptions() {
+  svc::ServerOptions options;
+  options.engineThreads = kEngineThreadsPerNode;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Payload> payloads = makePayloads();
+  bool ok = true;
+
+  // -- Phase 1: solo member. Its warm-pass responses are the byte oracle
+  // for everything the cluster serves later.
+  std::vector<std::string> oracle;
+  oracle.reserve(payloads.size());
+  LoadResult solo;
+  {
+    svc::Server server(nodeServerOptions());
+    cl::ClusterNodeOptions nodeOptions;
+    nodeOptions.nodeId = "solo";
+    nodeOptions.enableHeartbeat = false;
+    cl::ClusterNode node(server, nodeOptions);
+    server.start();
+    node.start();
+
+    svc::Client client("127.0.0.1", server.port());
+    for (const Payload& payload : payloads) {
+      const svc::HttpClientResponse response =
+          client.post("/v1/evaluate", payload.body);
+      if (response.status != 200) {
+        std::cerr << "FAIL: solo warmup got HTTP " << response.status << ": "
+                  << response.body << "\n";
+        node.stop();
+        return 1;
+      }
+      oracle.push_back(response.body);
+    }
+
+    const std::vector<int> targets(payloads.size(),
+                                   static_cast<int>(server.port()));
+    solo = measure(payloads, targets, kClientThreadsPerNode);
+    node.stop();
+  }
+
+  // -- Phase 2: three members, explicit gossip convergence, ring-aware
+  // routing.
+  LoadResult cluster;
+  std::uint64_t forwardChecked = 0;
+  std::uint64_t byteMismatches = 0;
+  {
+    svc::Server serverA(nodeServerOptions());
+    svc::Server serverB(nodeServerOptions());
+    svc::Server serverC(nodeServerOptions());
+    serverA.start();
+    serverB.start();
+    serverC.start();
+
+    auto makeNode = [&](svc::Server& server, const std::string& id,
+                        int seedPort) {
+      cl::ClusterNodeOptions nodeOptions;
+      nodeOptions.nodeId = id;
+      nodeOptions.enableHeartbeat = false;
+      if (seedPort != 0) nodeOptions.seeds.push_back({"127.0.0.1", seedPort});
+      return std::make_unique<cl::ClusterNode>(server, nodeOptions);
+    };
+    std::unique_ptr<cl::ClusterNode> nodeA =
+        makeNode(serverA, "bench-a", 0);
+    std::unique_ptr<cl::ClusterNode> nodeB =
+        makeNode(serverB, "bench-b", static_cast<int>(serverA.port()));
+    std::unique_ptr<cl::ClusterNode> nodeC =
+        makeNode(serverC, "bench-c", static_cast<int>(serverA.port()));
+    nodeA->start();
+    nodeB->start();
+    nodeC->start();
+    for (int round = 0; round < 3; ++round) {
+      nodeA->gossipOnce();
+      nodeB->gossipOnce();
+      nodeC->gossipOnce();
+    }
+
+    // The clients place keys with the same ring the members rebuilt from
+    // the converged member set.
+    cl::HashRing ring;
+    ring.rebuild({"bench-a", "bench-b", "bench-c"});
+    std::map<std::string, int> portOf{
+        {"bench-a", static_cast<int>(serverA.port())},
+        {"bench-b", static_cast<int>(serverB.port())},
+        {"bench-c", static_cast<int>(serverC.port())}};
+    std::vector<int> targets;
+    targets.reserve(payloads.size());
+    for (const Payload& payload : payloads) {
+      targets.push_back(portOf.at(ring.ownerOf(payload.key)));
+    }
+
+    // Warm pass doubling as the byte-identity gate: every payload goes to
+    // its owner AND to one non-owner (exercising the forwarding path), and
+    // both responses must match the solo oracle exactly.
+    {
+      std::map<int, std::unique_ptr<svc::Client>> byPort;
+      auto clientFor = [&](int port) -> svc::Client& {
+        std::unique_ptr<svc::Client>& client = byPort[port];
+        if (!client) client = std::make_unique<svc::Client>("127.0.0.1", port);
+        return *client;
+      };
+      for (std::size_t i = 0; i < payloads.size(); ++i) {
+        const svc::HttpClientResponse owned =
+            clientFor(targets[i]).post("/v1/evaluate", payloads[i].body);
+        int nonOwner = 0;
+        for (const auto& [id, port] : portOf) {
+          if (port != targets[i]) nonOwner = port;
+        }
+        const svc::HttpClientResponse forwarded =
+            clientFor(nonOwner).post("/v1/evaluate", payloads[i].body);
+        forwardChecked += 1;
+        if (owned.status != 200 || forwarded.status != 200) {
+          std::cerr << "FAIL: cluster warmup got HTTP " << owned.status
+                    << " / " << forwarded.status << "\n";
+          ok = false;
+          byteMismatches += 1;
+          continue;
+        }
+        if (owned.body != oracle[i] || forwarded.body != oracle[i]) {
+          byteMismatches += 1;
+        }
+      }
+    }
+    if (byteMismatches != 0) {
+      std::cerr << "FAIL: " << byteMismatches << " of " << forwardChecked
+                << " clustered responses differ from the solo node\n";
+      ok = false;
+    }
+
+    cluster = measure(payloads, targets, 3 * kClientThreadsPerNode);
+    nodeC->stop();
+    nodeB->stop();
+    nodeA->stop();
+  }
+
+  const double speedup = solo.rps > 0.0 ? cluster.rps / solo.rps : 0.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool speedupGated = cores >= kSpeedupGateCores;
+
+  if (solo.errors != 0 || cluster.errors != 0) {
+    std::cerr << "FAIL: non-200 responses (solo " << solo.errors
+              << ", cluster " << cluster.errors << ")\n";
+    ok = false;
+  }
+  if (speedupGated && speedup < kMinSpeedup) {
+    std::cerr << "FAIL: 3-node aggregate " << cluster.rps << " RPS is only "
+              << speedup << "x the solo " << solo.rps << " RPS (floor "
+              << kMinSpeedup << "x)\n";
+    ok = false;
+  }
+
+  Json doc{JsonObject{}};
+  doc.set("bench", Json("cluster"));
+  doc.set("nodes", Json(static_cast<std::int64_t>(3)));
+  doc.set("engineThreadsPerNode",
+          Json(static_cast<std::int64_t>(kEngineThreadsPerNode)));
+  doc.set("hardwareThreads", Json(static_cast<std::int64_t>(cores)));
+  doc.set("distinctPayloads",
+          Json(static_cast<std::int64_t>(payloads.size())));
+  doc.set("soloClientThreads",
+          Json(static_cast<std::int64_t>(kClientThreadsPerNode)));
+  doc.set("soloRequests", Json(static_cast<std::int64_t>(solo.requests)));
+  doc.set("soloRps", Json(solo.rps));
+  doc.set("clusterClientThreads",
+          Json(static_cast<std::int64_t>(3 * kClientThreadsPerNode)));
+  doc.set("clusterRequests",
+          Json(static_cast<std::int64_t>(cluster.requests)));
+  doc.set("clusterRps", Json(cluster.rps));
+  doc.set("speedup", Json(speedup));
+  doc.set("speedupFloor", Json(kMinSpeedup));
+  doc.set("speedupGated", Json(speedupGated));
+  doc.set("forwardChecked",
+          Json(static_cast<std::int64_t>(forwardChecked)));
+  doc.set("byteMismatches",
+          Json(static_cast<std::int64_t>(byteMismatches)));
+  doc.set("errors", Json(static_cast<std::int64_t>(solo.errors +
+                                                   cluster.errors)));
+  doc.set("ok", Json(ok));
+
+  const std::string out = doc.pretty();
+  std::cout << out << "\n";
+  std::ofstream file("BENCH_cluster.json");
+  file << out << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+// node.hpp — one member of a sharded evaluation cluster.
+//
+// A ClusterNode wires the pure pieces of this directory (HashRing,
+// Membership, Router, runClusterSweep) onto a running service::Server by
+// implementing its ClusterHooks seam:
+//
+//   * Placement: every single-item /v1/evaluate is keyed by its structural
+//     design fingerprint and routed to the ring owner; non-owners forward
+//     over the resilient router and fall back to local compute when the
+//     owner is degraded (suspect, breaker open, 5xx, transport failure).
+//     Evaluation is a pure function, so "wrong owner computed it" can never
+//     change a byte of the response — ownership only concentrates cache
+//     heat.
+//   * Membership: a heartbeat thread POSTs /v1/cluster/ping to seeds and
+//     known peers on the configured cadence, learns members transitively
+//     from ping responses, and applies the suspicion/eviction state machine
+//     (membership.hpp). The ring rebuilds whenever the member set's version
+//     moves — deterministically, so nodes that saw the same pings agree on
+//     placement.
+//   * Sweeps: cluster-mode /v1/search calls clusterSearch(), which
+//     partitions the design grid over the live members (sweep.hpp).
+//
+// Lifecycle: construct with a started (or about-to-start) Server, then
+// start() after server.start() — it reads the bound port for
+// advertisement, attaches the hooks and launches the heartbeat. stop()
+// shuts the SERVER down first (the loop thread reads the hooks pointer, so
+// the node must outlive the loop), then the heartbeat and router; the
+// destructor calls it. Declare the Server before the ClusterNode so
+// destruction order is node-then-server.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "cluster/ring.hpp"
+#include "cluster/router.hpp"
+#include "service/cluster_hooks.hpp"
+#include "service/server.hpp"
+
+namespace stordep::cluster {
+
+struct ClusterNodeOptions {
+  /// Unique member id (required). Doubles as the ring hash salt, so ids
+  /// must be stable across restarts for placement to be stable.
+  std::string nodeId;
+
+  /// Address peers should dial. Port 0 = resolve from the server's bound
+  /// port at start() (the common ephemeral-port case).
+  std::string advertiseHost = "127.0.0.1";
+  int advertisePort = 0;
+
+  /// Bootstrap contacts, dialed every heartbeat alongside known peers.
+  std::vector<std::pair<std::string, int>> seeds;
+
+  MembershipOptions membership;
+  int vnodes = kDefaultVnodes;
+  RouterOptions router;
+
+  /// Tests that drive membership with injected time disable the real
+  /// heartbeat thread.
+  bool enableHeartbeat = true;
+};
+
+class ClusterNode final : public service::ClusterHooks {
+ public:
+  ClusterNode(service::Server& server, ClusterNodeOptions options);
+  ~ClusterNode() override;
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  /// Attaches to the server and starts the heartbeat. Call after
+  /// server.start(); throws std::runtime_error if nodeId is empty.
+  void start();
+
+  /// Server shutdown first, then heartbeat and router. Idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& nodeId() const noexcept {
+    return options_.nodeId;
+  }
+
+  /// Forces one synchronous gossip round (dial seeds + peers, tick, rebuild
+  /// ring). The heartbeat thread does exactly this on its cadence; tests
+  /// and the serve binary's startup call it directly.
+  void gossipOnce();
+
+  // -- ClusterHooks --------------------------------------------------------
+  bool ownsEvaluation(const engine::Fingerprint& key,
+                      std::string* ownerId) override;
+  void forwardEvaluate(const std::string& ownerId, const std::string& body,
+                       std::function<void(service::ForwardReply)> done)
+      override;
+  config::Json handlePing(const config::Json& body) override;
+  config::Json membersJson() override;
+  config::Json healthJson() override;
+  config::Json metricsJson() override;
+  optimizer::SearchResult clusterSearch(
+      const service::ClusterSearchParams& params,
+      const std::function<void(std::size_t done)>& onProgress,
+      engine::CancellationToken token) override;
+
+ private:
+  void heartbeatLoop();
+  /// Rebuilds the ring iff membership's version moved. Caller holds mu_.
+  void maybeRebuildRingLocked();
+  [[nodiscard]] config::Json membersJsonLocked() const;
+
+  service::Server& server_;
+  ClusterNodeOptions options_;
+
+  /// Guards membership_, ring_, lastRingVersion_ and advertisePort_.
+  /// Loop-thread hooks only take it for short map lookups — never across
+  /// I/O.
+  mutable std::mutex mu_;
+  Membership membership_;
+  HashRing ring_;
+  std::uint64_t lastRingVersion_ = 0;
+
+  Router router_;
+
+  std::atomic<std::uint64_t> localOwned_{0};     ///< owned → computed here
+  std::atomic<std::uint64_t> localFallback_{0};  ///< forward failed → local
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::mutex heartbeatMu_;
+  std::condition_variable heartbeatCv_;
+  std::thread heartbeatThread_;
+};
+
+}  // namespace stordep::cluster

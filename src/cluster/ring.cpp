@@ -1,0 +1,46 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace stordep::cluster {
+
+const std::string HashRing::kEmpty;
+
+void HashRing::rebuild(const std::vector<std::string>& memberIds,
+                       int vnodesPerMember) {
+  const std::set<std::string> unique(memberIds.begin(), memberIds.end());
+  points_.clear();
+  members_ = unique.size();
+  if (vnodesPerMember < 1) vnodesPerMember = 1;
+  points_.reserve(unique.size() * static_cast<std::size_t>(vnodesPerMember));
+  for (const std::string& id : unique) {
+    for (int v = 0; v < vnodesPerMember; ++v) {
+      const std::uint64_t point = engine::ringPoint(
+          engine::fingerprintBytes(id + "#" + std::to_string(v)));
+      points_.push_back(Point{point, id});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.point != b.point) return a.point < b.point;
+              return a.member < b.member;
+            });
+}
+
+const std::string& HashRing::ownerOf(const engine::Fingerprint& key) const {
+  if (points_.empty()) return kEmpty;
+  const std::uint64_t point = engine::ringPoint(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), point,
+      [](const Point& p, std::uint64_t k) { return p.point < k; });
+  return it == points_.end() ? points_.front().member : it->member;
+}
+
+std::vector<std::string> HashRing::members() const {
+  std::set<std::string> unique;
+  for (const Point& p : points_) unique.insert(p.member);
+  return {unique.begin(), unique.end()};
+}
+
+}  // namespace stordep::cluster

@@ -1,0 +1,63 @@
+// ring.hpp — consistent-hash ring over evaluation fingerprints.
+//
+// Placement substrate for the sharded fleet: every member contributes a
+// fixed number of virtual nodes, each a deterministic point on the 64-bit
+// ring (engine::ringPoint over fingerprintBytes("<id>#<vnode>")), and a key
+// is owned by the member whose point is the first at or clockwise after the
+// key's own ring point. Virtual nodes smooth the per-member share (with one
+// point per member, a 3-node ring can easily split 70/20/10); 64 points per
+// member keeps the imbalance within a few percent while the full ring stays
+// small enough to rebuild from scratch on every membership change — rebuild
+// is how the ring stays deterministic: the same member set always produces
+// bit-identical point tables regardless of join order.
+//
+// Ties (two members hashing a vnode to the same point) are broken by member
+// id so ownership is still a pure function of the member set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/fingerprint.hpp"
+
+namespace stordep::cluster {
+
+/// Default virtual nodes per member; overridable for tests and via
+/// `stordep_serve --cluster-vnodes`.
+inline constexpr int kDefaultVnodes = 64;
+
+class HashRing {
+ public:
+  HashRing() = default;
+
+  /// Rebuilds the ring from scratch for `memberIds` (duplicates ignored).
+  /// The result depends only on the *set* of ids, never on their order.
+  void rebuild(const std::vector<std::string>& memberIds,
+               int vnodesPerMember = kDefaultVnodes);
+
+  /// Owner of `key`: the member whose vnode point is the first >= the key's
+  /// ring point, wrapping past the top. Empty string iff the ring is empty.
+  [[nodiscard]] const std::string& ownerOf(
+      const engine::Fingerprint& key) const;
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t pointCount() const noexcept {
+    return points_.size();
+  }
+  [[nodiscard]] std::size_t memberCount() const noexcept { return members_; }
+
+  /// The member ids currently on the ring, sorted (for observability).
+  [[nodiscard]] std::vector<std::string> members() const;
+
+ private:
+  struct Point {
+    std::uint64_t point;
+    std::string member;
+  };
+  std::vector<Point> points_;  // sorted by (point, member)
+  std::size_t members_ = 0;
+  static const std::string kEmpty;
+};
+
+}  // namespace stordep::cluster

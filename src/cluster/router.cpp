@@ -1,0 +1,117 @@
+#include "cluster/router.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "service/resilience/resilient_client.hpp"
+
+namespace stordep::cluster {
+
+Router::Router(RouterOptions options) : options_(options) {
+  const int workers = options_.workers < 1 ? 1 : options_.workers;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::stop() {
+  std::deque<Job> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    drained.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // Pending jobs must still resolve: the server's connection state waits on
+  // each `done`.
+  for (Job& job : drained) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    job.done(service::ForwardReply{});
+  }
+}
+
+void Router::forward(const std::string& host, int port,
+                     const std::string& body,
+                     std::function<void(service::ForwardReply)> done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      queue_.push_back(Job{host, port, body, std::move(done)});
+      cv_.notify_one();
+      return;
+    }
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  done(service::ForwardReply{});
+}
+
+void Router::workerLoop() {
+  namespace res = service::resilience;
+  // One ResilientClient per peer address, owned by this worker thread
+  // (Client is not synchronized). Keyed by "host:port" so a peer that
+  // rejoins under a new id but the same address reuses the connection.
+  std::map<std::string, std::unique_ptr<res::ResilientClient>> clients;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
+
+    const std::string key = job.host + ":" + std::to_string(job.port);
+    auto it = clients.find(key);
+    if (it == clients.end()) {
+      res::ResilientClientOptions copts;
+      copts.retry.maxAttempts = options_.maxAttempts;
+      copts.timeout = options_.timeout;
+      copts.connectTimeout = options_.connectTimeout;
+      it = clients
+               .emplace(key, std::make_unique<res::ResilientClient>(
+                                 job.host,
+                                 static_cast<std::uint16_t>(job.port), copts))
+               .first;
+    }
+
+    // Evaluation is pure, so replays are idempotent by construction.
+    const service::HttpHeaders headers{
+        {"Content-Type", "application/json"},
+        {"X-Stordep-Forwarded", "1"},
+    };
+    res::ResilientClient::Result result = it->second->request(
+        "POST", "/v1/evaluate", job.body, headers, /*idempotent=*/true);
+
+    service::ForwardReply reply;
+    if (const service::HttpClientResponse* response = result.valueIf();
+        response != nullptr && response->status < 500 &&
+        response->status != 429) {
+      reply.ok = true;
+      reply.status = response->status;
+      reply.body = response->body;
+    } else {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    job.done(std::move(reply));
+  }
+}
+
+std::uint64_t Router::forwarded() const noexcept {
+  return forwarded_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Router::forwardFailures() const noexcept {
+  return failures_.load(std::memory_order_relaxed);
+}
+
+}  // namespace stordep::cluster

@@ -1,0 +1,87 @@
+// router.hpp — asynchronous forwarding of /v1/evaluate to owner shards.
+//
+// The server's event loop must never block on a peer's network, so
+// forwarding is queued here and executed by a small worker pool. Each
+// worker keeps one ResilientClient per peer address (keep-alive reuse,
+// retry/backoff, per-path circuit breaker — the PR 7 machinery; hedging
+// stays off because the fallback for a slow owner is computing locally,
+// not a second network copy of the same request) with the connect timeout
+// set so a black-holed owner fails fast.
+//
+// Every forwarded request carries the X-Stordep-Forwarded: 1 header; a
+// receiving node always computes such requests locally, so two nodes with
+// momentarily divergent rings cannot bounce a request between themselves.
+//
+// Transport failure, breaker short-circuit, 429 and 5xx all surface as
+// ForwardReply{ok=false}: the owner is degraded, the forwarding node falls
+// back to local compute (the evaluation is pure; only the shared-cache
+// locality is lost). 2xx–4xx pass through byte-for-byte — the envelope a
+// client sees must be exactly what the owner (or any node) would produce.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cluster_hooks.hpp"
+
+namespace stordep::cluster {
+
+struct RouterOptions {
+  int workers = 2;
+  /// Per-attempt socket timeout on forwarded exchanges.
+  std::chrono::milliseconds timeout{10'000};
+  /// Per-attempt connect bound (the satellite knob this layer exists for).
+  std::chrono::milliseconds connectTimeout{500};
+  /// Attempts per forward; kept low because local fallback is cheap.
+  int maxAttempts = 2;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Enqueues one forward; `done` runs exactly once on a router thread.
+  /// After stop(), jobs complete immediately with ok=false.
+  void forward(const std::string& host, int port, const std::string& body,
+               std::function<void(service::ForwardReply)> done);
+
+  /// Drains the queue (pending jobs fail fast) and joins the workers.
+  void stop();
+
+  /// Forwards attempted / failed over this router's lifetime (relaxed).
+  [[nodiscard]] std::uint64_t forwarded() const noexcept;
+  [[nodiscard]] std::uint64_t forwardFailures() const noexcept;
+
+ private:
+  struct Job {
+    std::string host;
+    int port = 0;
+    std::string body;
+    std::function<void(service::ForwardReply)> done;
+  };
+
+  void workerLoop();
+
+  RouterOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace stordep::cluster

@@ -1,0 +1,250 @@
+#include "cluster/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "casestudy/casestudy.hpp"
+#include "config/json.hpp"
+#include "optimizer/checkpoint.hpp"
+#include "service/resilience/resilient_client.hpp"
+
+namespace stordep::cluster {
+
+using config::Json;
+using config::JsonObject;
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> partitionGrid(
+    std::uint64_t total, std::size_t parts) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  if (parts == 0) return ranges;
+  ranges.reserve(parts);
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::uint64_t begin = total * i / parts;
+    const std::uint64_t end = total * (i + 1) / parts;
+    ranges.emplace_back(begin, end);
+  }
+  return ranges;
+}
+
+std::string rangeCheckpointPath(const std::string& dir, std::uint64_t begin,
+                                std::uint64_t end) {
+  return dir + "/range_" + std::to_string(begin) + "_" + std::to_string(end) +
+         ".jsonl";
+}
+
+namespace {
+
+/// Shared accumulator for the cumulative progress counter.
+struct SweepProgress {
+  std::atomic<std::size_t> done{0};
+  const std::function<void(std::size_t)>* onProgress = nullptr;
+
+  void add(std::size_t delta) {
+    const std::size_t now = done.fetch_add(delta) + delta;
+    if (onProgress != nullptr && *onProgress) (*onProgress)(now);
+  }
+};
+
+struct RangeOutcome {
+  std::vector<optimizer::EvaluatedCandidate> candidates;
+  int skipped = 0;
+  bool complete = false;
+};
+
+/// Evaluates [begin, end) in-process — the coordinator's own range, and the
+/// fallback for any range whose worker died. Re-uses the worker's journal
+/// path so journaled work is restored rather than recomputed.
+RangeOutcome runRangeLocally(std::uint64_t begin, std::uint64_t end,
+                             const service::ClusterSearchParams& params,
+                             SweepProgress& progress,
+                             engine::CancellationToken token) {
+  optimizer::DesignSpaceCursor cursor;
+  cursor.restrictTo(begin, end);
+
+  optimizer::SearchOptions options = params.search;
+  options.token = token;
+  options.checkpointPath =
+      params.checkpointDir.empty()
+          ? std::string{}
+          : rangeCheckpointPath(params.checkpointDir, begin, end);
+  options.waveDelay = std::chrono::milliseconds{0};  // pacing is worker-side
+  options.onCandidates = nullptr;
+  std::size_t reported = 0;
+  options.onProgress = [&](std::size_t done) {
+    progress.add(done - reported);
+    reported = done;
+  };
+
+  const optimizer::SearchResult result = optimizer::searchDesignSpaceStreaming(
+      cursor, casestudy::celloWorkload(), params.business,
+      optimizer::caseStudyScenarios(), options);
+
+  RangeOutcome outcome;
+  outcome.skipped = result.skipped;
+  outcome.complete = !result.cancelled;
+  outcome.candidates.reserve(result.ranked.size() + result.rejected.size());
+  for (const auto& c : result.ranked) outcome.candidates.push_back(c);
+  for (const auto& c : result.rejected) outcome.candidates.push_back(c);
+  return outcome;
+}
+
+/// Drives one remote range as a worker-mode /v1/search, streaming finished
+/// candidates back. nullopt = the worker did not complete the range (the
+/// caller re-runs it locally).
+std::optional<RangeOutcome> runRangeRemotely(
+    const MemberInfo& member, std::uint64_t begin, std::uint64_t end,
+    const service::ClusterSearchParams& params, SweepProgress& progress) {
+  namespace res = service::resilience;
+
+  Json body{JsonObject{}};
+  Json range{JsonObject{}};
+  range.set("begin", Json(static_cast<double>(begin)));
+  range.set("end", Json(static_cast<double>(end)));
+  body.set("range", range);
+  body.set("emitCandidates", Json(true));
+  body.set("streamChunk",
+           Json(static_cast<double>(std::max<std::size_t>(
+               1, params.search.streamChunk))));
+  if (params.search.waveDelay.count() > 0) {
+    body.set("waveDelayMs",
+             Json(static_cast<double>(params.search.waveDelay.count())));
+  }
+  if (!params.checkpointDir.empty()) {
+    body.set("checkpointPath",
+             Json(rangeCheckpointPath(params.checkpointDir, begin, end)));
+  }
+  // The RTO/RPO literals round-trip through the same JSON number parser on
+  // the worker, so its BusinessRequirements are bit-identical to ours.
+  if (!params.rtoHoursLiteral.empty()) {
+    body.set("rtoHours", Json::parse(params.rtoHoursLiteral));
+  }
+  if (!params.rpoHoursLiteral.empty()) {
+    body.set("rpoHours", Json::parse(params.rpoHoursLiteral));
+  }
+
+  res::ResilientClientOptions copts;
+  copts.retry.maxAttempts = 2;
+  copts.timeout = std::chrono::milliseconds{300'000};
+  copts.connectTimeout = std::chrono::milliseconds{1'000};
+  res::ResilientClient client(member.host,
+                              static_cast<std::uint16_t>(member.port), copts);
+
+  RangeOutcome outcome;
+  bool sawResult = false;
+  bool remoteCancelled = false;
+  std::size_t sinceProgress = 0;
+  const auto onLine = [&](std::string_view line) {
+    if (line.empty()) return;
+    try {
+      const Json parsed = Json::parse(std::string(line));
+      if (const Json* candidate = parsed.find("candidate")) {
+        outcome.candidates.push_back(
+            optimizer::evaluatedCandidateFromJson(*candidate));
+        if (++sinceProgress >= std::max<std::size_t>(
+                                   1, params.search.streamChunk)) {
+          progress.add(sinceProgress);
+          sinceProgress = 0;
+        }
+      } else if (const Json* result = parsed.find("result")) {
+        sawResult = true;
+        if (const Json* cancelled = result->find("cancelled")) {
+          remoteCancelled = cancelled->asBool();
+        }
+      }
+      // progress lines from the worker are ignored: the coordinator
+      // reports its own cumulative counter.
+    } catch (...) {
+      // A torn tail line surfaces as a missing result line below.
+    }
+  };
+
+  const res::ResilientClient::Result result =
+      client.postStreaming("/v1/search", body.dump(), onLine);
+  if (sinceProgress > 0) progress.add(sinceProgress);
+
+  const service::HttpClientResponse* response = result.valueIf();
+  if (response == nullptr || response->status != 200 || !sawResult ||
+      remoteCancelled) {
+    return std::nullopt;
+  }
+  outcome.complete = true;
+  return outcome;
+}
+
+}  // namespace
+
+optimizer::SearchResult runClusterSweep(
+    const std::string& selfId, std::vector<MemberInfo> members,
+    const service::ClusterSearchParams& params,
+    const std::function<void(std::size_t done)>& onProgress,
+    engine::CancellationToken token) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // The partition is a pure function of (grid, member list); members were
+  // snapshotted by the caller and sorted by id.
+  std::sort(members.begin(), members.end(),
+            [](const MemberInfo& a, const MemberInfo& b) { return a.id < b.id; });
+  if (members.empty()) members.push_back(MemberInfo{selfId, "", 0, {}, {}});
+
+  const std::uint64_t total =
+      optimizer::gridCardinality(optimizer::DesignSpaceOptions{});
+  const auto ranges = partitionGrid(total, members.size());
+
+  SweepProgress progress;
+  progress.onProgress = &onProgress;
+
+  std::vector<RangeOutcome> outcomes(ranges.size());
+  std::vector<std::thread> threads;
+  threads.reserve(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const auto [begin, end] = ranges[i];
+    if (begin == end) {
+      outcomes[i].complete = true;
+      continue;
+    }
+    const MemberInfo member = members[i];
+    threads.emplace_back([&, i, begin, end, member] {
+      if (member.id != selfId) {
+        if (std::optional<RangeOutcome> remote =
+                runRangeRemotely(member, begin, end, params, progress)) {
+          outcomes[i] = std::move(*remote);
+          return;
+        }
+        // The worker died or never finished: partial candidates are
+        // dropped and the whole range re-runs here, resuming from the
+        // range's journal when one is shared.
+        if (token.cancelled()) return;
+      }
+      outcomes[i] = runRangeLocally(begin, end, params, progress, token);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<optimizer::EvaluatedCandidate> all;
+  int skipped = 0;
+  bool incomplete = false;
+  for (RangeOutcome& outcome : outcomes) {
+    skipped += outcome.skipped;
+    if (!outcome.complete) incomplete = true;
+    for (auto& candidate : outcome.candidates) {
+      all.push_back(std::move(candidate));
+    }
+  }
+
+  optimizer::SearchResult result = optimizer::rankEvaluated(std::move(all));
+  result.skipped = skipped;
+  result.cancelled = incomplete || token.cancelled();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.wallSeconds = elapsed.count();
+  result.candidatesPerSec =
+      result.wallSeconds > 0.0
+          ? static_cast<double>(result.evaluated) / result.wallSeconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace stordep::cluster

@@ -1,0 +1,59 @@
+// sweep.hpp — distributed design-space sweeps over mixed-radix grid ranges.
+//
+// A cluster-mode /v1/search partitions the cursor's grid-index space
+// [0, gridCardinality) into one contiguous range per live member (sizes
+// within one point of each other), runs its own range in-process, and
+// drives each remote range as a worker-mode /v1/search on that member
+// (range-restricted cursor, candidates streamed back as NDJSON with the
+// checkpoint journal's exact-double encoding). Merging the per-range
+// candidates through optimizer::rankEvaluated reproduces the single-node
+// ranking bit for bit, because ranges concatenate to exactly the full
+// enumeration (DesignSpaceCursor::restrictTo's contract) and the ranking
+// comparison is a total order.
+//
+// Failure semantics: a range whose worker dies (transport failure, non-200,
+// stream without a clean un-cancelled result line) is re-run locally with
+// the SAME per-range checkpoint path, so work the dead worker journaled
+// before dying is restored, not recomputed — this assumes the loopback /
+// shared-filesystem deployment the CI cluster exercises; without a shared
+// checkpoint directory the fallback recomputes the range from scratch,
+// which is slower but produces the identical ranking. Partially streamed
+// candidates from a failed worker are discarded (the local re-run covers
+// the whole range) so nothing is double-counted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "engine/batch.hpp"
+#include "service/cluster_hooks.hpp"
+
+namespace stordep::cluster {
+
+/// Splits [0, total) into `parts` contiguous ranges with sizes differing by
+/// at most one; concatenating them reproduces [0, total) exactly. Empty
+/// ranges are possible when parts > total.
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+partitionGrid(std::uint64_t total, std::size_t parts);
+
+/// Per-range checkpoint journal path under `dir`.
+[[nodiscard]] std::string rangeCheckpointPath(const std::string& dir,
+                                              std::uint64_t begin,
+                                              std::uint64_t end);
+
+/// Runs one distributed sweep. `members` are the live members to partition
+/// across (sorted by id, self included — the caller snapshots them once so
+/// the partition is stable for the sweep's lifetime). Blocks until every
+/// range is merged. `onProgress` receives cumulative finished-candidate
+/// counts and may be called from several range threads.
+[[nodiscard]] optimizer::SearchResult runClusterSweep(
+    const std::string& selfId, std::vector<MemberInfo> members,
+    const service::ClusterSearchParams& params,
+    const std::function<void(std::size_t done)>& onProgress,
+    engine::CancellationToken token);
+
+}  // namespace stordep::cluster

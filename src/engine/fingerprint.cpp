@@ -548,6 +548,19 @@ Fingerprint fingerprintEvaluation(const StorageDesign& design,
   return combine(fingerprintDesign(design), fingerprintScenario(scenario));
 }
 
+std::uint64_t ringPoint(const Fingerprint& fp) noexcept {
+  // splitmix64 finalizer over a fold of both words; the golden-ratio
+  // multiplier keeps lo's contribution from cancelling against hi for
+  // related fingerprints.
+  std::uint64_t x = fp.hi ^ (fp.lo * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
 FingerprintCounters fingerprintCounters() noexcept {
   FingerprintCounters out;
   out.designFingerprints = g_designFingerprints.load(std::memory_order_relaxed);

@@ -329,6 +329,11 @@ bool DesignSpaceCursor::advance() {
   return positionFrom(digit + 1);
 }
 
+void DesignSpaceCursor::restrictTo(std::uint64_t begin, std::uint64_t end) {
+  rangeBegin_ = begin;
+  rangeEnd_ = end;
+}
+
 bool DesignSpaceCursor::next(CandidateSpec& out) {
   while (!exhausted_) {
     if (!started_) {
@@ -338,6 +343,15 @@ bool DesignSpaceCursor::next(CandidateSpec& out) {
       return false;
     }
     ++enumerated_;
+    // Grid index of the point just visited; a restricted cursor walks (but
+    // never produces) points before its range and stops at its end. The
+    // skip walk is O(begin) odometer steps — negligible on these grids.
+    const std::uint64_t gridIndex = enumerated_ - 1;
+    if (gridIndex < rangeBegin_) continue;
+    if (gridIndex >= rangeEnd_) {
+      exhausted_ = true;
+      return false;
+    }
     CandidateSpec spec = specAt();
     if (spec.valid()) {
       ++produced_;

@@ -90,6 +90,13 @@ class DesignSpaceCursor {
   /// Writes the next valid candidate into `out`; false when exhausted.
   [[nodiscard]] bool next(CandidateSpec& out);
 
+  /// Restricts enumeration to grid indices [begin, end) in the all-points
+  /// numbering enumerated() counts (valid and invalid alike). Cursors over
+  /// a partition of [0, gridCardinality()) concatenate to exactly the full
+  /// enumeration — the contract the cluster sweep partitioner relies on.
+  /// Must be called before the first next().
+  void restrictTo(std::uint64_t begin, std::uint64_t end);
+
   [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
   /// Grid points visited so far (including invalid combinations skipped).
   [[nodiscard]] std::uint64_t enumerated() const noexcept {
@@ -117,6 +124,8 @@ class DesignSpaceCursor {
   bool exhausted_ = false;
   std::uint64_t enumerated_ = 0;
   std::uint64_t produced_ = 0;
+  std::uint64_t rangeBegin_ = 0;
+  std::uint64_t rangeEnd_ = UINT64_MAX;
 };
 
 /// Enumerates every structurally valid candidate in the grid.

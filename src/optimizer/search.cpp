@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <thread>
 
 #include "casestudy/casestudy.hpp"
 #include "optimizer/checkpoint.hpp"
@@ -254,6 +255,12 @@ void finalizeThroughput(SearchResult& result,
 
 }  // namespace
 
+SearchResult rankEvaluated(std::vector<EvaluatedCandidate> evaluated) {
+  SearchResult result;
+  rankCandidates(result, std::move(evaluated));
+  return result;
+}
+
 EvaluatedCandidate evaluateCandidate(
     const CandidateSpec& spec, const WorkloadSpec& workload,
     const BusinessRequirements& business,
@@ -447,6 +454,7 @@ SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
   std::vector<engine::Fingerprint> keys;
   std::vector<EvaluatedCandidate> evaluated;
   std::vector<char> completed;
+  std::vector<EvaluatedCandidate> waveFinished;
 
   bool stopped = false;
   CandidateSpec spec;
@@ -499,15 +507,23 @@ SearchResult searchDesignSpaceStreaming(DesignSpaceCursor& cursor,
         },
         token);
 
+    waveFinished.clear();
     for (std::size_t i = 0; i < chunk.size(); ++i) {
       if (completed[i] != 0) {
-        finished.push_back(std::move(evaluated[i]));
+        waveFinished.push_back(std::move(evaluated[i]));
       } else {
         stopped = true;  // cancellation left this slot un-evaluated
       }
     }
     if (!ranAll) stopped = true;
+    if (options.onCandidates) options.onCandidates(waveFinished);
+    for (EvaluatedCandidate& c : waveFinished) {
+      finished.push_back(std::move(c));
+    }
     if (options.onProgress) options.onProgress(finished.size());
+    if (options.waveDelay.count() > 0 && !stopped) {
+      std::this_thread::sleep_for(options.waveDelay);
+    }
   }
   if (journal) journal->flush();
 

@@ -66,6 +66,10 @@ struct ResilientClientOptions {
   double hedgeQuantile = 0.95;
   /// Socket-level send/recv timeout per attempt.
   std::chrono::milliseconds timeout{30'000};
+  /// Bound on TCP connection establishment per attempt (0 = blocking
+  /// connect; see ClientOptions::connectTimeout). The cluster router sets
+  /// this so forwarding to a black-holed owner fails fast.
+  std::chrono::milliseconds connectTimeout{0};
   std::uint64_t seed = 1;
 };
 

@@ -17,6 +17,7 @@
 #include "casestudy/casestudy.hpp"
 #include "config/design_io.hpp"
 #include "engine/fingerprint.hpp"
+#include "optimizer/checkpoint.hpp"
 #include "optimizer/search.hpp"
 #include "service/json_api.hpp"
 
@@ -60,6 +61,39 @@ bool writeAll(int fd, std::string_view data) {
   Json out{JsonObject{}};
   out.set("error", detail);
   return out;
+}
+
+/// The final NDJSON line of a /v1/search stream. Shared by the single-node
+/// and cluster-coordinator paths so their output is structurally identical
+/// (wallSeconds / candidatesPerSec are the only run-varying fields).
+[[nodiscard]] Json searchResultLine(const optimizer::SearchResult& result,
+                                    std::size_t top) {
+  JsonArray ranked;
+  const std::size_t count = std::min(top, result.ranked.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const optimizer::EvaluatedCandidate& candidate = result.ranked[i];
+    Json entry{JsonObject{}};
+    entry.set("label", Json(candidate.label));
+    entry.set("outlaysUsd", Json(candidate.outlays.usd()));
+    entry.set("totalCostUsd", Json(candidate.totalCost.usd()));
+    entry.set("worstRecoveryTimeSeconds",
+              Json(candidate.worstRecoveryTime.secs()));
+    entry.set("worstDataLossSeconds", Json(candidate.worstDataLoss.secs()));
+    ranked.push_back(entry);
+  }
+  Json summary{JsonObject{}};
+  summary.set("evaluated", Json(result.evaluated));
+  summary.set("rankedCount", Json(static_cast<double>(result.ranked.size())));
+  summary.set("rejectedCount",
+              Json(static_cast<double>(result.rejected.size())));
+  summary.set("failed", Json(result.failed));
+  summary.set("cancelled", Json(result.cancelled));
+  summary.set("wallSeconds", Json(result.wallSeconds));
+  summary.set("candidatesPerSec", Json(result.candidatesPerSec));
+  summary.set("top", Json(std::move(ranked)));
+  Json line{JsonObject{}};
+  line.set("result", summary);
+  return line;
 }
 
 }  // namespace
@@ -416,6 +450,8 @@ void Server::dispatch(Connection& conn, HttpRequest request) {
   const std::string_view path = request.path();
   const bool keepAlive = request.keepAlive() && !draining_;
 
+  ClusterHooks* cluster = cluster_.load(std::memory_order_acquire);
+
   if (path == "/healthz") {
     HttpResponse response;
     const int tier = options_.brownoutEnabled ? brownout_.tier() : 0;
@@ -426,6 +462,7 @@ void Server::dispatch(Connection& conn, HttpRequest request) {
     body.set("status", Json(draining_ ? "draining"
                                       : (tier > 0 ? "degraded" : "ok")));
     body.set("brownoutTier", Json(static_cast<double>(tier)));
+    if (cluster != nullptr) body.set("cluster", cluster->healthJson());
     response.status = draining_ ? 503 : 200;
     response.headers.emplace_back("Content-Type", "application/json");
     response.body = body.dump();
@@ -437,10 +474,41 @@ void Server::dispatch(Connection& conn, HttpRequest request) {
   if (path == "/metrics") {
     HttpResponse response;
     response.headers.emplace_back("Content-Type", "application/json");
-    response.body = metrics_.snapshot(*engine_).pretty();
+    Json snapshot = metrics_.snapshot(*engine_);
+    if (cluster != nullptr) snapshot.set("cluster", cluster->metricsJson());
+    response.body = snapshot.pretty();
     sendResponse(conn, response, keepAlive);
     metrics_.metricsEndpoint.record(200,
                                     std::chrono::steady_clock::now() - start);
+    return;
+  }
+  if (path == "/v1/cluster/ping" || path == "/v1/cluster/members") {
+    HttpResponse response;
+    response.headers.emplace_back("Content-Type", "application/json");
+    if (cluster == nullptr) {
+      metrics_.other.record(404, std::chrono::nanoseconds{0});
+      sendError(conn, 404, "not-a-cluster-node",
+                "this server has no cluster layer attached");
+      return;
+    }
+    if (path == "/v1/cluster/ping") {
+      if (request.method != "POST") {
+        metrics_.other.record(405, std::chrono::nanoseconds{0});
+        sendError(conn, 405, "method-not-allowed", "use POST");
+        return;
+      }
+      try {
+        response.body = cluster->handlePing(Json::parse(request.body)).dump();
+      } catch (const std::exception& e) {
+        metrics_.other.record(400, std::chrono::nanoseconds{0});
+        sendError(conn, 400, "invalid-request", e.what());
+        return;
+      }
+    } else {
+      response.body = cluster->membersJson().dump();
+    }
+    sendResponse(conn, response, keepAlive);
+    metrics_.other.record(200, std::chrono::steady_clock::now() - start);
     return;
   }
   if (path == "/v1/evaluate" || path == "/v1/search") {
@@ -482,43 +550,7 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
     return;
   }
 
-  // Brown-out shedding, cheapest checks first. Tier 3 drops everything;
-  // tier 2 admits only requests every item of which is already cached (the
-  // probe itself refreshes the entries' LRU position); tier 1 is handled in
-  // the completion by stripping stochastic envelopes.
   const int tier = options_.brownoutEnabled ? brownout_.tier() : 0;
-  if (tier >= 3) {
-    metrics_.shedCold.fetch_add(1, std::memory_order_relaxed);
-    metrics_.evaluate.record(503, std::chrono::steady_clock::now() - start);
-    sendError(conn, 503, "browned-out",
-              "server is in full brown-out (tier 3)", /*retryAfter=*/true);
-    return;
-  }
-  if (tier >= 2) {
-    bool allWarm = true;
-    try {
-      for (const EvaluateItem& item : parsed.items) {
-        const engine::Fingerprint key =
-            engine::fingerprintEvaluation(*item.design, item.scenario);
-        if (!engine_->cache().lookup(key)) {
-          allWarm = false;
-          break;
-        }
-      }
-    } catch (...) {
-      allWarm = false;  // injected cache-lookup fault: treat as cold
-    }
-    if (!allWarm) {
-      metrics_.shedCold.fetch_add(1, std::memory_order_relaxed);
-      metrics_.evaluate.record(503,
-                               std::chrono::steady_clock::now() - start);
-      sendError(conn, 503, "browned-out",
-                "cache-hits-only under brown-out (tier 2); request needs a "
-                "cold evaluation",
-                /*retryAfter=*/true);
-      return;
-    }
-  }
   const bool shedStochastic = tier >= 1;
 
   // Body "deadlineMs" uses 0 as "unset"; an explicit X-Deadline-Ms header
@@ -651,6 +683,110 @@ void Server::handleEvaluate(Connection& conn, const HttpRequest& request) {
                     /*thenClose=*/!keepAlive);
   };
 
+  // Cluster routing, checked before local brown-out shedding (the owner
+  // applies its own): a single-evaluation request whose owner shard is a
+  // live peer is forwarded there, making the fleet one distributed cache.
+  // The X-Stordep-Forwarded guard means a forwarded request is always
+  // computed where it lands, so two momentarily divergent rings cannot
+  // bounce a request back and forth.
+  if (ClusterHooks* cluster = cluster_.load(std::memory_order_acquire);
+      cluster != nullptr && items->size() == 1 &&
+      request.header("x-stordep-forwarded") == nullptr) {
+    std::string ownerId;
+    const engine::Fingerprint key = engine::fingerprintEvaluation(
+        *(*items)[0].design, (*items)[0].scenario);
+    if (!cluster->ownsEvaluation(key, &ownerId)) {
+      conn.waiting = true;  // paused until the forward (or fallback) lands
+      auto jobPtr = std::make_shared<Batcher::Job>(std::move(job));
+      cluster->forwardEvaluate(
+          ownerId, request.body,
+          [this, connId, keepAlive, start, jobPtr](ForwardReply reply) {
+            if (reply.ok) {
+              // Re-frame the owner's envelope verbatim: byte-identical to
+              // what this node would have produced for the same body.
+              HttpResponse response;
+              response.status = reply.status;
+              response.headers.emplace_back("Content-Type",
+                                            "application/json");
+              response.body = std::move(reply.body);
+              metrics_.evaluate.record(
+                  response.status, std::chrono::steady_clock::now() - start);
+              queueCompletion(connId, serializeResponse(response, keepAlive),
+                              /*thenClose=*/!keepAlive);
+              return;
+            }
+            // Owner degraded: compute locally (submit is thread-safe; the
+            // job's own `done` completes the connection).
+            const auto answer = [&](int status, const std::string& code,
+                                    const std::string& message) {
+              HttpResponse response;
+              response.status = status;
+              response.headers.emplace_back("Content-Type",
+                                            "application/json");
+              response.headers.emplace_back(
+                  "Retry-After", std::to_string(options_.retryAfterSeconds));
+              response.body = serviceErrorBody(code, message).dump();
+              metrics_.evaluate.record(
+                  status, std::chrono::steady_clock::now() - start);
+              queueCompletion(connId, serializeResponse(response, keepAlive),
+                              /*thenClose=*/!keepAlive);
+            };
+            switch (batcher_->submit(std::move(*jobPtr))) {
+              case Batcher::Submit::kAccepted:
+                return;
+              case Batcher::Submit::kQueueFull:
+                metrics_.rejectedQueueFull.fetch_add(
+                    1, std::memory_order_relaxed);
+                answer(429, "queue-full", "evaluation queue is full");
+                return;
+              case Batcher::Submit::kShuttingDown:
+                metrics_.rejectedDraining.fetch_add(1,
+                                                    std::memory_order_relaxed);
+                answer(503, "draining", "server is shutting down");
+                return;
+            }
+          });
+      return;
+    }
+  }
+
+  // Brown-out shedding. Tier 3 drops everything; tier 2 admits only
+  // requests every item of which is already cached (the probe itself
+  // refreshes the entries' LRU position); tier 1 is handled in the
+  // completion by stripping stochastic envelopes.
+  if (tier >= 3) {
+    metrics_.shedCold.fetch_add(1, std::memory_order_relaxed);
+    metrics_.evaluate.record(503, std::chrono::steady_clock::now() - start);
+    sendError(conn, 503, "browned-out",
+              "server is in full brown-out (tier 3)", /*retryAfter=*/true);
+    return;
+  }
+  if (tier >= 2) {
+    bool allWarm = true;
+    try {
+      for (const EvaluateItem& item : *items) {
+        const engine::Fingerprint key =
+            engine::fingerprintEvaluation(*item.design, item.scenario);
+        if (!engine_->cache().lookup(key)) {
+          allWarm = false;
+          break;
+        }
+      }
+    } catch (...) {
+      allWarm = false;  // injected cache-lookup fault: treat as cold
+    }
+    if (!allWarm) {
+      metrics_.shedCold.fetch_add(1, std::memory_order_relaxed);
+      metrics_.evaluate.record(503,
+                               std::chrono::steady_clock::now() - start);
+      sendError(conn, 503, "browned-out",
+                "cache-hits-only under brown-out (tier 2); request needs a "
+                "cold evaluation",
+                /*retryAfter=*/true);
+      return;
+    }
+  }
+
   switch (batcher_->submit(std::move(job))) {
     case Batcher::Submit::kAccepted:
       conn.waiting = true;  // responses stay in order: pause this connection
@@ -726,6 +862,14 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
   optimizer::SearchOptions searchOptions;
   std::size_t top = 10;
   std::chrono::milliseconds deadline{0};
+  // Cluster-coordinator mode ("cluster": true) and range-worker mode
+  // ("range": {begin, end}) — the two halves of a distributed sweep.
+  bool clusterMode = false;
+  ClusterSearchParams clusterParams;
+  bool workerMode = false;
+  std::uint64_t rangeBegin = 0;
+  std::uint64_t rangeEnd = 0;
+  bool emitCandidates = false;
   try {
     const Json body = bodyText.empty() ? Json{JsonObject{}}
                                        : Json::parse(bodyText);
@@ -734,9 +878,11 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
     }
     if (const Json* rto = body.find("rtoHours")) {
       business.rto = hours(rto->asNumber());
+      clusterParams.rtoHoursLiteral = rto->dump();
     }
     if (const Json* rpo = body.find("rpoHours")) {
       business.rpo = hours(rpo->asNumber());
+      clusterParams.rpoHoursLiteral = rpo->dump();
     }
     if (const Json* chunk = body.find("streamChunk")) {
       searchOptions.streamChunk =
@@ -748,6 +894,44 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
     if (const Json* deadlineMs = body.find("deadlineMs")) {
       deadline = std::chrono::milliseconds(
           static_cast<long long>(deadlineMs->asNumber()));
+    }
+    if (const Json* clusterFlag = body.find("cluster")) {
+      clusterMode = clusterFlag->asBool();
+      if (clusterMode && cluster_.load(std::memory_order_acquire) == nullptr) {
+        throw std::runtime_error(
+            "\"cluster\": true on a server with no cluster layer attached");
+      }
+    }
+    if (const Json* dir = body.find("checkpointDir")) {
+      clusterParams.checkpointDir = dir->asString();
+    }
+    if (const Json* range = body.find("range")) {
+      if (!range->isObject() || range->find("begin") == nullptr ||
+          range->find("end") == nullptr) {
+        throw std::runtime_error(
+            "\"range\" must be an object with begin and end");
+      }
+      workerMode = true;
+      rangeBegin = static_cast<std::uint64_t>(
+          std::max(0.0, range->at("begin").asNumber()));
+      rangeEnd = static_cast<std::uint64_t>(
+          std::max(0.0, range->at("end").asNumber()));
+    }
+    if (const Json* emit = body.find("emitCandidates")) {
+      emitCandidates = emit->asBool();
+    }
+    if (const Json* path = body.find("checkpointPath")) {
+      searchOptions.checkpointPath = path->asString();
+    }
+    if (const Json* delayMs = body.find("waveDelayMs")) {
+      // Clamped: a wave delay exists for deterministic mid-sweep kills in
+      // tests, not as a general-purpose throttle.
+      searchOptions.waveDelay = std::chrono::milliseconds(std::min(
+          1000LL, std::max(0LL,
+                           static_cast<long long>(delayMs->asNumber()))));
+    }
+    if (clusterMode && workerMode) {
+      throw std::runtime_error("\"cluster\" and \"range\" are exclusive");
     }
   } catch (const std::exception& e) {
     status = 400;
@@ -775,6 +959,7 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
   searchOptions.token = token;
 
   optimizer::DesignSpaceCursor cursor;
+  if (workerMode) cursor.restrictTo(rangeBegin, rangeEnd);
   const std::uint64_t total =
       optimizer::gridCardinality(optimizer::DesignSpaceOptions{});
 
@@ -782,6 +967,9 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
   headers.emplace_back("Content-Type", "application/x-ndjson");
   bool alive = writeAll(fd, serializeChunkedHead(200, headers));
   bool peerDisconnected = false;
+  // In cluster mode progress (and in worker mode candidate lines) can be
+  // written from several threads; every socket write below holds streamMu.
+  std::mutex streamMu;
   const auto onPeerGone = [&] {
     // Broken pipe: the client went away mid-stream. Cancel this search so
     // it stops at its next wave instead of burning the rest of the sweep,
@@ -793,8 +981,9 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
     }
   };
   if (!alive) onPeerGone();
-  searchOptions.onProgress = [&](std::size_t done) {
+  const auto reportProgress = [&](std::size_t done) {
     if (drainToken.cancelled()) localStop.cancel();
+    std::lock_guard<std::mutex> lock(streamMu);
     if (!alive) return;
     Json progress{JsonObject{}};
     progress.set("done", Json(static_cast<double>(done)));
@@ -804,38 +993,44 @@ void Server::runSearch(int fd, std::uint64_t connId, std::string bodyText) {
     alive = writeAll(fd, encodeChunk(line.dump() + "\n"));
     if (!alive) onPeerGone();
   };
+  searchOptions.onProgress = reportProgress;
+  if (emitCandidates) {
+    // Worker mode streams every finished candidate (ranked and rejected
+    // alike, exactly as the checkpoint journal serializes them) so the
+    // coordinator's merged counts match a single-node sweep.
+    searchOptions.onCandidates =
+        [&](const std::vector<optimizer::EvaluatedCandidate>& wave) {
+          std::lock_guard<std::mutex> lock(streamMu);
+          if (!alive || wave.empty()) return;
+          std::string lines;
+          for (const optimizer::EvaluatedCandidate& candidate : wave) {
+            Json line{JsonObject{}};
+            line.set("candidate",
+                     optimizer::evaluatedCandidateToJson(candidate));
+            lines += line.dump();
+            lines += '\n';
+          }
+          alive = writeAll(fd, encodeChunk(lines));
+          if (!alive) onPeerGone();
+        };
+  }
 
-  const optimizer::SearchResult result = optimizer::searchDesignSpaceStreaming(
-      cursor, casestudy::celloWorkload(), business,
-      optimizer::caseStudyScenarios(), searchOptions);
+  optimizer::SearchResult result;
+  if (clusterMode) {
+    clusterParams.search = searchOptions;
+    clusterParams.search.onProgress = nullptr;
+    clusterParams.search.onCandidates = nullptr;
+    clusterParams.business = business;
+    result = cluster_.load(std::memory_order_acquire)
+                 ->clusterSearch(clusterParams, reportProgress, token);
+  } else {
+    result = optimizer::searchDesignSpaceStreaming(
+        cursor, casestudy::celloWorkload(), business,
+        optimizer::caseStudyScenarios(), searchOptions);
+  }
 
   if (alive) {
-    JsonArray ranked;
-    const std::size_t count = std::min(top, result.ranked.size());
-    for (std::size_t i = 0; i < count; ++i) {
-      const optimizer::EvaluatedCandidate& candidate = result.ranked[i];
-      Json entry{JsonObject{}};
-      entry.set("label", Json(candidate.label));
-      entry.set("outlaysUsd", Json(candidate.outlays.usd()));
-      entry.set("totalCostUsd", Json(candidate.totalCost.usd()));
-      entry.set("worstRecoveryTimeSeconds",
-                Json(candidate.worstRecoveryTime.secs()));
-      entry.set("worstDataLossSeconds", Json(candidate.worstDataLoss.secs()));
-      ranked.push_back(entry);
-    }
-    Json summary{JsonObject{}};
-    summary.set("evaluated", Json(result.evaluated));
-    summary.set("rankedCount",
-                Json(static_cast<double>(result.ranked.size())));
-    summary.set("rejectedCount",
-                Json(static_cast<double>(result.rejected.size())));
-    summary.set("failed", Json(result.failed));
-    summary.set("cancelled", Json(result.cancelled));
-    summary.set("wallSeconds", Json(result.wallSeconds));
-    summary.set("candidatesPerSec", Json(result.candidatesPerSec));
-    summary.set("top", Json(std::move(ranked)));
-    Json line{JsonObject{}};
-    line.set("result", summary);
+    const Json line = searchResultLine(result, top);
     alive = writeAll(fd, encodeChunk(line.dump() + "\n"));
     if (alive) writeAll(fd, std::string(kLastChunk));
   }

@@ -47,6 +47,7 @@
 
 #include "engine/batch.hpp"
 #include "service/batcher.hpp"
+#include "service/cluster_hooks.hpp"
 #include "service/http.hpp"
 #include "service/metrics.hpp"
 #include "service/resilience/brownout.hpp"
@@ -139,6 +140,18 @@ class Server {
         metrics_.brownoutTier.load(std::memory_order_relaxed));
   }
 
+  /// Attaches (or detaches, with nullptr) the cluster layer. The pointer is
+  /// read per-request on the loop thread, so attaching while running is
+  /// safe; DETACHING is only safe once the loop has exited (in practice:
+  /// cluster::ClusterNode shuts the server down before it destructs, which
+  /// is why a Server must be declared before its ClusterNode).
+  void attachCluster(ClusterHooks* cluster) noexcept {
+    cluster_.store(cluster, std::memory_order_release);
+  }
+  [[nodiscard]] ClusterHooks* cluster() const noexcept {
+    return cluster_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Connection;
 
@@ -169,6 +182,7 @@ class Server {
   engine::Engine* engine_ = nullptr;
   ServiceMetrics metrics_;
   std::unique_ptr<Batcher> batcher_;
+  std::atomic<ClusterHooks*> cluster_{nullptr};
 
   int listenFd_ = -1;
   int epollFd_ = -1;
